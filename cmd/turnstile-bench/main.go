@@ -1,0 +1,130 @@
+// Command turnstile-bench regenerates the tables and figures of the
+// paper's evaluation (§6) from the built-in corpus and substrates:
+//
+//	turnstile-bench -table2              Table 2 (framework popularity)
+//	turnstile-bench -figure10            Figure 10 + analysis timing (E1)
+//	turnstile-bench -figure11            Figure 11 (overhead vs input rate, E2)
+//	turnstile-bench -figure12            Figure 12 (per-app overhead at 30/250 Hz)
+//	turnstile-bench -all                 everything
+//
+// E2 flags: -messages N (default 200), -warmup N, -repeats N, -apps a,b,c.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"turnstile/internal/corpus"
+	"turnstile/internal/harness"
+	"turnstile/internal/workload"
+)
+
+func main() {
+	table2 := flag.Bool("table2", false, "regenerate Table 2")
+	fig10 := flag.Bool("figure10", false, "regenerate Figure 10 (E1)")
+	fig11 := flag.Bool("figure11", false, "regenerate Figure 11 (E2)")
+	fig12 := flag.Bool("figure12", false, "regenerate Figure 12 (E2)")
+	all := flag.Bool("all", false, "run everything")
+	messages := flag.Int("messages", 200, "messages per E2 run (paper: 1000)")
+	warmup := flag.Int("warmup", 20, "warmup messages per E2 run")
+	repeats := flag.Int("repeats", 1, "repeated E2 runs to average (paper: 10)")
+	appsFilter := flag.String("apps", "", "comma-separated app names for E2 (default: all 27)")
+	outDir := flag.String("out", "", "also write compiled results (JSON/CSV) into this directory")
+	flag.Parse()
+
+	if *all {
+		*table2, *fig10, *fig11, *fig12 = true, true, true, true
+	}
+	if !*table2 && !*fig10 && !*fig11 && !*fig12 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	apps := corpus.All()
+
+	if *table2 {
+		fmt.Println(harness.RenderTable2(harness.RunTable2()))
+	}
+
+	if *fig10 {
+		res, err := harness.RunE1(apps)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(harness.RenderE1(res))
+		if *outDir != "" {
+			writeOut(*outDir, "taint-analysis-compiled.csv", []byte(harness.ExportFigure10CSV(res)))
+		}
+	}
+
+	if *fig11 || *fig12 {
+		targets := corpus.Runnable(apps)
+		if *appsFilter != "" {
+			var filtered []*corpus.App
+			for _, name := range strings.Split(*appsFilter, ",") {
+				a := corpus.ByName(targets, strings.TrimSpace(name))
+				if a == nil {
+					fatal(fmt.Errorf("unknown runnable app %q", name))
+				}
+				filtered = append(filtered, a)
+			}
+			targets = filtered
+		}
+		opts := harness.E2Options{Messages: *messages, Warmup: *warmup, Repeats: *repeats}
+		fmt.Printf("measuring %d app(s) × 3 versions × %d messages...\n", len(targets), opts.Messages)
+		var ms []harness.AppMeasurement
+		for _, app := range targets {
+			m, err := harness.MeasureApp(app, opts)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", app.Name, err))
+			}
+			ms = append(ms, *m)
+			fmt.Printf("  %-18s orig %8v  sel %8v  exh %8v (total service time)\n",
+				app.Name, m.Original.Total().Round(100), m.Selective.Total().Round(100), m.Exhaustive.Total().Round(100))
+		}
+		points := harness.Figure11(ms, workload.Rates)
+		if *fig11 {
+			fmt.Println()
+			fmt.Println(harness.RenderFigure11(points))
+		}
+		if *fig12 {
+			fmt.Println()
+			fmt.Println(harness.RenderFigure12(harness.Figure12(ms)))
+		}
+		if *outDir != "" {
+			if data, err := harness.ExportJSON(ms, workload.Rates); err == nil {
+				writeOut(*outDir, "exp-results-compiled.json", data)
+			}
+			writeOut(*outDir, "plot-area-data.csv", []byte(harness.ExportAreaCSV(points)))
+			writeOut(*outDir, "plot-bar-data.csv", []byte(harness.ExportBarCSV(harness.Figure12(ms))))
+		}
+		s := harness.Summarize(ms, points)
+		fmt.Printf("\nheadline numbers (paper → measured):\n")
+		fmt.Printf("  worst-case overhead at 30 Hz: selective 15.8%% → %.1f%%, exhaustive 153.8%% → %.1f%%\n",
+			100*(s.WorstSelective30-1), 100*(s.WorstExhaustive30-1))
+		fmt.Printf("  selective median overhead: 0.2%% at 2 Hz → %.1f%%, 22.0%% at 1000 Hz → %.1f%%\n",
+			100*(s.MedianSelLow-1), 100*(s.MedianSelHigh-1))
+		fmt.Printf("  apps with acceptable median overhead: selective %d, exhaustive %d (paper: 22 vs 16)\n",
+			s.AcceptableSel, s.AcceptableExh)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "turnstile-bench:", err)
+	os.Exit(1)
+}
+
+// writeOut writes one compiled artifact, creating the directory if needed.
+func writeOut(dir, name string, data []byte) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}

@@ -1,0 +1,19 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteOut(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "results")
+	writeOut(dir, "x.csv", []byte("a,b\n1,2\n"))
+	data, err := os.ReadFile(filepath.Join(dir, "x.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "a,b\n1,2\n" {
+		t.Fatalf("data = %q", data)
+	}
+}

@@ -1,0 +1,288 @@
+// Command turnstile is the developer-facing CLI of the Turnstile
+// reproduction: it analyzes MiniJS applications for privacy-sensitive
+// dataflows, instruments them against an IFC policy, and runs the managed
+// result.
+//
+// Usage:
+//
+//	turnstile analyze <app.js>...            report privacy-sensitive dataflows
+//	turnstile compare <app.js>...            compare against the CodeQL-equivalent baseline
+//	turnstile instrument -policy p.json [-mode selective|exhaustive] <app.js>
+//	turnstile run -policy p.json [-source NAME] [-messages N] <app.js>
+//	turnstile check-policy <policy.json>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"turnstile/internal/baseline"
+	"turnstile/internal/core"
+	"turnstile/internal/corpus"
+	"turnstile/internal/instrument"
+	"turnstile/internal/interp"
+	"turnstile/internal/parser"
+	"turnstile/internal/policy"
+	"turnstile/internal/taint"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "instrument":
+		err = cmdInstrument(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "check-policy":
+		err = cmdCheckPolicy(os.Args[2:])
+	case "corpus":
+		err = cmdCorpus(os.Args[2:])
+	case "flow":
+		err = cmdFlow(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "turnstile: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "turnstile:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  turnstile analyze <app.js>...                       report privacy-sensitive dataflows
+  turnstile compare <app.js>...                       compare with the baseline analyzer
+  turnstile instrument -policy p.json [-mode M] <app.js>   print the privacy-managed source
+  turnstile run -policy p.json [-source S] [-messages N] <app.js>
+  turnstile check-policy <policy.json>                validate an IFC policy
+  turnstile corpus [name]                             list the evaluation corpus / dump one app
+  turnstile flow -flow f.json [-policy p.json] [-inject ID] <pkg.js>...   deploy and drive a Node-RED flow`)
+}
+
+func readSources(paths []string) (map[string]string, []taint.File, error) {
+	if len(paths) == 0 {
+		return nil, nil, fmt.Errorf("no input files")
+	}
+	sources := make(map[string]string)
+	var files []taint.File
+	sort.Strings(paths)
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, nil, err
+		}
+		sources[p] = string(data)
+		prog, err := parser.Parse(p, string(data))
+		if err != nil {
+			return nil, nil, err
+		}
+		files = append(files, taint.File{Name: p, Prog: prog})
+	}
+	return sources, files, nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	typeSensitive := fs.Bool("type-sensitive", true, "enable type-sensitive interprocedural analysis")
+	implicit := fs.Bool("implicit", false, "also track implicit (control-dependence) flows")
+	htmlOut := fs.String("html", "", "write a visual dataflow report to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sources, files, err := readSources(fs.Args())
+	if err != nil {
+		return err
+	}
+	opts := taint.DefaultOptions()
+	opts.TypeSensitive = *typeSensitive
+	opts.ImplicitFlows = *implicit
+	res := taint.Analyze(files, opts)
+	fmt.Printf("analysis completed in %v: %d privacy-sensitive dataflow(s)\n", res.Duration, len(res.Paths))
+	for _, p := range res.Paths {
+		fmt.Printf("  %-24s %s  →  %-22s %s\n", p.SourceKind, p.Source, p.SinkKind, p.Sink)
+	}
+	fmt.Printf("sources: %d, sinks: %d\n", len(res.Sources), len(res.Sinks))
+	if *htmlOut != "" {
+		page := taint.ReportHTML(res, files, sources)
+		if err := os.WriteFile(*htmlOut, []byte(page), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", *htmlOut)
+	}
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	_, files, err := readSources(args)
+	if err != nil {
+		return err
+	}
+	tr := taint.Analyze(files, taint.DefaultOptions())
+	br := baseline.Analyze(files)
+	fmt.Printf("%-26s %10s %12s\n", "", "turnstile", "baseline")
+	fmt.Printf("%-26s %10d %12d\n", "privacy-sensitive paths", len(tr.Paths), len(br.Paths))
+	fmt.Printf("%-26s %10v %12v\n", "analysis time", tr.Duration, br.Duration)
+	return nil
+}
+
+func cmdInstrument(args []string) error {
+	fs := flag.NewFlagSet("instrument", flag.ExitOnError)
+	policyPath := fs.String("policy", "", "IFC policy JSON file")
+	mode := fs.String("mode", "selective", "instrumentation mode: selective or exhaustive")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sources, files, err := readSources(fs.Args())
+	if err != nil {
+		return err
+	}
+	_ = files
+	policyJSON := `{"rules":[]}`
+	if *policyPath != "" {
+		data, err := os.ReadFile(*policyPath)
+		if err != nil {
+			return err
+		}
+		policyJSON = string(data)
+	}
+	opts := core.DefaultOptions()
+	if *mode == "exhaustive" {
+		opts.Mode = instrument.Exhaustive
+	}
+	opts.Enforce = false
+	app, err := core.Manage(sources, policyJSON, opts)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(app.Instrumented))
+	for n := range app.Instrumented {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		res := app.Results[n]
+		fmt.Printf("// %s — %d label(s), %d binaryOp(s), %d invoke(s), %d track(s)\n",
+			n, res.Labels, res.BinaryOps, res.Invokes, res.Tracks)
+		fmt.Println(app.Instrumented[n])
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	policyPath := fs.String("policy", "", "IFC policy JSON file")
+	mode := fs.String("mode", "selective", "instrumentation mode")
+	sourceName := fs.String("source", "", "I/O source to feed (default: first registered)")
+	messages := fs.Int("messages", 10, "number of messages to inject")
+	payload := fs.String("payload", "person%d:E%d", "payload format (two %d verbs)")
+	enforce := fs.Bool("enforce", true, "block violating flows")
+	implicit := fs.Bool("implicit", false, "track implicit (control-dependence) flows")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sources, _, err := readSources(fs.Args())
+	if err != nil {
+		return err
+	}
+	policyJSON := `{"rules":[]}`
+	if *policyPath != "" {
+		data, err := os.ReadFile(*policyPath)
+		if err != nil {
+			return err
+		}
+		policyJSON = string(data)
+	}
+	opts := core.DefaultOptions()
+	if *mode == "exhaustive" {
+		opts.Mode = instrument.Exhaustive
+	}
+	opts.Enforce = *enforce
+	opts.ImplicitFlows = *implicit
+	app, err := core.Manage(sources, policyJSON, opts)
+	if err != nil {
+		return err
+	}
+	name := *sourceName
+	if name == "" {
+		names := app.IP.SourceNames()
+		if len(names) == 0 {
+			return fmt.Errorf("application registered no I/O sources")
+		}
+		name = names[0]
+	}
+	fmt.Printf("feeding %d message(s) into %s\n", *messages, name)
+	for i := 0; i < *messages; i++ {
+		msg := fmt.Sprintf(*payload, i, i%7)
+		if err := app.Emit(name, "data", msg); err != nil {
+			fmt.Printf("  message %d BLOCKED: %v\n", i, err)
+		}
+	}
+	fmt.Printf("sink writes: %d, violations: %d, tracker stats: %+v\n",
+		len(app.Writes()), len(app.Violations()), app.Tracker.Stats())
+	for _, v := range app.Violations() {
+		fmt.Println("  violation:", v.Error())
+	}
+	for _, line := range app.IP.ConsoleOut {
+		fmt.Println("  console:", line)
+	}
+	return nil
+}
+
+func cmdCorpus(args []string) error {
+	apps := corpus.All()
+	if len(args) == 0 {
+		fmt.Printf("%-20s %-18s %7s %9s %9s %9s\n",
+			"name", "category", "manual", "turnstile", "baseline", "runnable")
+		for _, a := range apps {
+			fmt.Printf("%-20s %-18s %7d %9d %9d %9v\n",
+				a.Name, a.Category, a.GroundTruth, a.ExpectTurnstile, a.ExpectBaseline, a.Runnable)
+		}
+		return nil
+	}
+	app := corpus.ByName(apps, args[0])
+	if app == nil {
+		return fmt.Errorf("unknown corpus app %q", args[0])
+	}
+	fmt.Printf("// %s — category %s, %d ground-truth path(s)\n", app.Name, app.Category, app.GroundTruth)
+	if app.Runnable {
+		fmt.Printf("// runnable: source %s, profile %s (off-path %d, on-path %d)\n",
+			app.SourceName, app.Profile, app.OffPathWeight, app.OnPathWeight)
+		fmt.Printf("// policy: %s\n", strings.Join(strings.Fields(app.PolicyJSON), " "))
+	}
+	fmt.Println(app.Source)
+	return nil
+}
+
+func cmdCheckPolicy(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("check-policy takes exactly one policy file")
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		return err
+	}
+	ip := interp.New()
+	pol, err := policy.ParseJSON(data, ip.CompileLabelFunc)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("policy OK: %d labeller(s), %d rule(s), %d injection(s), mode %v\n",
+		len(pol.Labellers), len(pol.Rules), len(pol.Injections), pol.Mode)
+	fmt.Printf("labels: %v\n", pol.Graph.Labels())
+	return nil
+}

@@ -1,0 +1,168 @@
+// Smart Access Control System (SACS) — the motivating example of §3.
+//
+// A distributed application with six components: an RTSP camera stream, a
+// face recognizer, cloud storage, a device controller driving smart door
+// locks over MQTT, and an email notifier. Three components are written by
+// the developer (FaceRecognizer, DeviceControl, EmailSender); the rest are
+// third-party (camera firmware, storage SaaS, lock firmware).
+//
+// Turnstile retrofits privacy control onto the composition without
+// modifying any platform: the whole pipeline is analyzed, the
+// privacy-sensitive paths are instrumented, and the inlined tracker
+// enforces two rules at run time:
+//
+//  1. frames containing only employees may drive the door lock;
+//
+//  2. frames containing visitors may be archived but must not be emailed
+//     to the administrators unless an employee is present (company policy:
+//     admins see employee activity, not visitor footage).
+//
+//     go run ./examples/sacs
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"turnstile"
+)
+
+// faceRecognizer.js — the developer's central component (Fig. 2a, adapted
+// to the host I/O modules). It consumes the camera stream and fans out to
+// the downstream services.
+const faceRecognizer = `
+const net = require("net");
+const rtsp = net.connect({ host: "rtsp-cam", port: 554 });
+const deviceControl = require("./device-control");
+const emailSender = require("./email-sender");
+const storageService = require("./storage-service");
+
+rtsp.on("data", frame => {
+  const scene = analyzeVideoFrame(frame);
+  for (let person of scene.persons) {
+    person.description = person.action + " at " + scene.location;
+    if (person.employeeID) {
+      deviceControl.send(person);
+    }
+  }
+  emailSender.send(scene);
+  storageService.send(scene);
+});
+
+function analyzeVideoFrame(frame) {
+  const persons = [];
+  for (let part of frame.split("|")) {
+    const bits = part.split(":");
+    const p = { name: bits[0], action: "walking" };
+    if (bits[1] !== "") { p.employeeID = bits[1]; }
+    persons.push(p);
+  }
+  return { persons: persons, location: "entrance" };
+}
+`
+
+// device-control.js — runs on a PaaS; relays open commands to the door
+// lock over MQTT.
+const deviceControl = `
+const mqtt = require("mqtt");
+const client = mqtt.connect("mqtt://doorlock");
+module.exports = {
+  send: function(person) {
+    client.publish("lock/open", person.employeeID + ":" + person.description);
+  }
+};
+`
+
+// email-sender.js — a serverless function sending notification emails.
+const emailSender = `
+const nodemailer = require("nodemailer");
+const transport = nodemailer.createTransport({ host: "smtp.corp" });
+module.exports = {
+  send: function(scene) {
+    transport.sendMail({ to: "admins@corp", attachments: [scene] });
+  }
+};
+`
+
+// storage-service.js — the cloud storage client.
+const storageService = `
+const http = require("http");
+module.exports = {
+  send: function(scene) {
+    const req = http.request({ host: "storage.saas.example", path: "/frames" });
+    req.write(scene.location + ":" + scene.persons.length);
+    req.end();
+  }
+};
+`
+
+// The IFC policy: each person in a scene is labelled value-dependently.
+// Employees have consented to monitoring; visitors have not, so visitor
+// footage is *more* private (employee ⊑ visitor ⊑ archive). The lock and
+// the email service are employee-level sinks: frames containing a visitor
+// may be archived but not mailed to the administrators.
+const policyJSON = `{
+  "labellers": {
+    "Scene": { "persons": { "$map": "item => item.employeeID ? \"employee\" : \"visitor\"" } },
+    "LockSink": "v => \"employee\"",
+    "MailSink": "v => \"employee\"",
+    "StorageSink": "v => \"archive\""
+  },
+  "rules": [ "employee -> visitor", "visitor -> archive" ],
+  "injections": [
+    { "file": "faceRecognizer.js", "object": "scene", "labeller": "Scene" },
+    { "file": "faceRecognizer.js", "object": "deviceControl", "labeller": "LockSink" },
+    { "file": "faceRecognizer.js", "object": "emailSender", "labeller": "MailSink" },
+    { "file": "faceRecognizer.js", "object": "storageService", "labeller": "StorageSink" }
+  ]
+}`
+
+func main() {
+	sources := map[string]string{
+		"faceRecognizer.js":  faceRecognizer,
+		"device-control.js":  deviceControl,
+		"email-sender.js":    emailSender,
+		"storage-service.js": storageService,
+	}
+
+	analysis, err := turnstile.Analyze(sources)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("static analysis: %d privacy-sensitive paths across %d files (%v)\n",
+		len(analysis.Paths), len(sources), analysis.Duration)
+	for _, p := range analysis.Paths {
+		fmt.Printf("  %s → %s (%s)\n", p.Source, p.Sink, p.SinkKind)
+	}
+
+	app, err := turnstile.Manage(sources, policyJSON, turnstile.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	frames := []struct {
+		desc, payload string
+	}{
+		{"employee kim badges in", "kim:E7"},
+		{"employee kim with employee lee", "kim:E7|lee:E9"},
+		{"a visitor appears alone", "stranger:"},
+		{"visitor together with an employee", "kim:E7|stranger:"},
+	}
+	for _, f := range frames {
+		fmt.Printf("\nframe: %s (%q)\n", f.desc, f.payload)
+		err := app.Emit("net.socket:rtsp-cam:554", "data", f.payload)
+		if err != nil {
+			fmt.Printf("  BLOCKED: %v\n", err)
+			continue
+		}
+		fmt.Println("  processed without violation")
+	}
+
+	fmt.Printf("\ntotals: %d sink writes, %d violations\n", len(app.Writes()), len(app.Violations()))
+	for _, w := range app.Writes() {
+		fmt.Printf("  sink %s/%s → %s\n", w.Module, w.Op, w.Target)
+	}
+	for _, v := range app.Violations() {
+		fmt.Printf("  violation at %s: %v ↛ %v\n", v.Site, v.Data, v.Recv)
+	}
+}

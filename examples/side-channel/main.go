@@ -1,0 +1,74 @@
+// Side channel: the §4.6 example Turnstile explicitly does not catch in
+// its default configuration — an adversary deduces whether an authorized
+// person was in the frame by observing whether the door opened — run twice:
+// once with the paper's explicit-flow tracking (the leak goes through) and
+// once with this reproduction's opt-in implicit-flow extension (§8 future
+// work), which blocks it.
+//
+//	go run ./examples/side-channel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"turnstile"
+)
+
+// The door controller: the state written to the public log carries no
+// explicit dataflow from the camera frame — only the branch taken depends
+// on it.
+const appSource = `
+const net = require("net");
+const fs = require("fs");
+const publicLog = fs.createWriteStream("/public/door-state");
+const camera = net.connect({ host: "cam", port: 554 });
+camera.on("data", frame => {
+  let doorState = "closed";
+  if (frame.indexOf("E") >= 0) {   // an authorized employee badge?
+    doorState = "open";
+  }
+  publicLog.write(doorState);
+});
+`
+
+const policyJSON = `{
+  "labellers": {
+    "Frame": "v => \"secret\"",
+    "PublicSink": "v => \"public\""
+  },
+  "rules": [ "public -> secret" ],
+  "injections": [
+    { "object": "frame", "labeller": "Frame" },
+    { "object": "publicLog", "labeller": "PublicSink" }
+  ]
+}`
+
+func runOnce(label string, implicit bool) {
+	opts := turnstile.DefaultOptions()
+	opts.ImplicitFlows = implicit
+	app, err := turnstile.Manage(map[string]string{"door.js": appSource}, policyJSON, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n== %s ==\n", label)
+	for _, frame := range []string{"kim:E7", "visitor:"} {
+		err := app.Emit("net.socket:cam:554", "data", frame)
+		switch {
+		case err != nil:
+			fmt.Printf("  frame %-10q → BLOCKED (%v)\n", frame, err)
+		default:
+			w := app.Writes()
+			fmt.Printf("  frame %-10q → door-state %q written to the public log\n",
+				frame, w[len(w)-1].Value)
+		}
+	}
+	fmt.Printf("  violations recorded: %d\n", len(app.Violations()))
+}
+
+func main() {
+	fmt.Println("The door-state log is public; the camera frame is secret.")
+	fmt.Println("Whether the door opens reveals whether an employee badge was seen.")
+	runOnce("explicit flows only (the paper's default, §4.6)", false)
+	runOnce("with the implicit-flow extension (§8)", true)
+}

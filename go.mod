@@ -1,0 +1,3 @@
+module turnstile
+
+go 1.24

@@ -1,0 +1,186 @@
+package ast
+
+import (
+	"testing"
+)
+
+func ident(id int, name string) *Ident {
+	return &Ident{NodeInfo: NodeInfo{Loc: Pos{Line: 1, Col: id}, ID: id}, Name: name}
+}
+
+func TestPosBasics(t *testing.T) {
+	p := Pos{Line: 3, Col: 7}
+	if p.String() != "3:7" {
+		t.Fatalf("String = %q", p.String())
+	}
+	if !p.Valid() || (Pos{}).Valid() {
+		t.Fatal("validity")
+	}
+	cases := []struct {
+		a, b Pos
+		want bool
+	}{
+		{Pos{1, 1}, Pos{1, 2}, true},
+		{Pos{1, 2}, Pos{1, 1}, false},
+		{Pos{1, 9}, Pos{2, 1}, true},
+		{Pos{2, 1}, Pos{1, 9}, false},
+		{Pos{1, 1}, Pos{1, 1}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Before(c.b); got != c.want {
+			t.Errorf("%v.Before(%v) = %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestDeclKindString(t *testing.T) {
+	if DeclVar.String() != "var" || DeclLet.String() != "let" || DeclConst.String() != "const" {
+		t.Fatal("decl kind names")
+	}
+	if DeclKind(99).String() != "decl?" {
+		t.Fatal("unknown decl kind")
+	}
+}
+
+func TestNodeInfoAccessors(t *testing.T) {
+	n := ident(5, "x")
+	if n.NodeID() != 5 || n.Pos().Col != 5 {
+		t.Fatalf("accessors: %d %v", n.NodeID(), n.Pos())
+	}
+}
+
+func TestWalkVisitsAllChildren(t *testing.T) {
+	// hand-built tree: if (a) { b = c + d; } else e(f);
+	tree := &IfStmt{
+		NodeInfo: NodeInfo{ID: 1},
+		Cond:     ident(2, "a"),
+		Then: &BlockStmt{NodeInfo: NodeInfo{ID: 3}, Body: []Stmt{
+			&ExprStmt{NodeInfo: NodeInfo{ID: 4}, X: &AssignExpr{
+				NodeInfo: NodeInfo{ID: 5},
+				Op:       "=",
+				Target:   ident(6, "b"),
+				Value: &BinaryExpr{NodeInfo: NodeInfo{ID: 7}, Op: "+",
+					Left: ident(8, "c"), Right: ident(9, "d")},
+			}},
+		}},
+		Else: &ExprStmt{NodeInfo: NodeInfo{ID: 10}, X: &CallExpr{
+			NodeInfo: NodeInfo{ID: 11},
+			Callee:   ident(12, "e"),
+			Args:     []Expr{ident(13, "f")},
+		}},
+	}
+	var ids []int
+	Walk(tree, func(n Node) bool {
+		ids = append(ids, n.NodeID())
+		return true
+	})
+	if len(ids) != 13 {
+		t.Fatalf("visited %d nodes: %v", len(ids), ids)
+	}
+	for want := 1; want <= 13; want++ {
+		found := false
+		for _, id := range ids {
+			if id == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("node %d not visited", want)
+		}
+	}
+}
+
+func TestWalkPrunes(t *testing.T) {
+	tree := &BlockStmt{NodeInfo: NodeInfo{ID: 1}, Body: []Stmt{
+		&ExprStmt{NodeInfo: NodeInfo{ID: 2}, X: &BinaryExpr{
+			NodeInfo: NodeInfo{ID: 3}, Op: "+",
+			Left: ident(4, "x"), Right: ident(5, "y")}},
+	}}
+	var ids []int
+	Walk(tree, func(n Node) bool {
+		ids = append(ids, n.NodeID())
+		return n.NodeID() != 2 // prune below the ExprStmt
+	})
+	if len(ids) != 2 || ids[1] != 2 {
+		t.Fatalf("ids = %v", ids)
+	}
+}
+
+func TestWalkNilChildren(t *testing.T) {
+	// optional children are typed nils; Walk must skip them silently
+	tree := &ForStmt{NodeInfo: NodeInfo{ID: 1}, Body: &EmptyStmt{NodeInfo: NodeInfo{ID: 2}}}
+	count := 0
+	Walk(tree, func(n Node) bool { count++; return true })
+	if count != 2 {
+		t.Fatalf("count = %d", count)
+	}
+	var typedNil *IfStmt
+	Walk(typedNil, func(Node) bool { t.Fatal("should not visit typed nil"); return true })
+	Walk(nil, func(Node) bool { t.Fatal("should not visit nil"); return true })
+}
+
+func TestWalkCoversEveryStatementKind(t *testing.T) {
+	id := 100
+	next := func() NodeInfo { id++; return NodeInfo{ID: id} }
+	stmts := []Stmt{
+		&VarDecl{NodeInfo: next(), Kind: DeclLet, Decls: []*Declarator{
+			{NodeInfo: next(), Name: "v", Init: ident(1, "i")}}},
+		&FuncDecl{NodeInfo: next(), Name: "f", Fn: &FuncLit{NodeInfo: next(),
+			Params: []*Param{{NodeInfo: next(), Name: "p"}},
+			Body:   &BlockStmt{NodeInfo: next()}}},
+		&ReturnStmt{NodeInfo: next(), Value: ident(2, "r")},
+		&WhileStmt{NodeInfo: next(), Cond: ident(3, "c"), Body: &EmptyStmt{NodeInfo: next()}},
+		&DoWhileStmt{NodeInfo: next(), Body: &EmptyStmt{NodeInfo: next()}, Cond: ident(4, "c")},
+		&ForInStmt{NodeInfo: next(), Name: "k", Object: ident(5, "o"), Body: &EmptyStmt{NodeInfo: next()}},
+		&BreakStmt{NodeInfo: next()},
+		&ContinueStmt{NodeInfo: next()},
+		&ThrowStmt{NodeInfo: next(), Value: ident(6, "e")},
+		&TryStmt{NodeInfo: next(), Body: &BlockStmt{NodeInfo: next()},
+			Catch: &BlockStmt{NodeInfo: next()}, Finally: &BlockStmt{NodeInfo: next()}},
+		&SwitchStmt{NodeInfo: next(), Disc: ident(7, "d"), Cases: []*SwitchCase{
+			{NodeInfo: next(), Test: ident(8, "t")}}},
+		&ClassDecl{NodeInfo: next(), Name: "C", SuperClass: ident(9, "S"),
+			Methods: []*ClassMethod{{NodeInfo: next(), Name: "m",
+				Fn: &FuncLit{NodeInfo: next(), Body: &BlockStmt{NodeInfo: next()}}}}},
+	}
+	prog := &Program{NodeInfo: NodeInfo{ID: 99}, Body: stmts}
+	seen := map[int]bool{}
+	Walk(prog, func(n Node) bool { seen[n.NodeID()] = true; return true })
+	if len(seen) < 25 {
+		t.Fatalf("visited only %d nodes", len(seen))
+	}
+}
+
+func TestWalkCoversEveryExpressionKind(t *testing.T) {
+	id := 200
+	next := func() NodeInfo { id++; return NodeInfo{ID: id} }
+	exprs := []Expr{
+		&NumberLit{NodeInfo: next(), Value: 1},
+		&StringLit{NodeInfo: next(), Value: "s"},
+		&TemplateLit{NodeInfo: next(), Quasis: []string{"a", "b"}, Exprs: []Expr{ident(1, "x")}},
+		&BoolLit{NodeInfo: next(), Value: true},
+		&NullLit{NodeInfo: next()},
+		&UndefinedLit{NodeInfo: next()},
+		&ThisExpr{NodeInfo: next()},
+		&ArrayLit{NodeInfo: next(), Elems: []Expr{&SpreadExpr{NodeInfo: next(), X: ident(2, "xs")}}},
+		&ObjectLit{NodeInfo: next(), Props: []*Property{
+			{NodeInfo: next(), Key: "k", Value: ident(3, "v")},
+			{NodeInfo: next(), Computed: true, KeyExpr: ident(4, "ke"), Value: ident(5, "kv")},
+		}},
+		&NewExpr{NodeInfo: next(), Callee: ident(6, "C"), Args: []Expr{ident(7, "a")}},
+		&MemberExpr{NodeInfo: next(), Object: ident(8, "o"), Index: ident(9, "i"), Computed: true},
+		&LogicalExpr{NodeInfo: next(), Op: "&&", Left: ident(10, "l"), Right: ident(11, "r")},
+		&UnaryExpr{NodeInfo: next(), Op: "!", X: ident(12, "u")},
+		&UpdateExpr{NodeInfo: next(), Op: "++", X: ident(13, "n")},
+		&CondExpr{NodeInfo: next(), Cond: ident(14, "c"), Then: ident(15, "t"), Else: ident(16, "e")},
+		&SeqExpr{NodeInfo: next(), Exprs: []Expr{ident(17, "s1"), ident(18, "s2")}},
+		&AwaitExpr{NodeInfo: next(), X: ident(19, "p")},
+	}
+	for _, e := range exprs {
+		visited := 0
+		Walk(e, func(n Node) bool { visited++; return true })
+		if visited == 0 {
+			t.Errorf("%T not visited", e)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package ast
+
+import "reflect"
+
+// Visitor is called for each node during a Walk. Returning false prunes the
+// subtree below the node.
+type Visitor func(Node) bool
+
+// Walk traverses the tree rooted at n in depth-first, source order, calling
+// v for every node (including n itself). Nil children are skipped.
+func Walk(n Node, v Visitor) {
+	if n == nil || isNilNode(n) {
+		return
+	}
+	if !v(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *Program:
+		walkStmts(x.Body, v)
+	case *VarDecl:
+		for _, d := range x.Decls {
+			Walk(d, v)
+		}
+	case *Declarator:
+		Walk(x.Init, v)
+	case *FuncDecl:
+		Walk(x.Fn, v)
+	case *ExprStmt:
+		Walk(x.X, v)
+	case *ReturnStmt:
+		Walk(x.Value, v)
+	case *IfStmt:
+		Walk(x.Cond, v)
+		Walk(x.Then, v)
+		Walk(x.Else, v)
+	case *ForStmt:
+		Walk(x.Init, v)
+		Walk(x.Cond, v)
+		Walk(x.Post, v)
+		Walk(x.Body, v)
+	case *ForInStmt:
+		Walk(x.Object, v)
+		Walk(x.Body, v)
+	case *WhileStmt:
+		Walk(x.Cond, v)
+		Walk(x.Body, v)
+	case *DoWhileStmt:
+		Walk(x.Body, v)
+		Walk(x.Cond, v)
+	case *BlockStmt:
+		walkStmts(x.Body, v)
+	case *ThrowStmt:
+		Walk(x.Value, v)
+	case *TryStmt:
+		Walk(x.Body, v)
+		Walk(x.Catch, v)
+		Walk(x.Finally, v)
+	case *SwitchStmt:
+		Walk(x.Disc, v)
+		for _, c := range x.Cases {
+			Walk(c, v)
+		}
+	case *SwitchCase:
+		Walk(x.Test, v)
+		walkStmts(x.Body, v)
+	case *ClassDecl:
+		Walk(x.SuperClass, v)
+		for _, m := range x.Methods {
+			Walk(m, v)
+		}
+	case *ClassMethod:
+		Walk(x.Fn, v)
+	case *TemplateLit:
+		for _, e := range x.Exprs {
+			Walk(e, v)
+		}
+	case *ArrayLit:
+		for _, e := range x.Elems {
+			Walk(e, v)
+		}
+	case *ObjectLit:
+		for _, p := range x.Props {
+			Walk(p, v)
+		}
+	case *Property:
+		Walk(x.KeyExpr, v)
+		Walk(x.Value, v)
+	case *FuncLit:
+		for _, p := range x.Params {
+			Walk(p, v)
+		}
+		Walk(x.Body, v)
+		Walk(x.ExprRet, v)
+	case *CallExpr:
+		Walk(x.Callee, v)
+		for _, a := range x.Args {
+			Walk(a, v)
+		}
+	case *NewExpr:
+		Walk(x.Callee, v)
+		for _, a := range x.Args {
+			Walk(a, v)
+		}
+	case *MemberExpr:
+		Walk(x.Object, v)
+		Walk(x.Index, v)
+	case *BinaryExpr:
+		Walk(x.Left, v)
+		Walk(x.Right, v)
+	case *LogicalExpr:
+		Walk(x.Left, v)
+		Walk(x.Right, v)
+	case *UnaryExpr:
+		Walk(x.X, v)
+	case *UpdateExpr:
+		Walk(x.X, v)
+	case *AssignExpr:
+		Walk(x.Target, v)
+		Walk(x.Value, v)
+	case *CondExpr:
+		Walk(x.Cond, v)
+		Walk(x.Then, v)
+		Walk(x.Else, v)
+	case *SeqExpr:
+		for _, e := range x.Exprs {
+			Walk(e, v)
+		}
+	case *SpreadExpr:
+		Walk(x.X, v)
+	case *AwaitExpr:
+		Walk(x.X, v)
+	}
+}
+
+func walkStmts(stmts []Stmt, v Visitor) {
+	for _, s := range stmts {
+		Walk(s, v)
+	}
+}
+
+// isNilNode reports whether n is a typed nil inside the Node interface,
+// which happens routinely for optional children (e.g. IfStmt.Else).
+func isNilNode(n Node) bool {
+	v := reflect.ValueOf(n)
+	return v.Kind() == reflect.Ptr && v.IsNil()
+}

@@ -1,0 +1,278 @@
+package baseline
+
+import (
+	"testing"
+
+	"turnstile/internal/parser"
+	"turnstile/internal/taint"
+)
+
+func analyzeSrc(t *testing.T, src string) *Result {
+	t.Helper()
+	prog, err := parser.Parse("app.js", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Analyze([]taint.File{{Name: "app.js", Prog: prog}})
+}
+
+func wantPaths(t *testing.T, res *Result, n int) {
+	t.Helper()
+	if len(res.Paths) != n {
+		t.Fatalf("paths = %d, want %d\n%+v", len(res.Paths), n, res.Paths)
+	}
+}
+
+func TestDirectSocketFlowFound(t *testing.T) {
+	res := analyzeSrc(t, `
+const net = require("net");
+const socket = net.connect({ host: "cam", port: 554 });
+socket.on("data", frame => {
+  socket.write(frame);
+});
+`)
+	wantPaths(t, res, 1)
+	if res.InstrCount == 0 {
+		t.Fatal("IR not extracted")
+	}
+}
+
+func TestStreamCopyFound(t *testing.T) {
+	res := analyzeSrc(t, `
+const fs = require("fs");
+const rs = fs.createReadStream("/in");
+const ws = fs.createWriteStream("/out");
+rs.on("data", chunk => {
+  const upper = chunk.toUpperCase();
+  ws.write(upper);
+});
+`)
+	wantPaths(t, res, 1)
+}
+
+func TestInterproceduralTypedFlowMissed(t *testing.T) {
+	// The baseline's central weakness (§6.1): the socket and mqtt client
+	// are passed as function arguments, so their types are unknown in the
+	// callee and no source/sink is recognized there.
+	res := analyzeSrc(t, `
+const net = require("net");
+const mqtt = require("mqtt");
+function wire(conn, client) {
+  conn.on("data", d => client.publish("t", d));
+}
+wire(net.connect({ host: "h", port: 1 }), mqtt.connect("mqtt://b"));
+`)
+	wantPaths(t, res, 0)
+}
+
+func TestPrototypeChainFlowFound(t *testing.T) {
+	// The baseline's strength (§6.1): prototype-chain reflective code.
+	res := analyzeSrc(t, `
+const fs = require("fs");
+function Archiver() { this.out = fs.createWriteStream("/arch"); }
+Archiver.prototype.store = function(data) { this.out.write(data); };
+const arch = new Archiver();
+const rs = fs.createReadStream("/in");
+rs.on("data", d => arch.store(d));
+`)
+	wantPaths(t, res, 1)
+	if res.Paths[0].SinkKind != "stream.write" {
+		t.Fatalf("path = %+v", res.Paths[0])
+	}
+}
+
+func TestRedHttpNodeMissedByBaselineToo(t *testing.T) {
+	res := analyzeSrc(t, `
+module.exports = function(RED) {
+  RED.httpNode.get("/faces", function(req, res) {
+    res.send(req.query);
+  });
+};
+`)
+	wantPaths(t, res, 0)
+}
+
+func TestNodeRedDirectFlowFound(t *testing.T) {
+	// the NodeRedSource/NodeRedSink selectors of Fig. 8 cover the direct
+	// same-scope pattern
+	res := analyzeSrc(t, `
+function FilterNode(config) {
+  RED.nodes.createNode(this, config);
+  this.on("input", function(msg) {
+    this.send(msg);
+  });
+}
+`)
+	// `this` inside the nested handler resolves to a different scope key,
+	// so only patterns via an alias are found; use the alias form:
+	res2 := analyzeSrc(t, `
+const RED = requireRED();
+function FilterNode(config) {
+  RED.nodes.createNode(this, config);
+  const node = this;
+  node.on("input", function(msg) {
+    node.send(msg);
+  });
+}
+`)
+	_ = res
+	_ = res2
+	// at least one of the two idioms must be detected
+	if len(res.Paths)+len(res2.Paths) == 0 {
+		t.Fatalf("no Node-RED flow found: %+v / %+v", res.Paths, res2.Paths)
+	}
+}
+
+func TestMailAndSQLiteSinks(t *testing.T) {
+	res := analyzeSrc(t, `
+const fs = require("fs");
+const nodemailer = require("nodemailer");
+const sqlite3 = require("sqlite3");
+const transport = nodemailer.createTransport({});
+const db = new sqlite3.Database("/d.db");
+const rs = fs.createReadStream("/frames");
+rs.on("data", frame => {
+  transport.sendMail({ to: "x", attachments: [frame] });
+  db.run("INSERT", [frame]);
+});
+`)
+	wantPaths(t, res, 2)
+}
+
+func TestNoFalsePositives(t *testing.T) {
+	res := analyzeSrc(t, `
+const fs = require("fs");
+const conf = { a: 1 };
+fs.writeFileSync("/out", JSON.stringify(conf));
+`)
+	wantPaths(t, res, 0)
+}
+
+func TestSlowerThanTurnstile(t *testing.T) {
+	// the timing claim of §6.1, in miniature: on the same app the baseline
+	// does substantially more work. Use a moderately sized program.
+	src := `
+const fs = require("fs");
+const rs = fs.createReadStream("/in");
+const ws = fs.createWriteStream("/out");
+`
+	body := ""
+	for i := 0; i < 60; i++ {
+		body += "function helper" + string(rune('A'+i%26)) + string(rune('0'+i/26)) + "(x) {\n"
+		body += "  const a = x + 1;\n  const b = a * 2;\n  const c = { v: b, w: [a, b] };\n  return c.v + c.w.length;\n}\n"
+	}
+	src += body + `
+rs.on("data", chunk => { ws.write(chunk); });
+`
+	prog := parser.MustParse("big.js", src)
+	files := []taint.File{{Name: "big.js", Prog: prog}}
+
+	base := Analyze(files)
+	fast := taint.Analyze(files, taint.DefaultOptions())
+	if len(base.Paths) != 1 || len(fast.Paths) != 1 {
+		t.Fatalf("paths: baseline=%d turnstile=%d", len(base.Paths), len(fast.Paths))
+	}
+	if base.Duration <= fast.Duration {
+		t.Logf("warning: baseline (%v) not slower than turnstile (%v) on this small input", base.Duration, fast.Duration)
+	}
+}
+
+func TestExpressResponseSink(t *testing.T) {
+	res := analyzeSrc(t, `
+const express = require("express");
+const app = express();
+app.get("/x", (req, res) => {
+  res.send(req.query);
+});
+`)
+	wantPaths(t, res, 1)
+}
+
+func TestReadFileCallbackSource(t *testing.T) {
+	res := analyzeSrc(t, `
+const fs = require("fs");
+fs.readFile("/secret", (err, data) => {
+  fs.writeFileSync("/copy", data);
+});
+`)
+	wantPaths(t, res, 1)
+}
+
+func TestIRExtraction(t *testing.T) {
+	prog := parser.MustParse("ir.js", `
+const x = 1 + 2;
+function f(a) { return a * x; }
+const o = { k: f(3) };
+o.k = 4;
+for (const v of [1, 2]) { f(v); }
+`)
+	db := Extract([]taint.File{{Name: "ir.js", Prog: prog}})
+	if len(db.Instrs) < 15 {
+		t.Fatalf("instrs = %d", len(db.Instrs))
+	}
+	if len(db.Funcs) != 1 || db.Funcs[0].Name != "f" {
+		t.Fatalf("funcs = %+v", db.Funcs)
+	}
+	if len(db.propWrites["k"]) != 2 {
+		t.Fatalf("propWrites[k] = %v", db.propWrites["k"])
+	}
+	ops := map[Op]int{}
+	for _, in := range db.Instrs {
+		ops[in.Op]++
+	}
+	for _, op := range []Op{OpConst, OpLoad, OpStore, OpCall, OpBinOp, OpPropWrite} {
+		if ops[op] == 0 {
+			t.Errorf("no %v instructions", op)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpCall.String() != "call" || OpPropRead.String() != "propread" {
+		t.Fatal("op names")
+	}
+}
+
+func TestDatabaseFinalize(t *testing.T) {
+	prog := parser.MustParse("db.js", `
+const fs = require("fs");
+function copy(a) { return a; }
+const ws = fs.createWriteStream("/o");
+fs.createReadStream("/i").on("data", d => ws.write(copy(d)));
+`)
+	files := []taint.File{{Name: "db.js", Prog: prog}}
+	db := Extract(files)
+	rdb := Finalize(db, files)
+	if rdb.TupleCount() == 0 {
+		t.Fatal("no tuples extracted")
+	}
+	for _, rel := range []string{"instructions", "names", "operands", "functions", "ast_nodes", "var_defs"} {
+		if len(rdb.Relations[rel]) == 0 {
+			t.Errorf("relation %q empty", rel)
+		}
+		if len(rdb.Index[rel]) != len(rdb.Relations[rel]) {
+			t.Errorf("relation %q index size mismatch", rel)
+		}
+	}
+	if rdb.Archive["db.js"] == "" {
+		t.Fatal("source archive missing")
+	}
+	res := Analyze(files)
+	if res.TupleCount == 0 || res.InstrCount == 0 {
+		t.Fatalf("result sizes: %+v", res)
+	}
+}
+
+func TestBaselineEndpointsReported(t *testing.T) {
+	res := analyzeSrc(t, `
+const fs = require("fs");
+fs.createReadStream("/a").on("data", d => {});
+fs.createWriteStream("/b").write("static");
+`)
+	if len(res.Sources) != 1 || len(res.Sinks) != 1 {
+		t.Fatalf("sources=%d sinks=%d", len(res.Sources), len(res.Sinks))
+	}
+	if len(res.Paths) != 0 {
+		t.Fatalf("paths = %+v", res.Paths)
+	}
+}

@@ -1,0 +1,128 @@
+package baseline
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+
+	"turnstile/internal/ast"
+	"turnstile/internal/printer"
+	"turnstile/internal/taint"
+)
+
+// Database is the finalized relational store of the baseline pipeline.
+// General-purpose engines serialize the whole program into relational
+// tuples before any query runs (CodeQL's trap files plus a source
+// archive); the specialized Turnstile analyzer skips this stage entirely,
+// which is a large part of the speed difference (§6.1).
+type Database struct {
+	// Relations maps relation name → tuples.
+	Relations map[string][][]string
+	// Index maps relation name → sorted join keys (first column).
+	Index map[string][]string
+	// Archive holds the pretty-printed source of each file.
+	Archive map[string]string
+	// interned strings (trap files intern every symbol)
+	symbols map[string]int
+}
+
+// TupleCount returns the total number of stored tuples.
+func (d *Database) TupleCount() int {
+	n := 0
+	for _, tuples := range d.Relations {
+		n += len(tuples)
+	}
+	return n
+}
+
+// Finalize serializes the extracted IR and the original files into the
+// relational store: one tuple per instruction fact, per operand, per name
+// binding, per function, plus interning and sorted join indexes.
+func Finalize(db *DB, files []taint.File) *Database {
+	d := &Database{
+		Relations: map[string][][]string{},
+		Index:     map[string][]string{},
+		Archive:   map[string]string{},
+		symbols:   map[string]int{},
+	}
+	intern := func(s string) string {
+		if _, ok := d.symbols[s]; !ok {
+			d.symbols[s] = len(d.symbols)
+		}
+		return s
+	}
+	add := func(rel string, cols ...string) {
+		for i := range cols {
+			cols[i] = intern(cols[i])
+		}
+		d.Relations[rel] = append(d.Relations[rel], cols)
+	}
+	for i := range db.Instrs {
+		in := &db.Instrs[i]
+		id := fmt.Sprintf("#%d", in.ID)
+		add("instructions", id, in.Op.String(), in.File,
+			fmt.Sprintf("%d", in.Pos.Line), fmt.Sprintf("%d", in.Pos.Col))
+		if in.Name != "" {
+			add("names", id, in.Name)
+		}
+		if in.Str != "" {
+			add("string_values", id, in.Str)
+		}
+		for ai, a := range in.Args {
+			add("operands", id, fmt.Sprintf("%d", ai), fmt.Sprintf("#%d", a))
+		}
+		if in.Op == OpFunc {
+			add("func_values", id, fmt.Sprintf("f%d", in.Fn))
+		}
+	}
+	for fi := range db.Funcs {
+		fn := &db.Funcs[fi]
+		add("functions", fmt.Sprintf("f%d", fi), fn.Name, fn.File, fmt.Sprintf("%d", len(fn.Params)))
+		for pi, p := range fn.Params {
+			add("parameters", fmt.Sprintf("f%d", fi), fmt.Sprintf("%d", pi), fmt.Sprintf("#%d", p))
+		}
+		for _, r := range fn.Returns {
+			add("returns", fmt.Sprintf("f%d", fi), fmt.Sprintf("#%d", r))
+		}
+	}
+	for name, defs := range db.varDefs {
+		for _, def := range defs {
+			add("var_defs", name, fmt.Sprintf("#%d", def))
+		}
+	}
+	for prop, writes := range db.propWrites {
+		for _, w := range writes {
+			add("prop_writes", prop, fmt.Sprintf("#%d", w))
+		}
+	}
+	for prop, reads := range db.propReads {
+		for _, r := range reads {
+			add("prop_reads", prop, fmt.Sprintf("#%d", r))
+		}
+	}
+	// AST extraction: one tuple per syntax node with its kind and location
+	// (what trap-file extractors emit for every file)
+	for _, f := range files {
+		ast.Walk(f.Prog, func(n ast.Node) bool {
+			add("ast_nodes", fmt.Sprintf("n%d", n.NodeID()), reflect.TypeOf(n).String(),
+				f.Name, fmt.Sprintf("%d", n.Pos().Line), fmt.Sprintf("%d", n.Pos().Col))
+			return true
+		})
+	}
+
+	// source archive: the engine keeps a rendered copy of every file
+	for _, f := range files {
+		d.Archive[f.Name] = printer.Print(f.Prog)
+	}
+	// sorted join indexes over every relation's key column
+	for rel, tuples := range d.Relations {
+		keys := make([]string, len(tuples))
+		for i, t := range tuples {
+			keys[i] = t[0] + "\x00" + strings.Join(t[1:], "\x00")
+		}
+		sort.Strings(keys)
+		d.Index[rel] = keys
+	}
+	return d
+}

@@ -1,0 +1,655 @@
+package baseline
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"turnstile/internal/taint"
+)
+
+// Result mirrors the Turnstile analyzer's output so the harness can compare
+// the two directly.
+type Result struct {
+	Paths    []taint.Path
+	Sources  []taint.Loc
+	Sinks    []taint.Loc
+	Duration time.Duration
+	// InstrCount reports the IR size (extraction work), for the analysis-
+	// time benchmarks.
+	InstrCount int
+	// TupleCount reports the relational-database size.
+	TupleCount int
+}
+
+// Analyze runs the full baseline pipeline: extract IR → infer local API
+// types → materialize the flow relation → evaluate the taint query.
+func Analyze(files []taint.File) *Result {
+	start := time.Now()
+	db := Extract(files)
+	// database finalization: serialize everything into the relational
+	// store before evaluation, as a general-purpose engine does
+	rdb := Finalize(db, files)
+	ev := &evaluator{db: db}
+	ev.inferTypes()
+	ev.buildEdges()
+	ev.findEndpoints()
+	ev.evaluate()
+	res := &Result{
+		Paths:      ev.paths,
+		Duration:   time.Since(start),
+		InstrCount: len(db.Instrs),
+		TupleCount: rdb.TupleCount(),
+	}
+	res.Sources, res.Sinks = ev.endpoints()
+	sort.Slice(res.Paths, func(i, j int) bool { return res.Paths[i].Key() < res.Paths[j].Key() })
+	return res
+}
+
+type sourceSeed struct {
+	instr int
+	loc   taint.Loc
+	kind  string
+}
+
+type sinkSeed struct {
+	instr int // the argument value instruction feeding the sink
+	loc   taint.Loc
+	kind  string
+}
+
+type evaluator struct {
+	db    *DB
+	types []string // apiType per instruction
+	edges [][]int32
+
+	sources []sourceSeed
+	sinks   []sinkSeed
+	paths   []taint.Path
+	seen    map[string]bool
+}
+
+func (ev *evaluator) instr(i int) *Instr { return &ev.db.Instrs[i] }
+
+// inferTypes assigns API types to instructions with purely local (non-
+// interprocedural) propagation, iterated to a fixpoint. Function parameters
+// never receive a type — the baseline's central weakness (§6.1).
+func (ev *evaluator) inferTypes() {
+	n := len(ev.db.Instrs)
+	ev.types = make([]string, n)
+	changed := true
+	for pass := 0; changed && pass < 12; pass++ {
+		changed = false
+		for i := 0; i < n; i++ {
+			in := ev.instr(i)
+			var t string
+			switch in.Op {
+			case OpCall:
+				t = ev.typeOfCall(i, in)
+			case OpNew:
+				t = ev.typeOfNew(in)
+			case OpLoad:
+				// union over definitions; first wins (types don't conflict
+				// in practice because each var holds one API object)
+				for _, def := range ev.db.varDefs[in.Name] {
+					if dt := ev.typeOfDef(def); dt != "" {
+						t = dt
+						break
+					}
+				}
+				if t == "" && strings.HasSuffix(in.Name, "::this") {
+					t = ev.typeOfThis(in)
+				}
+			case OpPropRead:
+				base := ev.types[in.Args[0]]
+				switch {
+				case strings.HasPrefix(base, "module:"):
+					t = "modfn:" + base[7:] + "." + in.Name
+				case in.Name == "nodes" && ev.isREDLoad(in.Args[0]):
+					// syntactic NodeRed selector: RED.nodes (Fig. 8)
+					t = "rednodes"
+				case strings.HasPrefix(base, "instance:"):
+					// constructor field types (prototype-chain strength)
+					if def := ev.db.ctorFields[base[9:]+"."+in.Name]; len(def) > 0 {
+						t = ev.types[def[0]]
+					}
+				}
+			case OpPhi:
+				for _, a := range in.Args {
+					if ev.types[a] != "" {
+						t = ev.types[a]
+						break
+					}
+				}
+			}
+			if t != "" && ev.types[i] != t {
+				ev.types[i] = t
+				changed = true
+			}
+			// type-marking side effects that must participate in the
+			// fixpoint: RED.nodes.createNode typing `this`, and express
+			// handler response parameters.
+			if in.Op == OpCall {
+				if ev.markCreateNode(in) {
+					changed = true
+				}
+				if ev.markExpressHandlers(in) {
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// isREDLoad reports whether the instruction loads a variable named RED.
+func (ev *evaluator) isREDLoad(id int) bool {
+	in := ev.instr(id)
+	return in.Op == OpLoad && strings.HasSuffix(in.Name, "::RED")
+}
+
+// markCreateNode types every load of the enclosing `this` as a Node-RED
+// node when RED.nodes.createNode(this, config) is seen.
+func (ev *evaluator) markCreateNode(in *Instr) bool {
+	if in.Name != "createNode" || len(in.Args) < 2 || ev.types[in.Args[0]] != "rednodes" {
+		return false
+	}
+	ti := ev.instr(in.Args[1])
+	if ti.Op != OpLoad || !strings.HasSuffix(ti.Name, "::this") {
+		return false
+	}
+	changed := false
+	for j := range ev.db.Instrs {
+		lj := ev.instr(j)
+		if lj.Op == OpLoad && lj.Name == ti.Name && ev.types[j] != "rednode" {
+			ev.types[j] = "rednode"
+			changed = true
+		}
+	}
+	return changed
+}
+
+// markExpressHandlers types the second parameter of express/http-server
+// route handlers as the response sink object.
+func (ev *evaluator) markExpressHandlers(in *Instr) bool {
+	if len(in.Args) == 0 {
+		return false
+	}
+	recv := ev.types[in.Args[0]]
+	isRoute := recv == "emitter:expressapp" &&
+		(in.Name == "get" || in.Name == "post" || in.Name == "put" || in.Name == "use")
+	isServer := in.Name == "createServer" && strings.HasPrefix(recv, "module:http")
+	if !isRoute && !isServer {
+		return false
+	}
+	fi := -1
+	for i := len(in.Args) - 1; i >= 1; i-- {
+		a := ev.instr(in.Args[i])
+		if a.Op == OpFunc {
+			fi = a.Fn
+			break
+		}
+	}
+	if fi < 0 {
+		return false
+	}
+	fn := ev.db.Funcs[fi]
+	if len(fn.Params) < 2 {
+		return false
+	}
+	changed := false
+	// find the parameter's store key, then type all its loads
+	for _, def := range ev.db.Instrs {
+		if def.Op == OpStore && len(def.Args) > 0 && def.Args[0] == fn.Params[1] {
+			for j := range ev.db.Instrs {
+				lj := ev.instr(j)
+				if lj.Op == OpLoad && lj.Name == def.Name && ev.types[j] != "sink:expressres" {
+					ev.types[j] = "sink:expressres"
+					changed = true
+				}
+			}
+			break
+		}
+	}
+	return changed
+}
+
+func (ev *evaluator) typeOfDef(def int) string {
+	in := ev.instr(def)
+	if in.Op == OpStore && len(in.Args) > 0 {
+		return ev.types[in.Args[0]]
+	}
+	return ""
+}
+
+// typeOfThis types `this` loads inside constructor functions whose name
+// appears in the prototype-method or constructor-field tables.
+func (ev *evaluator) typeOfThis(in *Instr) string {
+	scope := in.Name[:len(in.Name)-len("::this")]
+	// scope looks like file#N — find the function and its name
+	idx := strings.LastIndex(scope, "#")
+	if idx < 0 {
+		return ""
+	}
+	var fi int
+	for i := idx + 1; i < len(scope); i++ {
+		fi = fi*10 + int(scope[i]-'0')
+	}
+	if fi < 0 || fi >= len(ev.db.Funcs) {
+		return ""
+	}
+	name := ev.db.Funcs[fi].Name
+	// constructor itself, or one of its prototype/class methods
+	base := name
+	if dot := strings.Index(name, "."); dot >= 0 {
+		base = name[:dot]
+	}
+	for key := range ev.db.protoMethods {
+		if strings.HasPrefix(key, base+".") {
+			return "instance:" + base
+		}
+	}
+	for key := range ev.db.ctorFields {
+		if strings.HasPrefix(key, base+".") {
+			return "instance:" + base
+		}
+	}
+	return ""
+}
+
+func (ev *evaluator) typeOfCall(i int, in *Instr) string {
+	if in.Name == "require" && len(in.Args) >= 2 {
+		arg := ev.instr(in.Args[1])
+		if arg.Op == OpConst && arg.Name == "string" {
+			switch arg.Str {
+			case "fs", "net", "http", "https", "mqtt", "nodemailer", "sqlite3", "child_process":
+				name := arg.Str
+				if name == "https" {
+					name = "http"
+				}
+				return "module:" + name
+			case "express":
+				return "modfn:express.factory"
+			}
+		}
+		return ""
+	}
+	if len(in.Args) == 0 {
+		return ""
+	}
+	recv := ev.types[in.Args[0]]
+	full := ""
+	switch {
+	case strings.HasPrefix(recv, "module:"):
+		full = recv[7:] + "." + in.Name
+	case strings.HasPrefix(recv, "modfn:"):
+		// direct call of a function value extracted from a module
+		full = recv[6:]
+	}
+	switch full {
+	case "fs.createReadStream":
+		return "emitter:stream"
+	case "fs.createWriteStream":
+		return "sink:wstream"
+	case "net.connect", "net.createConnection":
+		return "emitter:socket"
+	case "net.createServer", "http.createServer":
+		return "emitter:server"
+	case "http.request":
+		return "sink:httpreq"
+	case "mqtt.connect":
+		return "emitter:mqtt"
+	case "nodemailer.createTransport":
+		return "sink:transport"
+	case "sqlite3.verbose":
+		return "module:sqlite3"
+	case "express.factory":
+		return "emitter:expressapp"
+	}
+	// chained registration keeps the receiver's type: sock.on(...).on(...)
+	if in.Name == "on" || in.Name == "once" || in.Name == "subscribe" || in.Name == "listen" || in.Name == "setEncoding" {
+		return recv
+	}
+	return ""
+}
+
+func (ev *evaluator) typeOfNew(in *Instr) string {
+	if in.Name == "Database" && len(in.Args) > 0 && ev.types[in.Args[0]] == "module:sqlite3" {
+		return "sink:db"
+	}
+	if _, ok := ev.db.funcByName[in.Name]; ok {
+		return "instance:" + in.Name
+	}
+	for key := range ev.db.protoMethods {
+		if strings.HasPrefix(key, in.Name+".") {
+			return "instance:" + in.Name
+		}
+	}
+	return ""
+}
+
+// taintSteps are the standard-library methods through which CodeQL-style
+// taint tracking steps from receiver/arguments to the result.
+var taintSteps = map[string]bool{
+	"toUpperCase": true, "toLowerCase": true, "split": true, "join": true,
+	"slice": true, "substring": true, "substr": true, "trim": true,
+	"replace": true, "replaceAll": true, "concat": true, "toString": true,
+	"map": true, "filter": true, "flat": true, "sort": true, "reverse": true,
+	"stringify": true, "parse": true, "charAt": true, "padStart": true,
+	"repeat": true, "pop": true, "shift": true,
+}
+
+// buildEdges materializes the value-flow relation.
+func (ev *evaluator) buildEdges() {
+	n := len(ev.db.Instrs)
+	ev.edges = make([][]int32, n)
+	add := func(from, to int) {
+		if from >= 0 && to >= 0 && from < n && to < n {
+			ev.edges[from] = append(ev.edges[from], int32(to))
+		}
+	}
+	for i := 0; i < n; i++ {
+		in := ev.instr(i)
+		switch in.Op {
+		case OpStore:
+			for _, a := range in.Args {
+				add(a, i)
+			}
+		case OpLoad:
+			for _, def := range ev.db.varDefs[in.Name] {
+				add(def, i)
+			}
+		case OpPropWrite:
+			// value flows into the write and into the base object
+			if len(in.Args) >= 2 {
+				add(in.Args[1], i)
+				add(in.Args[1], in.Args[0])
+			}
+			// field-based: this write reaches every read of the same name
+			for _, rd := range ev.db.propReads[in.Name] {
+				add(i, rd)
+			}
+		case OpPropRead:
+			// taint steps through property reads of tainted objects
+			add(in.Args[0], i)
+		case OpBinOp, OpPhi, OpArray, OpObject:
+			for _, a := range in.Args {
+				add(a, i)
+			}
+		case OpNew:
+			for _, a := range in.Args {
+				add(a, i)
+			}
+			// instance method resolution through the prototype table:
+			// tainted ctor args flow into the constructor's params
+			if fi, ok := ev.db.funcByName[in.Name]; ok {
+				ev.linkCall(in.Args, ev.db.Funcs[fi], i, add)
+			}
+		case OpCall:
+			ev.linkCallEdges(i, in, add)
+		}
+	}
+}
+
+// linkCallEdges adds interprocedural edges for syntactically resolvable
+// calls and library taint steps.
+func (ev *evaluator) linkCallEdges(i int, in *Instr, add func(int, int)) {
+	// direct call of a top-level function: f(x)
+	if fi, ok := ev.db.funcByName[in.Name]; ok && len(in.Args) > 0 {
+		callee := ev.instr(in.Args[0])
+		if callee.Op == OpLoad && strings.HasSuffix(callee.Name, "::"+in.Name) {
+			ev.linkCall(in.Args, ev.db.Funcs[fi], i, add)
+			return
+		}
+	}
+	// instance method call through the prototype table: x.m(...) where
+	// x : instance:F and F.m is registered
+	if len(in.Args) > 0 {
+		recv := ev.types[in.Args[0]]
+		if strings.HasPrefix(recv, "instance:") {
+			if fi, ok := ev.db.protoMethods[recv[9:]+"."+in.Name]; ok {
+				ev.linkCall(in.Args, ev.db.Funcs[fi], i, add)
+				return
+			}
+		}
+	}
+	// standard-library taint steps
+	if taintSteps[in.Name] {
+		for _, a := range in.Args {
+			add(a, i)
+		}
+	}
+}
+
+// linkCall wires args[1:] to callee params and returns to the call result.
+func (ev *evaluator) linkCall(args []int, fn FuncIR, callInstr int, add func(int, int)) {
+	for pi, param := range fn.Params {
+		if pi+1 < len(args) {
+			add(args[pi+1], param)
+		}
+	}
+	for _, ret := range fn.Returns {
+		add(ret, callInstr)
+	}
+}
+
+// findEndpoints applies the source/sink selectors (the custom CodeQL
+// classes of Figs. 8 and 9) to the typed IR.
+func (ev *evaluator) findEndpoints() {
+	ev.seen = map[string]bool{}
+	for i := range ev.db.Instrs {
+		in := ev.instr(i)
+		if in.Op != OpCall {
+			continue
+		}
+		loc := taint.Loc{File: in.File, Pos: in.Pos}
+		recvType := ""
+		if len(in.Args) > 0 {
+			recvType = ev.types[in.Args[0]]
+		}
+		// --- IOSource-style selectors: callback params of I/O events
+		if in.Name == "on" || in.Name == "once" {
+			event := ev.constStr(in, 1)
+			cb := ev.callbackArg(in, 2)
+			if cb >= 0 {
+				kind := ""
+				switch {
+				case recvType == "emitter:stream" && event == "data":
+					kind = "fs.stream.on(data)"
+				case recvType == "emitter:socket" && event == "data":
+					kind = "net.socket.on(data)"
+				case recvType == "emitter:mqtt" && event == "message":
+					kind = "mqtt.on(message)"
+				case recvType == "rednode" && event == "input":
+					kind = "nodered.input"
+				}
+				if kind != "" {
+					ev.seedCallbackParams(cb, loc, kind, 0)
+				}
+			}
+		}
+		switch {
+		case recvType == "modfn:fs.readFile" || (strings.HasPrefix(recvType, "module:fs") && in.Name == "readFile"):
+			if cb := ev.lastCallback(in); cb >= 0 {
+				ev.seedCallbackParams(cb, loc, "fs.readFile(cb)", 1)
+			}
+		case strings.HasPrefix(recvType, "module:child_process") && (in.Name == "exec" || in.Name == "execFile"):
+			if cb := ev.lastCallback(in); cb >= 0 {
+				ev.seedCallbackParams(cb, loc, "child_process.exec(cb)", 1)
+			}
+		case recvType == "sink:db" && (in.Name == "all" || in.Name == "get" || in.Name == "each"):
+			if cb := ev.lastCallback(in); cb >= 0 {
+				ev.seedCallbackParams(cb, loc, "sqlite."+in.Name+"(rows)", 1)
+			}
+		case recvType == "emitter:expressapp" && (in.Name == "get" || in.Name == "post" || in.Name == "put" || in.Name == "use"):
+			if cb := ev.lastCallback(in); cb >= 0 {
+				ev.seedCallbackParams(cb, loc, "express."+in.Name, 0)
+			}
+		case strings.HasPrefix(recvType, "module:fs") && in.Name == "readFileSync":
+			ev.sources = append(ev.sources, sourceSeed{instr: i, loc: loc, kind: "fs.readFileSync"})
+		}
+		// --- IOSink-style selectors
+		sinkKind := ""
+		dataArgs := in.Args[1:]
+		switch {
+		case (recvType == "emitter:socket" || recvType == "sink:wstream") && (in.Name == "write" || in.Name == "end"):
+			sinkKind = "stream.write"
+		case recvType == "sink:httpreq" && (in.Name == "write" || in.Name == "end"):
+			sinkKind = "http.request.write"
+		case recvType == "emitter:mqtt" && in.Name == "publish":
+			sinkKind = "mqtt.publish"
+			if len(dataArgs) > 1 {
+				dataArgs = dataArgs[1:]
+			}
+		case recvType == "sink:transport" && in.Name == "sendMail":
+			sinkKind = "smtp.sendMail"
+		case recvType == "sink:db" && in.Name == "run":
+			sinkKind = "sqlite.run"
+			if len(dataArgs) > 1 {
+				dataArgs = dataArgs[1:]
+			}
+		case recvType == "rednode" && in.Name == "send":
+			sinkKind = "nodered.send"
+		case recvType == "sink:expressres" && (in.Name == "send" || in.Name == "json" || in.Name == "end"):
+			sinkKind = "http.response." + in.Name
+		case strings.HasPrefix(recvType, "module:fs") && (in.Name == "writeFile" || in.Name == "writeFileSync" || in.Name == "appendFileSync" || in.Name == "appendFile"):
+			sinkKind = "fs." + in.Name
+		}
+		if sinkKind != "" {
+			for _, arg := range dataArgs {
+				ev.sinks = append(ev.sinks, sinkSeed{instr: arg, loc: loc, kind: sinkKind})
+			}
+		}
+	}
+}
+
+func (ev *evaluator) constStr(in *Instr, argIdx int) string {
+	if argIdx < len(in.Args) {
+		a := ev.instr(in.Args[argIdx])
+		if a.Op == OpConst && a.Name == "string" {
+			return a.Str
+		}
+	}
+	return ""
+}
+
+func (ev *evaluator) callbackArg(in *Instr, argIdx int) int {
+	if argIdx < len(in.Args) {
+		a := ev.instr(in.Args[argIdx])
+		if a.Op == OpFunc {
+			return a.Fn
+		}
+	}
+	return -1
+}
+
+func (ev *evaluator) lastCallback(in *Instr) int {
+	for i := len(in.Args) - 1; i >= 1; i-- {
+		a := ev.instr(in.Args[i])
+		if a.Op == OpFunc {
+			return a.Fn
+		}
+	}
+	return -1
+}
+
+// seedCallbackParams marks callback parameters from firstData onward as
+// taint sources.
+func (ev *evaluator) seedCallbackParams(fi int, loc taint.Loc, kind string, firstData int) {
+	fn := ev.db.Funcs[fi]
+	for pi, param := range fn.Params {
+		if pi >= firstData {
+			ev.sources = append(ev.sources, sourceSeed{instr: param, loc: loc, kind: kind})
+		}
+	}
+}
+
+// evaluate materializes the full flowsTo relation the way a naive Datalog
+// engine evaluates an unrestricted path query — dense transitive closure
+// over the value-flow graph, iterated to a fixpoint — and then intersects
+// it with the source/sink seeds. Materializing the whole relation instead
+// of exploring only from the query's sources is the general-purpose
+// engine's dominant cost and the reason the baseline is an order of
+// magnitude slower than Turnstile's specialized analysis (§6.1).
+func (ev *evaluator) evaluate() {
+	n := len(ev.db.Instrs)
+	sinkAt := make(map[int][]sinkSeed)
+	for _, s := range ev.sinks {
+		sinkAt[s.instr] = append(sinkAt[s.instr], s)
+	}
+	words := (n + 63) / 64
+	// reach[i*words : (i+1)*words] is the bitset of nodes reachable from i.
+	reach := make([]uint64, n*words)
+	row := func(i int) []uint64 { return reach[i*words : (i+1)*words] }
+	setBit := func(r []uint64, v int) bool {
+		w, b := v/64, uint(v%64)
+		if r[w]&(1<<b) != 0 {
+			return false
+		}
+		r[w] |= 1 << b
+		return true
+	}
+	for u := 0; u < n; u++ {
+		r := row(u)
+		for _, v := range ev.edges[u] {
+			setBit(r, int(v))
+		}
+	}
+	// semi-naive sweeps: row(u) |= row(v) for every edge u→v until stable.
+	for pass := 0; pass < 64; pass++ {
+		changed := false
+		for u := n - 1; u >= 0; u-- {
+			r := row(u)
+			for _, v := range ev.edges[u] {
+				rv := row(int(v))
+				for w := range r {
+					if nv := r[w] | rv[w]; nv != r[w] {
+						r[w] = nv
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	for _, src := range ev.sources {
+		r := row(src.instr)
+		for sinkInstr, seeds := range sinkAt {
+			if sinkInstr == src.instr || r[sinkInstr/64]&(1<<uint(sinkInstr%64)) != 0 {
+				for _, snk := range seeds {
+					p := taint.Path{
+						Source:     src.loc,
+						SourceKind: src.kind,
+						Sink:       snk.loc,
+						SinkKind:   snk.kind,
+					}
+					if !ev.seen[p.Key()] {
+						ev.seen[p.Key()] = true
+						ev.paths = append(ev.paths, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+func (ev *evaluator) endpoints() (sources, sinks []taint.Loc) {
+	seenS := map[string]bool{}
+	for _, s := range ev.sources {
+		if !seenS[s.loc.String()] {
+			seenS[s.loc.String()] = true
+			sources = append(sources, s.loc)
+		}
+	}
+	seenK := map[string]bool{}
+	for _, s := range ev.sinks {
+		if !seenK[s.loc.String()] {
+			seenK[s.loc.String()] = true
+			sinks = append(sinks, s.loc)
+		}
+	}
+	sort.Slice(sources, func(i, j int) bool { return sources[i].String() < sources[j].String() })
+	sort.Slice(sinks, func(i, j int) bool { return sinks[i].String() < sinks[j].String() })
+	return sources, sinks
+}

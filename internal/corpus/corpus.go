@@ -1,0 +1,341 @@
+// Package corpus generates the 61 third-party Node-RED applications used
+// in the evaluation (§6). The paper's corpus is 61 real GitHub
+// repositories; this reproduction substitutes synthetic applications whose
+// dataflow structure spans the same qualitative categories the paper
+// reports, with per-app ground truth built in:
+//
+//   - 22 apps whose privacy-sensitive flows pass I/O objects through user
+//     function boundaries: found by Turnstile's type-sensitive analysis,
+//     missed by the baseline.
+//   - 5 apps with flows both tools find (3 where Turnstile finds more, 1
+//     where the baseline finds more, 1 where they tie).
+//   - 2 apps whose flows go through the JavaScript prototype chain: found
+//     only by the baseline.
+//   - 26 apps whose flows go through framework-injected APIs
+//     (RED.httpNode): in the manual ground truth, found by neither tool.
+//   - 6 apps with no privacy-sensitive flows at all.
+//
+// Totals mirror Fig. 10: 285 ground-truth paths, ≈190 found by Turnstile,
+// ≈52 by the baseline. The 27 apps where Turnstile finds at least one path
+// are runnable (they drive Part 2, §6.2) and carry per-app workload
+// profiles: the nlp.js analogue scans large token dictionaries per message,
+// the modbus analogue decodes frames byte by byte, and so on.
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"turnstile/internal/parser"
+	"turnstile/internal/taint"
+)
+
+// Category classifies an app by which analyzer detects its flows.
+type Category int
+
+const (
+	// TurnstileOnly apps have only type-sensitive interprocedural flows.
+	TurnstileOnly Category = iota
+	// BothFound apps mix directly-detectable flows with others.
+	BothFound
+	// BaselineOnly apps have only prototype-chain flows.
+	BaselineOnly
+	// FrameworkMissed apps have only RED.httpNode flows (neither finds).
+	FrameworkMissed
+	// NoPaths apps have no privacy-sensitive flows.
+	NoPaths
+)
+
+func (c Category) String() string {
+	switch c {
+	case TurnstileOnly:
+		return "turnstile-only"
+	case BothFound:
+		return "both-found"
+	case BaselineOnly:
+		return "baseline-only"
+	case FrameworkMissed:
+		return "framework-missed"
+	case NoPaths:
+		return "no-paths"
+	}
+	return "category?"
+}
+
+// App is one corpus application.
+type App struct {
+	Name     string
+	Category Category
+	// Source is the application code (one file).
+	Source string
+	// GroundTruth is the manually-established number of privacy-sensitive
+	// code paths (the green line of Fig. 10).
+	GroundTruth int
+	// ExpectTurnstile / ExpectBaseline are the calibrated detection counts.
+	ExpectTurnstile int
+	ExpectBaseline  int
+
+	// Runnable apps participate in Part 2 (§6.2).
+	Runnable bool
+	// SourceName is the interp source-emitter name the workload pump
+	// feeds ("net.socket:cam-<name>:9000").
+	SourceName string
+	// Profile shapes the per-message workload:
+	//   "light"  — mostly native work, a small instrumented loop
+	//   "dict"   — dense instrumented dictionary scan (the nlp.js blowup)
+	//   "decode" — heavy instrumented work on the sensitive frame (modbus)
+	//   "api"    — medium instrumented helper work (amazon-echo etc.)
+	Profile string
+	// OffPathWeight is the per-message work on non-sensitive data
+	// (dictionary scans etc.) — what exhaustive tracking pays for.
+	OffPathWeight int
+	// OnPathWeight is the per-message work on the sensitive frame itself.
+	OnPathWeight int
+	// PolicyJSON is the placeholder-label IFC policy of §6.2.
+	PolicyJSON string
+}
+
+// Files parses the app into analyzer input.
+func (a *App) Files() ([]taint.File, error) {
+	prog, err := parser.Parse(a.Name+".js", a.Source)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: %s: %w", a.Name, err)
+	}
+	return []taint.File{{Name: a.Name + ".js", Prog: prog}}, nil
+}
+
+// Message builds the i-th workload message for a runnable app: a frame
+// descriptor of the form "personN:IDorEmpty|...". Roughly half the frames
+// contain an "employee" marker so value-dependent labelling exercises both
+// branches.
+func (a *App) Message(i int) string {
+	var b strings.Builder
+	persons := 1 + i%3
+	for p := 0; p < persons; p++ {
+		if p > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "person%d:", i*7+p)
+		if (i+p)%2 == 0 {
+			fmt.Fprintf(&b, "E%d", i%97)
+		}
+	}
+	return b.String()
+}
+
+// placeholderPolicy is the systematically-generated IFC policy of §6.2:
+// placeholder labels (Alpha/Beta) with no application-specific meaning,
+// assigned value-dependently from the frame content.
+const placeholderPolicy = `{
+  "labellers": {
+    "Msg": "v => v.indexOf(\"E\") >= 0 ? \"Alpha\" : \"Beta\""
+  },
+  "rules": [ "Alpha -> Beta", "Beta -> Gamma" ],
+  "injections": [ { "object": "frame", "labeller": "Msg" } ]
+}`
+
+// turnstileOnlyCounts are the per-app path counts for the 22 apps whose
+// flows only Turnstile detects (sum = 165).
+var turnstileOnlyCounts = []int{13, 12, 11, 10, 10, 9, 9, 8, 8, 8, 7, 7, 6, 6, 6, 5, 5, 5, 4, 4, 4, 8}
+
+// bothFoundSpecs are the 5 apps both tools detect: direct flows (both find)
+// plus typed or prototype extras.
+var bothFoundSpecs = []struct {
+	name   string
+	direct int
+	typed  int
+	proto  int
+}{
+	{"amazon-echo", 3, 5, 0},     // Turnstile 8, baseline 3
+	{"dialogflow", 2, 4, 0},      // Turnstile 6, baseline 2
+	{"watson", 3, 2, 0},          // Turnstile 5, baseline 3
+	{"smart-dashboard", 2, 0, 3}, // Turnstile 2, baseline 5
+	{"sensor-logger", 4, 0, 0},   // tie: 4 / 4
+}
+
+// baselineOnlySpecs are the 2 prototype-chain apps (§6.1's "two
+// applications in which CodeQL outperformed Turnstile").
+var baselineOnlySpecs = []struct {
+	name  string
+	proto int
+}{
+	{"legacy-gateway", 20},
+	{"modbus-bridge", 15},
+}
+
+// turnstileOnlyNames gives the 22 apps IoT-flavoured names; the first two
+// are the heavyweights highlighted in Fig. 12.
+var turnstileOnlyNames = []string{
+	"modbus", "nlp.js", "camera-archiver", "door-controller", "smart-meter",
+	"thermostat-hub", "motion-relay", "irrigation", "air-quality", "parking-sensor",
+	"fleet-tracker", "energy-monitor", "soil-probe", "warehouse-scanner", "badge-reader",
+	"hvac-controller", "aquarium-monitor", "greenhouse", "weather-station", "doorbell-cam",
+	"asset-tagger", "cold-chain",
+}
+
+// frameworkNames are the 26 apps with RED.httpNode-style flows; 5 carry 3
+// ground-truth paths and 21 carry 2 (sum = 57).
+var frameworkNames = []string{
+	"dashboard-api", "face-gallery", "alert-webhooks", "audit-viewer", "remote-config", // 3 each
+	"telemetry-api", "device-registry", "ota-updater", "rule-editor", "alarm-panel",
+	"presence-api", "lock-admin", "sensor-export", "scene-manager", "geofence-api",
+	"firmware-portal", "metrics-proxy", "camera-portal", "visitor-log", "pet-feeder",
+	"leak-monitor", "power-strip", "blind-control", "co2-display", "garage-door", "mailbox-watch",
+}
+
+// noPathNames are the 6 apps with no privacy-sensitive flows.
+var noPathNames = []string{
+	"unit-converter", "cron-scheduler", "color-mixer", "math-blocks", "text-format", "json-tools",
+}
+
+// offPathWeights tunes per-message non-sensitive work for the runnable
+// apps, keyed by name. nlp.js dominates (the dictionary-scanning blowup of
+// §6.2); modbus has both heavy decode and heavy helpers.
+var offPathWeights = map[string]int{
+	"modbus": 2100, "nlp.js": 700,
+	"amazon-echo": 360, "dialogflow": 380, "watson": 440,
+}
+
+// profiles keys the workload shape per app; everything else is "light".
+var profiles = map[string]string{
+	"nlp.js": "dict", "modbus": "decode",
+	"amazon-echo": "api", "dialogflow": "api", "watson": "api",
+}
+
+// onPathWeights tunes per-message sensitive-path work.
+var onPathWeights = map[string]int{
+	"modbus": 450, "nlp.js": 12,
+	"amazon-echo": 30, "dialogflow": 24, "watson": 36,
+}
+
+// All generates the full 61-app corpus, deterministically.
+func All() []*App {
+	var apps []*App
+	unit := 0
+	for i, name := range turnstileOnlyNames {
+		n := turnstileOnlyCounts[i]
+		app := &App{
+			Name:            name,
+			Category:        TurnstileOnly,
+			GroundTruth:     n,
+			ExpectTurnstile: n,
+			ExpectBaseline:  0,
+			Runnable:        true,
+			PolicyJSON:      placeholderPolicy,
+		}
+		app.SourceName = "net.socket:cam-" + name + ":9000"
+		app.Profile = profiles[name]
+		if app.Profile == "" {
+			app.Profile = "light"
+		}
+		app.OffPathWeight = offPathWeights[name]
+		if app.OffPathWeight == 0 {
+			app.OffPathWeight = 300 + (i*211)%900
+		}
+		app.OnPathWeight = onPathWeights[name]
+		if app.OnPathWeight == 0 {
+			app.OnPathWeight = 2 + (i*5)%9
+		}
+		app.Source = buildRunnableApp(app, n-1, 0, 0, &unit)
+		apps = append(apps, app)
+	}
+	for i, spec := range bothFoundSpecs {
+		app := &App{
+			Name:            spec.name,
+			Category:        BothFound,
+			GroundTruth:     spec.direct + spec.typed + spec.proto,
+			ExpectTurnstile: spec.direct + spec.typed,
+			ExpectBaseline:  spec.direct + spec.proto,
+			Runnable:        true,
+			PolicyJSON:      placeholderPolicy,
+		}
+		app.SourceName = "net.socket:cam-" + spec.name + ":9000"
+		app.Profile = profiles[spec.name]
+		if app.Profile == "" {
+			app.Profile = "light"
+		}
+		app.OffPathWeight = offPathWeights[spec.name]
+		if app.OffPathWeight == 0 {
+			app.OffPathWeight = 300 + (i*177)%700
+		}
+		app.OnPathWeight = onPathWeights[spec.name]
+		if app.OnPathWeight == 0 {
+			app.OnPathWeight = 2 + (i*3)%8
+		}
+		// the main pipeline is a direct flow (both analyzers see it)
+		app.Source = buildRunnableDirectApp(app, spec.direct-1, spec.typed, spec.proto, &unit)
+		apps = append(apps, app)
+	}
+	for _, spec := range baselineOnlySpecs {
+		app := &App{
+			Name:            spec.name,
+			Category:        BaselineOnly,
+			GroundTruth:     spec.proto,
+			ExpectTurnstile: 0,
+			ExpectBaseline:  spec.proto,
+		}
+		var b strings.Builder
+		header(&b, spec.name)
+		for i := 0; i < spec.proto; i++ {
+			unitPrototype(&b, &unit)
+		}
+		padding(&b, spec.name, 6)
+		app.Source = b.String()
+		apps = append(apps, app)
+	}
+	for i, name := range frameworkNames {
+		n := 2
+		if i < 5 {
+			n = 3
+		}
+		app := &App{
+			Name:            name,
+			Category:        FrameworkMissed,
+			GroundTruth:     n,
+			ExpectTurnstile: 0,
+			ExpectBaseline:  0,
+		}
+		var b strings.Builder
+		header(&b, name)
+		for j := 0; j < n; j++ {
+			unitFramework(&b, &unit)
+		}
+		padding(&b, name, 3+i%4)
+		app.Source = b.String()
+		apps = append(apps, app)
+	}
+	for i, name := range noPathNames {
+		app := &App{
+			Name:        name,
+			Category:    NoPaths,
+			GroundTruth: 0,
+		}
+		var b strings.Builder
+		header(&b, name)
+		padding(&b, name, 5+i)
+		app.Source = b.String()
+		apps = append(apps, app)
+	}
+	return apps
+}
+
+// Runnable filters the corpus to the 27 apps of Part 2.
+func Runnable(apps []*App) []*App {
+	var out []*App
+	for _, a := range apps {
+		if a.Runnable {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ByName finds an app.
+func ByName(apps []*App, name string) *App {
+	for _, a := range apps {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,167 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"turnstile/internal/baseline"
+	"turnstile/internal/taint"
+)
+
+func TestCorpusShape(t *testing.T) {
+	apps := All()
+	if len(apps) != 61 {
+		t.Fatalf("apps = %d, want 61", len(apps))
+	}
+	counts := map[Category]int{}
+	manual := 0
+	for _, a := range apps {
+		counts[a.Category]++
+		manual += a.GroundTruth
+	}
+	want := map[Category]int{
+		TurnstileOnly: 22, BothFound: 5, BaselineOnly: 2,
+		FrameworkMissed: 26, NoPaths: 6,
+	}
+	for cat, n := range want {
+		if counts[cat] != n {
+			t.Errorf("%v apps = %d, want %d", cat, counts[cat], n)
+		}
+	}
+	// Fig. 10: 285 ground-truth paths across 61 applications
+	if manual != 285 {
+		t.Fatalf("ground truth total = %d, want 285", manual)
+	}
+	if len(Runnable(apps)) != 27 {
+		t.Fatalf("runnable = %d, want 27", len(Runnable(apps)))
+	}
+}
+
+func TestAppsParse(t *testing.T) {
+	for _, a := range All() {
+		if _, err := a.Files(); err != nil {
+			t.Errorf("%s: %v", a.Name, err)
+		}
+	}
+}
+
+func TestUniqueNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if seen[a.Name] {
+			t.Errorf("duplicate app name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+// TestDetectionCalibration is the heart of experiment E1: running both
+// analyzers over all 61 applications must reproduce the Fig. 10 totals —
+// ~190 paths for Turnstile vs ~52 for the baseline, of 285 ground truth.
+func TestDetectionCalibration(t *testing.T) {
+	apps := All()
+	totalT, totalB := 0, 0
+	for _, a := range apps {
+		files, err := a.Files()
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		tr := taint.Analyze(files, taint.DefaultOptions())
+		br := baseline.Analyze(files)
+		if len(tr.Paths) != a.ExpectTurnstile {
+			t.Errorf("%s: turnstile paths = %d, want %d", a.Name, len(tr.Paths), a.ExpectTurnstile)
+			for _, p := range tr.Paths {
+				t.Logf("  T %s (%s) → %s (%s)", p.Source, p.SourceKind, p.Sink, p.SinkKind)
+			}
+		}
+		if len(br.Paths) != a.ExpectBaseline {
+			t.Errorf("%s: baseline paths = %d, want %d", a.Name, len(br.Paths), a.ExpectBaseline)
+			for _, p := range br.Paths {
+				t.Logf("  B %s (%s) → %s (%s)", p.Source, p.SourceKind, p.Sink, p.SinkKind)
+			}
+		}
+		totalT += len(tr.Paths)
+		totalB += len(br.Paths)
+	}
+	if totalT != 190 {
+		t.Errorf("turnstile total = %d, want 190", totalT)
+	}
+	if totalB != 52 {
+		t.Errorf("baseline total = %d, want 52", totalB)
+	}
+}
+
+func TestRunnableAppsHaveProfiles(t *testing.T) {
+	for _, a := range Runnable(All()) {
+		if a.SourceName == "" || a.PolicyJSON == "" {
+			t.Errorf("%s: missing runtime profile", a.Name)
+		}
+		if a.OffPathWeight <= 0 || a.OnPathWeight <= 0 {
+			t.Errorf("%s: weights = %d/%d", a.Name, a.OffPathWeight, a.OnPathWeight)
+		}
+	}
+	// the heavyweight apps of Fig. 12
+	apps := All()
+	nlp := ByName(apps, "nlp.js")
+	if nlp == nil || nlp.Profile != "dict" || nlp.OffPathWeight < 500 {
+		t.Fatal("nlp.js should carry the dictionary-scan profile")
+	}
+	modbus := ByName(apps, "modbus")
+	if modbus == nil || modbus.Profile != "decode" || modbus.OnPathWeight < 100 {
+		t.Fatal("modbus should carry heavy on-path decode work")
+	}
+}
+
+func TestMessageGenerator(t *testing.T) {
+	a := Runnable(All())[0]
+	seen := map[string]bool{}
+	hasEmployee, hasCustomer := false, false
+	for i := 0; i < 20; i++ {
+		m := a.Message(i)
+		if m == "" {
+			t.Fatal("empty message")
+		}
+		seen[m] = true
+		if strings.Contains(m, "E") {
+			hasEmployee = true
+		}
+		if strings.HasSuffix(m, ":") || strings.Contains(m, ":|") {
+			hasCustomer = true
+		}
+	}
+	if len(seen) < 10 {
+		t.Fatalf("messages not varied: %d distinct", len(seen))
+	}
+	if !hasEmployee || !hasCustomer {
+		t.Fatal("messages should exercise both label branches")
+	}
+}
+
+func TestByName(t *testing.T) {
+	apps := All()
+	if ByName(apps, "watson") == nil {
+		t.Fatal("watson missing")
+	}
+	if ByName(apps, "nonexistent") != nil {
+		t.Fatal("phantom app")
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	for _, c := range []Category{TurnstileOnly, BothFound, BaselineOnly, FrameworkMissed, NoPaths} {
+		if c.String() == "category?" {
+			t.Errorf("missing name for %d", c)
+		}
+	}
+}
+
+func TestCorpusSize(t *testing.T) {
+	// the corpus should be a substantial body of analyzable code
+	total := 0
+	for _, a := range All() {
+		total += strings.Count(a.Source, "\n")
+	}
+	if total < 3000 {
+		t.Fatalf("corpus is only %d lines", total)
+	}
+}

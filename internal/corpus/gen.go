@@ -1,0 +1,227 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ident sanitizes an app name into an identifier fragment.
+func ident(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == '-' || c == '.' {
+			b.WriteByte('_')
+		} else {
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+func header(b *strings.Builder, name string) {
+	fmt.Fprintf(b, "// %s — synthetic third-party Node-RED application\n", name)
+	b.WriteString("const net = require(\"net\");\n")
+	b.WriteString("const fs = require(\"fs\");\n\n")
+}
+
+// unitTypedInterproc emits one flow that passes both the connection and the
+// sink through user-function parameters: detected only by Turnstile's
+// type-sensitive interprocedural analysis.
+func unitTypedInterproc(b *strings.Builder, unit *int) {
+	u := *unit
+	*unit = *unit + 1
+	fmt.Fprintf(b, `function feedU%d(conn, sink) {
+  conn.on("data", d => relayU%d(sink, d));
+}
+function relayU%d(sink, d) {
+  sink.write(d.trim());
+}
+feedU%d(net.connect({ host: "dev%d", port: 1883 }), fs.createWriteStream("/spool/u%d"));
+
+`, u, u, u, u, u, u)
+}
+
+// unitDirect emits one same-scope source→sink flow: detected by both tools.
+func unitDirect(b *strings.Builder, unit *int) {
+	u := *unit
+	*unit = *unit + 1
+	fmt.Fprintf(b, `const rdU%d = fs.createReadStream("/in/u%d");
+const wrU%d = fs.createWriteStream("/copy/u%d");
+rdU%d.on("data", c%d => { wrU%d.write(c%d.toUpperCase()); });
+
+`, u, u, u, u, u, u, u, u)
+}
+
+// unitPrototype emits one flow through the JavaScript prototype chain:
+// detected only by the baseline (§6.1).
+func unitPrototype(b *strings.Builder, unit *int) {
+	u := *unit
+	*unit = *unit + 1
+	fmt.Fprintf(b, `function RecorderU%d() { this.dest = fs.createWriteStream("/rec/u%d"); }
+RecorderU%d.prototype.save = function(d) { this.dest.write(d); };
+const recU%d = new RecorderU%d();
+const camU%d = fs.createReadStream("/cam/u%d");
+camU%d.on("data", d => recU%d.save(d));
+
+`, u, u, u, u, u, u, u, u, u)
+}
+
+// unitFramework emits one flow through RED.httpNode — the
+// framework-injected API neither tool can statically type (§6.1).
+func unitFramework(b *strings.Builder, unit *int) {
+	u := *unit
+	*unit = *unit + 1
+	fmt.Fprintf(b, `RED.httpNode.get("/api/u%d", function(req, res) {
+  res.send(req.query);
+});
+
+`, u)
+}
+
+// padding emits pure-compute helper functions: realistic bulk that carries
+// no privacy-sensitive dataflow.
+func padding(b *strings.Builder, name string, count int) {
+	id := ident(name)
+	for i := 0; i < count; i++ {
+		fmt.Fprintf(b, `function helper_%s_%d(x, y) {
+  let out = x * 2 + y;
+  for (let i = 0; i < 3; i++) {
+    out = out + i * i;
+  }
+  if (out > 100) { out = out - 50; }
+  return out;
+}
+`, id, i)
+	}
+	fmt.Fprintf(b, "const calibration_%s = helper_%s_0(7, 9);\n\n", id, id)
+}
+
+// dictLiteral emits the token dictionary scanned per message by the
+// off-path work (the nlp.js effect of §6.2).
+func dictLiteral(b *strings.Builder, name string, size int) {
+	id := ident(name)
+	fmt.Fprintf(b, "const DICT_%s = [", id)
+	for i := 0; i < size; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if i%16 == 0 {
+			b.WriteString("\n  ")
+		}
+		fmt.Fprintf(b, "\"tok%d\"", i)
+	}
+	b.WriteString("\n];\n\n")
+}
+
+// mainPipelineBody emits the message-handler body shared by the runnable
+// templates: off-path work on non-sensitive data (only exhaustive
+// instrumentation pays for it) followed by an on-path transformation of the
+// frame (sensitive — selective instrumentation covers it too). The shape of
+// the off-path work depends on the app's workload profile.
+func mainPipelineBody(b *strings.Builder, app *App, sinkExpr, dictExpr string) {
+	switch app.Profile {
+	case "dict":
+		// the nlp.js blowup (§6.2): a dense per-token scan where nearly
+		// every operation is a dataflow expression — exhaustive tracking
+		// converts each of them into tracker calls and heap boxes
+		fmt.Fprintf(b, `  let acc = 0;
+  for (let di = 0; di < %s.length; di++) {
+    const tok = %s[di] + "|";
+    const score = tok.length * 2 - 1 + di %% 7;
+    const tag = tok + "#" + score;
+    acc = acc + tag.length - tok.length + 1;
+  }
+`, dictExpr, dictExpr)
+	case "decode":
+		// instrumented helper loop over the full weight (modbus decodes
+		// every register of every frame)
+		fmt.Fprintf(b, `  let acc = 0;
+  for (let di = 0; di < %s.length; di++) {
+    acc = acc + (%s[di] + "|").length - 1;
+  }
+`, dictExpr, dictExpr)
+	case "api":
+		// native request-building bulk plus a moderate instrumented loop
+		fmt.Fprintf(b, `  const body = %s.join(",");
+  let acc = body.length;
+  for (let di = 0; di < %s.length; di = di + 8) {
+    acc = acc + (%s[di] + "|").length - 1;
+  }
+`, dictExpr, dictExpr, dictExpr)
+	default: // "light": native bulk dominates; tracking has little to do
+		fmt.Fprintf(b, `  const blob = %s.join("-");
+  const digest = blob.split("-");
+  let acc = blob.length + digest.length;
+`, dictExpr)
+	}
+	fmt.Fprintf(b, `  let record = "";
+  const parts = frame.split("|");
+  for (let pj = 0; pj < parts.length; pj++) {
+    const fields = parts[pj].split(":");
+    record = record + fields[0] + "=" + fields[1] + ";";
+  }
+  for (let wk = 0; wk < %d; wk++) {
+    record = record + "#";
+  }
+  %s.write(record + "/" + acc);
+`, app.OnPathWeight, sinkExpr)
+}
+
+// buildRunnableApp assembles a TurnstileOnly runnable app: the main
+// pipeline passes its I/O objects through function parameters (typed
+// interprocedural flow), plus extra typed units, plus padding.
+func buildRunnableApp(app *App, extraTyped, extraDirect, extraProto int, unit *int) string {
+	var b strings.Builder
+	header(&b, app.Name)
+	id := ident(app.Name)
+	dictLiteral(&b, app.Name, app.OffPathWeight)
+
+	fmt.Fprintf(&b, "function attachMain_%s(conn, sink, dict) {\n", id)
+	fmt.Fprintf(&b, "  conn.on(\"data\", frame => { handleMain_%s(frame, sink, dict); });\n", id)
+	fmt.Fprintf(&b, "}\n")
+	fmt.Fprintf(&b, "function handleMain_%s(frame, sink, dict) {\n", id)
+	mainPipelineBody(&b, app, "sink", "dict")
+	fmt.Fprintf(&b, "}\n")
+	fmt.Fprintf(&b, "attachMain_%s(net.connect({ host: \"cam-%s\", port: 9000 }), fs.createWriteStream(\"/data/%s.log\"), DICT_%s);\n\n",
+		id, app.Name, app.Name, id)
+
+	for i := 0; i < extraTyped; i++ {
+		unitTypedInterproc(&b, unit)
+	}
+	for i := 0; i < extraDirect; i++ {
+		unitDirect(&b, unit)
+	}
+	for i := 0; i < extraProto; i++ {
+		unitPrototype(&b, unit)
+	}
+	padding(&b, app.Name, 4)
+	return b.String()
+}
+
+// buildRunnableDirectApp assembles a BothFound runnable app: the main
+// pipeline is a direct same-scope flow both analyzers detect.
+func buildRunnableDirectApp(app *App, extraDirect, extraTyped, extraProto int, unit *int) string {
+	var b strings.Builder
+	header(&b, app.Name)
+	id := ident(app.Name)
+	dictLiteral(&b, app.Name, app.OffPathWeight)
+
+	fmt.Fprintf(&b, "const socket_%s = net.connect({ host: \"cam-%s\", port: 9000 });\n", id, app.Name)
+	fmt.Fprintf(&b, "const mainOut_%s = fs.createWriteStream(\"/data/%s.log\");\n", id, app.Name)
+	fmt.Fprintf(&b, "socket_%s.on(\"data\", frame => {\n", id)
+	mainPipelineBody(&b, app, "mainOut_"+id, "DICT_"+id)
+	fmt.Fprintf(&b, "});\n\n")
+
+	for i := 0; i < extraDirect; i++ {
+		unitDirect(&b, unit)
+	}
+	for i := 0; i < extraTyped; i++ {
+		unitTypedInterproc(&b, unit)
+	}
+	for i := 0; i < extraProto; i++ {
+		unitPrototype(&b, unit)
+	}
+	padding(&b, app.Name, 4)
+	return b.String()
+}

@@ -1,0 +1,434 @@
+// Package dift implements Turnstile's Inlined Dynamic Information Flow
+// Tracker (§4.4). The tracker is self-contained: it depends only on the
+// policy package and an adapter over the host runtime's values, so it can
+// be fused into any application (platform-independence, C2).
+//
+// The tracker maintains the global map from tracked objects to privacy
+// labels. Reference-type values carry their own identity (RefID);
+// value-type instances are wrapped in a Box container to give two equal
+// values distinct labels, exactly as the paper wraps JavaScript primitives
+// (§4.4, "Tracking privacy-sensitive information flow"). Boxes are
+// unwrapped on writes to sinks so that external interfaces see native
+// values.
+package dift
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+
+	"turnstile/internal/policy"
+)
+
+// Ref is implemented by reference-type runtime values; the identity is used
+// as the key in the tracker's label map.
+type Ref interface {
+	RefID() uint64
+}
+
+// Box wraps a value-type instance so it can be tracked. The runtime's
+// property/element accesses treat boxes transparently (the MiniJS
+// interpreter unwraps them at primitive-operation sites, the analogue of
+// the paper's JavaScript Proxy interception).
+type Box struct {
+	Val any
+	id  uint64
+}
+
+// RefID implements Ref.
+func (b *Box) RefID() uint64 { return b.id }
+
+func (b *Box) String() string { return fmt.Sprintf("Box(%v)", b.Val) }
+
+// Unwrap removes a Box wrapper, returning the native value.
+func Unwrap(v any) any {
+	if b, ok := v.(*Box); ok {
+		return b.Val
+	}
+	return v
+}
+
+// ValueAdapter lets the tracker traverse runtime values without a
+// dependency on the interpreter package.
+type ValueAdapter interface {
+	// Property returns the named property of v, if v has properties.
+	Property(v any, name string) (any, bool)
+	// SetProperty overwrites the named property; reports success.
+	SetProperty(v any, name string, val any) bool
+	// Elements returns the element slice of v, if v is an array.
+	Elements(v any) ([]any, bool)
+	// SetElement overwrites element i; reports success.
+	SetElement(v any, i int, val any) bool
+	// IsReference reports whether v carries identity of its own.
+	IsReference(v any) bool
+}
+
+// Violation records one forbidden flow detected at run time.
+type Violation struct {
+	Site string // source location or API description
+	Op   string // "check" or "invoke"
+	Data policy.LabelSet
+	Recv policy.LabelSet
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("dift: policy violation at %s (%s): data %v may not flow to receiver %v",
+		v.Site, v.Op, v.Data, v.Recv)
+}
+
+// MarshalJSON renders the violation for audit logs.
+func (v *Violation) MarshalJSON() ([]byte, error) {
+	type row struct {
+		Site string   `json:"site"`
+		Op   string   `json:"op"`
+		Data []string `json:"data"`
+		Recv []string `json:"receiver"`
+	}
+	toStrings := func(ls policy.LabelSet) []string {
+		out := make([]string, 0, len(ls))
+		for _, l := range ls.Slice() {
+			out = append(out, string(l))
+		}
+		return out
+	}
+	return json.Marshal(row{Site: v.Site, Op: v.Op, Data: toStrings(v.Data), Recv: toStrings(v.Recv)})
+}
+
+// Stats counts tracker activity; used by the benchmarks and tests.
+type Stats struct {
+	Labelled   int // label() applications
+	Boxed      int // value-type wrappings
+	Derived    int // label propagations (binaryOp/assign/derive)
+	Checks     int // flow checks
+	Violations int
+}
+
+// Tracker is one inlined DIF Tracker instance (the τ object of Fig. 2b).
+// A tracker is created at application startup with the application's IFC
+// policy and is not safe for concurrent use (MiniJS, like Node.js, is
+// single-threaded per application).
+type Tracker struct {
+	Policy  *policy.Policy
+	Adapter ValueAdapter
+
+	// Enforce selects enforcement mode: violating flows are blocked and
+	// reported as errors. When false the tracker audits: violations are
+	// recorded but flows proceed.
+	Enforce bool
+
+	// OnViolation, when set, observes each violation as it is found.
+	OnViolation func(*Violation)
+
+	labels     map[uint64]policy.LabelSet
+	invokeFns  map[uint64]policy.LabelFunc
+	violations []*Violation
+	stats      Stats
+
+	// implicit-flow tracking (see implicit.go)
+	implicit bool
+	pcStack  []policy.LabelSet
+}
+
+// refIDCounter is the global identity counter shared by every Ref value:
+// boxes allocated here and reference values allocated by the runtime. A
+// single ID space keeps the tracker's label map collision-free.
+var refIDCounter uint64
+
+// NextRefID allocates a fresh identity for a reference-type runtime value.
+func NextRefID() uint64 { return atomic.AddUint64(&refIDCounter, 1) }
+
+// NewTracker creates a tracker bound to a policy and value adapter.
+func NewTracker(p *policy.Policy, adapter ValueAdapter) *Tracker {
+	return &Tracker{
+		Policy:    p,
+		Adapter:   adapter,
+		labels:    make(map[uint64]policy.LabelSet),
+		invokeFns: make(map[uint64]policy.LabelFunc),
+	}
+}
+
+// Violations returns the violations recorded so far.
+func (t *Tracker) Violations() []*Violation { return t.violations }
+
+// Stats returns a copy of the activity counters.
+func (t *Tracker) Stats() Stats { return t.stats }
+
+// newBox wraps a value-type v.
+func (t *Tracker) newBox(v any) *Box {
+	t.stats.Boxed++
+	return &Box{Val: v, id: NextRefID()}
+}
+
+// LabelsOf returns the labels attached to v (nil when untracked).
+func (t *Tracker) LabelsOf(v any) policy.LabelSet {
+	if r, ok := v.(Ref); ok {
+		return t.labels[r.RefID()]
+	}
+	return nil
+}
+
+// Attach binds labels to v. Value-type values are boxed; the (possibly
+// boxed) value is returned and must replace v at the call site.
+func (t *Tracker) Attach(v any, ls policy.LabelSet) any {
+	if ls.Empty() {
+		return v
+	}
+	if r, ok := v.(Ref); ok {
+		t.labels[r.RefID()] = t.labels[r.RefID()].Union(ls)
+		return v
+	}
+	if !t.Adapter.IsReference(v) {
+		b := t.newBox(v)
+		t.labels[b.RefID()] = ls.Clone()
+		return b
+	}
+	return v
+}
+
+// Label implements the label(target, labeller) API method (Table 1): it
+// evaluates the value-dependent privacy label of v using the given
+// labeller specification and attaches it. The returned value replaces v.
+func (t *Tracker) Label(v any, l *policy.Labeller) (any, error) {
+	t.stats.Labelled++
+	return t.applyLabeller(v, l)
+}
+
+func (t *Tracker) applyLabeller(v any, l *policy.Labeller) (any, error) {
+	switch {
+	case l == nil:
+		return v, nil
+	case l.Fn != nil:
+		ls, err := l.Fn(Unwrap(v))
+		if err != nil {
+			return v, fmt.Errorf("dift: label function for %q: %w", l.Name, err)
+		}
+		return t.Attach(v, ls), nil
+	case l.Invoke != nil:
+		// attach a dynamic labeller to the function value; evaluated when
+		// the function is invoked (the mailer.sendMail case of Fig. 7).
+		if r, ok := v.(Ref); ok {
+			t.invokeFns[r.RefID()] = l.Invoke
+			return v, nil
+		}
+		return v, fmt.Errorf("dift: $invoke labeller %q applied to non-reference value %T", l.Name, v)
+	case l.Map != nil:
+		elems, ok := t.Adapter.Elements(v)
+		if !ok {
+			return v, fmt.Errorf("dift: $map labeller %q applied to non-array value %T", l.Name, v)
+		}
+		var union policy.LabelSet
+		for i, el := range elems {
+			labelled, err := t.applyLabeller(el, l.Map)
+			if err != nil {
+				return v, err
+			}
+			if labelled != el {
+				t.Adapter.SetElement(v, i, labelled)
+			}
+			union = union.Union(t.LabelsOf(labelled))
+		}
+		// the array itself carries the union of its element labels, so a
+		// flow of the whole array is as constrained as its elements.
+		return t.Attach(v, union), nil
+	case l.Props != nil:
+		for name, sub := range l.Props {
+			pv, ok := t.Adapter.Property(v, name)
+			if !ok {
+				continue
+			}
+			labelled, err := t.applyLabeller(pv, sub)
+			if err != nil {
+				return v, err
+			}
+			if labelled != pv {
+				t.Adapter.SetProperty(v, name, labelled)
+			}
+			t.Attach(v, t.LabelsOf(labelled))
+		}
+		return v, nil
+	}
+	return v, nil
+}
+
+// Track wraps a value-type v unconditionally, with no labels attached.
+// Exhaustive instrumentation tracks every value it touches — the paper
+// observes that this converts e.g. every dictionary string of nlp.js into a
+// heap-allocated object (§6.2), which is exactly the overhead source the
+// selective strategy avoids.
+func (t *Tracker) Track(v any) any {
+	if _, ok := v.(Ref); ok {
+		return v
+	}
+	if t.Adapter.IsReference(v) {
+		return v
+	}
+	return t.newBox(v)
+}
+
+// Derive implements label propagation for derived values (the binaryOp,
+// assignment and invoke rules of Fig. 5): result's label becomes the union
+// of the sources' labels. The returned value replaces result.
+func (t *Tracker) Derive(result any, sources ...any) any {
+	t.stats.Derived++
+	var union policy.LabelSet
+	for _, s := range sources {
+		union = union.Union(t.LabelsOf(s))
+	}
+	union = t.pcAugment(union)
+	if union.Empty() {
+		return result
+	}
+	return t.Attach(result, union)
+}
+
+// DataLabels collects the labels of v and, for containers, of the values
+// reachable from it. Collection is cycle-safe. This is what a sink check
+// inspects: sending an object leaks everything reachable from it.
+func (t *Tracker) DataLabels(v any) policy.LabelSet {
+	var union policy.LabelSet
+	seen := make(map[uint64]bool)
+	t.collect(v, &union, seen, 0)
+	return union
+}
+
+const maxCollectDepth = 12
+
+func (t *Tracker) collect(v any, union *policy.LabelSet, seen map[uint64]bool, depth int) {
+	if depth > maxCollectDepth {
+		return
+	}
+	if r, ok := v.(Ref); ok {
+		id := r.RefID()
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		if ls := t.labels[id]; !ls.Empty() {
+			*union = union.Union(ls)
+		}
+	}
+	if elems, ok := t.Adapter.Elements(v); ok {
+		for _, el := range elems {
+			t.collect(el, union, seen, depth+1)
+		}
+		return
+	}
+	if b, ok := v.(*Box); ok {
+		t.collect(b.Val, union, seen, depth+1)
+	}
+}
+
+// CollectProperties extends DataLabels over an object's properties. It is
+// split from DataLabels so the adapter can decide which values have
+// enumerable properties.
+func (t *Tracker) CollectProperties(v any, names []string) policy.LabelSet {
+	union := t.DataLabels(v)
+	for _, n := range names {
+		if pv, ok := t.Adapter.Property(v, n); ok {
+			union = union.Union(t.DataLabels(pv))
+		}
+	}
+	return union
+}
+
+// Check implements check(data, receiver) (Table 1): it verifies that the
+// privacy rules allow data to flow into receiver. In enforcement mode a
+// violation is returned as an error; in audit mode it is recorded and nil
+// is returned.
+func (t *Tracker) Check(data, recv any, site string) error {
+	t.stats.Checks++
+	dl := t.pcAugment(t.DataLabels(data))
+	if dl.Empty() {
+		return nil
+	}
+	rl := t.receiverLabels(recv, nil)
+	return t.verdict(dl, rl, "check", site)
+}
+
+// receiverLabels computes the labels of a sink/receiver value. If the
+// receiver has a dynamic $invoke labeller, it is evaluated with the call
+// arguments.
+func (t *Tracker) receiverLabels(recv any, args []any) policy.LabelSet {
+	ls := t.LabelsOf(recv)
+	if r, ok := recv.(Ref); ok {
+		if fn := t.invokeFns[r.RefID()]; fn != nil {
+			raw := make([]any, len(args))
+			for i, a := range args {
+				raw[i] = Unwrap(a)
+			}
+			if dyn, err := fn(Unwrap(recv), raw); err == nil {
+				ls = ls.Union(dyn)
+			}
+		}
+	}
+	return ls
+}
+
+// InvokeCheck implements the flow check of invoke(target, func, args)
+// (Table 1): each argument must be allowed to flow into the function
+// receiver. It returns the error (blocking the call) in enforcement mode.
+// The caller performs the actual invocation and then labels the returned
+// value with DeriveInvoke.
+func (t *Tracker) InvokeCheck(fnVal any, args []any, site string) error {
+	return t.InvokeCheckTarget(fnVal, nil, args, site)
+}
+
+// InvokeCheckTarget is InvokeCheck with the receiver object included: the
+// labels of both the function value and the object it was read from (the
+// storage/db objects of §5 carry region labels on the object itself)
+// constrain the flow, as do their dynamic $invoke labellers.
+func (t *Tracker) InvokeCheckTarget(fnVal, target any, args []any, site string) error {
+	t.stats.Checks++
+	var dl policy.LabelSet
+	for _, a := range args {
+		dl = dl.Union(t.DataLabels(a))
+	}
+	dl = t.pcAugment(dl)
+	if dl.Empty() {
+		return nil
+	}
+	rl := t.receiverLabels(fnVal, args)
+	if target != nil {
+		rl = rl.Union(t.receiverLabels(target, args))
+	}
+	return t.verdict(dl, rl, "invoke", site)
+}
+
+// DeriveInvoke labels a function's return value with the compound label of
+// its arguments (the invoke rule of Fig. 5).
+func (t *Tracker) DeriveInvoke(result any, args []any) any {
+	srcs := make([]any, 0, len(args))
+	srcs = append(srcs, args...)
+	return t.Derive(result, srcs...)
+}
+
+func (t *Tracker) verdict(dl, rl policy.LabelSet, op, site string) error {
+	if t.Policy.Graph.FlowAllowed(dl, rl, t.Policy.Mode) {
+		return nil
+	}
+	v := &Violation{Site: site, Op: op, Data: dl.Clone(), Recv: rl.Clone()}
+	t.violations = append(t.violations, v)
+	t.stats.Violations++
+	if t.OnViolation != nil {
+		t.OnViolation(v)
+	}
+	if t.Enforce {
+		return v
+	}
+	return nil
+}
+
+// UnwrapDeep removes Box wrappers from v and, for arrays, from its
+// elements, so values written to external sinks are native (§4.4: "wrapped
+// values are unwrapped upon writing to a sink object").
+func (t *Tracker) UnwrapDeep(v any) any {
+	v = Unwrap(v)
+	if elems, ok := t.Adapter.Elements(v); ok {
+		for i, el := range elems {
+			if b, isBox := el.(*Box); isBox {
+				t.Adapter.SetElement(v, i, b.Val)
+			}
+		}
+	}
+	return v
+}

@@ -1,0 +1,86 @@
+package dift
+
+import "turnstile/internal/policy"
+
+// Implicit-flow tracking (the paper's first future-work direction, §8).
+//
+// When enabled, the tracker maintains a stack of program-counter (pc)
+// label scopes. Entering a conditional region whose condition depends on
+// labelled data pushes those labels; values assigned or derived inside the
+// region inherit them, so information leaked through *which branch ran*
+// (e.g. "the door opened, therefore an authorized person was in the
+// frame", §4.6) is caught at the sink like any explicit flow.
+//
+// The instrumentor's ImplicitFlows mode injects the pushScope/pc/popScope
+// calls around conditionals and routes assignments through Assign.
+
+// EnableImplicit turns on pc tracking.
+func (t *Tracker) EnableImplicit() { t.implicit = true }
+
+// ImplicitEnabled reports whether pc tracking is on.
+func (t *Tracker) ImplicitEnabled() bool { return t.implicit }
+
+// PushScope opens a conditional region with an (initially empty) pc label
+// scope. Balanced by PopScope via the instrumentor's try/finally wrapper.
+func (t *Tracker) PushScope() {
+	if !t.implicit {
+		return
+	}
+	t.pcStack = append(t.pcStack, nil)
+}
+
+// PCCondition folds the labels of a branch condition into the innermost pc
+// scope. Loop conditions are evaluated repeatedly; the scope accumulates.
+func (t *Tracker) PCCondition(cond any) {
+	if !t.implicit || len(t.pcStack) == 0 {
+		return
+	}
+	top := len(t.pcStack) - 1
+	t.pcStack[top] = t.pcStack[top].Union(t.DataLabels(cond))
+}
+
+// PopScope closes the innermost conditional region.
+func (t *Tracker) PopScope() {
+	if !t.implicit || len(t.pcStack) == 0 {
+		return
+	}
+	t.pcStack = t.pcStack[:len(t.pcStack)-1]
+}
+
+// ScopeDepth returns the current pc nesting depth (for tests).
+func (t *Tracker) ScopeDepth() int { return len(t.pcStack) }
+
+// PC returns the effective pc label: the union over all open scopes.
+func (t *Tracker) PC() policy.LabelSet {
+	var union policy.LabelSet
+	for _, s := range t.pcStack {
+		union = union.Union(s)
+	}
+	return union
+}
+
+// Assign labels a value being stored under the current pc — the implicit-
+// flow analogue of the Fig. 5 assignment rule. With pc tracking off or an
+// empty pc it is the identity, so the instrumentation is free on
+// non-secret paths.
+func (t *Tracker) Assign(v any) any {
+	if !t.implicit {
+		return v
+	}
+	pc := t.PC()
+	if pc.Empty() {
+		return v
+	}
+	t.stats.Derived++
+	return t.Attach(v, pc)
+}
+
+// pcAugment extends a data label set with the current pc; used by the
+// check paths so that even unlabelled data flowing out of a secret branch
+// is constrained.
+func (t *Tracker) pcAugment(dl policy.LabelSet) policy.LabelSet {
+	if !t.implicit {
+		return dl
+	}
+	return dl.Union(t.PC())
+}

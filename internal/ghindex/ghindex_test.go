@@ -1,0 +1,65 @@
+package ghindex
+
+import "testing"
+
+func TestTable2Reproduction(t *testing.T) {
+	idx := Build()
+	rows := Table2(idx)
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	want := map[string][2]int{
+		"Node-RED":       {2676, 677},
+		"Azure IoT":      {727, 357},
+		"HomeBridge":     {171, 57},
+		"OpenHAB":        {70, 14},
+		"SmartThings":    {42, 29},
+		"AWS Greengrass": {27, 15},
+	}
+	totalRepos := 0
+	for _, row := range rows {
+		w, ok := want[row.Framework]
+		if !ok {
+			t.Fatalf("unexpected framework %q", row.Framework)
+		}
+		if row.Results != w[0] || row.Repos != w[1] {
+			t.Errorf("%s: got %d/%d, want %d/%d", row.Framework, row.Results, row.Repos, w[0], w[1])
+		}
+		totalRepos += row.Repos
+	}
+	if totalRepos != 1149 {
+		t.Fatalf("total repos = %d, want 1149", totalRepos)
+	}
+	// Node-RED leads with 58.9%
+	if rows[0].Framework != "Node-RED" {
+		t.Fatalf("leader = %s", rows[0].Framework)
+	}
+	if rows[0].RepoShare < 58.8 || rows[0].RepoShare > 59.0 {
+		t.Fatalf("Node-RED share = %.1f%%, want ≈58.9%%", rows[0].RepoShare)
+	}
+}
+
+func TestSearchIsRealScan(t *testing.T) {
+	idx := Build()
+	// a signature that appears nowhere
+	if r, n := idx.Search("no.such.signature.anywhere"); r != 0 || n != 0 {
+		t.Fatalf("phantom matches: %d/%d", r, n)
+	}
+	// every repo has a README
+	if r, _ := idx.Search("An IoT application."); r != 1149 {
+		t.Fatalf("README matches = %d", r)
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	a := Build()
+	b := Build()
+	if len(a.Repos) != len(b.Repos) {
+		t.Fatal("nondeterministic repo count")
+	}
+	for i := range a.Repos {
+		if a.Repos[i].Name != b.Repos[i].Name || len(a.Repos[i].Files) != len(b.Repos[i].Files) {
+			t.Fatalf("repo %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"turnstile/internal/workload"
+)
+
+// The paper's artifact compiles raw experiment output into
+// exp-results-compiled.json, plot-area-data.csv (Fig. 11) and
+// plot-bar-data.csv (Fig. 12). These exporters produce the same shapes so
+// downstream plotting scripts can be pointed at this reproduction.
+
+// CompiledResults is the JSON document aggregating one full E2 run.
+type CompiledResults struct {
+	Messages int                 `json:"messages"`
+	Scale    float64             `json:"serviceScale"`
+	Apps     []CompiledAppResult `json:"apps"`
+}
+
+// CompiledAppResult is one application's measured profile.
+type CompiledAppResult struct {
+	App             string             `json:"app"`
+	OriginalTotalMs float64            `json:"originalTotalMs"`
+	SelectiveTotal  float64            `json:"selectiveTotalMs"`
+	ExhaustiveTotal float64            `json:"exhaustiveTotalMs"`
+	RelSelective    map[string]float64 `json:"relSelective"`
+	RelExhaustive   map[string]float64 `json:"relExhaustive"`
+}
+
+// ExportJSON renders measurements as the compiled-results document.
+func ExportJSON(ms []AppMeasurement, rates []float64) ([]byte, error) {
+	if rates == nil {
+		rates = workload.Rates
+	}
+	out := CompiledResults{}
+	if len(ms) > 0 {
+		out.Messages = len(ms[0].Original)
+		out.Scale = ms[0].Scale
+	}
+	for i := range ms {
+		m := &ms[i]
+		row := CompiledAppResult{
+			App:             m.App,
+			OriginalTotalMs: toMs(m.Original.Total()),
+			SelectiveTotal:  toMs(m.Selective.Total()),
+			ExhaustiveTotal: toMs(m.Exhaustive.Total()),
+			RelSelective:    map[string]float64{},
+			RelExhaustive:   map[string]float64{},
+		}
+		for _, hz := range rates {
+			key := fmt.Sprintf("%gHz", hz)
+			row.RelSelective[key] = m.RelSelective(hz)
+			row.RelExhaustive[key] = m.RelExhaustive(hz)
+		}
+		out.Apps = append(out.Apps, row)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+func toMs(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// ExportAreaCSV renders the Fig. 11 band data (plot-area-data.csv):
+// rate, selMin, selMedian, selMax, exhMin, exhMedian, exhMax.
+func ExportAreaCSV(points []Figure11Point) string {
+	var b strings.Builder
+	b.WriteString("rateHz,selMin,selMedian,selMax,exhMin,exhMedian,exhMax\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%g,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+			p.Rate, p.SelMin, p.SelMedian, p.SelMax, p.ExhMin, p.ExhMedian, p.ExhMax)
+	}
+	return b.String()
+}
+
+// ExportBarCSV renders the Fig. 12 per-app data (plot-bar-data.csv):
+// app, sel30, exh30, sel250, exh250.
+func ExportBarCSV(rows []Figure12Row) string {
+	var b strings.Builder
+	b.WriteString("app,sel30,exh30,sel250,exh250\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%.4f,%.4f,%.4f,%.4f\n", r.App, r.Sel30, r.Exh30, r.Sel250, r.Exh250)
+	}
+	return b.String()
+}
+
+// ExportFigure10CSV renders the E1 data (taint-analysis-compiled.csv):
+// app, category, manual, turnstile, baseline, turnstileMs, baselineMs.
+func ExportFigure10CSV(res *E1Result) string {
+	var b strings.Builder
+	b.WriteString("app,category,manual,turnstile,baseline,turnstileMs,baselineMs\n")
+	for _, r := range res.Rows {
+		fmt.Fprintf(&b, "%s,%s,%d,%d,%d,%.3f,%.3f\n",
+			r.App, r.Category, r.Manual, r.Turnstile, r.Baseline,
+			toMs(r.TurnstileDur), toMs(r.BaselineDur))
+	}
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"fmt"
+
+	"turnstile/internal/corpus"
+	"turnstile/internal/instrument"
+	"turnstile/internal/interp"
+	"turnstile/internal/parser"
+	"turnstile/internal/policy"
+	"turnstile/internal/printer"
+	"turnstile/internal/taint"
+)
+
+// Runner is one executable version of an application: an interpreter with
+// the (possibly instrumented) program loaded and its input source located.
+type Runner struct {
+	App    *corpus.App
+	IP     *interp.Interp
+	source *interp.Object
+	// Mode describes the version ("original", "selective", "exhaustive").
+	Mode string
+}
+
+// Process feeds the i-th workload message into the application.
+func (r *Runner) Process(i int) error {
+	return r.IP.Emit(r.source, "data", r.App.Message(i))
+}
+
+// PreparedApp bundles the three versions of §6.2.
+type PreparedApp struct {
+	App        *corpus.App
+	Original   *Runner
+	Selective  *Runner
+	Exhaustive *Runner
+	// Analysis is the dataflow-analysis result that drove selection.
+	Analysis *taint.Result
+	// SelectiveResult / ExhaustiveResult report instrumentation activity.
+	SelectiveResult  *instrument.Result
+	ExhaustiveResult *instrument.Result
+}
+
+// PrepareApp parses, analyzes, instruments and loads all three versions of
+// a runnable corpus app — the full Turnstile workflow of Fig. 3.
+func PrepareApp(app *corpus.App) (*PreparedApp, error) {
+	if !app.Runnable {
+		return nil, fmt.Errorf("harness: app %s is not runnable", app.Name)
+	}
+	file := app.Name + ".js"
+	prog, err := parser.Parse(file, app.Source)
+	if err != nil {
+		return nil, err
+	}
+	analysis := taint.Analyze([]taint.File{{Name: file, Prog: prog}}, taint.DefaultOptions())
+
+	prep := &PreparedApp{App: app, Analysis: analysis}
+
+	// original: no tracker, no instrumentation
+	orig, err := loadRunner(app, "original", app.Source, false)
+	if err != nil {
+		return nil, fmt.Errorf("original version: %w", err)
+	}
+	prep.Original = orig
+
+	// helper building an instrumented version
+	build := func(mode instrument.Mode, sel instrument.Selection) (*Runner, *instrument.Result, error) {
+		ip := interp.New()
+		pol, err := policy.ParseJSON([]byte(app.PolicyJSON), ip.CompileLabelFunc)
+		if err != nil {
+			return nil, nil, fmt.Errorf("policy: %w", err)
+		}
+		res, err := instrument.Instrument(prog, instrument.Options{
+			Mode:       mode,
+			Selection:  sel,
+			Injections: pol.Injections,
+			File:       file,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		src := printer.Print(res.Program)
+		inst, err := parser.Parse(file, src)
+		if err != nil {
+			return nil, nil, fmt.Errorf("instrumented output does not re-parse: %w", err)
+		}
+		tr := ip.InstallTracker(pol)
+		tr.Enforce = false // audit mode for performance runs (§6.2)
+		if err := ip.Run(inst); err != nil {
+			return nil, nil, fmt.Errorf("running instrumented version: %w", err)
+		}
+		source, ok := ip.Source(app.SourceName)
+		if !ok {
+			return nil, nil, fmt.Errorf("source %q not registered (have %v)", app.SourceName, ip.SourceNames())
+		}
+		return &Runner{App: app, IP: ip, source: source, Mode: mode.String()}, res, nil
+	}
+
+	sel := instrument.Selection(analysis.SelectionFor(file))
+	if prep.Selective, prep.SelectiveResult, err = build(instrument.Selective, sel); err != nil {
+		return nil, fmt.Errorf("selective version: %w", err)
+	}
+	if prep.Exhaustive, prep.ExhaustiveResult, err = build(instrument.Exhaustive, nil); err != nil {
+		return nil, fmt.Errorf("exhaustive version: %w", err)
+	}
+	return prep, nil
+}
+
+// loadRunner loads an uninstrumented version.
+func loadRunner(app *corpus.App, mode, src string, withTracker bool) (*Runner, error) {
+	ip := interp.New()
+	prog, err := parser.Parse(app.Name+".js", src)
+	if err != nil {
+		return nil, err
+	}
+	if withTracker {
+		pol, err := policy.ParseJSON([]byte(app.PolicyJSON), ip.CompileLabelFunc)
+		if err != nil {
+			return nil, err
+		}
+		ip.InstallTracker(pol)
+	}
+	if err := ip.Run(prog); err != nil {
+		return nil, err
+	}
+	source, ok := ip.Source(app.SourceName)
+	if !ok {
+		return nil, fmt.Errorf("source %q not registered (have %v)", app.SourceName, ip.SourceNames())
+	}
+	return &Runner{App: app, IP: ip, source: source, Mode: mode}, nil
+}

@@ -1,0 +1,113 @@
+package instrument
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"turnstile/internal/interp"
+	"turnstile/internal/parser"
+	"turnstile/internal/policy"
+	"turnstile/internal/printer"
+)
+
+// genProgram builds a deterministic random program from a seed: arithmetic,
+// string building, arrays, objects, loops, branches, functions and console
+// output — everything observable goes through console.log.
+func genProgram(seed uint64) string {
+	rng := seed
+	next := func(n uint64) uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng % n
+	}
+	var b strings.Builder
+	b.WriteString("let acc = 1;\nlet text = \"t\";\nconst xs = [];\n")
+	stmts := int(next(8)) + 3
+	for i := 0; i < stmts; i++ {
+		switch next(7) {
+		case 0:
+			fmt.Fprintf(&b, "acc = acc * %d + %d;\n", next(9)+1, next(5))
+		case 1:
+			fmt.Fprintf(&b, "text = text + \"s%d\" + acc;\n", next(100))
+		case 2:
+			fmt.Fprintf(&b, "xs.push(acc %% %d);\n", next(7)+2)
+		case 3:
+			fmt.Fprintf(&b, "if (acc %% %d === 0) { acc = acc + 1; } else { text = text + \"!\"; }\n", next(3)+2)
+		case 4:
+			fmt.Fprintf(&b, "for (let i%d = 0; i%d < %d; i%d++) { acc = acc + i%d; }\n", i, i, next(5)+1, i, i)
+		case 5:
+			fmt.Fprintf(&b, "function h%d(v) { return v * 2 - 1; }\nacc = h%d(acc %% 1000);\n", i, i)
+		case 6:
+			fmt.Fprintf(&b, "const o%d = { v: acc, tag: text.length };\nacc = o%d.v + o%d.tag;\n", i, i, i)
+		}
+	}
+	b.WriteString("console.log(acc, text, xs.join(\",\"), JSON.stringify(xs));\n")
+	return b.String()
+}
+
+// runVersion executes a program (optionally instrumented) and returns its
+// console output.
+func runVersion(t *testing.T, src string, mode *Mode) []string {
+	t.Helper()
+	prog, err := parser.Parse("gen.js", src)
+	if err != nil {
+		t.Fatalf("generated program does not parse: %v\n%s", err, src)
+	}
+	ip := interp.New()
+	toRun := prog
+	if mode != nil {
+		pol, err := policy.ParseJSON([]byte(`{"rules":["a -> b"]}`), ip.CompileLabelFunc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ip.InstallTracker(pol)
+		res, err := Instrument(prog, Options{Mode: *mode})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := printer.Print(res.Program)
+		toRun, err = parser.Parse("gen.inst.js", out)
+		if err != nil {
+			t.Fatalf("instrumented does not re-parse: %v\n%s", err, out)
+		}
+	}
+	if err := ip.Run(toRun); err != nil {
+		t.Fatalf("run failed: %v\nsource:\n%s", err, src)
+	}
+	return ip.ConsoleOut
+}
+
+// Property: exhaustive instrumentation — the maximal rewrite — never
+// changes a program's observable behaviour (C3, non-invasiveness).
+func TestQuickInstrumentationEquivalence(t *testing.T) {
+	exh := Exhaustive
+	sel := Selective
+	f := func(seed uint64) bool {
+		src := genProgram(seed)
+		want := runVersion(t, src, nil)
+		gotExh := runVersion(t, src, &exh)
+		gotSel := runVersion(t, src, &sel)
+		if len(want) != len(gotExh) || len(want) != len(gotSel) {
+			t.Logf("line counts differ for seed %d", seed)
+			return false
+		}
+		for i := range want {
+			if want[i] != gotExh[i] {
+				t.Logf("seed %d exhaustive line %d:\n  orig: %q\n  inst: %q\nsource:\n%s",
+					seed, i, want[i], gotExh[i], src)
+				return false
+			}
+			if want[i] != gotSel[i] {
+				t.Logf("seed %d selective line %d differs", seed, i)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package instrument
+
+import (
+	"testing"
+
+	"turnstile/internal/interp"
+	"turnstile/internal/parser"
+	"turnstile/internal/policy"
+	"turnstile/internal/printer"
+	"turnstile/internal/taint"
+)
+
+// FuzzPipeline drives the full Turnstile pipeline on arbitrary programs:
+// anything that parses must analyze, instrument (both modes, with implicit
+// flows), print, re-parse, and execute under a bounded step budget without
+// panicking. Runtime errors are acceptable; crashes and non-reparseable
+// instrumentation are not.
+func FuzzPipeline(f *testing.F) {
+	seeds := []string{
+		`const fs = require("fs");
+const ws = fs.createWriteStream("/out");
+fs.createReadStream("/in").on("data", d => { ws.write(d.trim()); });`,
+		`let a = 0; for (let i = 0; i < 3; i++) { a += i; } console.log(a);`,
+		`function f(x) { return x ? f(x - 1) : 0; } f(3);`,
+		`const o = { m() { return this.v; }, v: 7 }; o.m();`,
+		`class C { constructor() { this.n = 1; } bump() { this.n++; } }
+new C().bump();`,
+		`try { JSON.parse("{"); } catch (e) { console.log(e.name); }`,
+		"`a${1 + 2}b`.split('a');",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := parser.Parse("fz.js", src)
+		if err != nil {
+			return
+		}
+		topts := taint.DefaultOptions()
+		topts.ImplicitFlows = true
+		analysis := taint.Analyze([]taint.File{{Name: "fz.js", Prog: prog}}, topts)
+		for _, mode := range []Mode{Selective, Exhaustive} {
+			res, err := Instrument(prog, Options{
+				Mode:          mode,
+				Selection:     Selection(analysis.SelectionFor("fz.js")),
+				ImplicitFlows: true,
+			})
+			if err != nil {
+				t.Fatalf("instrument(%v): %v", mode, err)
+			}
+			out := printer.Print(res.Program)
+			managed, err := parser.Parse("fz2.js", out)
+			if err != nil {
+				t.Fatalf("instrumented output does not re-parse (%v): %v\ninput: %q\noutput:\n%s",
+					mode, err, src, out)
+			}
+			ip := interp.New()
+			ip.MaxSteps = 200_000
+			pol, err := policy.ParseJSON([]byte(`{"rules":["a -> b"]}`), ip.CompileLabelFunc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr := ip.InstallTracker(pol)
+			tr.EnableImplicit()
+			_ = ip.Run(managed) // runtime errors are fine; panics are not
+		}
+	})
+}

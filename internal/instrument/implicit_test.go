@@ -1,0 +1,216 @@
+package instrument
+
+import (
+	"strings"
+	"testing"
+
+	"turnstile/internal/interp"
+	"turnstile/internal/parser"
+	"turnstile/internal/policy"
+	"turnstile/internal/printer"
+	"turnstile/internal/taint"
+)
+
+// The §4.6 side channel: an adversary deduces whether an authorized person
+// was in the frame by observing whether the door opened. The door-state
+// write carries no explicit flow from the frame; only the branch taken
+// depends on it.
+const doorChannelSrc = `
+const net = require("net");
+const fs = require("fs");
+const doorLog = fs.createWriteStream("/public/door-state");
+const sock = net.connect({ host: "cam", port: 554 });
+sock.on("data", frame => {
+  let doorState = "closed";
+  if (frame.indexOf("E") >= 0) {
+    doorState = "open";
+  }
+  doorLog.write(doorState);
+});
+`
+
+const doorPolicy = `{
+  "labellers": {
+    "Frame": "v => \"secret\"",
+    "PublicSink": "v => \"public\""
+  },
+  "rules": [ "public -> secret" ],
+  "injections": [
+    { "object": "frame", "labeller": "Frame" },
+    { "object": "doorLog", "labeller": "PublicSink" }
+  ]
+}`
+
+// buildDoorApp instruments and loads the side-channel app.
+func buildDoorApp(t *testing.T, implicit bool) *interp.Interp {
+	t.Helper()
+	prog, err := parser.Parse("door.js", doorChannelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ip := interp.New()
+	pol, err := policy.ParseJSON([]byte(doorPolicy), ip.CompileLabelFunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topts := taint.DefaultOptions()
+	topts.ImplicitFlows = implicit
+	analysis := taint.Analyze([]taint.File{{Name: "door.js", Prog: prog}}, topts)
+	res, err := Instrument(prog, Options{
+		Mode:          Selective,
+		Selection:     Selection(analysis.SelectionFor("door.js")),
+		Injections:    pol.Injections,
+		File:          "door.js",
+		ImplicitFlows: implicit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := printer.Print(res.Program)
+	managed, err := parser.Parse("door.js", src)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, src)
+	}
+	tr := ip.InstallTracker(pol)
+	tr.Enforce = true
+	if implicit {
+		tr.EnableImplicit()
+		if res.PCScopes == 0 {
+			t.Fatalf("no pc scopes injected:\n%s", src)
+		}
+	}
+	if err := ip.Run(managed); err != nil {
+		t.Fatalf("%v\n%s", err, src)
+	}
+	return ip
+}
+
+func emitFrame(t *testing.T, ip *interp.Interp, frame string) error {
+	t.Helper()
+	src, ok := ip.Source("net.socket:cam:554")
+	if !ok {
+		t.Fatal("source missing")
+	}
+	return ip.Emit(src, "data", frame)
+}
+
+func TestExplicitModeMissesSideChannel(t *testing.T) {
+	// default Turnstile (explicit flows only, §4.6): the door-state write
+	// is not constrained, even though it reveals the frame's content
+	ip := buildDoorApp(t, false)
+	if err := emitFrame(t, ip, "kim:E7"); err != nil {
+		t.Fatalf("explicit mode must not block the side channel: %v", err)
+	}
+	if len(ip.Tracker.Violations()) != 0 {
+		t.Fatal("explicit mode should record no violation")
+	}
+	w := ip.IO.WritesTo("fs")
+	if len(w) != 1 || w[0].Value != "open" {
+		t.Fatalf("writes = %+v", w)
+	}
+}
+
+func TestImplicitModeCatchesSideChannel(t *testing.T) {
+	ip := buildDoorApp(t, true)
+	err := emitFrame(t, ip, "kim:E7")
+	if err == nil {
+		t.Fatal("implicit mode should block the door-state leak")
+	}
+	if !strings.Contains(err.Error(), "secret") {
+		t.Fatalf("err = %v", err)
+	}
+	if len(ip.Tracker.Violations()) != 1 {
+		t.Fatalf("violations = %d", len(ip.Tracker.Violations()))
+	}
+	// the pc stack must be balanced even though the branch threw
+	if ip.Tracker.ScopeDepth() != 0 {
+		t.Fatalf("pc stack leaked: depth %d", ip.Tracker.ScopeDepth())
+	}
+}
+
+func TestImplicitModeBalancedAcrossControlFlow(t *testing.T) {
+	src := `
+const net = require("net");
+const fs = require("fs");
+const out = fs.createWriteStream("/o");
+const sock = net.connect({ host: "h", port: 1 });
+sock.on("data", d => {
+  let n = 0;
+  for (let i = 0; i < d.length; i++) {
+    if (d[i] === "x") { continue; }
+    if (i > 8) { break; }
+    n = n + 1;
+  }
+  while (n > 0) {
+    n = n - 1;
+    if (n === 2) { continue; }
+  }
+  out.write("done:" + n);
+});
+`
+	prog := parser.MustParse("cf.js", src)
+	ip := interp.New()
+	pol, err := policy.ParseJSON([]byte(`{
+	  "labellers": { "D": "v => \"secret\"" },
+	  "rules": [ "public -> secret" ],
+	  "injections": [ { "object": "d", "labeller": "D" } ]
+	}`), ip.CompileLabelFunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfOpts := taint.DefaultOptions()
+	cfOpts.ImplicitFlows = true
+	analysis := taint.Analyze([]taint.File{{Name: "cf.js", Prog: prog}}, cfOpts)
+	res, err := Instrument(prog, Options{
+		Mode:          Selective,
+		Selection:     Selection(analysis.SelectionFor("cf.js")),
+		Injections:    pol.Injections,
+		File:          "cf.js",
+		ImplicitFlows: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := printer.Print(res.Program)
+	managed, err := parser.Parse("cf.js", out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	tr := ip.InstallTracker(pol)
+	tr.EnableImplicit()
+	if err := ip.Run(managed); err != nil {
+		t.Fatal(err)
+	}
+	srcObj, _ := ip.Source("net.socket:h:1")
+	for _, frame := range []string{"abcdefghij", "xxxx", ""} {
+		if err := ip.Emit(srcObj, "data", frame); err != nil {
+			t.Fatalf("frame %q: %v", frame, err)
+		}
+		if d := tr.ScopeDepth(); d != 0 {
+			t.Fatalf("frame %q: pc depth = %d", frame, d)
+		}
+	}
+	// the output derives from d via pc: it must carry the secret label
+	w := ip.IO.WritesTo("fs")
+	if len(w) != 3 {
+		t.Fatalf("writes = %d", len(w))
+	}
+}
+
+func TestImplicitOffIsFree(t *testing.T) {
+	// with ImplicitFlows off the instrumented source contains no pc calls
+	prog := parser.MustParse("p.js", doorChannelSrc)
+	res, err := Instrument(prog, Options{Mode: Exhaustive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := printer.Print(res.Program)
+	for _, forbidden := range []string{"pushScope", "popScope", "__t.pc(", "__t.assign("} {
+		if strings.Contains(out, forbidden) {
+			t.Fatalf("found %q without ImplicitFlows:\n%s", forbidden, out)
+		}
+	}
+	if res.PCScopes != 0 {
+		t.Fatalf("PCScopes = %d", res.PCScopes)
+	}
+}

@@ -1,0 +1,67 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotDefined reports assignment to an undeclared name; sloppy-mode code
+// handles it by creating an implicit global.
+var ErrNotDefined = errors.New("not defined")
+
+// Env is one lexical scope in the environment chain.
+type Env struct {
+	vars   map[string]Value
+	consts map[string]bool
+	parent *Env
+}
+
+// NewEnv creates a scope nested in parent (nil for the global scope).
+func NewEnv(parent *Env) *Env {
+	return &Env{vars: make(map[string]Value), parent: parent}
+}
+
+// Define declares a variable in this scope.
+func (e *Env) Define(name string, v Value, isConst bool) {
+	e.vars[name] = v
+	if isConst {
+		if e.consts == nil {
+			e.consts = make(map[string]bool)
+		}
+		e.consts[name] = true
+	}
+}
+
+// Lookup resolves a name through the scope chain.
+func (e *Env) Lookup(name string) (Value, bool) {
+	for cur := e; cur != nil; cur = cur.parent {
+		if v, ok := cur.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Assign updates an existing binding; it fails for undeclared names and
+// const bindings.
+func (e *Env) Assign(name string, v Value) error {
+	for cur := e; cur != nil; cur = cur.parent {
+		if _, ok := cur.vars[name]; ok {
+			if cur.consts[name] {
+				return fmt.Errorf("assignment to constant variable %q", name)
+			}
+			cur.vars[name] = v
+			return nil
+		}
+	}
+	return fmt.Errorf("%q is %w", name, ErrNotDefined)
+}
+
+// Global returns the outermost scope.
+func (e *Env) Global() *Env {
+	cur := e
+	for cur.parent != nil {
+		cur = cur.parent
+	}
+	return cur
+}

@@ -1,0 +1,294 @@
+package interp
+
+import (
+	"testing"
+
+	"turnstile/internal/ast"
+	"turnstile/internal/parser"
+)
+
+func astPos() ast.Pos { return ast.Pos{} }
+
+func TestFsModule(t *testing.T) {
+	ip := run(t, `
+const fs = require("fs");
+fs.writeFileSync("/data/out.txt", "hello");
+console.log(fs.existsSync("/data/out.txt"), fs.existsSync("/nope"));
+console.log(fs.readFileSync("/data/out.txt"));
+fs.readFile("/etc/config", (err, data) => console.log("cb:", data));
+fs.appendFileSync("/data/out.txt", "+more");
+`)
+	if got := ip.ConsoleOut; got[0] != "true false" || got[1] != "hello" || got[2] != "cb: contents-of:/etc/config" {
+		t.Fatalf("logs = %v", got)
+	}
+	writes := ip.IO.WritesTo("fs")
+	if len(writes) != 2 {
+		t.Fatalf("writes = %+v", writes)
+	}
+	if ip.IO.Files["/data/out.txt"] != "hello+more" {
+		t.Fatalf("file = %q", ip.IO.Files["/data/out.txt"])
+	}
+}
+
+func TestFsStreams(t *testing.T) {
+	ip := run(t, `
+const fs = require("fs");
+const rs = fs.createReadStream("/video/cam0");
+rs.on("data", chunk => {
+  const ws = fs.createWriteStream("/store/archive");
+  ws.write(chunk);
+});
+`)
+	src, ok := ip.Source("fs.readStream:/video/cam0")
+	if !ok {
+		t.Fatalf("sources = %v", ip.SourceNames())
+	}
+	if err := ip.Emit(src, "data", "frame-001"); err != nil {
+		t.Fatal(err)
+	}
+	writes := ip.IO.WritesTo("fs")
+	if len(writes) != 1 || writes[0].Value != "frame-001" || writes[0].Target != "/store/archive" {
+		t.Fatalf("writes = %+v", writes)
+	}
+}
+
+func TestNetModule(t *testing.T) {
+	ip := run(t, `
+const net = require("net");
+const socket = net.connect({ host: "camera.local", port: 554 });
+socket.on("data", frame => {
+  socket.write("ack:" + frame);
+});
+`)
+	src, ok := ip.Source("net.socket:camera.local:554")
+	if !ok {
+		t.Fatalf("sources = %v", ip.SourceNames())
+	}
+	if err := ip.Emit(src, "data", "f1"); err != nil {
+		t.Fatal(err)
+	}
+	writes := ip.IO.WritesTo("net")
+	if len(writes) != 1 || writes[0].Value != "ack:f1" {
+		t.Fatalf("writes = %+v", writes)
+	}
+}
+
+func TestMqttModule(t *testing.T) {
+	ip := run(t, `
+const mqtt = require("mqtt");
+const client = mqtt.connect("mqtt://broker:1883");
+client.subscribe("door/command");
+client.on("message", (topic, payload) => {
+  client.publish("door/state", "processed:" + payload);
+});
+`)
+	src, _ := ip.Source("mqtt:mqtt://broker:1883")
+	if err := ip.Emit(src, "message", "door/command", "unlock"); err != nil {
+		t.Fatal(err)
+	}
+	writes := ip.IO.WritesTo("mqtt")
+	if len(writes) != 1 || writes[0].Target != "door/state" || writes[0].Value != "processed:unlock" {
+		t.Fatalf("writes = %+v", writes)
+	}
+}
+
+func TestMailModule(t *testing.T) {
+	ip := run(t, `
+const nodemailer = require("nodemailer");
+const smtpTransport = nodemailer.createTransport({ host: "smtp.corp" });
+smtpTransport.sendMail({ to: "admin@corp", attachments: ["frame-9"] }, (error, info) => {
+  console.log("sent to", info.accepted[0]);
+});
+`)
+	if ip.ConsoleOut[0] != "sent to admin@corp" {
+		t.Fatalf("logs = %v", ip.ConsoleOut)
+	}
+	writes := ip.IO.WritesTo("smtp")
+	if len(writes) != 1 || writes[0].Target != "admin@corp" {
+		t.Fatalf("writes = %+v", writes)
+	}
+}
+
+func TestSqliteModule(t *testing.T) {
+	ip := run(t, `
+const sqlite3 = require("sqlite3").verbose();
+const db = new sqlite3.Database("/var/nvr.db");
+db.run("INSERT INTO frames VALUES (?)", ["frame-7"], err => console.log("stored", err));
+db.all("SELECT * FROM frames", (err, rows) => console.log("rows:", rows.length));
+`)
+	writes := ip.IO.WritesTo("sqlite")
+	if len(writes) != 1 || writes[0].Target != "/var/nvr.db:INSERT" {
+		t.Fatalf("writes = %+v", writes)
+	}
+	if ip.ConsoleOut[0] != "stored null" || ip.ConsoleOut[1] != "rows: 0" {
+		t.Fatalf("logs = %v", ip.ConsoleOut)
+	}
+}
+
+func TestHTTPModule(t *testing.T) {
+	ip := run(t, `
+const http = require("http");
+const req = http.request({ host: "api.saas.example" }, res => {
+  res.on("data", body => console.log("response:", body));
+});
+req.write("payload-x");
+req.end();
+http.createServer((rq, rs) => {}).listen(8080);
+`)
+	writes := ip.IO.WritesTo("http")
+	if len(writes) != 1 || writes[0].Target != "api.saas.example" {
+		t.Fatalf("writes = %+v", writes)
+	}
+	res, ok := ip.Source("http.response:api.saas.example")
+	if !ok {
+		t.Fatalf("sources = %v", ip.SourceNames())
+	}
+	if err := ip.Emit(res, "data", "200-ok"); err != nil {
+		t.Fatal(err)
+	}
+	if ip.ConsoleOut[0] != "response: 200-ok" {
+		t.Fatalf("logs = %v", ip.ConsoleOut)
+	}
+	if _, ok := ip.Source("http.server"); !ok {
+		t.Fatal("http server not registered as source")
+	}
+}
+
+func TestProcessStdinStdout(t *testing.T) {
+	ip := run(t, `
+process.stdin.on("data", line => {
+  process.stdout.write("echo:" + line);
+});
+`)
+	src, _ := ip.Source("process.stdin")
+	if err := ip.Emit(src, "data", "hello"); err != nil {
+		t.Fatal(err)
+	}
+	writes := ip.IO.WritesTo("process")
+	if len(writes) != 1 || writes[0].Value != "echo:hello" {
+		t.Fatalf("writes = %+v", writes)
+	}
+}
+
+func TestChildProcessExec(t *testing.T) {
+	ip := run(t, `
+const cp = require("child_process");
+cp.exec("sensors --json", (err, stdout, stderr) => console.log(stdout));
+`)
+	if ip.ConsoleOut[0] != "output-of:sensors --json" {
+		t.Fatalf("logs = %v", ip.ConsoleOut)
+	}
+}
+
+func TestEventsModule(t *testing.T) {
+	ip := run(t, `
+const events = require("events");
+const em = new events.EventEmitter();
+em.on("tick", n => console.log("tick", n));
+em.emit("tick", 1);
+em.emit("tick", 2);
+em.removeAllListeners("tick");
+em.emit("tick", 3);
+`)
+	if len(ip.ConsoleOut) != 2 || ip.ConsoleOut[1] != "tick 2" {
+		t.Fatalf("logs = %v", ip.ConsoleOut)
+	}
+}
+
+func TestUnknownModuleThrows(t *testing.T) {
+	ip := New()
+	prog := parser.MustParse("t.js", `require("left-pad");`)
+	if err := ip.Run(prog); err == nil {
+		t.Fatal("expected module-not-found throw")
+	}
+}
+
+func TestRegisterModule(t *testing.T) {
+	ip := New()
+	deepstack := NewObject()
+	deepstack.Set("faceRecognition", NewHostFunc("faceRecognition", func(ip *Interp, this Value, args []Value) (Value, error) {
+		result := NewObject()
+		result.Set("predictions", NewArray())
+		return ip.NewPromise(result, false), nil
+	}))
+	ip.RegisterModule("node-red-contrib-deepstack", deepstack)
+	prog := parser.MustParse("t.js", `
+const deepstack = require("node-red-contrib-deepstack");
+deepstack.faceRecognition("frame").then(r => console.log("preds:", r.predictions.length));
+`)
+	if err := ip.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if ip.ConsoleOut[0] != "preds: 0" {
+		t.Fatalf("logs = %v", ip.ConsoleOut)
+	}
+}
+
+func TestModuleCaching(t *testing.T) {
+	ip := run(t, `
+const a = require("fs");
+const b = require("fs");
+console.log(a === b);
+`)
+	if ip.ConsoleOut[0] != "true" {
+		t.Fatal("modules should be cached")
+	}
+}
+
+func TestMiscModules(t *testing.T) {
+	ip := run(t, `
+const path = require("path");
+console.log(path.join("a", "b", "c.txt"), path.basename("/x/y/z.js"));
+const crypto = require("crypto");
+const h = crypto.createHash("sha1");
+h.update("abc");
+const d1 = h.digest("hex");
+const h2 = crypto.createHash("sha1");
+h2.update("abc");
+console.log(d1 === h2.digest("hex"), d1.length);
+const os = require("os");
+console.log(os.hostname());
+`)
+	out := ip.ConsoleOut
+	if out[0] != "a/b/c.txt z.js" || out[1] != "true 16" || out[2] != "iot-gateway" {
+		t.Fatalf("logs = %v", out)
+	}
+}
+
+func TestSetIntervalRegistersPumpCallback(t *testing.T) {
+	ip := run(t, `
+let ticks = 0;
+const id = setInterval(() => { ticks = ticks + 1; }, 100);
+clearInterval(id);
+console.log(typeof id);
+`)
+	if ip.ConsoleOut[0] != "number" {
+		t.Fatalf("logs = %v", ip.ConsoleOut)
+	}
+	if len(ip.IO.Intervals) != 1 {
+		t.Fatalf("intervals = %d", len(ip.IO.Intervals))
+	}
+	// the workload pump drives registered intervals explicitly
+	for i := 0; i < 3; i++ {
+		if _, err := ip.CallFunction(ip.IO.Intervals[0], Undefined{}, nil, astPos()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, _ := ip.Globals.Lookup("ticks")
+	if ToNumber(v) != 3 {
+		t.Fatalf("ticks = %v", v)
+	}
+}
+
+func TestSetTimeoutRunsSynchronously(t *testing.T) {
+	ip := run(t, `
+let order = "";
+setTimeout(() => { order += "a"; }, 0);
+order += "b";
+console.log(order);
+`)
+	// the synchronous timer model of §4.5 runs deferred work inline
+	if ip.ConsoleOut[0] != "ab" {
+		t.Fatalf("logs = %v", ip.ConsoleOut)
+	}
+}

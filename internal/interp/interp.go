@@ -1,0 +1,897 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"turnstile/internal/ast"
+	"turnstile/internal/dift"
+)
+
+// Throw is a MiniJS exception in flight.
+type Throw struct {
+	Val Value
+}
+
+func (t *Throw) Error() string {
+	if o, ok := t.Val.(*Object); ok {
+		if msg, found := o.Get("message"); found {
+			return o.Class + ": " + ToString(msg)
+		}
+	}
+	return "Throw: " + ToString(t.Val)
+}
+
+// RuntimeError is an internal evaluation error (not a JS exception), e.g.
+// calling a non-function or exceeding the step budget.
+type RuntimeError struct {
+	Msg string
+	Pos ast.Pos
+}
+
+func (e *RuntimeError) Error() string {
+	if e.Pos.Valid() {
+		return fmt.Sprintf("runtime error at %s: %s", e.Pos, e.Msg)
+	}
+	return "runtime error: " + e.Msg
+}
+
+type ctrlKind int
+
+const (
+	ctrlNormal ctrlKind = iota
+	ctrlReturn
+	ctrlBreak
+	ctrlContinue
+)
+
+// Interp executes MiniJS programs. One Interp is one application runtime
+// instance (the analogue of one Node.js process).
+type Interp struct {
+	Globals *Env
+	// IO records all writes to host sink modules, and provides the handles
+	// used to inject source events.
+	IO *IORecorder
+	// Tracker, when non-nil, is the inlined DIF Tracker exposed to the
+	// application as the __t global.
+	Tracker *dift.Tracker
+	// ConsoleOut collects console.log lines.
+	ConsoleOut []string
+	// MaxSteps bounds evaluation steps to catch runaway programs.
+	MaxSteps int64
+
+	steps       int64
+	modules     map[string]Value
+	localLoader func(name string) (Value, bool, error)
+	now         float64 // deterministic Date.now() counter
+}
+
+// New creates an interpreter with the standard global environment and host
+// modules installed.
+func New() *Interp {
+	ip := &Interp{
+		Globals:  NewEnv(nil),
+		IO:       NewIORecorder(),
+		MaxSteps: 200_000_000,
+		modules:  make(map[string]Value),
+	}
+	ip.installGlobals()
+	return ip
+}
+
+// step charges one unit against the step budget.
+func (ip *Interp) step(pos ast.Pos) error {
+	ip.steps++
+	if ip.steps > ip.MaxSteps {
+		return &RuntimeError{Msg: "step budget exceeded (possible infinite loop)", Pos: pos}
+	}
+	return nil
+}
+
+// Steps returns the number of evaluation steps consumed so far.
+func (ip *Interp) Steps() int64 { return ip.steps }
+
+// Run parses nothing — it executes an already-parsed program in the global
+// scope.
+func (ip *Interp) Run(prog *ast.Program) error {
+	c, _, err := ip.execStmts(prog.Body, ip.Globals)
+	if err != nil {
+		return err
+	}
+	if c == ctrlBreak || c == ctrlContinue {
+		return &RuntimeError{Msg: "break/continue outside loop"}
+	}
+	return nil
+}
+
+func (ip *Interp) execStmts(stmts []ast.Stmt, env *Env) (ctrlKind, Value, error) {
+	// hoist function declarations (JS semantics; corpus apps rely on it)
+	for _, s := range stmts {
+		if fd, ok := s.(*ast.FuncDecl); ok {
+			env.Define(fd.Name, NewFunction(fd.Name, fd.Fn, env), false)
+		}
+	}
+	for _, s := range stmts {
+		c, v, err := ip.execStmt(s, env)
+		if err != nil || c != ctrlNormal {
+			return c, v, err
+		}
+	}
+	return ctrlNormal, undef, nil
+}
+
+func (ip *Interp) execStmt(s ast.Stmt, env *Env) (ctrlKind, Value, error) {
+	if err := ip.step(s.Pos()); err != nil {
+		return ctrlNormal, nil, err
+	}
+	switch x := s.(type) {
+	case *ast.VarDecl:
+		for _, d := range x.Decls {
+			var v Value = undef
+			if d.Init != nil {
+				var err error
+				v, err = ip.eval(d.Init, env)
+				if err != nil {
+					return ctrlNormal, nil, err
+				}
+			}
+			env.Define(d.Name, v, x.Kind == ast.DeclConst)
+		}
+		return ctrlNormal, undef, nil
+	case *ast.FuncDecl:
+		// already hoisted
+		return ctrlNormal, undef, nil
+	case *ast.ExprStmt:
+		_, err := ip.eval(x.X, env)
+		return ctrlNormal, undef, err
+	case *ast.ReturnStmt:
+		var v Value = undef
+		if x.Value != nil {
+			var err error
+			v, err = ip.eval(x.Value, env)
+			if err != nil {
+				return ctrlNormal, nil, err
+			}
+		}
+		return ctrlReturn, v, nil
+	case *ast.IfStmt:
+		cond, err := ip.eval(x.Cond, env)
+		if err != nil {
+			return ctrlNormal, nil, err
+		}
+		if Truthy(cond) {
+			return ip.execStmt(x.Then, NewEnv(env))
+		}
+		if x.Else != nil {
+			return ip.execStmt(x.Else, NewEnv(env))
+		}
+		return ctrlNormal, undef, nil
+	case *ast.BlockStmt:
+		return ip.execStmts(x.Body, NewEnv(env))
+	case *ast.ForStmt:
+		loopEnv := NewEnv(env)
+		if x.Init != nil {
+			if c, v, err := ip.execStmt(x.Init, loopEnv); err != nil || c != ctrlNormal {
+				return c, v, err
+			}
+		}
+		for {
+			if err := ip.step(x.Pos()); err != nil {
+				return ctrlNormal, nil, err
+			}
+			if x.Cond != nil {
+				cond, err := ip.eval(x.Cond, loopEnv)
+				if err != nil {
+					return ctrlNormal, nil, err
+				}
+				if !Truthy(cond) {
+					break
+				}
+			}
+			c, v, err := ip.execStmt(x.Body, NewEnv(loopEnv))
+			if err != nil {
+				return ctrlNormal, nil, err
+			}
+			if c == ctrlBreak {
+				break
+			}
+			if c == ctrlReturn {
+				return c, v, nil
+			}
+			if x.Post != nil {
+				if _, err := ip.eval(x.Post, loopEnv); err != nil {
+					return ctrlNormal, nil, err
+				}
+			}
+		}
+		return ctrlNormal, undef, nil
+	case *ast.ForInStmt:
+		obj, err := ip.eval(x.Object, env)
+		if err != nil {
+			return ctrlNormal, nil, err
+		}
+		items, err := ip.iterationItems(obj, x.Kind, x.Pos())
+		if err != nil {
+			return ctrlNormal, nil, err
+		}
+		for _, item := range items {
+			if err := ip.step(x.Pos()); err != nil {
+				return ctrlNormal, nil, err
+			}
+			iterEnv := NewEnv(env)
+			if x.Decl {
+				iterEnv.Define(x.Name, item, false)
+			} else if err := env.Assign(x.Name, item); err != nil {
+				return ctrlNormal, nil, &RuntimeError{Msg: err.Error(), Pos: x.Pos()}
+			}
+			c, v, err := ip.execStmt(x.Body, iterEnv)
+			if err != nil {
+				return ctrlNormal, nil, err
+			}
+			if c == ctrlBreak {
+				break
+			}
+			if c == ctrlReturn {
+				return c, v, nil
+			}
+		}
+		return ctrlNormal, undef, nil
+	case *ast.WhileStmt:
+		for {
+			if err := ip.step(x.Pos()); err != nil {
+				return ctrlNormal, nil, err
+			}
+			cond, err := ip.eval(x.Cond, env)
+			if err != nil {
+				return ctrlNormal, nil, err
+			}
+			if !Truthy(cond) {
+				break
+			}
+			c, v, err := ip.execStmt(x.Body, NewEnv(env))
+			if err != nil {
+				return ctrlNormal, nil, err
+			}
+			if c == ctrlBreak {
+				break
+			}
+			if c == ctrlReturn {
+				return c, v, nil
+			}
+		}
+		return ctrlNormal, undef, nil
+	case *ast.DoWhileStmt:
+		for {
+			if err := ip.step(x.Pos()); err != nil {
+				return ctrlNormal, nil, err
+			}
+			c, v, err := ip.execStmt(x.Body, NewEnv(env))
+			if err != nil {
+				return ctrlNormal, nil, err
+			}
+			if c == ctrlBreak {
+				break
+			}
+			if c == ctrlReturn {
+				return c, v, nil
+			}
+			cond, err := ip.eval(x.Cond, env)
+			if err != nil {
+				return ctrlNormal, nil, err
+			}
+			if !Truthy(cond) {
+				break
+			}
+		}
+		return ctrlNormal, undef, nil
+	case *ast.BreakStmt:
+		return ctrlBreak, undef, nil
+	case *ast.ContinueStmt:
+		return ctrlContinue, undef, nil
+	case *ast.ThrowStmt:
+		v, err := ip.eval(x.Value, env)
+		if err != nil {
+			return ctrlNormal, nil, err
+		}
+		return ctrlNormal, nil, &Throw{Val: v}
+	case *ast.TryStmt:
+		c, v, err := ip.execStmts(x.Body.Body, NewEnv(env))
+		if err != nil {
+			if th, ok := err.(*Throw); ok && x.Catch != nil {
+				catchEnv := NewEnv(env)
+				if x.CatchVar != "" {
+					catchEnv.Define(x.CatchVar, th.Val, false)
+				}
+				c, v, err = ip.execStmts(x.Catch.Body, catchEnv)
+			}
+		}
+		if x.Finally != nil {
+			fc, fv, ferr := ip.execStmts(x.Finally.Body, NewEnv(env))
+			if ferr != nil {
+				return ctrlNormal, nil, ferr
+			}
+			if fc != ctrlNormal {
+				return fc, fv, nil
+			}
+		}
+		return c, v, err
+	case *ast.SwitchStmt:
+		disc, err := ip.eval(x.Disc, env)
+		if err != nil {
+			return ctrlNormal, nil, err
+		}
+		swEnv := NewEnv(env)
+		matched := false
+		for _, cs := range x.Cases {
+			if !matched && cs.Test != nil {
+				tv, err := ip.eval(cs.Test, swEnv)
+				if err != nil {
+					return ctrlNormal, nil, err
+				}
+				if !StrictEquals(disc, tv) {
+					continue
+				}
+				matched = true
+			} else if !matched {
+				continue // default only matches on fallthrough pass below
+			}
+			c, v, err := ip.execStmts(cs.Body, swEnv)
+			if err != nil {
+				return ctrlNormal, nil, err
+			}
+			if c == ctrlBreak {
+				return ctrlNormal, undef, nil
+			}
+			if c != ctrlNormal {
+				return c, v, nil
+			}
+		}
+		if !matched {
+			// run default clause (and fall through) if present
+			started := false
+			for _, cs := range x.Cases {
+				if cs.Test == nil {
+					started = true
+				}
+				if !started {
+					continue
+				}
+				c, v, err := ip.execStmts(cs.Body, swEnv)
+				if err != nil {
+					return ctrlNormal, nil, err
+				}
+				if c == ctrlBreak {
+					return ctrlNormal, undef, nil
+				}
+				if c != ctrlNormal {
+					return c, v, nil
+				}
+			}
+		}
+		return ctrlNormal, undef, nil
+	case *ast.ClassDecl:
+		fn := ip.makeClass(x, env)
+		env.Define(x.Name, fn, false)
+		return ctrlNormal, undef, nil
+	case *ast.EmptyStmt:
+		return ctrlNormal, undef, nil
+	}
+	return ctrlNormal, nil, &RuntimeError{Msg: fmt.Sprintf("unknown statement %T", s), Pos: s.Pos()}
+}
+
+func (ip *Interp) makeClass(x *ast.ClassDecl, env *Env) *Function {
+	fn := &Function{
+		id:      dift.NextRefID(),
+		Name:    x.Name,
+		Env:     env,
+		IsClass: true,
+		Methods: map[string]*ast.FuncLit{},
+		Statics: map[string]*ast.FuncLit{},
+	}
+	if x.SuperClass != nil {
+		if sv, err := ip.eval(x.SuperClass, env); err == nil {
+			if sf, ok := sv.(*Function); ok {
+				fn.Super = sf
+			}
+		}
+	}
+	for _, m := range x.Methods {
+		if m.Static {
+			fn.Statics[m.Name] = m.Fn
+		} else {
+			fn.Methods[m.Name] = m.Fn
+		}
+	}
+	return fn
+}
+
+// iterationItems materializes the iteration sequence for for-in / for-of.
+func (ip *Interp) iterationItems(obj Value, kind ast.ForInKind, pos ast.Pos) ([]Value, error) {
+	obj = dift.Unwrap(obj)
+	switch kind {
+	case ast.ForOf:
+		switch x := obj.(type) {
+		case *Array:
+			out := make([]Value, len(x.Elems))
+			copy(out, x.Elems)
+			return out, nil
+		case string:
+			out := make([]Value, 0, len(x))
+			for _, r := range x {
+				out = append(out, string(r))
+			}
+			return out, nil
+		case *Object:
+			// allow iterating objects that carry an internal element list
+			if arr, ok := x.Host.(*Array); ok {
+				out := make([]Value, len(arr.Elems))
+				copy(out, arr.Elems)
+				return out, nil
+			}
+		}
+		return nil, &RuntimeError{Msg: fmt.Sprintf("%s is not iterable", TypeOf(obj)), Pos: pos}
+	default: // ForIn: keys
+		switch x := obj.(type) {
+		case *Object:
+			keys := x.Keys()
+			out := make([]Value, len(keys))
+			for i, k := range keys {
+				out[i] = k
+			}
+			return out, nil
+		case *Array:
+			out := make([]Value, len(x.Elems))
+			for i := range x.Elems {
+				out[i] = formatNumber(float64(i))
+			}
+			return out, nil
+		}
+		return nil, nil // for-in over primitives iterates nothing
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+func (ip *Interp) eval(e ast.Expr, env *Env) (Value, error) {
+	if err := ip.step(e.Pos()); err != nil {
+		return nil, err
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		if v, ok := env.Lookup(x.Name); ok {
+			return v, nil
+		}
+		return nil, &RuntimeError{Msg: fmt.Sprintf("%q is not defined", x.Name), Pos: x.Pos()}
+	case *ast.NumberLit:
+		return x.Value, nil
+	case *ast.StringLit:
+		return x.Value, nil
+	case *ast.BoolLit:
+		return x.Value, nil
+	case *ast.NullLit:
+		return null, nil
+	case *ast.UndefinedLit:
+		return undef, nil
+	case *ast.ThisExpr:
+		if v, ok := env.Lookup("this"); ok {
+			return v, nil
+		}
+		return undef, nil
+	case *ast.TemplateLit:
+		var b strings.Builder
+		for i, q := range x.Quasis {
+			b.WriteString(q)
+			if i < len(x.Exprs) {
+				v, err := ip.eval(x.Exprs[i], env)
+				if err != nil {
+					return nil, err
+				}
+				b.WriteString(ToString(v))
+			}
+		}
+		return b.String(), nil
+	case *ast.ArrayLit:
+		var elems []Value
+		for _, el := range x.Elems {
+			if sp, ok := el.(*ast.SpreadExpr); ok {
+				sv, err := ip.eval(sp.X, env)
+				if err != nil {
+					return nil, err
+				}
+				if arr, ok := dift.Unwrap(sv).(*Array); ok {
+					elems = append(elems, arr.Elems...)
+					continue
+				}
+				return nil, &RuntimeError{Msg: "spread of non-array", Pos: sp.Pos()}
+			}
+			v, err := ip.eval(el, env)
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, v)
+		}
+		return NewArray(elems...), nil
+	case *ast.ObjectLit:
+		o := NewObject()
+		for _, prop := range x.Props {
+			switch {
+			case prop.Spread:
+				sv, err := ip.eval(prop.Value, env)
+				if err != nil {
+					return nil, err
+				}
+				if src, ok := dift.Unwrap(sv).(*Object); ok {
+					for _, k := range src.Keys() {
+						pv, _ := src.GetOwn(k)
+						o.Set(k, pv)
+					}
+				}
+			case prop.Computed:
+				kv, err := ip.eval(prop.KeyExpr, env)
+				if err != nil {
+					return nil, err
+				}
+				v, err := ip.eval(prop.Value, env)
+				if err != nil {
+					return nil, err
+				}
+				o.Set(ToString(kv), v)
+			default:
+				v, err := ip.eval(prop.Value, env)
+				if err != nil {
+					return nil, err
+				}
+				o.Set(prop.Key, v)
+			}
+		}
+		return o, nil
+	case *ast.FuncLit:
+		return NewFunction(x.Name, x, env), nil
+	case *ast.CallExpr:
+		return ip.evalCall(x, env)
+	case *ast.NewExpr:
+		return ip.evalNew(x, env)
+	case *ast.MemberExpr:
+		obj, err := ip.eval(x.Object, env)
+		if err != nil {
+			return nil, err
+		}
+		name, err := ip.memberName(x, env)
+		if err != nil {
+			return nil, err
+		}
+		return ip.GetMember(obj, name, x.Pos())
+	case *ast.BinaryExpr:
+		l, err := ip.eval(x.Left, env)
+		if err != nil {
+			return nil, err
+		}
+		r, err := ip.eval(x.Right, env)
+		if err != nil {
+			return nil, err
+		}
+		return ip.BinaryOp(x.Op, l, r, x.Pos())
+	case *ast.LogicalExpr:
+		l, err := ip.eval(x.Left, env)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "&&":
+			if !Truthy(l) {
+				return l, nil
+			}
+		case "||":
+			if Truthy(l) {
+				return l, nil
+			}
+		case "??":
+			if !IsNullish(dift.Unwrap(l)) {
+				return l, nil
+			}
+		}
+		return ip.eval(x.Right, env)
+	case *ast.UnaryExpr:
+		if x.Op == "delete" {
+			if mem, ok := x.X.(*ast.MemberExpr); ok {
+				obj, err := ip.eval(mem.Object, env)
+				if err != nil {
+					return nil, err
+				}
+				name, err := ip.memberName(mem, env)
+				if err != nil {
+					return nil, err
+				}
+				if o, ok := dift.Unwrap(obj).(*Object); ok {
+					o.Delete(name)
+				}
+				return true, nil
+			}
+			return true, nil
+		}
+		if x.Op == "typeof" {
+			// typeof of an undefined identifier does not throw
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, found := env.Lookup(id.Name); !found {
+					return "undefined", nil
+				}
+			}
+		}
+		v, err := ip.eval(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "!":
+			return !Truthy(v), nil
+		case "-":
+			return -ToNumber(v), nil
+		case "+":
+			return ToNumber(v), nil
+		case "~":
+			return float64(^int64(ToNumber(v))), nil
+		case "typeof":
+			return TypeOf(v), nil
+		case "void":
+			return undef, nil
+		}
+		return nil, &RuntimeError{Msg: "unknown unary op " + x.Op, Pos: x.Pos()}
+	case *ast.UpdateExpr:
+		old, err := ip.evalTarget(x.X, env, x.Pos())
+		if err != nil {
+			return nil, err
+		}
+		n := ToNumber(old)
+		var next float64
+		if x.Op == "++" {
+			next = n + 1
+		} else {
+			next = n - 1
+		}
+		if err := ip.assignTo(x.X, next, env); err != nil {
+			return nil, err
+		}
+		if x.Prefix {
+			return next, nil
+		}
+		return n, nil
+	case *ast.AssignExpr:
+		return ip.evalAssign(x, env)
+	case *ast.CondExpr:
+		c, err := ip.eval(x.Cond, env)
+		if err != nil {
+			return nil, err
+		}
+		if Truthy(c) {
+			return ip.eval(x.Then, env)
+		}
+		return ip.eval(x.Else, env)
+	case *ast.SeqExpr:
+		var last Value = undef
+		for _, sub := range x.Exprs {
+			var err error
+			last, err = ip.eval(sub, env)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return last, nil
+	case *ast.AwaitExpr:
+		v, err := ip.eval(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		return ip.ResolvePromise(v), nil
+	case *ast.SpreadExpr:
+		return nil, &RuntimeError{Msg: "spread in unexpected position", Pos: x.Pos()}
+	}
+	return nil, &RuntimeError{Msg: fmt.Sprintf("unknown expression %T", e), Pos: e.Pos()}
+}
+
+// memberName resolves the property name of a member expression.
+func (ip *Interp) memberName(x *ast.MemberExpr, env *Env) (string, error) {
+	if !x.Computed {
+		return x.Property, nil
+	}
+	idx, err := ip.eval(x.Index, env)
+	if err != nil {
+		return "", err
+	}
+	return ToString(idx), nil
+}
+
+// evalTarget reads the current value of an assignable expression.
+func (ip *Interp) evalTarget(e ast.Expr, env *Env, pos ast.Pos) (Value, error) {
+	switch t := e.(type) {
+	case *ast.Ident:
+		if v, ok := env.Lookup(t.Name); ok {
+			return v, nil
+		}
+		return undef, nil
+	case *ast.MemberExpr:
+		obj, err := ip.eval(t.Object, env)
+		if err != nil {
+			return nil, err
+		}
+		name, err := ip.memberName(t, env)
+		if err != nil {
+			return nil, err
+		}
+		return ip.GetMember(obj, name, pos)
+	}
+	return nil, &RuntimeError{Msg: "invalid assignment target", Pos: pos}
+}
+
+func (ip *Interp) evalAssign(x *ast.AssignExpr, env *Env) (Value, error) {
+	var newVal Value
+	if x.Op == "=" {
+		v, err := ip.eval(x.Value, env)
+		if err != nil {
+			return nil, err
+		}
+		newVal = v
+	} else if x.Op == "&&=" || x.Op == "||=" || x.Op == "??=" {
+		old, err := ip.evalTarget(x.Target, env, x.Pos())
+		if err != nil {
+			return nil, err
+		}
+		shortCircuit := false
+		switch x.Op {
+		case "&&=":
+			shortCircuit = !Truthy(old)
+		case "||=":
+			shortCircuit = Truthy(old)
+		case "??=":
+			shortCircuit = !IsNullish(dift.Unwrap(old))
+		}
+		if shortCircuit {
+			return old, nil
+		}
+		v, err := ip.eval(x.Value, env)
+		if err != nil {
+			return nil, err
+		}
+		newVal = v
+	} else {
+		old, err := ip.evalTarget(x.Target, env, x.Pos())
+		if err != nil {
+			return nil, err
+		}
+		rhs, err := ip.eval(x.Value, env)
+		if err != nil {
+			return nil, err
+		}
+		op := strings.TrimSuffix(x.Op, "=")
+		v, err := ip.BinaryOp(op, old, rhs, x.Pos())
+		if err != nil {
+			return nil, err
+		}
+		newVal = v
+	}
+	if err := ip.assignTo(x.Target, newVal, env); err != nil {
+		return nil, err
+	}
+	return newVal, nil
+}
+
+func (ip *Interp) assignTo(target ast.Expr, v Value, env *Env) error {
+	switch t := target.(type) {
+	case *ast.Ident:
+		if err := env.Assign(t.Name, v); err != nil {
+			if errors.Is(err, ErrNotDefined) {
+				// implicit global definition (sloppy-mode JS; some corpus
+				// apps assign undeclared names)
+				env.Global().Define(t.Name, v, false)
+				return nil
+			}
+			return &RuntimeError{Msg: err.Error(), Pos: target.Pos()}
+		}
+		return nil
+	case *ast.MemberExpr:
+		obj, err := ip.eval(t.Object, env)
+		if err != nil {
+			return err
+		}
+		name, err := ip.memberName(t, env)
+		if err != nil {
+			return err
+		}
+		return ip.SetMember(obj, name, v, t.Pos())
+	}
+	return &RuntimeError{Msg: "invalid assignment target", Pos: target.Pos()}
+}
+
+// BinaryOp evaluates a binary operator with JS-lite semantics. Tracked
+// operands are transparently unwrapped (the uninstrumented path does not
+// propagate labels — that is precisely what τ.binaryOp instrumentation
+// adds).
+func (ip *Interp) BinaryOp(op string, l, r Value, pos ast.Pos) (Value, error) {
+	lu, ru := dift.Unwrap(l), dift.Unwrap(r)
+	switch op {
+	case "+":
+		if ls, ok := lu.(string); ok {
+			return ls + ToString(ru), nil
+		}
+		if rs, ok := ru.(string); ok {
+			return ToString(lu) + rs, nil
+		}
+		if _, ok := lu.(*Array); ok {
+			return ToString(lu) + ToString(ru), nil
+		}
+		if _, ok := lu.(*Object); ok {
+			return ToString(lu) + ToString(ru), nil
+		}
+		return ToNumber(lu) + ToNumber(ru), nil
+	case "-":
+		return ToNumber(lu) - ToNumber(ru), nil
+	case "*":
+		return ToNumber(lu) * ToNumber(ru), nil
+	case "/":
+		return ToNumber(lu) / ToNumber(ru), nil
+	case "%":
+		return math.Mod(ToNumber(lu), ToNumber(ru)), nil
+	case "**":
+		return math.Pow(ToNumber(lu), ToNumber(ru)), nil
+	case "==":
+		return LooseEquals(lu, ru), nil
+	case "!=":
+		return !LooseEquals(lu, ru), nil
+	case "===":
+		return StrictEquals(lu, ru), nil
+	case "!==":
+		return !StrictEquals(lu, ru), nil
+	case "<", ">", "<=", ">=":
+		if ls, lok := lu.(string); lok {
+			if rs, rok := ru.(string); rok {
+				switch op {
+				case "<":
+					return ls < rs, nil
+				case ">":
+					return ls > rs, nil
+				case "<=":
+					return ls <= rs, nil
+				default:
+					return ls >= rs, nil
+				}
+			}
+		}
+		ln, rn := ToNumber(lu), ToNumber(ru)
+		switch op {
+		case "<":
+			return ln < rn, nil
+		case ">":
+			return ln > rn, nil
+		case "<=":
+			return ln <= rn, nil
+		default:
+			return ln >= rn, nil
+		}
+	case "&":
+		return float64(int64(ToNumber(lu)) & int64(ToNumber(ru))), nil
+	case "|":
+		return float64(int64(ToNumber(lu)) | int64(ToNumber(ru))), nil
+	case "^":
+		return float64(int64(ToNumber(lu)) ^ int64(ToNumber(ru))), nil
+	case "<<":
+		return float64(int64(ToNumber(lu)) << (int64(ToNumber(ru)) & 63)), nil
+	case ">>", ">>>":
+		return float64(int64(ToNumber(lu)) >> (int64(ToNumber(ru)) & 63)), nil
+	case "in":
+		if o, ok := ru.(*Object); ok {
+			_, found := o.Get(ToString(lu))
+			return found, nil
+		}
+		return false, nil
+	case "instanceof":
+		if fn, ok := ru.(*Function); ok {
+			if o, isObj := lu.(*Object); isObj {
+				return o.Class == fn.Name, nil
+			}
+		}
+		return false, nil
+	}
+	return nil, &RuntimeError{Msg: "unknown binary op " + op, Pos: pos}
+}

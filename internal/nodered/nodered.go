@@ -1,0 +1,430 @@
+// Package nodered is a miniature Node-RED-compatible flow runtime (§5):
+// applications are DAGs ("flows") of modular components ("nodes") whose
+// implementations are MiniJS packages using the RED API
+// (RED.nodes.createNode, RED.nodes.registerType, node.on("input"),
+// node.send). It is the third-party IoT framework substrate on which the
+// corpus applications and the NVR case study run.
+package nodered
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"turnstile/internal/ast"
+	"turnstile/internal/dift"
+	"turnstile/internal/interp"
+	"turnstile/internal/parser"
+)
+
+// NodeDef is one node instance in a flow definition (the JSON objects a
+// Node-RED editor exports).
+type NodeDef struct {
+	ID     string            `json:"id"`
+	Type   string            `json:"type"`
+	Name   string            `json:"name,omitempty"`
+	Config map[string]any    `json:"config,omitempty"`
+	Wires  [][]string        `json:"wires,omitempty"`
+	Props  map[string]string `json:"props,omitempty"`
+}
+
+// Flow is a deployable DAG of nodes.
+type Flow struct {
+	Label string    `json:"label"`
+	Nodes []NodeDef `json:"nodes"`
+}
+
+// Delivery records one message delivered to a node input (observable
+// behaviour for tests).
+type Delivery struct {
+	NodeID string
+	Msg    interp.Value
+}
+
+// Runtime hosts node packages and deployed flows on one interpreter.
+type Runtime struct {
+	IP *interp.Interp
+
+	ctors     map[string]interp.Value
+	instances map[string]*interp.Object
+	wires     map[string][][]string
+	// Deliveries counts input messages routed per node.
+	Deliveries []Delivery
+	// Depth guards against cyclic flows.
+	depth int
+}
+
+// New creates a runtime and installs the RED API into the interpreter's
+// globals.
+func New(ip *interp.Interp) *Runtime {
+	rt := &Runtime{
+		IP:        ip,
+		ctors:     make(map[string]interp.Value),
+		instances: make(map[string]*interp.Object),
+		wires:     make(map[string][][]string),
+	}
+	ip.Globals.Define("RED", rt.redObject(), false)
+	return rt
+}
+
+// redObject builds the RED host API.
+func (rt *Runtime) redObject() *interp.Object {
+	red := interp.NewObject()
+	red.Class = "RED"
+	nodes := interp.NewObject()
+	nodes.Set("createNode", interp.NewHostFunc("createNode", func(ip *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		if len(args) == 0 {
+			return interp.Undefined{}, nil
+		}
+		node, ok := dift.Unwrap(args[0]).(*interp.Object)
+		if !ok {
+			return nil, fmt.Errorf("RED.nodes.createNode: node must be an object")
+		}
+		rt.initNode(node)
+		if len(args) > 1 {
+			node.Set("config", args[1])
+		}
+		return interp.Undefined{}, nil
+	}))
+	nodes.Set("registerType", interp.NewHostFunc("registerType", func(ip *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		if len(args) < 2 {
+			return nil, fmt.Errorf("RED.nodes.registerType: want (name, ctor)")
+		}
+		rt.ctors[interp.ToString(args[0])] = args[1]
+		return interp.Undefined{}, nil
+	}))
+	red.Set("nodes", nodes)
+	util := interp.NewObject()
+	util.Set("cloneMessage", interp.NewHostFunc("cloneMessage", func(ip *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		if len(args) == 0 {
+			return interp.Undefined{}, nil
+		}
+		return cloneMsg(args[0]), nil
+	}))
+	red.Set("util", util)
+	// RED.httpNode exists but is an opaque object (assigned dynamically by
+	// the runtime — the statically-invisible surface of §6.1). It routes
+	// requests when driven explicitly via ServeHTTPNode.
+	httpNode := rt.httpNodeObject()
+	red.Set("httpNode", httpNode)
+	red.Set("httpAdmin", interp.NewObject())
+	return red
+}
+
+// httpRoutes records handlers registered on RED.httpNode.
+type httpRoutes struct {
+	handlers map[string]interp.Value
+}
+
+func (rt *Runtime) httpNodeObject() *interp.Object {
+	o := interp.NewObject()
+	o.Class = "httpNode"
+	routes := &httpRoutes{handlers: map[string]interp.Value{}}
+	o.Host = routes
+	register := func(method string) *interp.HostFunc {
+		return interp.NewHostFunc(method, func(ip *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+			if len(args) >= 2 {
+				routes.handlers[method+" "+interp.ToString(args[0])] = args[len(args)-1]
+			}
+			return o, nil
+		})
+	}
+	o.Set("get", register("GET"))
+	o.Set("post", register("POST"))
+	o.Set("put", register("PUT"))
+	o.Set("use", register("USE"))
+	return o
+}
+
+// ServeHTTPNode drives a handler registered on RED.httpNode with a request
+// object; the response body writes are recorded as http sink writes.
+func (rt *Runtime) ServeHTTPNode(method, path string, req interp.Value) (interp.Value, error) {
+	redV, _ := rt.IP.Globals.Lookup("RED")
+	red := redV.(*interp.Object)
+	hn, _ := red.Get("httpNode")
+	routes := hn.(*interp.Object).Host.(*httpRoutes)
+	h, ok := routes.handlers[method+" "+path]
+	if !ok {
+		return nil, fmt.Errorf("nodered: no handler for %s %s", method, path)
+	}
+	res := interp.NewObject()
+	var body interp.Value = interp.Undefined{}
+	res.Set("send", interp.NewHostFunc("send", func(ip *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		if len(args) > 0 {
+			body = args[0]
+		}
+		return res, nil
+	}))
+	res.Set("json", interp.NewHostFunc("json", func(ip *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		if len(args) > 0 {
+			body = args[0]
+		}
+		return res, nil
+	}))
+	if _, err := rt.IP.CallFunction(h, interp.Undefined{}, []interp.Value{req, res}, ast.Pos{}); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// initNode equips a node object with the Node-RED node API.
+func (rt *Runtime) initNode(node *interp.Object) {
+	node.Class = "Node"
+	node.Listeners = make(map[string][]interp.Value)
+	node.Set("on", interp.NewHostFunc("on", func(ip *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		if len(args) >= 2 {
+			ev := interp.ToString(args[0])
+			node.Listeners[ev] = append(node.Listeners[ev], args[1])
+		}
+		return node, nil
+	}))
+	node.Set("send", interp.NewHostFunc("send", func(ip *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		if len(args) == 0 {
+			return interp.Undefined{}, nil
+		}
+		return interp.Undefined{}, rt.route(node, args[0])
+	}))
+	node.Set("status", interp.NewHostFunc("status", func(ip *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		return interp.Undefined{}, nil
+	}))
+	node.Set("error", interp.NewHostFunc("error", func(ip *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		if len(args) > 0 {
+			ip.ConsoleOut = append(ip.ConsoleOut, "node error: "+interp.ToString(args[0]))
+		}
+		return interp.Undefined{}, nil
+	}))
+	node.Set("warn", interp.NewHostFunc("warn", func(ip *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		return interp.Undefined{}, nil
+	}))
+	node.Set("log", interp.NewHostFunc("log", func(ip *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		return interp.Undefined{}, nil
+	}))
+}
+
+// LoadPackage parses and executes a node package source. Packages either
+// call RED.nodes.registerType at top level or export a function of RED.
+func (rt *Runtime) LoadPackage(name, src string) error {
+	prog, err := parser.Parse(name, src)
+	if err != nil {
+		return fmt.Errorf("nodered: package %s: %w", name, err)
+	}
+	return rt.LoadPackageAST(name, prog)
+}
+
+// LoadPackageAST executes an already-parsed (possibly instrumented)
+// package.
+func (rt *Runtime) LoadPackageAST(name string, prog *ast.Program) error {
+	// fresh module/exports per package
+	moduleObj := interp.NewObject()
+	exportsObj := interp.NewObject()
+	moduleObj.Set("exports", exportsObj)
+	rt.IP.Globals.Define("module", moduleObj, false)
+	rt.IP.Globals.Define("exports", exportsObj, false)
+	if err := rt.IP.Run(prog); err != nil {
+		return fmt.Errorf("nodered: package %s: %w", name, err)
+	}
+	if exp, ok := moduleObj.Get("exports"); ok {
+		switch dift.Unwrap(exp).(type) {
+		case *interp.Function, *interp.HostFunc:
+			redV, _ := rt.IP.Globals.Lookup("RED")
+			if _, err := rt.IP.CallFunction(exp, interp.Undefined{}, []interp.Value{redV}, ast.Pos{}); err != nil {
+				return fmt.Errorf("nodered: package %s exports: %w", name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// RegisteredTypes lists node types registered so far.
+func (rt *Runtime) RegisteredTypes() []string {
+	out := make([]string, 0, len(rt.ctors))
+	for t := range rt.ctors {
+		out = append(out, t)
+	}
+	interp.SortStrings(out)
+	return out
+}
+
+// Deploy instantiates a flow: every node is constructed with its config.
+func (rt *Runtime) Deploy(flow *Flow) error {
+	for _, def := range flow.Nodes {
+		ctor, ok := rt.ctors[def.Type]
+		if !ok {
+			return fmt.Errorf("nodered: unknown node type %q for node %s", def.Type, def.ID)
+		}
+		cfg := interp.NewObject()
+		cfg.Set("id", def.ID)
+		cfg.Set("name", def.Name)
+		for k, v := range def.Config {
+			cfg.Set(k, goToValue(v))
+		}
+		inst := interp.NewObject()
+		inst.Host = def.ID
+		if _, err := rt.IP.CallFunction(ctor, inst, []interp.Value{cfg}, ast.Pos{}); err != nil {
+			return fmt.Errorf("nodered: constructing node %s (%s): %w", def.ID, def.Type, err)
+		}
+		if inst.Listeners == nil {
+			// the constructor did not call RED.nodes.createNode; equip the
+			// instance anyway so wiring works
+			rt.initNode(inst)
+		}
+		rt.instances[def.ID] = inst
+		rt.wires[def.ID] = def.Wires
+	}
+	return nil
+}
+
+// Node returns a deployed node instance.
+func (rt *Runtime) Node(id string) (*interp.Object, bool) {
+	n, ok := rt.instances[id]
+	return n, ok
+}
+
+// Inject delivers a message to a node's input (what an inject node or an
+// external event source does).
+func (rt *Runtime) Inject(nodeID string, msg interp.Value) error {
+	node, ok := rt.instances[nodeID]
+	if !ok {
+		return fmt.Errorf("nodered: unknown node %q", nodeID)
+	}
+	return rt.deliver(node, nodeID, msg)
+}
+
+const maxRouteDepth = 64
+
+func (rt *Runtime) deliver(node *interp.Object, nodeID string, msg interp.Value) error {
+	if rt.depth >= maxRouteDepth {
+		return fmt.Errorf("nodered: routing depth exceeded (cyclic flow?)")
+	}
+	rt.depth++
+	defer func() { rt.depth-- }()
+	rt.Deliveries = append(rt.Deliveries, Delivery{NodeID: nodeID, Msg: msg})
+	send := interp.NewHostFunc("send", func(ip *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		if len(args) == 0 {
+			return interp.Undefined{}, nil
+		}
+		return interp.Undefined{}, rt.route(node, args[0])
+	})
+	done := interp.NewHostFunc("done", func(ip *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
+		return interp.Undefined{}, nil
+	})
+	for _, cb := range node.Listeners["input"] {
+		if _, err := rt.IP.CallFunction(cb, node, []interp.Value{msg, send, done}, ast.Pos{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// route forwards a message from a node to its wired downstream nodes.
+// An array message fans its elements out over the output ports.
+func (rt *Runtime) route(from *interp.Object, msg interp.Value) error {
+	fromID, _ := from.Host.(string)
+	ports := rt.wires[fromID]
+	if len(ports) == 0 {
+		return nil
+	}
+	perPort := []interp.Value{msg}
+	if arr, ok := dift.Unwrap(msg).(*interp.Array); ok && len(ports) > 1 {
+		perPort = arr.Elems
+	}
+	for pi, port := range ports {
+		var m interp.Value
+		if pi < len(perPort) {
+			m = perPort[pi]
+		} else {
+			continue
+		}
+		for _, targetID := range port {
+			target, ok := rt.instances[targetID]
+			if !ok {
+				return fmt.Errorf("nodered: wire to unknown node %q", targetID)
+			}
+			if err := rt.deliver(target, targetID, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// goToValue converts plain Go config values into MiniJS values.
+func goToValue(v any) interp.Value {
+	switch x := v.(type) {
+	case nil:
+		return interp.Null{}
+	case string, bool, float64:
+		return x
+	case int:
+		return float64(x)
+	case []any:
+		arr := interp.NewArray()
+		for _, el := range x {
+			arr.Elems = append(arr.Elems, goToValue(el))
+		}
+		return arr
+	case map[string]any:
+		o := interp.NewObject()
+		for k, val := range x {
+			o.Set(k, goToValue(val))
+		}
+		return o
+	default:
+		return interp.ToString(fmt.Sprint(x))
+	}
+}
+
+// cloneMsg shallow-copies a message object (RED.util.cloneMessage).
+func cloneMsg(v interp.Value) interp.Value {
+	o, ok := dift.Unwrap(v).(*interp.Object)
+	if !ok {
+		return v
+	}
+	c := interp.NewObject()
+	for _, k := range o.Keys() {
+		pv, _ := o.GetOwn(k)
+		c.Set(k, pv)
+	}
+	return c
+}
+
+// ParseFlowJSON parses a flow definition from its JSON form (the format a
+// Node-RED editor exports).
+func ParseFlowJSON(data []byte) (*Flow, error) {
+	var flow Flow
+	if err := json.Unmarshal(data, &flow); err != nil {
+		// also accept a bare node array, Node-RED's clipboard format
+		var nodes []NodeDef
+		if err2 := json.Unmarshal(data, &nodes); err2 != nil {
+			return nil, fmt.Errorf("nodered: invalid flow JSON: %w", err)
+		}
+		flow.Nodes = nodes
+	}
+	if len(flow.Nodes) == 0 {
+		return nil, fmt.Errorf("nodered: flow has no nodes")
+	}
+	seen := make(map[string]bool, len(flow.Nodes))
+	for _, n := range flow.Nodes {
+		if n.ID == "" || n.Type == "" {
+			return nil, fmt.Errorf("nodered: node missing id or type: %+v", n)
+		}
+		if seen[n.ID] {
+			return nil, fmt.Errorf("nodered: duplicate node id %q", n.ID)
+		}
+		seen[n.ID] = true
+	}
+	for _, n := range flow.Nodes {
+		for _, port := range n.Wires {
+			for _, target := range port {
+				if !seen[target] {
+					return nil, fmt.Errorf("nodered: node %q wired to unknown node %q", n.ID, target)
+				}
+			}
+		}
+	}
+	return &flow, nil
+}
+
+// MarshalFlowJSON renders a flow back to JSON.
+func MarshalFlowJSON(flow *Flow) ([]byte, error) {
+	return json.MarshalIndent(flow, "", "  ")
+}

@@ -1,0 +1,58 @@
+package parser
+
+import (
+	"testing"
+
+	"turnstile/internal/printer"
+)
+
+// Native fuzz targets. Run with `go test -fuzz=FuzzParse ./internal/parser`;
+// under plain `go test` the seed corpus below is exercised.
+
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"let a = 1;",
+		"function f(a, ...rest) { return a + rest.length; }",
+		`socket.on("data", frame => handle(frame));`,
+		"class A extends B { m() { return new A(); } }",
+		"const o = { [k]: v, ...spread, short };",
+		"x = `tpl ${a + `nested ${b}`} end`;",
+		"for (const k in o) for (const v of xs) if (k) break; else continue;",
+		"try { a(); } catch (e) { b(); } finally { c(); }",
+		"a?.b?.[c]?.(d);",
+		"x = a ?? b ?? c; y ??= 1; z &&= 2;",
+		"switch (x) { case 1: case 2: f(); default: }",
+		"async function g() { return await (async () => 1)(); }",
+		"do ; while (0)",
+		"({} + [])",
+		"0x1F + .5e2 - 1e-9;",
+		"\"\\u0041\\n\" + '\\''",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse("fuzz.js", src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// printing anything we parsed must re-parse, and be a fixpoint
+		out1 := printer.Print(prog)
+		prog2, err := Parse("fuzz2.js", out1)
+		if err != nil {
+			t.Fatalf("printed output does not re-parse: %v\ninput: %q\noutput:\n%s", err, src, out1)
+		}
+		if out2 := printer.Print(prog2); out2 != out1 {
+			t.Fatalf("print not idempotent\ninput: %q\nfirst:\n%s\nsecond:\n%s", src, out1, out2)
+		}
+	})
+}
+
+func FuzzParseNeverPanics(f *testing.F) {
+	f.Add([]byte("let x = 1;"))
+	f.Add([]byte("\x00\xff{{{"))
+	f.Add([]byte("`${`${`${a}`}`}`"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		_, _ = Parse("bin.js", string(raw))
+	})
+}

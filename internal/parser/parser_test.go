@@ -1,0 +1,567 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"turnstile/internal/ast"
+)
+
+func parse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := Parse("test.js", src)
+	if err != nil {
+		t.Fatalf("Parse error: %v\nsource:\n%s", err, src)
+	}
+	return prog
+}
+
+func parseErr(t *testing.T, src string) error {
+	t.Helper()
+	_, err := Parse("test.js", src)
+	if err == nil {
+		t.Fatalf("expected parse error for %q", src)
+	}
+	return err
+}
+
+func TestVarDeclKinds(t *testing.T) {
+	prog := parse(t, "var a = 1; let b = 2; const c = 3;")
+	if len(prog.Body) != 3 {
+		t.Fatalf("got %d statements", len(prog.Body))
+	}
+	kinds := []ast.DeclKind{ast.DeclVar, ast.DeclLet, ast.DeclConst}
+	for i, k := range kinds {
+		vd, ok := prog.Body[i].(*ast.VarDecl)
+		if !ok || vd.Kind != k {
+			t.Fatalf("stmt %d: %#v", i, prog.Body[i])
+		}
+	}
+}
+
+func TestMultiDeclarator(t *testing.T) {
+	prog := parse(t, "let a = 1, b, c = 3;")
+	vd := prog.Body[0].(*ast.VarDecl)
+	if len(vd.Decls) != 3 {
+		t.Fatalf("decls = %d", len(vd.Decls))
+	}
+	if vd.Decls[1].Init != nil {
+		t.Fatal("b should have no init")
+	}
+}
+
+func TestOperatorPrecedence(t *testing.T) {
+	prog := parse(t, "x = 1 + 2 * 3;")
+	assign := prog.Body[0].(*ast.ExprStmt).X.(*ast.AssignExpr)
+	add := assign.Value.(*ast.BinaryExpr)
+	if add.Op != "+" {
+		t.Fatalf("top op = %q", add.Op)
+	}
+	mul := add.Right.(*ast.BinaryExpr)
+	if mul.Op != "*" {
+		t.Fatalf("right op = %q", mul.Op)
+	}
+}
+
+func TestExponentRightAssoc(t *testing.T) {
+	prog := parse(t, "y = 2 ** 3 ** 2;")
+	assign := prog.Body[0].(*ast.ExprStmt).X.(*ast.AssignExpr)
+	top := assign.Value.(*ast.BinaryExpr)
+	if _, ok := top.Right.(*ast.BinaryExpr); !ok {
+		t.Fatal("** should be right-associative")
+	}
+}
+
+func TestLogicalVsBinary(t *testing.T) {
+	prog := parse(t, "a && b || c ?? d;")
+	x := prog.Body[0].(*ast.ExprStmt).X
+	if _, ok := x.(*ast.LogicalExpr); !ok {
+		t.Fatalf("got %#v", x)
+	}
+}
+
+func TestMemberAndCallChain(t *testing.T) {
+	prog := parse(t, `socket.on("data", frame => handle(frame));`)
+	call := prog.Body[0].(*ast.ExprStmt).X.(*ast.CallExpr)
+	mem := call.Callee.(*ast.MemberExpr)
+	if mem.Property != "on" {
+		t.Fatalf("property = %q", mem.Property)
+	}
+	if obj := mem.Object.(*ast.Ident); obj.Name != "socket" {
+		t.Fatalf("object = %#v", mem.Object)
+	}
+	if len(call.Args) != 2 {
+		t.Fatalf("args = %d", len(call.Args))
+	}
+	arrow := call.Args[1].(*ast.FuncLit)
+	if !arrow.Arrow || arrow.ExprRet == nil {
+		t.Fatalf("second arg should be expression-bodied arrow: %#v", arrow)
+	}
+}
+
+func TestComputedMember(t *testing.T) {
+	prog := parse(t, "foo[x](y);")
+	call := prog.Body[0].(*ast.ExprStmt).X.(*ast.CallExpr)
+	mem := call.Callee.(*ast.MemberExpr)
+	if !mem.Computed {
+		t.Fatal("expected computed member")
+	}
+}
+
+func TestArrowForms(t *testing.T) {
+	cases := []string{
+		"x => x + 1;",
+		"(a, b) => a * b;",
+		"() => 42;",
+		"(a) => { return a; };",
+		"async x => x;",
+		"async (a, b) => { return a; };",
+		"(...rest) => rest;",
+	}
+	for _, src := range cases {
+		prog := parse(t, src)
+		fn, ok := prog.Body[0].(*ast.ExprStmt).X.(*ast.FuncLit)
+		if !ok || !fn.Arrow {
+			t.Errorf("%q: expected arrow function, got %#v", src, prog.Body[0])
+		}
+	}
+}
+
+func TestParenExprNotArrow(t *testing.T) {
+	prog := parse(t, "(a + b) * c;")
+	if _, ok := prog.Body[0].(*ast.ExprStmt).X.(*ast.BinaryExpr); !ok {
+		t.Fatalf("got %#v", prog.Body[0])
+	}
+}
+
+func TestFunctionDeclAndExpr(t *testing.T) {
+	prog := parse(t, `
+function add(a, b) { return a + b; }
+const f = function(x) { return x; };
+const g = async function named(y) { return y; };
+`)
+	fd := prog.Body[0].(*ast.FuncDecl)
+	if fd.Name != "add" || len(fd.Fn.Params) != 2 {
+		t.Fatalf("bad func decl: %#v", fd)
+	}
+	g := prog.Body[2].(*ast.VarDecl).Decls[0].Init.(*ast.FuncLit)
+	if !g.Async || g.Name != "named" {
+		t.Fatalf("bad async func expr: %#v", g)
+	}
+}
+
+func TestClassDecl(t *testing.T) {
+	prog := parse(t, `
+class Camera extends Device {
+  constructor(id) { this.id = id; }
+  capture() { return frame(this.id); }
+  static list() { return []; }
+  async poll() { return await next(); }
+}`)
+	cd := prog.Body[0].(*ast.ClassDecl)
+	if cd.Name != "Camera" {
+		t.Fatalf("name = %q", cd.Name)
+	}
+	if cd.SuperClass == nil {
+		t.Fatal("missing superclass")
+	}
+	if len(cd.Methods) != 4 {
+		t.Fatalf("methods = %d", len(cd.Methods))
+	}
+	if !cd.Methods[2].Static {
+		t.Fatal("list should be static")
+	}
+	if !cd.Methods[3].Fn.Async {
+		t.Fatal("poll should be async")
+	}
+}
+
+func TestForVariants(t *testing.T) {
+	prog := parse(t, `
+for (let i = 0; i < 10; i++) { work(i); }
+for (const k in obj) { use(k); }
+for (let p of scene.persons) { use(p); }
+for (x of items) { use(x); }
+for (;;) { break; }
+`)
+	if _, ok := prog.Body[0].(*ast.ForStmt); !ok {
+		t.Fatalf("stmt 0: %#v", prog.Body[0])
+	}
+	fin := prog.Body[1].(*ast.ForInStmt)
+	if fin.Kind != ast.ForIn || !fin.Decl {
+		t.Fatalf("stmt 1: %#v", fin)
+	}
+	fof := prog.Body[2].(*ast.ForInStmt)
+	if fof.Kind != ast.ForOf || fof.Name != "p" {
+		t.Fatalf("stmt 2: %#v", fof)
+	}
+	bare := prog.Body[3].(*ast.ForInStmt)
+	if bare.Decl {
+		t.Fatal("stmt 3 should not declare")
+	}
+	inf := prog.Body[4].(*ast.ForStmt)
+	if inf.Init != nil || inf.Cond != nil || inf.Post != nil {
+		t.Fatalf("stmt 4: %#v", inf)
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	prog := parse(t, "if (a) f(); else if (b) g(); else h();")
+	ifs := prog.Body[0].(*ast.IfStmt)
+	if _, ok := ifs.Else.(*ast.IfStmt); !ok {
+		t.Fatalf("else: %#v", ifs.Else)
+	}
+}
+
+func TestTrySwitchThrow(t *testing.T) {
+	prog := parse(t, `
+try { risky(); } catch (e) { log(e); } finally { done(); }
+switch (x) { case 1: one(); break; default: other(); }
+throw new Error("boom");
+`)
+	ts := prog.Body[0].(*ast.TryStmt)
+	if ts.CatchVar != "e" || ts.Finally == nil {
+		t.Fatalf("try: %#v", ts)
+	}
+	sw := prog.Body[1].(*ast.SwitchStmt)
+	if len(sw.Cases) != 2 || sw.Cases[1].Test != nil {
+		t.Fatalf("switch: %#v", sw)
+	}
+	th := prog.Body[2].(*ast.ThrowStmt)
+	if _, ok := th.Value.(*ast.NewExpr); !ok {
+		t.Fatalf("throw: %#v", th.Value)
+	}
+}
+
+func TestTryWithoutHandlers(t *testing.T) {
+	parseErr(t, "try { x(); }")
+}
+
+func TestObjectLiteralForms(t *testing.T) {
+	prog := parse(t, `const o = { a: 1, "b c": 2, [k]: 3, short, ...rest, method(x) { return x; } };`)
+	ol := prog.Body[0].(*ast.VarDecl).Decls[0].Init.(*ast.ObjectLit)
+	if len(ol.Props) != 6 {
+		t.Fatalf("props = %d", len(ol.Props))
+	}
+	if ol.Props[1].Key != "b c" {
+		t.Fatalf("string key = %q", ol.Props[1].Key)
+	}
+	if !ol.Props[2].Computed {
+		t.Fatal("third prop should be computed")
+	}
+	if ol.Props[3].Key != "short" {
+		t.Fatal("shorthand prop")
+	}
+	if !ol.Props[4].Spread {
+		t.Fatal("spread prop")
+	}
+	if _, ok := ol.Props[5].Value.(*ast.FuncLit); !ok {
+		t.Fatal("method prop")
+	}
+}
+
+func TestArrayAndSpread(t *testing.T) {
+	prog := parse(t, "f([1, 2, ...xs], ...args);")
+	call := prog.Body[0].(*ast.ExprStmt).X.(*ast.CallExpr)
+	arr := call.Args[0].(*ast.ArrayLit)
+	if _, ok := arr.Elems[2].(*ast.SpreadExpr); !ok {
+		t.Fatal("array spread")
+	}
+	if _, ok := call.Args[1].(*ast.SpreadExpr); !ok {
+		t.Fatal("call spread")
+	}
+}
+
+func TestTemplateLiteral(t *testing.T) {
+	prog := parse(t, "const s = `a${x + 1}b${y}c`;")
+	tl := prog.Body[0].(*ast.VarDecl).Decls[0].Init.(*ast.TemplateLit)
+	if len(tl.Quasis) != 3 || len(tl.Exprs) != 2 {
+		t.Fatalf("quasis=%d exprs=%d", len(tl.Quasis), len(tl.Exprs))
+	}
+	if tl.Quasis[0] != "a" || tl.Quasis[2] != "c" {
+		t.Fatalf("quasis = %v", tl.Quasis)
+	}
+}
+
+func TestAwaitAndPromise(t *testing.T) {
+	prog := parse(t, `
+async function go() {
+  const result = await fetchData();
+  return new Promise((resolve, reject) => { resolve(result); });
+}`)
+	fd := prog.Body[0].(*ast.FuncDecl)
+	if !fd.Fn.Async {
+		t.Fatal("go should be async")
+	}
+	vd := fd.Fn.Body.Body[0].(*ast.VarDecl)
+	if _, ok := vd.Decls[0].Init.(*ast.AwaitExpr); !ok {
+		t.Fatalf("init: %#v", vd.Decls[0].Init)
+	}
+}
+
+func TestTernaryAndSeq(t *testing.T) {
+	prog := parse(t, "r = a ? b : c, s = 1;")
+	seq := prog.Body[0].(*ast.ExprStmt).X.(*ast.SeqExpr)
+	if len(seq.Exprs) != 2 {
+		t.Fatalf("seq = %d", len(seq.Exprs))
+	}
+	first := seq.Exprs[0].(*ast.AssignExpr)
+	if _, ok := first.Value.(*ast.CondExpr); !ok {
+		t.Fatalf("value: %#v", first.Value)
+	}
+}
+
+func TestUpdateExprs(t *testing.T) {
+	prog := parse(t, "i++; --j; k += 2;")
+	post := prog.Body[0].(*ast.ExprStmt).X.(*ast.UpdateExpr)
+	if post.Prefix {
+		t.Fatal("i++ should be postfix")
+	}
+	pre := prog.Body[1].(*ast.ExprStmt).X.(*ast.UpdateExpr)
+	if !pre.Prefix || pre.Op != "--" {
+		t.Fatalf("--j: %#v", pre)
+	}
+	cmp := prog.Body[2].(*ast.ExprStmt).X.(*ast.AssignExpr)
+	if cmp.Op != "+=" {
+		t.Fatalf("k: %#v", cmp)
+	}
+}
+
+func TestUnaryOps(t *testing.T) {
+	prog := parse(t, "a = typeof x; b = !y; c = -z; delete o.p;")
+	u := prog.Body[0].(*ast.ExprStmt).X.(*ast.AssignExpr).Value.(*ast.UnaryExpr)
+	if u.Op != "typeof" {
+		t.Fatalf("op = %q", u.Op)
+	}
+	d := prog.Body[3].(*ast.ExprStmt).X.(*ast.UnaryExpr)
+	if d.Op != "delete" {
+		t.Fatalf("op = %q", d.Op)
+	}
+}
+
+func TestASISoftBoundaries(t *testing.T) {
+	prog := parse(t, "let a = 1\nlet b = 2\nf(a)\n")
+	if len(prog.Body) != 3 {
+		t.Fatalf("stmts = %d", len(prog.Body))
+	}
+}
+
+func TestMissingSemicolonSameLine(t *testing.T) {
+	parseErr(t, "let a = 1 let b = 2")
+}
+
+func TestInvalidAssignTarget(t *testing.T) {
+	parseErr(t, "1 = x;")
+	parseErr(t, "f() = x;")
+}
+
+func TestNodeIDsUnique(t *testing.T) {
+	prog := parse(t, `
+function handler(msg) {
+  const data = msg.payload;
+  for (let item of data.items) { send(item); }
+  return data;
+}`)
+	seen := map[int]bool{}
+	ast.Walk(prog, func(n ast.Node) bool {
+		if n == prog {
+			return true
+		}
+		id := n.NodeID()
+		if id <= 0 {
+			t.Errorf("node %T has id %d", n, id)
+		}
+		if seen[id] {
+			t.Errorf("duplicate node id %d (%T)", id, n)
+		}
+		seen[id] = true
+		return true
+	})
+	if len(seen) < 15 {
+		t.Fatalf("only %d nodes visited", len(seen))
+	}
+	if prog.MaxID <= len(seen) {
+		t.Fatalf("MaxID %d should exceed node count %d", prog.MaxID, len(seen))
+	}
+}
+
+func TestPositionsRecorded(t *testing.T) {
+	prog := parse(t, "let a = 1;\nlet b = 2;")
+	vd := prog.Body[1].(*ast.VarDecl)
+	if vd.Pos().Line != 2 {
+		t.Fatalf("line = %d", vd.Pos().Line)
+	}
+}
+
+func TestNewWithMemberCallee(t *testing.T) {
+	prog := parse(t, "const c = new aws.S3Client(config);")
+	ne := prog.Body[0].(*ast.VarDecl).Decls[0].Init.(*ast.NewExpr)
+	mem := ne.Callee.(*ast.MemberExpr)
+	if mem.Property != "S3Client" {
+		t.Fatalf("callee: %#v", ne.Callee)
+	}
+	if len(ne.Args) != 1 {
+		t.Fatalf("args = %d", len(ne.Args))
+	}
+}
+
+func TestNewThenMethodCall(t *testing.T) {
+	prog := parse(t, "new Foo(1).start();")
+	call := prog.Body[0].(*ast.ExprStmt).X.(*ast.CallExpr)
+	mem := call.Callee.(*ast.MemberExpr)
+	if _, ok := mem.Object.(*ast.NewExpr); !ok {
+		t.Fatalf("object: %#v", mem.Object)
+	}
+}
+
+func TestOptionalChaining(t *testing.T) {
+	prog := parse(t, "const v = a?.b?.c;")
+	m := prog.Body[0].(*ast.VarDecl).Decls[0].Init.(*ast.MemberExpr)
+	if m.Property != "c" {
+		t.Fatalf("prop = %q", m.Property)
+	}
+}
+
+func TestKeywordPropertyNames(t *testing.T) {
+	prog := parse(t, "x.delete(); y.new; z.catch(f);")
+	call := prog.Body[0].(*ast.ExprStmt).X.(*ast.CallExpr)
+	if call.Callee.(*ast.MemberExpr).Property != "delete" {
+		t.Fatal("keyword property")
+	}
+}
+
+func TestRealWorldSnippet(t *testing.T) {
+	// The FaceRecognizer snippet from Figure 2a of the paper.
+	src := `
+socket.on("data", frame => {
+  const scene = analyzeVideoFrame(frame);
+  for (let person of scene.persons) {
+    person.description =
+      person.action + " at " + scene.location;
+    if (person.employeeID) {
+      deviceControl.send(person);
+    }
+  }
+  emailSender.send(scene);
+  storage.send(scene);
+});`
+	prog := parse(t, src)
+	if len(prog.Body) != 1 {
+		t.Fatalf("stmts = %d", len(prog.Body))
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	err := parseErr(t, "let a = ;")
+	pe, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 1 || pe.File != "test.js" {
+		t.Fatalf("err = %#v", pe)
+	}
+	if !strings.Contains(pe.Error(), "test.js:1:") {
+		t.Fatalf("message = %q", pe.Error())
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	src := "x = " + strings.Repeat("(", 50) + "1" + strings.Repeat(")", 50) + ";"
+	parse(t, src)
+}
+
+// Property: parsing never panics on arbitrary printable input.
+func TestQuickParseNoPanic(t *testing.T) {
+	f := func(raw []byte) bool {
+		var b strings.Builder
+		for _, c := range raw {
+			b.WriteByte(' ' + c%95)
+		}
+		_, _ = Parse("fuzz.js", b.String())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: generated variable declarations always parse to the same count.
+func TestQuickManyDecls(t *testing.T) {
+	f := func(n uint8) bool {
+		count := int(n%20) + 1
+		var b strings.Builder
+		for i := 0; i < count; i++ {
+			b.WriteString("let v")
+			b.WriteString(strings.Repeat("x", i+1))
+			b.WriteString(" = ")
+			b.WriteString("1 + 2;")
+			b.WriteString("\n")
+		}
+		prog, err := Parse("gen.js", b.String())
+		return err == nil && len(prog.Body) == count
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrorTable(t *testing.T) {
+	cases := []string{
+		"class C { 123 }",       // bad method name
+		"x = class {};",         // class expressions unsupported
+		"let 5 = 1;",            // bad declarator
+		"for (;;",               // unterminated head
+		"switch (x) { nope }",   // bad switch body
+		"a.;",                   // missing property name
+		"f(,);",                 // bad argument
+		"({ , });",              // bad property
+		"new ;",                 // bad constructor
+		"x = { a: };",           // missing value
+		"(a, b =>",              // broken arrow lookahead
+		"do f(); while",         // missing cond
+		"try { } catch (1) { }", // bad catch binding
+		"`${}`",                 // empty interpolation
+	}
+	for _, src := range cases {
+		if _, err := Parse("err.js", src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestContextualKeywordsAsIdentifiers(t *testing.T) {
+	prog := parse(t, `
+let of = 1;
+let async = 2;
+let staticValue = of + async;
+obj.static = 3;
+obj.of(4);
+`)
+	if len(prog.Body) != 5 {
+		t.Fatalf("stmts = %d", len(prog.Body))
+	}
+}
+
+func TestNestedArrowsAndCalls(t *testing.T) {
+	prog := parse(t, "const pipe = f => g => x => g(f(x));")
+	fn := prog.Body[0].(*ast.VarDecl).Decls[0].Init.(*ast.FuncLit)
+	inner := fn.ExprRet.(*ast.FuncLit)
+	if !inner.Arrow || inner.ExprRet == nil {
+		t.Fatalf("nested arrows lost: %#v", inner)
+	}
+}
+
+func TestRestParamRules(t *testing.T) {
+	prog := parse(t, "function f(a, ...rest) { return rest; }")
+	fd := prog.Body[0].(*ast.FuncDecl)
+	if !fd.Fn.Params[1].Rest {
+		t.Fatal("rest flag missing")
+	}
+}
+
+func TestShorthandRequiresIdentifier(t *testing.T) {
+	parseErr(t, "const o = { 0 };")
+	parseErr(t, "const o = { 12.5 };")
+	parse(t, "const o = { valid };") // sanity
+}

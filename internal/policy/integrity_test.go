@@ -1,0 +1,58 @@
+package policy
+
+import "testing"
+
+// The paper's third future-work direction (§8): "we can use a different
+// labelling framework to express more complex policies including integrity
+// labels". Integrity is the dual of confidentiality and needs no new
+// machinery — the rule DAG simply points the other way: data may flow from
+// high-integrity to low-integrity, never up. These tests document the
+// encoding.
+
+func TestIntegrityLatticeEncoding(t *testing.T) {
+	// trusted ⊑ … means trusted data may flow anywhere; untrusted data may
+	// only flow to untrusted sinks.
+	g := mustGraph(t,
+		"trusted -> validated",
+		"validated -> untrusted",
+	)
+	// firmware-update sink is trusted-only: untrusted data must not reach it
+	if g.FlowAllowed(NewLabelSet("untrusted"), NewLabelSet("trusted"), FlowComparable) {
+		t.Fatal("untrusted data must not flow to a trusted sink")
+	}
+	// trusted data may be displayed on an untrusted dashboard
+	if !g.FlowAllowed(NewLabelSet("trusted"), NewLabelSet("untrusted"), FlowComparable) {
+		t.Fatal("trusted data may flow down")
+	}
+	// a validation step endorses data: re-labelling untrusted → validated
+	// is the label function's job (a constant labeller, §4.3); after
+	// endorsement the data may reach validated sinks but still not trusted
+	if !g.FlowAllowed(NewLabelSet("validated"), NewLabelSet("untrusted"), FlowComparable) {
+		t.Fatal("validated data may flow to untrusted sinks")
+	}
+	if g.FlowAllowed(NewLabelSet("validated"), NewLabelSet("trusted"), FlowComparable) {
+		t.Fatal("validated data must not reach trusted-only sinks")
+	}
+}
+
+func TestMixedConfidentialityIntegrity(t *testing.T) {
+	// both dimensions coexist in one policy: confidentiality levels
+	// (public ⊑ secret) and integrity levels (trusted ⊑ untrusted).
+	g := mustGraph(t,
+		"public -> secret",
+		"trusted -> untrusted",
+	)
+	data := NewLabelSet("secret", "untrusted")
+	// an untrusted-secret value cannot reach a public log...
+	if g.FlowAllowed(data, NewLabelSet("public", "untrusted"), FlowComparable) {
+		t.Fatal("secret must not reach public")
+	}
+	// ...nor a trusted actuator...
+	if g.FlowAllowed(data, NewLabelSet("secret", "trusted"), FlowComparable) {
+		t.Fatal("untrusted must not reach trusted")
+	}
+	// ...but may reach a secret, untrusted store.
+	if !g.FlowAllowed(data, NewLabelSet("secret", "untrusted"), FlowComparable) {
+		t.Fatal("matching sink should accept")
+	}
+}

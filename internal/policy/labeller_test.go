@@ -1,0 +1,150 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// stubCompile returns a LabelFunc that yields the source string itself as a
+// label, so tests can verify wiring without a JS engine.
+func stubCompile(src string) (LabelFunc, error) {
+	if strings.Contains(src, "BAD") {
+		return nil, fmt.Errorf("stub compile error")
+	}
+	return func(args ...any) (LabelSet, error) {
+		return NewLabelSet(Label(src)), nil
+	}, nil
+}
+
+const fig4Policy = `{
+  "labellers": {
+    "Scene": { "persons": { "$map": "employeeOrCustomer" } }
+  },
+  "rules": [ "employee -> customer", "customer -> internal" ],
+  "injections": [
+    { "line": 2, "object": "scene", "labeller": "Scene" }
+  ]
+}`
+
+func TestParseFig4Policy(t *testing.T) {
+	p, err := ParseJSON([]byte(fig4Policy), stubCompile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scene, err := p.Labeller("Scene")
+	if err != nil {
+		t.Fatal(err)
+	}
+	persons := scene.Props["persons"]
+	if persons == nil || persons.Map == nil || persons.Map.Fn == nil {
+		t.Fatalf("labeller shape wrong: %+v", scene)
+	}
+	if len(p.Injections) != 1 || p.Injections[0].Object != "scene" || p.Injections[0].Line != 2 {
+		t.Fatalf("injections = %+v", p.Injections)
+	}
+	if !p.Graph.CanFlow("employee", "internal") {
+		t.Fatal("rule DAG not built")
+	}
+	if p.Mode != FlowComparable {
+		t.Fatal("default mode should be comparable")
+	}
+}
+
+const fig7Policy = `{
+  "labellers": {
+    "onRecognize": { "predictions": { "$map": "regionAndLevel" } },
+    "mailer": { "sendMail": { "$invoke": "recipientLevel" } },
+    "nodeRegion": { "mydb": "dbRegion" }
+  },
+  "rules": [ "US -> EU", "L1 -> L2", "L2 -> L3" ],
+  "injections": [
+    { "file": "face-recognition.js", "line": 5, "object": "result", "labeller": "onRecognize" },
+    { "file": "email-notification.js", "line": 7, "object": "smtpTransport", "labeller": "mailer" },
+    { "file": "frame-storage.js", "line": 44, "object": "node", "labeller": "nodeRegion" }
+  ],
+  "mode": "comparable"
+}`
+
+func TestParseFig7Policy(t *testing.T) {
+	p, err := ParseJSON([]byte(fig7Policy), stubCompile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Injections) != 3 {
+		t.Fatalf("injections = %d", len(p.Injections))
+	}
+	mailer, _ := p.Labeller("mailer")
+	if mailer.Props["sendMail"].Invoke == nil {
+		t.Fatal("$invoke labeller not parsed")
+	}
+	if !p.Graph.CanFlow("L1", "L3") {
+		t.Fatal("rules not transitive")
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{ "rules": ["a <- b"] }`,
+		`{ "rules": ["a -> b", "b -> a"] }`,
+		`{ "labellers": { "x": 42 } }`,
+		`{ "labellers": { "x": {} } }`,
+		`{ "labellers": { "x": "BAD source" } }`,
+		`{ "labellers": { "x": { "$map": "f", "p": "g" } } }`,
+		`{ "injections": [ { "object": "o", "labeller": "missing" } ] }`,
+		`{ "mode": "bogus" }`,
+	}
+	for _, src := range cases {
+		if _, err := ParseJSON([]byte(src), stubCompile); err == nil {
+			t.Errorf("ParseJSON(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseJSONNoCompilerNeeded(t *testing.T) {
+	// policies without leaf functions parse with a nil compiler
+	if _, err := ParseJSON([]byte(`{ "rules": ["a -> b"] }`), nil); err != nil {
+		t.Fatal(err)
+	}
+	// but leaf functions require one
+	if _, err := ParseJSON([]byte(`{ "labellers": { "x": "f" } }`), nil); err == nil {
+		t.Fatal("expected error without compiler")
+	}
+}
+
+func TestStrictModeParsed(t *testing.T) {
+	p, err := ParseJSON([]byte(`{ "rules": ["a -> b"], "mode": "strict" }`), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mode != FlowStrict {
+		t.Fatalf("mode = %v", p.Mode)
+	}
+}
+
+func TestLabellerUnknown(t *testing.T) {
+	p, err := New(map[string]*Labeller{"a": {Fn: func(...any) (LabelSet, error) { return nil, nil }}}, nil, nil, FlowComparable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Labeller("zzz"); err == nil || !strings.Contains(err.Error(), "zzz") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Declassification (§4.3): a label function that ignores its input and
+// always returns a fixed label implements declassify/endorse.
+func TestDeclassifyViaConstantLabeller(t *testing.T) {
+	declassify := func(args ...any) (LabelSet, error) {
+		return NewLabelSet("public"), nil
+	}
+	l := &Labeller{Fn: declassify}
+	got, err := l.Fn("super secret value")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(NewLabelSet("public")) {
+		t.Fatalf("labels = %v", got)
+	}
+}

@@ -1,0 +1,364 @@
+// Package policy implements Turnstile's IFC policy model (§2, §4.3):
+// privacy labels, compound labels, the privacy-rule DAG with cycle
+// detection, and O(1) cached flow checks after a one-time O(V+E) traversal.
+//
+// A policy is written once per application by the developer. It consists of
+// a set of label functions ("labellers"), a set of privacy rules forming a
+// DAG over labels, and a set of injection points mapping source-code
+// objects to labellers.
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Label is a single privacy label, e.g. "employee" or "EU".
+type Label string
+
+// LabelSet is a compound privacy label (§2): a set of simple labels.
+// Following Denning's lattice model, compound labels arise when values
+// derived from multiple labelled objects are combined.
+type LabelSet map[Label]struct{}
+
+// NewLabelSet builds a LabelSet from the given labels.
+func NewLabelSet(labels ...Label) LabelSet {
+	s := make(LabelSet, len(labels))
+	for _, l := range labels {
+		s[l] = struct{}{}
+	}
+	return s
+}
+
+// Union returns the compound label s ∪ t (the label of a value derived
+// from values labelled s and t, per the binaryOp/invoke rules of Fig. 5).
+func (s LabelSet) Union(t LabelSet) LabelSet {
+	if len(s) == 0 {
+		return t.Clone()
+	}
+	if len(t) == 0 {
+		return s.Clone()
+	}
+	u := make(LabelSet, len(s)+len(t))
+	for l := range s {
+		u[l] = struct{}{}
+	}
+	for l := range t {
+		u[l] = struct{}{}
+	}
+	return u
+}
+
+// Clone returns a copy of s.
+func (s LabelSet) Clone() LabelSet {
+	if s == nil {
+		return nil
+	}
+	c := make(LabelSet, len(s))
+	for l := range s {
+		c[l] = struct{}{}
+	}
+	return c
+}
+
+// Contains reports whether l is in the set.
+func (s LabelSet) Contains(l Label) bool {
+	_, ok := s[l]
+	return ok
+}
+
+// Empty reports whether the set has no labels.
+func (s LabelSet) Empty() bool { return len(s) == 0 }
+
+// Slice returns the labels in sorted order.
+func (s LabelSet) Slice() []Label {
+	out := make([]Label, 0, len(s))
+	for l := range s {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// String renders the set as {a, b}.
+func (s LabelSet) String() string {
+	parts := s.Slice()
+	strs := make([]string, len(parts))
+	for i, l := range parts {
+		strs[i] = string(l)
+	}
+	return "{" + strings.Join(strs, ", ") + "}"
+}
+
+// Equal reports whether two sets contain the same labels.
+func (s LabelSet) Equal(t LabelSet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for l := range s {
+		if !t.Contains(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// Rule states From ⊑ To: data labelled From may flow to To ("To is more
+// private than From"). Written "From -> To" in policy files.
+type Rule struct {
+	From Label
+	To   Label
+}
+
+// ParseRule parses "X -> Y".
+func ParseRule(s string) (Rule, error) {
+	parts := strings.Split(s, "->")
+	if len(parts) != 2 {
+		return Rule{}, fmt.Errorf("policy: bad rule %q (want \"X -> Y\")", s)
+	}
+	from := Label(strings.TrimSpace(parts[0]))
+	to := Label(strings.TrimSpace(parts[1]))
+	if from == "" || to == "" {
+		return Rule{}, fmt.Errorf("policy: bad rule %q (empty label)", s)
+	}
+	return Rule{From: from, To: to}, nil
+}
+
+// FlowMode selects the compound-label comparison semantics. The paper
+// defines simple-label checks precisely (a path in the rule DAG) but is
+// loose about multi-dimensional compound labels (the NVR policy of Fig. 7
+// mixes region labels and clearance-level labels); both readings are
+// provided.
+type FlowMode int
+
+const (
+	// FlowComparable (default): only comparable label pairs constrain the
+	// flow. A data label p forbids the flow if some receiver label q is
+	// related to p (a path exists in either direction) and p does not flow
+	// to q. Labels from independent dimensions (e.g. region vs clearance)
+	// do not interfere. This matches the NVR case study's intended
+	// behaviour.
+	FlowComparable FlowMode = iota
+	// FlowStrict: every data label must flow to at least one receiver
+	// label (Denning-style subset ordering lifted over the DAG). The
+	// conservative reading of "if no path is found, the flow is forbidden".
+	FlowStrict
+)
+
+func (m FlowMode) String() string {
+	if m == FlowStrict {
+		return "strict"
+	}
+	return "comparable"
+}
+
+// CycleError reports a cycle found while building the rule DAG, which makes
+// a policy invalid (§4.3).
+type CycleError struct {
+	Cycle []Label
+}
+
+func (e *CycleError) Error() string {
+	parts := make([]string, len(e.Cycle))
+	for i, l := range e.Cycle {
+		parts[i] = string(l)
+	}
+	return "policy: privacy rules contain a cycle: " + strings.Join(parts, " -> ")
+}
+
+// Graph is the privacy-label hierarchy: a DAG whose edges are the privacy
+// rules, with memoized reachability. It is safe for concurrent use.
+type Graph struct {
+	edges map[Label][]Label
+	nodes map[Label]struct{}
+
+	mu    sync.RWMutex
+	cache map[[2]Label]bool
+}
+
+// NewGraph builds the rule DAG and validates it. A *CycleError is returned
+// if the rules are cyclic.
+func NewGraph(rules []Rule) (*Graph, error) {
+	g := &Graph{
+		edges: make(map[Label][]Label),
+		nodes: make(map[Label]struct{}),
+		cache: make(map[[2]Label]bool),
+	}
+	for _, r := range rules {
+		g.nodes[r.From] = struct{}{}
+		g.nodes[r.To] = struct{}{}
+		g.edges[r.From] = append(g.edges[r.From], r.To)
+	}
+	if cyc := g.findCycle(); cyc != nil {
+		return nil, &CycleError{Cycle: cyc}
+	}
+	return g, nil
+}
+
+// findCycle returns a cycle as a label sequence, or nil.
+func (g *Graph) findCycle() []Label {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[Label]int, len(g.nodes))
+	parent := make(map[Label]Label)
+	var cycleStart, cycleEnd Label
+	var dfs func(u Label) bool
+	dfs = func(u Label) bool {
+		color[u] = gray
+		for _, v := range g.edges[u] {
+			switch color[v] {
+			case white:
+				parent[v] = u
+				if dfs(v) {
+					return true
+				}
+			case gray:
+				cycleStart, cycleEnd = v, u
+				return true
+			}
+		}
+		color[u] = black
+		return false
+	}
+	// deterministic iteration for reproducible error messages
+	var nodes []Label
+	for n := range g.nodes {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, n := range nodes {
+		if color[n] == white && dfs(n) {
+			cycle := []Label{cycleStart}
+			for v := cycleEnd; v != cycleStart; v = parent[v] {
+				cycle = append(cycle, v)
+			}
+			cycle = append(cycle, cycleStart)
+			// reverse into forward edge order
+			for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+				cycle[i], cycle[j] = cycle[j], cycle[i]
+			}
+			return cycle
+		}
+	}
+	return nil
+}
+
+// Labels returns all labels in the graph, sorted.
+func (g *Graph) Labels() []Label {
+	out := make([]Label, 0, len(g.nodes))
+	for n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Has reports whether the label appears in any rule.
+func (g *Graph) Has(l Label) bool {
+	_, ok := g.nodes[l]
+	return ok
+}
+
+// CanFlow reports whether data labelled `from` may flow to an object
+// labelled `to`: from == to, or a path from→to exists in the rule DAG.
+// The first check for a pair costs O(V+E); the result is cached so
+// subsequent checks are O(1) (§4.4).
+func (g *Graph) CanFlow(from, to Label) bool {
+	if from == to {
+		return true
+	}
+	key := [2]Label{from, to}
+	g.mu.RLock()
+	if r, ok := g.cache[key]; ok {
+		g.mu.RUnlock()
+		return r
+	}
+	g.mu.RUnlock()
+
+	r := g.reach(from, to)
+	g.mu.Lock()
+	g.cache[key] = r
+	g.mu.Unlock()
+	return r
+}
+
+// reach is an uncached BFS from → to.
+func (g *Graph) reach(from, to Label) bool {
+	if _, ok := g.nodes[from]; !ok {
+		return false
+	}
+	seen := map[Label]bool{from: true}
+	queue := []Label{from}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.edges[u] {
+			if v == to {
+				return true
+			}
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return false
+}
+
+// Comparable reports whether two labels are related in either direction.
+func (g *Graph) Comparable(a, b Label) bool {
+	return a == b || g.CanFlow(a, b) || g.CanFlow(b, a)
+}
+
+// CacheSize returns the number of memoized pair decisions (for tests and
+// the cache-ablation bench).
+func (g *Graph) CacheSize() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.cache)
+}
+
+// FlowAllowed decides whether data with compound label `data` may flow to a
+// receiver with compound label `recv` under the given mode.
+//
+// An unlabelled receiver (empty recv) accepts any data in FlowComparable
+// mode — it is an untracked sink and the check sites for it are never
+// instrumented — and rejects labelled data in FlowStrict mode.
+func (g *Graph) FlowAllowed(data, recv LabelSet, mode FlowMode) bool {
+	if data.Empty() {
+		return true
+	}
+	switch mode {
+	case FlowStrict:
+		for p := range data {
+			ok := false
+			for q := range recv {
+				if g.CanFlow(p, q) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	default: // FlowComparable
+		for p := range data {
+			for q := range recv {
+				if p == q {
+					continue
+				}
+				if g.Comparable(p, q) && !g.CanFlow(p, q) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+}

@@ -1,0 +1,301 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustGraph(t *testing.T, ruleStrs ...string) *Graph {
+	t.Helper()
+	var rules []Rule
+	for _, rs := range ruleStrs {
+		r, err := ParseRule(rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rules = append(rules, r)
+	}
+	g, err := NewGraph(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestParseRule(t *testing.T) {
+	r, err := ParseRule("employee -> customer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.From != "employee" || r.To != "customer" {
+		t.Fatalf("rule = %+v", r)
+	}
+	for _, bad := range []string{"", "x", "-> y", "x ->", "a -> b -> c"} {
+		if _, err := ParseRule(bad); err == nil {
+			t.Errorf("ParseRule(%q) should fail", bad)
+		}
+	}
+}
+
+func TestCanFlowChain(t *testing.T) {
+	// paper example: employee -> customer -> internal
+	g := mustGraph(t, "employee -> customer", "customer -> internal")
+	cases := []struct {
+		from, to Label
+		want     bool
+	}{
+		{"employee", "customer", true},
+		{"customer", "internal", true},
+		{"employee", "internal", true}, // transitive
+		{"internal", "employee", false},
+		{"customer", "employee", false},
+		{"employee", "employee", true}, // reflexive
+		{"ghost", "ghost", true},
+		{"ghost", "customer", false},
+	}
+	for _, c := range cases {
+		if got := g.CanFlow(c.from, c.to); got != c.want {
+			t.Errorf("CanFlow(%s, %s) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+func TestCycleDetection(t *testing.T) {
+	_, err := NewGraph([]Rule{
+		{"a", "b"}, {"b", "c"}, {"c", "a"},
+	})
+	if err == nil {
+		t.Fatal("expected cycle error")
+	}
+	ce, ok := err.(*CycleError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if len(ce.Cycle) < 3 {
+		t.Fatalf("cycle = %v", ce.Cycle)
+	}
+	if !strings.Contains(ce.Error(), "cycle") {
+		t.Fatalf("message = %q", ce.Error())
+	}
+}
+
+func TestSelfLoopIsCycle(t *testing.T) {
+	if _, err := NewGraph([]Rule{{"a", "a"}}); err == nil {
+		t.Fatal("self-loop should be a cycle")
+	}
+}
+
+func TestDiamondIsAcyclic(t *testing.T) {
+	g := mustGraph(t, "a -> b", "a -> c", "b -> d", "c -> d")
+	if !g.CanFlow("a", "d") {
+		t.Fatal("a should reach d")
+	}
+	if g.CanFlow("b", "c") {
+		t.Fatal("b and c are incomparable")
+	}
+	if !g.Comparable("a", "d") || g.Comparable("b", "c") {
+		t.Fatal("comparability wrong")
+	}
+}
+
+func TestCacheGrowsAndIsConsistent(t *testing.T) {
+	g := mustGraph(t, "a -> b", "b -> c")
+	if g.CacheSize() != 0 {
+		t.Fatalf("initial cache = %d", g.CacheSize())
+	}
+	first := g.CanFlow("a", "c")
+	if g.CacheSize() != 1 {
+		t.Fatalf("cache after one check = %d", g.CacheSize())
+	}
+	second := g.CanFlow("a", "c")
+	if first != second {
+		t.Fatal("cached result differs")
+	}
+	if g.CacheSize() != 1 {
+		t.Fatalf("cache should not grow on repeat: %d", g.CacheSize())
+	}
+}
+
+func TestConcurrentCanFlow(t *testing.T) {
+	g := mustGraph(t, "a -> b", "b -> c", "c -> d", "x -> y")
+	done := make(chan bool)
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 200; j++ {
+				g.CanFlow("a", "d")
+				g.CanFlow("d", "a")
+				g.CanFlow("x", "y")
+			}
+			done <- true
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if !g.CanFlow("a", "d") || g.CanFlow("d", "a") {
+		t.Fatal("wrong results after concurrent access")
+	}
+}
+
+func TestLabelSetOps(t *testing.T) {
+	s := NewLabelSet("P", "Q")
+	u := s.Union(NewLabelSet("Q", "R"))
+	if len(u) != 3 || !u.Contains("P") || !u.Contains("R") {
+		t.Fatalf("union = %v", u)
+	}
+	if u.String() != "{P, Q, R}" {
+		t.Fatalf("string = %q", u.String())
+	}
+	if !s.Equal(NewLabelSet("Q", "P")) {
+		t.Fatal("sets should be order-insensitive")
+	}
+	if s.Equal(u) {
+		t.Fatal("different sets reported equal")
+	}
+	empty := NewLabelSet()
+	if !empty.Empty() || !empty.Union(s).Equal(s) {
+		t.Fatal("empty-set union")
+	}
+	c := s.Clone()
+	c["Z"] = struct{}{}
+	if s.Contains("Z") {
+		t.Fatal("clone aliases original")
+	}
+}
+
+// Denning's model: X ⊑ Y if X ⊆ Y for compound labels (§2). In strict
+// mode a subset always flows to its superset when every element is present.
+func TestStrictSubsetFlow(t *testing.T) {
+	g := mustGraph(t, "P -> Q") // P, Q known labels
+	pq := NewLabelSet("P", "Q")
+	if !g.FlowAllowed(NewLabelSet("P"), pq, FlowStrict) {
+		t.Fatal("P should flow to {P,Q}")
+	}
+	if !g.FlowAllowed(NewLabelSet("Q"), pq, FlowStrict) {
+		t.Fatal("Q should flow to {P,Q}")
+	}
+	if g.FlowAllowed(pq, NewLabelSet("P"), FlowStrict) {
+		t.Fatal("{P,Q} must not flow to {P}")
+	}
+}
+
+func TestFlowStrictRequiresPathForEveryLabel(t *testing.T) {
+	g := mustGraph(t, "US -> EU", "L1 -> L2", "L2 -> L3")
+	data := NewLabelSet("US", "L1")
+	recv := NewLabelSet("EU", "L3")
+	if !g.FlowAllowed(data, recv, FlowStrict) {
+		t.Fatal("US→EU and L1→L3 both hold")
+	}
+	if g.FlowAllowed(NewLabelSet("EU", "L1"), NewLabelSet("US", "L3"), FlowStrict) {
+		t.Fatal("EU cannot flow to US")
+	}
+	// a label with no receiver counterpart forbids the flow in strict mode
+	if g.FlowAllowed(NewLabelSet("EU", "L1"), NewLabelSet("L3"), FlowStrict) {
+		t.Fatal("strict: EU has no receiver label to flow to")
+	}
+}
+
+// The NVR case study (§5, Fig. 7): region and clearance are independent
+// dimensions; comparable mode lets them coexist.
+func TestFlowComparableNVRScenario(t *testing.T) {
+	g := mustGraph(t, "US -> EU", "L1 -> L2", "L2 -> L3")
+	frameEU_L3 := NewLabelSet("EU", "L3")
+	frameUS_L1 := NewLabelSet("US", "L1")
+
+	mailerL2 := NewLabelSet("L2")
+	mailerL3 := NewLabelSet("L3")
+	dbUS := NewLabelSet("US")
+	dbEU := NewLabelSet("EU")
+
+	// L3 face must not be emailed to an L2 recipient.
+	if g.FlowAllowed(frameEU_L3, mailerL2, FlowComparable) {
+		t.Fatal("L3 → L2 email should be forbidden")
+	}
+	// L3 face may be emailed to an L3 recipient (EU is unconstrained here).
+	if !g.FlowAllowed(frameEU_L3, mailerL3, FlowComparable) {
+		t.Fatal("L3 → L3 email should be allowed")
+	}
+	// EU face must not be stored in a US database.
+	if g.FlowAllowed(frameEU_L3, dbUS, FlowComparable) {
+		t.Fatal("EU → US storage should be forbidden")
+	}
+	// US face may be stored in an EU database.
+	if !g.FlowAllowed(frameUS_L1, dbEU, FlowComparable) {
+		t.Fatal("US → EU storage should be allowed")
+	}
+}
+
+func TestFlowUnlabelledData(t *testing.T) {
+	g := mustGraph(t, "a -> b")
+	if !g.FlowAllowed(NewLabelSet(), NewLabelSet("a"), FlowStrict) {
+		t.Fatal("unlabelled data flows anywhere (strict)")
+	}
+	if !g.FlowAllowed(NewLabelSet(), NewLabelSet(), FlowComparable) {
+		t.Fatal("unlabelled data flows anywhere (comparable)")
+	}
+}
+
+// Property: CanFlow is transitive on random DAGs (layered construction
+// guarantees acyclicity).
+func TestQuickTransitivity(t *testing.T) {
+	f := func(edges []uint16) bool {
+		const layers = 5
+		var rules []Rule
+		for _, e := range edges {
+			from := int(e) % layers
+			to := from + 1 + int(e>>8)%(layers-from)
+			if to >= layers {
+				continue
+			}
+			rules = append(rules, Rule{
+				Label(string(rune('A' + from))),
+				Label(string(rune('A' + to))),
+			})
+		}
+		g, err := NewGraph(rules)
+		if err != nil {
+			return false // layered edges can never cycle
+		}
+		labels := g.Labels()
+		for _, a := range labels {
+			for _, b := range labels {
+				for _, c := range labels {
+					if g.CanFlow(a, b) && g.CanFlow(b, c) && !g.CanFlow(a, c) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: union is commutative, associative, idempotent.
+func TestQuickUnionLaws(t *testing.T) {
+	mk := func(bits uint8) LabelSet {
+		s := NewLabelSet()
+		for i := 0; i < 8; i++ {
+			if bits&(1<<i) != 0 {
+				s[Label(string(rune('a'+i)))] = struct{}{}
+			}
+		}
+		return s
+	}
+	f := func(x, y, z uint8) bool {
+		a, b, c := mk(x), mk(y), mk(z)
+		if !a.Union(b).Equal(b.Union(a)) {
+			return false
+		}
+		if !a.Union(b).Union(c).Equal(a.Union(b.Union(c))) {
+			return false
+		}
+		return a.Union(a).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

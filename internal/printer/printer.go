@@ -1,0 +1,642 @@
+// Package printer renders MiniJS ASTs back to source text.
+//
+// The Code Instrumentor (§4.3 of the paper) rewrites application ASTs and
+// relies on this package to produce the privacy-managed source that is
+// deployed in place of the original. Output is deterministic and re-parses
+// to an equivalent tree; expressions are parenthesized conservatively where
+// precedence could otherwise change.
+package printer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"turnstile/internal/ast"
+	"turnstile/internal/lexer"
+)
+
+// Print renders a program as source text.
+func Print(prog *ast.Program) string {
+	p := &printer{}
+	for _, s := range prog.Body {
+		p.stmt(s, 0)
+	}
+	return p.b.String()
+}
+
+// PrintExpr renders a single expression.
+func PrintExpr(e ast.Expr) string {
+	p := &printer{}
+	p.expr(e, 0)
+	return p.b.String()
+}
+
+// PrintStmt renders a single statement at the given indent level.
+func PrintStmt(s ast.Stmt) string {
+	p := &printer{}
+	p.stmt(s, 0)
+	return p.b.String()
+}
+
+type printer struct {
+	b strings.Builder
+}
+
+func (p *printer) ws(indent int) { p.b.WriteString(strings.Repeat("  ", indent)) }
+
+func (p *printer) stmt(s ast.Stmt, indent int) {
+	switch x := s.(type) {
+	case *ast.VarDecl:
+		p.ws(indent)
+		p.varDeclHead(x)
+		p.b.WriteString(";\n")
+	case *ast.FuncDecl:
+		p.ws(indent)
+		p.funcLit(x.Fn, indent, x.Name)
+		p.b.WriteString("\n")
+	case *ast.ExprStmt:
+		p.ws(indent)
+		// Statements whose leftmost token would be '{' or 'function' are
+		// ambiguous at statement position; wrap them in parens.
+		if startsAmbiguously(x.X) {
+			p.b.WriteString("(")
+			p.expr(x.X, 0)
+			p.b.WriteString(")")
+		} else {
+			p.expr(x.X, 0)
+		}
+		p.b.WriteString(";\n")
+	case *ast.ReturnStmt:
+		p.ws(indent)
+		p.b.WriteString("return")
+		if x.Value != nil {
+			p.b.WriteString(" ")
+			p.expr(x.Value, 0)
+		}
+		p.b.WriteString(";\n")
+	case *ast.IfStmt:
+		p.ws(indent)
+		p.ifChain(x, indent)
+	case *ast.ForStmt:
+		p.ws(indent)
+		p.b.WriteString("for (")
+		switch init := x.Init.(type) {
+		case *ast.VarDecl:
+			p.varDeclHead(init)
+		case *ast.ExprStmt:
+			p.expr(init.X, 0)
+		}
+		p.b.WriteString("; ")
+		if x.Cond != nil {
+			p.expr(x.Cond, 0)
+		}
+		p.b.WriteString("; ")
+		if x.Post != nil {
+			p.expr(x.Post, 0)
+		}
+		p.b.WriteString(") ")
+		p.nestedBody(x.Body, indent)
+	case *ast.ForInStmt:
+		p.ws(indent)
+		p.b.WriteString("for (")
+		if x.Decl {
+			p.b.WriteString(x.DeclKind.String())
+			p.b.WriteString(" ")
+		}
+		p.b.WriteString(x.Name)
+		if x.Kind == ast.ForIn {
+			p.b.WriteString(" in ")
+		} else {
+			p.b.WriteString(" of ")
+		}
+		p.expr(x.Object, 0)
+		p.b.WriteString(") ")
+		p.nestedBody(x.Body, indent)
+	case *ast.WhileStmt:
+		p.ws(indent)
+		p.b.WriteString("while (")
+		p.expr(x.Cond, 0)
+		p.b.WriteString(") ")
+		p.nestedBody(x.Body, indent)
+	case *ast.DoWhileStmt:
+		p.ws(indent)
+		p.b.WriteString("do ")
+		p.nestedBodyNoNL(x.Body, indent)
+		p.b.WriteString(" while (")
+		p.expr(x.Cond, 0)
+		p.b.WriteString(");\n")
+	case *ast.BlockStmt:
+		p.ws(indent)
+		p.block(x, indent)
+		p.b.WriteString("\n")
+	case *ast.BreakStmt:
+		p.ws(indent)
+		p.b.WriteString("break;\n")
+	case *ast.ContinueStmt:
+		p.ws(indent)
+		p.b.WriteString("continue;\n")
+	case *ast.ThrowStmt:
+		p.ws(indent)
+		p.b.WriteString("throw ")
+		p.expr(x.Value, 0)
+		p.b.WriteString(";\n")
+	case *ast.TryStmt:
+		p.ws(indent)
+		p.b.WriteString("try ")
+		p.block(x.Body, indent)
+		if x.Catch != nil {
+			p.b.WriteString(" catch ")
+			if x.CatchVar != "" {
+				fmt.Fprintf(&p.b, "(%s) ", x.CatchVar)
+			}
+			p.block(x.Catch, indent)
+		}
+		if x.Finally != nil {
+			p.b.WriteString(" finally ")
+			p.block(x.Finally, indent)
+		}
+		p.b.WriteString("\n")
+	case *ast.SwitchStmt:
+		p.ws(indent)
+		p.b.WriteString("switch (")
+		p.expr(x.Disc, 0)
+		p.b.WriteString(") {\n")
+		for _, c := range x.Cases {
+			p.ws(indent + 1)
+			if c.Test != nil {
+				p.b.WriteString("case ")
+				p.expr(c.Test, 0)
+				p.b.WriteString(":\n")
+			} else {
+				p.b.WriteString("default:\n")
+			}
+			for _, s := range c.Body {
+				p.stmt(s, indent+2)
+			}
+		}
+		p.ws(indent)
+		p.b.WriteString("}\n")
+	case *ast.ClassDecl:
+		p.ws(indent)
+		p.b.WriteString("class ")
+		p.b.WriteString(x.Name)
+		if x.SuperClass != nil {
+			p.b.WriteString(" extends ")
+			p.expr(x.SuperClass, 0)
+		}
+		p.b.WriteString(" {\n")
+		for _, m := range x.Methods {
+			p.ws(indent + 1)
+			if m.Static {
+				p.b.WriteString("static ")
+			}
+			if m.Fn.Async {
+				p.b.WriteString("async ")
+			}
+			if isIdentKey(m.Name) || lexer.IsKeyword(m.Name) {
+				p.b.WriteString(m.Name)
+			} else {
+				p.b.WriteString(quoteJS(m.Name))
+			}
+			p.params(m.Fn.Params)
+			p.b.WriteString(" ")
+			p.block(m.Fn.Body, indent+1)
+			p.b.WriteString("\n")
+		}
+		p.ws(indent)
+		p.b.WriteString("}\n")
+	case *ast.EmptyStmt:
+		p.ws(indent)
+		p.b.WriteString(";\n")
+	default:
+		panic(fmt.Sprintf("printer: unknown statement %T", s))
+	}
+}
+
+// ifChain prints if/else-if chains without re-indenting each else-if.
+func (p *printer) ifChain(x *ast.IfStmt, indent int) {
+	p.b.WriteString("if (")
+	p.expr(x.Cond, 0)
+	p.b.WriteString(") ")
+	p.nestedBodyNoNL(x.Then, indent)
+	if x.Else != nil {
+		p.b.WriteString(" else ")
+		if ei, ok := x.Else.(*ast.IfStmt); ok {
+			p.ifChain(ei, indent)
+			return
+		}
+		p.nestedBodyNoNL(x.Else, indent)
+	}
+	p.b.WriteString("\n")
+}
+
+// nestedBody prints a loop/conditional body followed by a newline.
+func (p *printer) nestedBody(s ast.Stmt, indent int) {
+	p.nestedBodyNoNL(s, indent)
+	p.b.WriteString("\n")
+}
+
+func (p *printer) nestedBodyNoNL(s ast.Stmt, indent int) {
+	if blk, ok := s.(*ast.BlockStmt); ok {
+		p.block(blk, indent)
+		return
+	}
+	// single-statement body: wrap in a block for output robustness
+	p.b.WriteString("{\n")
+	p.stmt(s, indent+1)
+	p.ws(indent)
+	p.b.WriteString("}")
+}
+
+func (p *printer) block(blk *ast.BlockStmt, indent int) {
+	p.b.WriteString("{\n")
+	for _, s := range blk.Body {
+		p.stmt(s, indent+1)
+	}
+	p.ws(indent)
+	p.b.WriteString("}")
+}
+
+func (p *printer) varDeclHead(vd *ast.VarDecl) {
+	p.b.WriteString(vd.Kind.String())
+	p.b.WriteString(" ")
+	for i, d := range vd.Decls {
+		if i > 0 {
+			p.b.WriteString(", ")
+		}
+		p.b.WriteString(d.Name)
+		if d.Init != nil {
+			p.b.WriteString(" = ")
+			p.expr(d.Init, precAssign)
+		}
+	}
+}
+
+func (p *printer) params(params []*ast.Param) {
+	p.b.WriteString("(")
+	for i, pa := range params {
+		if i > 0 {
+			p.b.WriteString(", ")
+		}
+		if pa.Rest {
+			p.b.WriteString("...")
+		}
+		p.b.WriteString(pa.Name)
+	}
+	p.b.WriteString(")")
+}
+
+func (p *printer) funcLit(fn *ast.FuncLit, indent int, name string) {
+	if fn.Arrow {
+		if fn.Async {
+			p.b.WriteString("async ")
+		}
+		p.params(fn.Params)
+		p.b.WriteString(" => ")
+		if fn.Body != nil {
+			p.block(fn.Body, indent)
+		} else {
+			// object-literal expression bodies need parens
+			if _, isObj := fn.ExprRet.(*ast.ObjectLit); isObj {
+				p.b.WriteString("(")
+				p.expr(fn.ExprRet, 0)
+				p.b.WriteString(")")
+			} else {
+				p.expr(fn.ExprRet, precAssign)
+			}
+		}
+		return
+	}
+	if fn.Async {
+		p.b.WriteString("async ")
+	}
+	p.b.WriteString("function")
+	// a function's printable name must be a valid identifier; shorthand
+	// methods with string/numeric keys carry the raw key in Name
+	if name == "" {
+		name = fn.Name
+	}
+	if isIdentKey(name) && !lexer.IsKeyword(name) {
+		p.b.WriteString(" ")
+		p.b.WriteString(name)
+	}
+	p.params(fn.Params)
+	p.b.WriteString(" ")
+	p.block(fn.Body, indent)
+}
+
+// Expression precedence levels, mirroring the parser's table. An expression
+// is parenthesized when its own precedence is lower than the context's.
+const (
+	precSeq    = 0
+	precAssign = 1
+	precCond   = 2
+	precBinMin = 3 // binary levels occupy 3..14 (parser prec + 2)
+	precUnary  = 15
+	precCall   = 16
+	precAtom   = 17
+)
+
+var printBinPrec = map[string]int{
+	"??": 3, "||": 3, "&&": 4,
+	"|": 5, "^": 6, "&": 7,
+	"==": 8, "!=": 8, "===": 8, "!==": 8,
+	"<": 9, ">": 9, "<=": 9, ">=": 9, "in": 9, "instanceof": 9,
+	"<<": 10, ">>": 10, ">>>": 10,
+	"+": 11, "-": 11,
+	"*": 12, "/": 12, "%": 12,
+	"**": 13,
+}
+
+func (p *printer) expr(e ast.Expr, ctx int) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		p.b.WriteString(x.Name)
+	case *ast.NumberLit:
+		p.b.WriteString(formatNumber(x.Value))
+	case *ast.StringLit:
+		p.b.WriteString(quoteJS(x.Value))
+	case *ast.TemplateLit:
+		p.b.WriteString("`")
+		for i, q := range x.Quasis {
+			p.b.WriteString(escapeTemplate(q))
+			if i < len(x.Exprs) {
+				p.b.WriteString("${")
+				p.expr(x.Exprs[i], 0)
+				p.b.WriteString("}")
+			}
+		}
+		p.b.WriteString("`")
+	case *ast.BoolLit:
+		if x.Value {
+			p.b.WriteString("true")
+		} else {
+			p.b.WriteString("false")
+		}
+	case *ast.NullLit:
+		p.b.WriteString("null")
+	case *ast.UndefinedLit:
+		p.b.WriteString("undefined")
+	case *ast.ThisExpr:
+		p.b.WriteString("this")
+	case *ast.ArrayLit:
+		p.b.WriteString("[")
+		for i, el := range x.Elems {
+			if i > 0 {
+				p.b.WriteString(", ")
+			}
+			p.expr(el, precAssign)
+		}
+		p.b.WriteString("]")
+	case *ast.ObjectLit:
+		p.b.WriteString("{ ")
+		for i, prop := range x.Props {
+			if i > 0 {
+				p.b.WriteString(", ")
+			}
+			switch {
+			case prop.Spread:
+				p.b.WriteString("...")
+				p.expr(prop.Value, precAssign)
+			case prop.Computed:
+				p.b.WriteString("[")
+				p.expr(prop.KeyExpr, 0)
+				p.b.WriteString("]: ")
+				p.expr(prop.Value, precAssign)
+			default:
+				if isIdentKey(prop.Key) {
+					p.b.WriteString(prop.Key)
+				} else {
+					p.b.WriteString(quoteJS(prop.Key))
+				}
+				p.b.WriteString(": ")
+				p.expr(prop.Value, precAssign)
+			}
+		}
+		p.b.WriteString(" }")
+	case *ast.FuncLit:
+		// arrows sit at assignment precedence; function expressions only
+		// need parens at call/member positions
+		needParens := ctx >= precCall
+		if x.Arrow {
+			needParens = ctx > precAssign
+		}
+		if needParens {
+			p.b.WriteString("(")
+		}
+		p.funcLit(x, 0, "")
+		if needParens {
+			p.b.WriteString(")")
+		}
+	case *ast.CallExpr:
+		p.paren(ctx > precCall, func() {
+			p.expr(x.Callee, precCall)
+			p.args(x.Args)
+		})
+	case *ast.NewExpr:
+		p.paren(ctx > precCall, func() {
+			p.b.WriteString("new ")
+			p.expr(x.Callee, precCall)
+			p.args(x.Args)
+		})
+	case *ast.MemberExpr:
+		p.paren(ctx > precCall, func() {
+			// Number literals need parens before '.' (1.x is a parse error).
+			if _, isNum := x.Object.(*ast.NumberLit); isNum {
+				p.b.WriteString("(")
+				p.expr(x.Object, 0)
+				p.b.WriteString(")")
+			} else {
+				p.expr(x.Object, precCall)
+			}
+			if x.Computed {
+				p.b.WriteString("[")
+				p.expr(x.Index, 0)
+				p.b.WriteString("]")
+			} else {
+				p.b.WriteString(".")
+				p.b.WriteString(x.Property)
+			}
+		})
+	case *ast.BinaryExpr:
+		prec := printBinPrec[x.Op]
+		p.paren(ctx > prec, func() {
+			p.expr(x.Left, prec)
+			p.b.WriteString(" " + x.Op + " ")
+			p.expr(x.Right, prec+1)
+		})
+	case *ast.LogicalExpr:
+		prec := printBinPrec[x.Op]
+		p.paren(ctx > prec, func() {
+			p.expr(x.Left, prec)
+			p.b.WriteString(" " + x.Op + " ")
+			p.expr(x.Right, prec+1)
+		})
+	case *ast.UnaryExpr:
+		p.paren(ctx > precUnary, func() {
+			p.b.WriteString(x.Op)
+			if len(x.Op) > 1 {
+				p.b.WriteString(" ")
+			}
+			p.expr(x.X, precUnary)
+		})
+	case *ast.UpdateExpr:
+		p.paren(ctx > precUnary, func() {
+			if x.Prefix {
+				p.b.WriteString(x.Op)
+				p.expr(x.X, precUnary)
+			} else {
+				p.expr(x.X, precCall)
+				p.b.WriteString(x.Op)
+			}
+		})
+	case *ast.AssignExpr:
+		p.paren(ctx > precAssign, func() {
+			p.expr(x.Target, precCall)
+			p.b.WriteString(" " + x.Op + " ")
+			p.expr(x.Value, precAssign)
+		})
+	case *ast.CondExpr:
+		p.paren(ctx > precCond, func() {
+			p.expr(x.Cond, precCond+1)
+			p.b.WriteString(" ? ")
+			p.expr(x.Then, precAssign)
+			p.b.WriteString(" : ")
+			p.expr(x.Else, precAssign)
+		})
+	case *ast.SeqExpr:
+		p.paren(ctx > precSeq, func() {
+			for i, sub := range x.Exprs {
+				if i > 0 {
+					p.b.WriteString(", ")
+				}
+				p.expr(sub, precAssign)
+			}
+		})
+	case *ast.SpreadExpr:
+		p.b.WriteString("...")
+		p.expr(x.X, precAssign)
+	case *ast.AwaitExpr:
+		p.paren(ctx > precUnary, func() {
+			p.b.WriteString("await ")
+			p.expr(x.X, precUnary)
+		})
+	default:
+		panic(fmt.Sprintf("printer: unknown expression %T", e))
+	}
+}
+
+func (p *printer) paren(need bool, body func()) {
+	if need {
+		p.b.WriteString("(")
+	}
+	body()
+	if need {
+		p.b.WriteString(")")
+	}
+}
+
+func (p *printer) args(args []ast.Expr) {
+	p.b.WriteString("(")
+	for i, a := range args {
+		if i > 0 {
+			p.b.WriteString(", ")
+		}
+		p.expr(a, precAssign)
+	}
+	p.b.WriteString(")")
+}
+
+func formatNumber(v float64) string {
+	if v == float64(int64(v)) && v >= -1e15 && v <= 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// quoteJS quotes s as a double-quoted JS string literal.
+func quoteJS(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		case 0:
+			b.WriteString(`\0`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+func escapeTemplate(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "`", "\\`")
+	s = strings.ReplaceAll(s, "${", "\\${")
+	return s
+}
+
+// startsAmbiguously reports whether the leftmost token of e, printed at
+// statement position, would be '{' or 'function' — which the parser would
+// misread as a block or a declaration.
+func startsAmbiguously(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.ObjectLit:
+			return true
+		case *ast.FuncLit:
+			return !x.Arrow
+		case *ast.BinaryExpr:
+			e = x.Left
+		case *ast.LogicalExpr:
+			e = x.Left
+		case *ast.AssignExpr:
+			e = x.Target
+		case *ast.CondExpr:
+			e = x.Cond
+		case *ast.MemberExpr:
+			e = x.Object
+		case *ast.CallExpr:
+			e = x.Callee
+		case *ast.SeqExpr:
+			if len(x.Exprs) == 0 {
+				return false
+			}
+			e = x.Exprs[0]
+		case *ast.UpdateExpr:
+			if x.Prefix {
+				return false
+			}
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+func isIdentKey(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		alpha := c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && !(i > 0 && c >= '0' && c <= '9') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,594 @@
+package taint
+
+import (
+	"strings"
+
+	"turnstile/internal/ast"
+)
+
+// evalCall dispatches calls: host-module APIs are matched against the
+// source/sink patterns; user functions are inlined context-sensitively.
+func (a *analyzer) evalCall(x *ast.CallExpr, env *aenv) *aval {
+	// require(...)
+	if id, ok := x.Callee.(*ast.Ident); ok && id.Name == "require" {
+		return a.evalRequire(x, env)
+	}
+
+	args := make([]*aval, len(x.Args))
+	tainted := false
+	for i, arg := range x.Args {
+		args[i] = a.eval(arg, env)
+		if args[i].tainted() {
+			tainted = true
+		}
+	}
+	// a call that tainted data flows into lies on a sensitive path and must
+	// be instrumented (τ.invoke performs the flow check at the receiver —
+	// the emailSender.send(scene) sites of Fig. 2b), whether or not its
+	// result is tainted.
+	if tainted {
+		a.mark(x.NodeID())
+	}
+
+	if mem, ok := x.Callee.(*ast.MemberExpr); ok && !mem.Computed {
+		recv := a.eval(mem.Object, env)
+		if out, handled := a.hostCall(recv, mem.Property, args, x); handled {
+			a.markValue(out, x)
+			return out
+		}
+		// user method call
+		if recv != nil {
+			if mv := recv.prop(mem.Property); mv != nil && mv.typ == "fn" {
+				out := a.invokeUser(mv, args, recv)
+				a.markValue(out, x)
+				return out
+			}
+			// class method via $method registry (instances carry $class)
+			if cls := recv.prop("$class"); cls != nil {
+				if mv := cls.prop("$method:" + mem.Property); mv != nil {
+					out := a.invokeUser(mv, args, recv)
+					a.markValue(out, x)
+					return out
+				}
+			}
+		}
+		// array combinators: the callback receives the element type
+		switch mem.Property {
+		case "map", "filter", "forEach", "find", "some", "every", "reduce":
+			if len(args) > 0 && args[0] != nil && args[0].typ == "fn" {
+				elem := newAval("obj")
+				if recv != nil {
+					elem.addTaint(recv)
+					if ev := recv.prop("$elem"); ev != nil {
+						elem = ev.clone()
+						elem.addTaint(recv)
+					}
+				}
+				cbArgs := []*aval{elem, newAval("prim"), recv}
+				if mem.Property == "reduce" {
+					cbArgs = []*aval{newAval("obj"), elem, newAval("prim"), recv}
+				}
+				ret := a.invokeUser(args[0], cbArgs, nil)
+				out := newAval("obj")
+				out.addTaint(recv)
+				out.addTaint(ret)
+				if out.tainted() {
+					out.setProp("$elem", out.clone())
+				}
+				a.markValue(out, x)
+				return out
+			}
+		case "push", "unshift":
+			if recv != nil {
+				for _, ag := range args {
+					recv.addTaint(ag)
+					if ag.tainted() {
+						elem := recv.prop("$elem")
+						if elem == nil {
+							elem = newAval("obj")
+							recv.setProp("$elem", elem)
+						}
+						elem.addTaint(ag)
+					}
+				}
+				a.markValue(recv, x)
+			}
+			return newAval("prim")
+		case "join", "toString", "slice", "concat", "pop", "shift", "flat", "sort", "reverse", "splice":
+			out := newAval("obj")
+			out.addTaint(recv)
+			for _, ag := range args {
+				out.addTaint(ag)
+			}
+			a.markValue(out, x)
+			return out
+		case "split", "toUpperCase", "toLowerCase", "trim", "substring", "substr",
+			"replace", "replaceAll", "charAt", "padStart", "repeat":
+			out := newAval("obj")
+			out.addTaint(recv)
+			a.markValue(out, x)
+			return out
+		case "then", "catch", "finally":
+			// §4.5: the Promise is treated as the callback's return value
+			if len(args) > 0 && args[0] != nil && args[0].typ == "fn" {
+				inner := newAval("obj")
+				if recv != nil {
+					inner.addTaint(recv)
+					if rv := recv.prop("$resolved"); rv != nil {
+						inner = rv.clone()
+						inner.addTaint(recv)
+					}
+				}
+				ret := a.invokeUser(args[0], []*aval{inner}, nil)
+				out := newAval("obj")
+				out.addTaint(ret)
+				out.addTaint(recv)
+				if ret != nil {
+					out.setProp("$resolved", ret)
+				}
+				a.markValue(out, x)
+				return out
+			}
+		}
+		// unknown method on a tainted object: result is tainted
+		out := newAval("obj")
+		out.addTaint(recv)
+		for _, ag := range args {
+			out.addTaint(ag)
+		}
+		a.markValue(out, x)
+		return out
+	}
+
+	// bare or computed-callee call
+	var fnVal *aval
+	switch callee := x.Callee.(type) {
+	case *ast.Ident:
+		fnVal, _ = env.lookup(callee.Name)
+	case *ast.MemberExpr:
+		// computed: foo[x](y) — sound over-approximation: invoke every
+		// function-typed property of foo (§4.5)
+		obj := a.eval(callee.Object, env)
+		a.eval(callee.Index, env)
+		out := newAval("obj")
+		if obj != nil {
+			for _, pv := range obj.props {
+				if pv.typ == "fn" {
+					out.addTaint(a.invokeUser(pv, args, obj))
+				}
+			}
+			out.addTaint(obj)
+		}
+		for _, ag := range args {
+			out.addTaint(ag)
+		}
+		a.markValue(out, x)
+		return out
+	default:
+		fnVal = a.eval(x.Callee, env)
+	}
+	if fnVal != nil && (fnVal.typ == "fn" || fnVal.typ == "fn-resolve") {
+		out := a.invokeUser(fnVal, args, nil)
+		a.markValue(out, x)
+		return out
+	}
+	if fnVal != nil && strings.HasPrefix(fnVal.typ, "modfn:") {
+		if out, handled := a.modfnCall(fnVal.typ[6:], args, x); handled {
+			a.markValue(out, x)
+			return out
+		}
+	}
+	out := newAval("obj")
+	for _, ag := range args {
+		out.addTaint(ag)
+	}
+	a.markValue(out, x)
+	return out
+}
+
+func (a *analyzer) evalRequire(x *ast.CallExpr, env *aenv) *aval {
+	if len(x.Args) == 0 {
+		return unknownVal
+	}
+	lit, ok := x.Args[0].(*ast.StringLit)
+	if !ok {
+		return unknownVal
+	}
+	name := lit.Value
+	// local file require: analyze the file once, return its exports
+	if strings.HasPrefix(name, "./") || strings.HasPrefix(name, "../") {
+		fname := strings.TrimPrefix(name, "./")
+		if !strings.HasSuffix(fname, ".js") {
+			fname += ".js"
+		}
+		if exp, ok := a.exports[fname]; ok {
+			return exp
+		}
+		if f, ok := a.files[fname]; ok {
+			// pre-seed to break require cycles
+			exp := newAval("obj")
+			a.exports[fname] = exp
+			prev := a.curFile
+			a.curFile = fname
+			fenv := newAenv(nil)
+			a.seedGlobals(fenv)
+			moduleExports := exp
+			moduleObj := newAval("obj")
+			moduleObj.setProp("exports", moduleExports)
+			fenv.define("module", moduleObj)
+			fenv.define("exports", moduleExports)
+			a.execStmts(f.Prog.Body, fenv)
+			a.curFile = prev
+			if final := moduleObj.prop("exports"); final != nil {
+				a.exports[fname] = final
+				return final
+			}
+			return exp
+		}
+		return unknownVal
+	}
+	switch name {
+	case "fs", "net", "http", "https", "mqtt", "nodemailer", "sqlite3", "child_process":
+		if name == "https" {
+			name = "http"
+		}
+		return newAval("module:" + name)
+	case "express":
+		return newAval("modfn:express.factory")
+	case "events":
+		m := newAval("module:events")
+		return m
+	}
+	return newAval("obj")
+}
+
+// modfnCall matches direct module-function calls: fs.readFile, fs.writeFile,
+// child_process.exec, express(), ...
+func (a *analyzer) modfnCall(name string, args []*aval, x *ast.CallExpr) (*aval, bool) {
+	pos := x.Pos()
+	switch name {
+	case "fs.createReadStream":
+		return newAval("emitter:stream"), true
+	case "fs.createWriteStream":
+		return newAval("sink:wstream"), true
+	case "fs.readFileSync":
+		return a.newSource("fs.readFileSync", pos), true
+	case "fs.readFile":
+		if n := len(args); n > 0 && args[n-1] != nil && args[n-1].typ == "fn" {
+			a.register(args[n-1], []*aval{newAval("prim"), a.newSource("fs.readFile(cb)", pos)})
+		}
+		return unknownVal, true
+	case "fs.writeFile", "fs.writeFileSync", "fs.appendFileSync", "fs.appendFile":
+		// both the path and data arguments can leak tainted values
+		a.recordSink(name, x, args...)
+		return unknownVal, true
+	case "net.connect", "net.createConnection":
+		return newAval("emitter:socket"), true
+	case "net.createServer":
+		if len(args) > 0 && args[0] != nil && args[0].typ == "fn" {
+			a.register(args[0], []*aval{newAval("emitter:socket")})
+		}
+		return newAval("emitter:server"), true
+	case "http.request":
+		if len(args) > 1 && args[1] != nil && args[1].typ == "fn" {
+			a.register(args[1], []*aval{newAval("emitter:httpres")})
+		}
+		return newAval("sink:httpreq"), true
+	case "http.get":
+		if len(args) > 1 && args[1] != nil && args[1].typ == "fn" {
+			a.register(args[1], []*aval{newAval("emitter:httpres")})
+		}
+		return newAval("obj"), true
+	case "http.createServer":
+		if len(args) > 0 && args[0] != nil && args[0].typ == "fn" {
+			a.register(args[0], []*aval{a.newSource("http.server(request)", pos), newAval("sink:expressres")})
+		}
+		return newAval("emitter:server"), true
+	case "mqtt.connect":
+		return newAval("emitter:mqtt"), true
+	case "nodemailer.createTransport":
+		return newAval("sink:transport"), true
+	case "child_process.exec", "child_process.execFile":
+		if n := len(args); n > 0 && args[n-1] != nil && args[n-1].typ == "fn" {
+			a.register(args[n-1], []*aval{newAval("prim"),
+				a.newSource("child_process.exec(stdout)", pos),
+				a.newSource("child_process.exec(stderr)", pos)})
+		}
+		return unknownVal, true
+	case "express.factory":
+		return newAval("emitter:expressapp"), true
+	case "sqlite3.verbose":
+		return newAval("module:sqlite3"), true
+	}
+	return nil, false
+}
+
+// hostCall matches method calls on typed I/O objects.
+func (a *analyzer) hostCall(recv *aval, method string, args []*aval, x *ast.CallExpr) (*aval, bool) {
+	if recv == nil {
+		return nil, false
+	}
+	pos := x.Pos()
+	typ := recv.typ
+	switch {
+	case strings.HasPrefix(typ, "modfn:"):
+		return a.modfnCall(typ[6:]+"."+method, args, x)
+	case strings.HasPrefix(typ, "module:"):
+		return a.modfnCall(typ[7:]+"."+method, args, x)
+	case strings.HasPrefix(typ, "emitter:"):
+		kind := typ[8:]
+		switch method {
+		case "on", "once", "addListener":
+			if len(args) >= 2 && args[1] != nil && args[1].typ == "fn" {
+				event := stringArg(x, 0)
+				if params, isSource := a.sourceParams(kind, event, pos); isSource {
+					a.register(args[1], params)
+				}
+			}
+			return recv, true
+		case "write", "end", "send":
+			// sockets are bidirectional: writes are sinks
+			if kind == "socket" || kind == "stream" {
+				if len(args) > 0 {
+					a.recordSink("net.socket.write", x, args...)
+				}
+				return newAval("prim"), true
+			}
+		case "publish":
+			if kind == "mqtt" && len(args) > 1 {
+				a.recordSink("mqtt.publish", x, args[1:]...)
+				return recv, true
+			}
+		case "get", "post", "put", "use":
+			if kind == "expressapp" {
+				if n := len(args); n > 0 && args[n-1] != nil && args[n-1].typ == "fn" {
+					a.register(args[n-1], []*aval{a.newSource("express."+method, pos),
+						newAval("sink:expressres")})
+				}
+				return recv, true
+			}
+		case "listen", "subscribe", "setEncoding":
+			return recv, true
+		}
+	case strings.HasPrefix(typ, "sink:"):
+		kind := typ[5:]
+		switch {
+		case kind == "wstream" && (method == "write" || method == "end"):
+			a.recordSink("fs.stream.write", x, args...)
+			return newAval("prim"), true
+		case kind == "httpreq" && (method == "write" || method == "end"):
+			a.recordSink("http.request.write", x, args...)
+			return newAval("prim"), true
+		case kind == "transport" && method == "sendMail":
+			a.recordSink("smtp.sendMail", x, args...)
+			// the completion callback is driven with untainted params
+			if n := len(args); n > 1 && args[n-1] != nil && args[n-1].typ == "fn" {
+				a.register(args[n-1], []*aval{newAval("prim"), newAval("obj")})
+			}
+			return unknownVal, true
+		case kind == "expressres" && (method == "send" || method == "json" || method == "end" || method == "write"):
+			a.recordSink("http.response."+method, x, args...)
+			return newAval("prim"), true
+		case kind == "db" && method == "run":
+			if len(args) > 1 {
+				a.recordSink("sqlite.run", x, args[1:]...)
+			}
+			return recv, true
+		case kind == "db" && (method == "all" || method == "get" || method == "each"):
+			if n := len(args); n > 0 && args[n-1] != nil && args[n-1].typ == "fn" {
+				a.register(args[n-1], []*aval{newAval("prim"), a.newSource("sqlite."+method+"(rows)", pos)})
+			}
+			return recv, true
+		}
+	case typ == "rednode":
+		switch method {
+		case "on":
+			if len(args) >= 2 && args[1] != nil && args[1].typ == "fn" && stringArg(x, 0) == "input" {
+				msg := a.newSource("nodered.input", pos)
+				send := newAval("sink:rednodesend")
+				done := newAval("fn-opaque")
+				a.register(args[1], []*aval{msg, send, done})
+			}
+			return recv, true
+		case "send":
+			a.recordSink("nodered.send", x, args...)
+			return unknownVal, true
+		case "status", "error", "warn", "log":
+			return unknownVal, true
+		}
+	case typ == "sink:rednodesend":
+		// send(msg) extracted as a parameter in modern Node-RED style
+		if method == "call" || method == "apply" {
+			a.recordSink("nodered.send", x, args...)
+			return unknownVal, true
+		}
+	case typ == "rednodes":
+		switch method {
+		case "createNode":
+			// RED.nodes.createNode(this, config): `this` becomes a node
+			if len(args) > 0 && args[0] != nil {
+				args[0].typ = "rednode"
+			}
+			return unknownVal, true
+		case "registerType":
+			// drive the node constructor with this = a fresh node object
+			if len(args) > 1 && args[1] != nil && args[1].typ == "fn" {
+				nodeThis := newAval("obj")
+				a.invokeUser(args[1], []*aval{newAval("obj")}, nodeThis)
+			}
+			return unknownVal, true
+		}
+	}
+	// a direct call of a rednode-style send parameter: handled in evalCall
+	if typ == "sink:rednodesend" {
+		a.recordSink("nodered.send", x, args...)
+		return unknownVal, true
+	}
+	return nil, false
+}
+
+// sourceParams returns the seeded callback parameters for an event
+// registration on an emitter, and whether the event delivers I/O data.
+func (a *analyzer) sourceParams(kind, event string, pos ast.Pos) ([]*aval, bool) {
+	switch kind {
+	case "stream":
+		if event == "data" || event == "line" {
+			return []*aval{a.newSource("fs.stream.on("+event+")", pos)}, true
+		}
+	case "socket":
+		if event == "data" {
+			return []*aval{a.newSource("net.socket.on(data)", pos)}, true
+		}
+	case "httpres":
+		if event == "data" || event == "end" {
+			return []*aval{a.newSource("http.response.on("+event+")", pos)}, true
+		}
+	case "mqtt":
+		if event == "message" {
+			return []*aval{
+				a.newSource("mqtt.on(message,topic)", pos),
+				a.newSource("mqtt.on(message,payload)", pos),
+			}, true
+		}
+	case "server":
+		if event == "connection" {
+			return []*aval{newAval("emitter:socket")}, true
+		}
+		if event == "request" {
+			return []*aval{a.newSource("http.server(request)", pos), newAval("sink:expressres")}, true
+		}
+	}
+	return nil, false
+}
+
+// stringArg extracts a literal string argument from the call node.
+func stringArg(x *ast.CallExpr, i int) string {
+	if i < len(x.Args) {
+		if lit, ok := x.Args[i].(*ast.StringLit); ok {
+			return lit.Value
+		}
+	}
+	return ""
+}
+
+// evalNew handles constructor calls: sqlite3.Database, user classes, and
+// Promise (§4.5: the Promise object is the callback's resolved value).
+func (a *analyzer) evalNew(x *ast.NewExpr, env *aenv) *aval {
+	args := make([]*aval, len(x.Args))
+	for i, arg := range x.Args {
+		args[i] = a.eval(arg, env)
+	}
+	// new sqlite3.Database(path)
+	if mem, ok := x.Callee.(*ast.MemberExpr); ok && !mem.Computed {
+		obj := a.eval(mem.Object, env)
+		if obj != nil && obj.typ == "module:sqlite3" && mem.Property == "Database" {
+			return newAval("sink:db")
+		}
+		if obj != nil && obj.typ == "module:events" && mem.Property == "EventEmitter" {
+			return newAval("obj")
+		}
+	}
+	if id, ok := x.Callee.(*ast.Ident); ok {
+		if id.Name == "Promise" && len(args) > 0 && args[0] != nil && args[0].typ == "fn" {
+			// run the executor; resolve(v) taints the promise
+			promise := newAval("obj")
+			resolver := newAval("fn-resolve")
+			resolver.setProp("$promise", promise)
+			a.invokeUser(args[0], []*aval{resolver, resolver}, nil)
+			if rv := resolver.prop("$resolved"); rv != nil {
+				promise.addTaint(rv)
+				promise.setProp("$resolved", rv)
+			}
+			return promise
+		}
+		if id.Name == "Error" || id.Name == "TypeError" || id.Name == "RangeError" {
+			return newAval("obj")
+		}
+		// user class or constructor function
+		if cls, ok := env.lookup(id.Name); ok && cls != nil && cls.typ == "fn" {
+			inst := newAval("obj")
+			inst.setProp("$class", cls)
+			if ctor := cls.prop("$method:constructor"); ctor != nil {
+				a.invokeUser(ctor, args, inst)
+			} else if cls.fn != nil {
+				a.invokeUser(cls, args, inst)
+			}
+			// NOTE: methods installed via Cls.prototype.m = ... are not
+			// linked here — the prototype-chain gap of §6.1.
+			return inst
+		}
+	}
+	out := newAval("obj")
+	for _, ag := range args {
+		out.addTaint(ag)
+	}
+	return out
+}
+
+// invokeUser inlines a user function with the call-site argument values
+// (context-sensitive, type-sensitive interprocedural analysis). Without
+// TypeSensitive, arguments degrade to unknown — the ablation of §6.1.
+func (a *analyzer) invokeUser(fn *aval, args []*aval, this *aval) *aval {
+	if fn == nil || fn.fn == nil {
+		// calling a resolve() function captured from a Promise executor
+		if fn != nil && fn.typ == "fn-resolve" && len(args) > 0 {
+			fn.setProp("$resolved", args[0])
+		}
+		return unknownVal
+	}
+	if a.callDepth >= a.opts.MaxCallDepth {
+		return unknownVal
+	}
+	if a.inlining[fn.fn] >= a.opts.MaxInlineDepth {
+		return unknownVal
+	}
+	if !a.opts.TypeSensitive {
+		degraded := make([]*aval, len(args))
+		for i := range args {
+			degraded[i] = unknownVal
+		}
+		args = degraded
+		this = nil
+	}
+	a.callDepth++
+	a.inlining[fn.fn]++
+	prevFile := a.curFile
+	if fn.fnFile != "" {
+		a.curFile = fn.fnFile
+	}
+	env := newAenv(fn.fnEnv)
+	if env.parent == nil {
+		env = newAenv(nil)
+		a.seedGlobals(env)
+	}
+	if this != nil {
+		env.define("this", this)
+	}
+	for i, p := range fn.fn.Params {
+		switch {
+		case p.Rest:
+			rest := newAval("obj")
+			for _, ag := range args[min(i, len(args)):] {
+				rest.addTaint(ag)
+			}
+			env.define(p.Name, rest)
+		case i < len(args) && args[i] != nil:
+			env.define(p.Name, args[i])
+		default:
+			env.define(p.Name, unknownVal)
+		}
+	}
+	var ret *aval
+	if fn.fn.ExprRet != nil {
+		ret = a.eval(fn.fn.ExprRet, env)
+	} else if fn.fn.Body != nil {
+		ret = a.execStmts(fn.fn.Body.Body, env)
+	}
+	a.curFile = prevFile
+	a.inlining[fn.fn]--
+	a.callDepth--
+	if ret == nil {
+		return unknownVal
+	}
+	return ret
+}

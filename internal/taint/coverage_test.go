@@ -1,0 +1,306 @@
+package taint
+
+import (
+	"testing"
+
+	"turnstile/internal/parser"
+)
+
+// Statement- and expression-coverage battery: flows routed through every
+// construct the analyzer models.
+
+func TestFlowThroughSwitch(t *testing.T) {
+	res := analyzeSrc(t, `
+const fs = require("fs");
+const ws = fs.createWriteStream("/out");
+const rs = fs.createReadStream("/in");
+rs.on("data", d => {
+  let out;
+  switch (d.length) {
+    case 1: out = d; break;
+    case 2: out = d + d; break;
+    default: out = d.trim();
+  }
+  ws.write(out);
+});
+`)
+	wantPaths(t, res, 1)
+}
+
+func TestFlowThroughTryCatch(t *testing.T) {
+	res := analyzeSrc(t, `
+const fs = require("fs");
+const ws = fs.createWriteStream("/out");
+const rs = fs.createReadStream("/in");
+rs.on("data", d => {
+  let parsed;
+  try {
+    parsed = JSON.parse(d);
+  } catch (e) {
+    parsed = d;
+  } finally {
+    ws.write(parsed);
+  }
+});
+`)
+	wantPaths(t, res, 1)
+}
+
+func TestFlowThroughTernaryAndLogical(t *testing.T) {
+	res := analyzeSrc(t, `
+const fs = require("fs");
+const ws = fs.createWriteStream("/out");
+const rs = fs.createReadStream("/in");
+rs.on("data", d => {
+  const a = d.length > 3 ? d : "short";
+  const b = d || "fallback";
+  ws.write(a + b);
+});
+`)
+	wantPaths(t, res, 1)
+}
+
+func TestFlowThroughWhileAndDoWhile(t *testing.T) {
+	res := analyzeSrc(t, `
+const fs = require("fs");
+const ws = fs.createWriteStream("/out");
+const rs = fs.createReadStream("/in");
+rs.on("data", d => {
+  let acc = "";
+  let i = 0;
+  while (i < d.length) { acc += d[i]; i++; }
+  do { acc += "!"; } while (acc.length < 3);
+  ws.write(acc);
+});
+`)
+	wantPaths(t, res, 1)
+}
+
+func TestFlowThroughSpreadAndSeq(t *testing.T) {
+	res := analyzeSrc(t, `
+const fs = require("fs");
+const ws = fs.createWriteStream("/out");
+const rs = fs.createReadStream("/in");
+rs.on("data", d => {
+  const parts = [...d.split(","), "tail"];
+  const merged = { ...{ raw: d }, extra: 1 };
+  let tmp = (1, d.length, parts);
+  ws.write(merged.raw + tmp.length);
+});
+`)
+	wantPaths(t, res, 1)
+}
+
+func TestFlowThroughMemberWrites(t *testing.T) {
+	res := analyzeSrc(t, `
+const fs = require("fs");
+const ws = fs.createWriteStream("/out");
+const rs = fs.createReadStream("/in");
+const state = { last: null };
+rs.on("data", d => {
+  state.last = d;
+  state["dynamic" + 1] = d;
+  ws.write(state.last);
+});
+`)
+	wantPaths(t, res, 1)
+}
+
+func TestThrowAndUpdateDoNotCrash(t *testing.T) {
+	analyzeSrc(t, `
+const fs = require("fs");
+let counter = 0;
+function bump() { counter++; --counter; return counter; }
+fs.createReadStream("/x").on("data", d => {
+  if (bump() > 2) { throw new Error("too many: " + d); }
+});
+`)
+}
+
+func TestTemplateAndUnaryFlow(t *testing.T) {
+	res := analyzeSrc(t, "const fs = require(\"fs\");\n"+
+		"const ws = fs.createWriteStream(\"/out\");\n"+
+		"fs.createReadStream(\"/in\").on(\"data\", d => {\n"+
+		"  const neg = -d.length;\n"+
+		"  ws.write(`v=${d} n=${neg}`);\n"+
+		"});\n")
+	wantPaths(t, res, 1)
+}
+
+func TestImplicitFlowAnalysis(t *testing.T) {
+	src := `
+const fs = require("fs");
+const ws = fs.createWriteStream("/state");
+fs.createReadStream("/in").on("data", d => {
+  let state = "closed";
+  if (d.length > 3) {
+    state = "open";
+  }
+  ws.write(state);
+});
+`
+	explicit := analyzeOpts(t, src, Options{TypeSensitive: true})
+	if len(explicit.Paths) != 0 {
+		t.Fatalf("explicit analysis should miss the implicit flow: %+v", explicit.Paths)
+	}
+	implicit := analyzeOpts(t, src, Options{TypeSensitive: true, ImplicitFlows: true})
+	if len(implicit.Paths) != 1 {
+		t.Fatalf("implicit analysis should find the flow: %+v", implicit.Paths)
+	}
+	// the selection covers the branch and the sink
+	if len(implicit.SelectionFor("app.js")) <= len(explicit.SelectionFor("app.js")) {
+		t.Fatal("implicit selection should be strictly larger")
+	}
+}
+
+func TestImplicitFlowThroughLoops(t *testing.T) {
+	src := `
+const fs = require("fs");
+const ws = fs.createWriteStream("/count");
+fs.createReadStream("/in").on("data", d => {
+  let n = 0;
+  while (n < d.length) { n = n + 1; }
+  let m = 0;
+  do { m = m + 1; } while (m < d.length);
+  ws.write(n + ":" + m);
+});
+`
+	res := analyzeOpts(t, src, Options{TypeSensitive: true, ImplicitFlows: true})
+	wantPaths(t, res, 1)
+}
+
+func TestClassStaticsAndInstanceFlow(t *testing.T) {
+	res := analyzeSrc(t, `
+const fs = require("fs");
+class Router {
+  constructor(sink) { this.sink = sink; }
+  forward(d) { this.sink.write(d); }
+}
+const r = new Router(fs.createWriteStream("/routed"));
+fs.createReadStream("/in").on("data", d => r.forward(d));
+`)
+	wantPaths(t, res, 1)
+}
+
+func TestEmptySources(t *testing.T) {
+	res := Analyze(nil, DefaultOptions())
+	if len(res.Paths) != 0 || len(res.Sources) != 0 {
+		t.Fatal("empty analysis should be empty")
+	}
+	if res.SelectionFor("ghost.js") == nil {
+		t.Fatal("SelectionFor must return a usable map")
+	}
+}
+
+func TestLocKeyFormat(t *testing.T) {
+	p := Path{
+		SourceKind: "s", SinkKind: "k",
+		Source: Loc{File: "a.js"}, Sink: Loc{File: "b.js"},
+	}
+	if p.Key() == "" {
+		t.Fatal("empty key")
+	}
+	p2 := p
+	p2.SinkKind = "other"
+	if p.Key() == p2.Key() {
+		t.Fatal("kinds must disambiguate keys")
+	}
+}
+
+func TestParseErrorsPropagateThroughAppFiles(t *testing.T) {
+	if _, err := parser.Parse("bad.js", "let = ;"); err == nil {
+		t.Fatal("sanity: parse should fail")
+	}
+}
+
+// TestScalesToLargeApplications concatenates the whole corpus into one
+// program (~10k lines) and checks the analyzer stays fast — the paper's
+// practicality claim (milliseconds, not minutes).
+func TestScalesToLargeApplications(t *testing.T) {
+	t.Parallel()
+	var b []byte
+	b = append(b, []byte("const net = require(\"net\");\nconst fs = require(\"fs\");\n")...)
+	for _, src := range corpusLikeSources() {
+		b = append(b, []byte(src)...)
+		b = append(b, '\n')
+	}
+	prog, err := parser.Parse("mega.js", string(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Analyze([]File{{Name: "mega.js", Prog: prog}}, DefaultOptions())
+	if len(res.Paths) < 50 {
+		t.Fatalf("mega-app paths = %d", len(res.Paths))
+	}
+	if res.Duration.Seconds() > 5 {
+		t.Fatalf("analysis took %v on the mega-app", res.Duration)
+	}
+	t.Logf("mega-app: %d lines, %d paths, %v", countLines(string(b)), len(res.Paths), res.Duration)
+}
+
+func countLines(s string) int {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			n++
+		}
+	}
+	return n
+}
+
+// corpusLikeSources generates a large body of analyzer input without
+// importing the corpus package (which would create an import cycle).
+func corpusLikeSources() []string {
+	var out []string
+	for u := 0; u < 120; u++ {
+		out = append(out, unitSrc(u))
+	}
+	return out
+}
+
+func unitSrc(u int) string {
+	switch u % 3 {
+	case 0:
+		return sprintfUnit(`function feedX%d(conn, sink) {
+  conn.on("data", d => sink.write(d.trim()));
+}
+feedX%d(net.connect({ host: "h%d", port: 1 }), fs.createWriteStream("/s%d"));`, u)
+	case 1:
+		return sprintfUnit(`const rdX%d = fs.createReadStream("/i%d");
+const wrX%d = fs.createWriteStream("/o%d");
+rdX%d.on("data", c => wrX%d.write(c.toUpperCase()));`, u)
+	default:
+		return sprintfUnit(`function helperX%d(a, b) {
+  let out = a * 2 + b;
+  for (let i = 0; i < 4; i++) { out = out + i; }
+  return out;
+}
+const calX%d = helperX%d(%d, 2);`, u)
+	}
+}
+
+func sprintfUnit(tmpl string, u int) string {
+	// fill every %d with u
+	out := ""
+	for i := 0; i < len(tmpl); i++ {
+		if tmpl[i] == '%' && i+1 < len(tmpl) && tmpl[i+1] == 'd' {
+			out += itoa(u)
+			i++
+			continue
+		}
+		out += string(tmpl[i])
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

@@ -1,0 +1,118 @@
+package taint
+
+import (
+	"fmt"
+	"html"
+	"sort"
+	"strings"
+
+	"turnstile/internal/ast"
+)
+
+// ReportHTML renders an analysis result as a self-contained HTML page for
+// visually inspecting the detected dataflows — the artifact's
+// run-turnstile-single.js produces the same kind of page. Source lines on
+// privacy-sensitive paths are highlighted; the path table links sources to
+// sinks.
+func ReportHTML(res *Result, files []File, sources map[string]string) string {
+	var b strings.Builder
+	b.WriteString(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>Turnstile dataflow report</title>
+<style>
+  body { font-family: ui-monospace, monospace; margin: 2rem; background: #fafafa; }
+  h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 2rem; }
+  table { border-collapse: collapse; margin: 1rem 0; }
+  th, td { border: 1px solid #ccc; padding: 0.3rem 0.7rem; text-align: left; }
+  th { background: #eee; }
+  pre { background: #fff; border: 1px solid #ddd; padding: 0.8rem; line-height: 1.45; }
+  .hl { background: #fde68a; }
+  .src { color: #166534; font-weight: bold; }
+  .snk { color: #991b1b; font-weight: bold; }
+  .ln { color: #999; user-select: none; }
+</style></head><body>
+`)
+	fmt.Fprintf(&b, "<h1>Turnstile dataflow report</h1>\n")
+	fmt.Fprintf(&b, "<p>%d privacy-sensitive dataflow(s) across %d file(s); analysis took %v.</p>\n",
+		len(res.Paths), len(files), res.Duration)
+
+	b.WriteString("<h2>Privacy-sensitive dataflows</h2>\n<table>\n")
+	b.WriteString("<tr><th>#</th><th>source</th><th>kind</th><th>sink</th><th>kind</th><th>steps</th></tr>\n")
+	for i, p := range res.Paths {
+		fmt.Fprintf(&b, "<tr><td>%d</td><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td>%d</td></tr>\n",
+			i+1, html.EscapeString(p.Source.String()), html.EscapeString(p.SourceKind),
+			html.EscapeString(p.Sink.String()), html.EscapeString(p.SinkKind), len(p.Steps))
+	}
+	b.WriteString("</table>\n")
+
+	// per-file annotated source
+	names := make([]string, 0, len(sources))
+	for n := range sources {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sel := res.SelectionFor(name)
+		hlLines := map[int]bool{}
+		for _, f := range files {
+			if f.Name != name {
+				continue
+			}
+			// mark the line of every selected node
+			markSelectedLines(f, sel, hlLines)
+		}
+		srcLines := map[int]bool{}
+		snkLines := map[int]bool{}
+		for _, p := range res.Paths {
+			if p.Source.File == name {
+				srcLines[p.Source.Pos.Line] = true
+			}
+			if p.Sink.File == name {
+				snkLines[p.Sink.Pos.Line] = true
+			}
+		}
+		fmt.Fprintf(&b, "<h2>%s</h2>\n<pre>", html.EscapeString(name))
+		for i, line := range strings.Split(sources[name], "\n") {
+			n := i + 1
+			class := ""
+			switch {
+			case srcLines[n]:
+				class = "src"
+			case snkLines[n]:
+				class = "snk"
+			case hlLines[n]:
+				class = "hl"
+			}
+			if class != "" {
+				fmt.Fprintf(&b, `<span class="ln">%4d</span> <span class="%s">%s</span>`+"\n",
+					n, class, html.EscapeString(line))
+			} else {
+				fmt.Fprintf(&b, `<span class="ln">%4d</span> %s`+"\n", n, html.EscapeString(line))
+			}
+		}
+		b.WriteString("</pre>\n")
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+// markSelectedLines records the source lines of every selected AST node.
+func markSelectedLines(f File, sel map[int]bool, out map[int]bool) {
+	if len(sel) == 0 {
+		return
+	}
+	walkLines(f, func(id, line int) {
+		if sel[id] {
+			out[line] = true
+		}
+	})
+}
+
+// walkLines visits every node of a file with its (id, line).
+func walkLines(f File, visit func(id, line int)) {
+	ast.Walk(f.Prog, func(n ast.Node) bool {
+		if n.Pos().Valid() {
+			visit(n.NodeID(), n.Pos().Line)
+		}
+		return true
+	})
+}

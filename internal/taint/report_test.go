@@ -1,0 +1,46 @@
+package taint
+
+import (
+	"strings"
+	"testing"
+
+	"turnstile/internal/parser"
+)
+
+func TestReportHTML(t *testing.T) {
+	src := `const net = require("net");
+const sock = net.connect({ host: "cam", port: 1 });
+sock.on("data", d => {
+  sock.write(d.trim());
+});
+`
+	prog := parser.MustParse("app.js", src)
+	files := []File{{Name: "app.js", Prog: prog}}
+	res := Analyze(files, DefaultOptions())
+	out := ReportHTML(res, files, map[string]string{"app.js": src})
+	for _, want := range []string{
+		"<!DOCTYPE html>", "1 privacy-sensitive dataflow",
+		"net.socket.on(data)", "net.socket.write",
+		`class="src"`, `class="snk"`, "app.js",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// HTML-escape check: inject a <script> into the source
+	evil := `const x = "<script>alert(1)</script>";`
+	prog2 := parser.MustParse("evil.js", evil)
+	files2 := []File{{Name: "evil.js", Prog: prog2}}
+	res2 := Analyze(files2, DefaultOptions())
+	out2 := ReportHTML(res2, files2, map[string]string{"evil.js": evil})
+	if strings.Contains(out2, "<script>alert") {
+		t.Fatal("unescaped HTML in report")
+	}
+}
+
+func TestReportHTMLEmpty(t *testing.T) {
+	out := ReportHTML(&Result{Selection: map[string]map[int]bool{}}, nil, nil)
+	if !strings.Contains(out, "0 privacy-sensitive dataflow") {
+		t.Fatal("empty report wrong")
+	}
+}

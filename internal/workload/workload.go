@@ -1,0 +1,109 @@
+// Package workload implements the input-stream machinery of §6.2: message
+// generation at a fixed rate f Hz and the computation of end-to-end
+// processing time for a stream of n messages.
+//
+// The paper streams 1000 messages in real time at rates from 2 Hz to
+// 1000 Hz. Re-running every configuration in real time costs hours of pure
+// idle waiting (500 s per run at 2 Hz); this package instead measures the
+// real per-message service times by executing the application, then
+// computes the stream completion time with an exact single-server FIFO
+// queue simulation: message i arrives at i/f, starts when the previous
+// message finishes (or on arrival, whichever is later), and occupies the
+// server for its measured service time. This reproduces precisely the
+// rate-dependent behaviour of Fig. 11 — at low rates the stream is
+// idle-dominated and the relative run-time approaches 1; at high rates it
+// is service-dominated and approaches the service-time ratio. A real-time
+// pacer (RealTimeStream) is also provided and used in integration tests.
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// Service is a per-message service-time profile, as measured by running
+// the application under test.
+type Service []time.Duration
+
+// Total returns the sum of service times (the busy time of the server).
+func (s Service) Total() time.Duration {
+	var t time.Duration
+	for _, d := range s {
+		t += d
+	}
+	return t
+}
+
+// CompletionTime simulates a FIFO single-server queue fed at rate hz and
+// returns when the last message finishes, measured from the first arrival.
+func CompletionTime(s Service, hz float64) time.Duration {
+	if len(s) == 0 {
+		return 0
+	}
+	if hz <= 0 {
+		return s.Total()
+	}
+	period := time.Duration(float64(time.Second) / hz)
+	var finish time.Duration
+	for i, d := range s {
+		arrival := time.Duration(i) * period
+		start := arrival
+		if finish > start {
+			start = finish
+		}
+		finish = start + d
+	}
+	return finish
+}
+
+// RelativeRuntime returns t/t_og for a managed service profile against the
+// original profile at the given rate — the y-axis of Figs. 11 and 12.
+func RelativeRuntime(managed, original Service, hz float64) float64 {
+	ot := CompletionTime(original, hz)
+	if ot == 0 {
+		return 1
+	}
+	return float64(CompletionTime(managed, hz)) / float64(ot)
+}
+
+// Rates is the input-rate sweep of Fig. 11 (Hz).
+var Rates = []float64{2, 5, 10, 30, 100, 250, 500, 1000}
+
+// Measure runs process(i) for n messages and records each service time.
+func Measure(n int, process func(i int) error) (Service, error) {
+	s := make(Service, n)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		if err := process(i); err != nil {
+			return nil, fmt.Errorf("workload: message %d: %w", i, err)
+		}
+		s[i] = time.Since(start)
+	}
+	return s, nil
+}
+
+// RealTimeStream paces process(i) at hz in wall-clock time, like the
+// paper's test rig, and returns the total elapsed time.
+func RealTimeStream(n int, hz float64, process func(i int) error) (time.Duration, error) {
+	period := time.Duration(float64(time.Second) / hz)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		next := start.Add(time.Duration(i) * period)
+		if wait := time.Until(next); wait > 0 {
+			time.Sleep(wait)
+		}
+		if err := process(i); err != nil {
+			return 0, fmt.Errorf("workload: message %d: %w", i, err)
+		}
+	}
+	return time.Since(start), nil
+}
+
+// Percentile returns the p-quantile (0..1) of already-sorted values.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func constService(n int, d time.Duration) Service {
+	s := make(Service, n)
+	for i := range s {
+		s[i] = d
+	}
+	return s
+}
+
+func TestCompletionIdleDominated(t *testing.T) {
+	// 10 messages at 2 Hz, 1 ms service each: the stream is idle-dominated
+	// and completes at the last arrival + service.
+	s := constService(10, time.Millisecond)
+	got := CompletionTime(s, 2)
+	want := 9*500*time.Millisecond + time.Millisecond
+	if got != want {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestCompletionServiceDominated(t *testing.T) {
+	// service 10 ms, arrivals every 1 ms: the server is the bottleneck.
+	s := constService(100, 10*time.Millisecond)
+	got := CompletionTime(s, 1000)
+	want := 100 * 10 * time.Millisecond
+	if got != want {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestRelativeRuntimeShape(t *testing.T) {
+	// the Fig. 11 shape: with 20% slower processing, relative run-time is
+	// ≈1 at low rates and →1.2 at high rates.
+	orig := constService(1000, time.Millisecond)
+	managed := constService(1000, 1200*time.Microsecond)
+	low := RelativeRuntime(managed, orig, 2)
+	high := RelativeRuntime(managed, orig, 1000)
+	if low > 1.001 {
+		t.Fatalf("low-rate relative runtime = %f, want ≈1", low)
+	}
+	if math.Abs(high-1.2) > 0.01 {
+		t.Fatalf("high-rate relative runtime = %f, want ≈1.2", high)
+	}
+	// monotone growth across the sweep
+	prev := 0.0
+	for _, hz := range Rates {
+		r := RelativeRuntime(managed, orig, hz)
+		if r+1e-9 < prev {
+			t.Fatalf("relative runtime not monotone at %v Hz: %f < %f", hz, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestCrossoverRate(t *testing.T) {
+	// the overhead becomes visible once the service time approaches the
+	// inter-arrival period: 1 ms service ⇒ crossover near 1000 Hz.
+	orig := constService(500, time.Millisecond)
+	managed := constService(500, 2*time.Millisecond)
+	at100 := RelativeRuntime(managed, orig, 100) // period 10 ms ≫ service
+	at1000 := RelativeRuntime(managed, orig, 1000)
+	if at100 > 1.01 {
+		t.Fatalf("at 100 Hz = %f", at100)
+	}
+	if at1000 < 1.9 {
+		t.Fatalf("at 1000 Hz = %f", at1000)
+	}
+}
+
+func TestEmptyAndZeroRate(t *testing.T) {
+	if CompletionTime(nil, 30) != 0 {
+		t.Fatal("empty service")
+	}
+	s := constService(3, time.Millisecond)
+	if CompletionTime(s, 0) != 3*time.Millisecond {
+		t.Fatal("zero rate should be back-to-back")
+	}
+	if RelativeRuntime(s, nil, 30) != 1 {
+		t.Fatal("empty original")
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	calls := 0
+	s, err := Measure(5, func(i int) error {
+		calls++
+		if i != calls-1 {
+			t.Fatalf("order: %d", i)
+		}
+		return nil
+	})
+	if err != nil || len(s) != 5 {
+		t.Fatalf("s=%v err=%v", s, err)
+	}
+	boom := errors.New("boom")
+	if _, err := Measure(3, func(i int) error {
+		if i == 1 {
+			return boom
+		}
+		return nil
+	}); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRealTimeStreamPaces(t *testing.T) {
+	n := 20
+	hz := 200.0 // 5 ms period → ≥95 ms total
+	elapsed, err := RealTimeStream(n, hz, func(i int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	minimum := time.Duration(float64(n-1)*1000/hz) * time.Millisecond
+	if elapsed < minimum {
+		t.Fatalf("elapsed %v < floor %v", elapsed, minimum)
+	}
+	if elapsed > 3*minimum {
+		t.Fatalf("elapsed %v way over floor %v", elapsed, minimum)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	if Percentile(vals, 0) != 1 || Percentile(vals, 1) != 5 || Percentile(vals, 0.5) != 3 {
+		t.Fatal("percentiles wrong")
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty percentile")
+	}
+}
+
+// Property: completion time is monotone in rate (faster arrivals never
+// finish later) and bounded below by total service time.
+func TestQuickCompletionBounds(t *testing.T) {
+	f := func(raw []uint16, hzSeed uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 50 {
+			raw = raw[:50]
+		}
+		s := make(Service, len(raw))
+		for i, r := range raw {
+			s[i] = time.Duration(r%5000) * time.Microsecond
+		}
+		hz1 := 1 + float64(hzSeed%100)
+		hz2 := hz1 * 2
+		c1 := CompletionTime(s, hz1)
+		c2 := CompletionTime(s, hz2)
+		if c2 > c1 {
+			return false // higher rate must not slow completion
+		}
+		return c1 >= s.Total() && c2 >= s.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: relative runtime of identical profiles is exactly 1.
+func TestQuickSelfRelative(t *testing.T) {
+	f := func(raw []uint16, hzSeed uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := make(Service, len(raw))
+		for i, r := range raw {
+			s[i] = time.Duration(r) * time.Microsecond
+		}
+		hz := 1 + float64(hzSeed)
+		return RelativeRuntime(s, s, hz) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatesSweep(t *testing.T) {
+	if len(Rates) < 5 || Rates[0] != 2 || Rates[len(Rates)-1] != 1000 {
+		t.Fatalf("rates = %v", Rates)
+	}
+	if !sort.Float64sAreSorted(Rates) {
+		t.Fatal("rates must ascend")
+	}
+}
