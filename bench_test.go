@@ -10,6 +10,7 @@
 package turnstile_test
 
 import (
+	"runtime"
 	"testing"
 	"time"
 
@@ -94,6 +95,94 @@ func BenchmarkAnalysisTimeCodeQL(b *testing.B) {
 		}
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Parallel experiment harness: the end-to-end E1 path under the bounded
+// worker pool and the per-app pipeline cache. Compare Sequential vs
+// Parallel for the fan-out speedup (the acceptance target is >= 2x on a
+// >= 4-core machine) and ColdCache vs WarmCache for what repeated
+// experiment runs save by skipping re-parsing and re-analysis.
+
+func benchRunE1(b *testing.B, opts harness.E1Options) {
+	apps := corpus.All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunE1With(apps, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TurnstileTotal != 190 {
+			b.Fatalf("turnstile total = %d", res.TurnstileTotal)
+		}
+	}
+}
+
+func BenchmarkRunE1Sequential(b *testing.B) {
+	benchRunE1(b, harness.E1Options{Parallel: 1})
+}
+
+func BenchmarkRunE1Parallel(b *testing.B) {
+	benchRunE1(b, harness.E1Options{Parallel: runtime.GOMAXPROCS(0)})
+}
+
+func BenchmarkRunE1WarmCache(b *testing.B) {
+	apps := corpus.All()
+	cache := harness.NewCache()
+	opts := harness.E1Options{Parallel: runtime.GOMAXPROCS(0), Cache: cache}
+	if _, err := harness.RunE1With(apps, opts); err != nil {
+		b.Fatal(err) // warm the cache outside the timed region
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.RunE1With(apps, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchPrepareApp(b *testing.B, cache *harness.PipelineCache) {
+	app := corpus.ByName(corpus.All(), "modbus")
+	if cache != nil {
+		if _, err := harness.PrepareAppCached(app, cache); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.PrepareAppCached(app, cache); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPrepareAppColdCache(b *testing.B) { benchPrepareApp(b, nil) }
+func BenchmarkPrepareAppWarmCache(b *testing.B) { benchPrepareApp(b, harness.NewCache()) }
+
+func benchMeasureApps(b *testing.B, parallel int) {
+	apps := corpus.All()
+	subset := []*corpus.App{
+		corpus.ByName(apps, "nlp.js"),
+		corpus.ByName(apps, "modbus"),
+		corpus.ByName(apps, "watson"),
+		corpus.ByName(apps, "sensor-logger"),
+	}
+	opts := harness.E2Options{Messages: 30, Warmup: 5, Repeats: 1,
+		ServiceScale: harness.DefaultServiceScale,
+		Parallel:     parallel, Cache: harness.NewCache()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ms, err := harness.MeasureApps(subset, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ms) != len(subset) {
+			b.Fatalf("measured %d apps", len(ms))
+		}
+	}
+}
+
+func BenchmarkMeasureAppsSequential(b *testing.B) { benchMeasureApps(b, 1) }
+func BenchmarkMeasureAppsParallel(b *testing.B)   { benchMeasureApps(b, runtime.GOMAXPROCS(0)) }
 
 // ---------------------------------------------------------------------------
 // Figures 11 and 12 / E2: run-time overhead

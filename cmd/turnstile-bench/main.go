@@ -8,6 +8,12 @@
 //	turnstile-bench -all                 everything
 //
 // E2 flags: -messages N (default 200), -warmup N, -repeats N, -apps a,b,c.
+//
+// Scheduling flags: -parallel N fans the per-app analyses (E1) and
+// preparation+measurement (E2) across N workers (default: one per CPU;
+// 1 restores the paper's sequential methodology). A per-app pipeline
+// cache shares each app's parsed AST and dataflow analysis between E1 and
+// E2 and across repeated runs; -nocache disables it.
 package main
 
 import (
@@ -33,7 +39,14 @@ func main() {
 	repeats := flag.Int("repeats", 1, "repeated E2 runs to average (paper: 10)")
 	appsFilter := flag.String("apps", "", "comma-separated app names for E2 (default: all 27)")
 	outDir := flag.String("out", "", "also write compiled results (JSON/CSV) into this directory")
+	parallel := flag.Int("parallel", harness.DefaultParallelism(), "experiment worker count (1 = sequential)")
+	nocache := flag.Bool("nocache", false, "disable the per-app parse+analysis cache")
 	flag.Parse()
+
+	cache := harness.NewCache()
+	if *nocache {
+		cache = nil
+	}
 
 	if *all {
 		*table2, *fig10, *fig11, *fig12 = true, true, true, true
@@ -50,7 +63,7 @@ func main() {
 	}
 
 	if *fig10 {
-		res, err := harness.RunE1(apps)
+		res, err := harness.RunE1With(apps, harness.E1Options{Parallel: *parallel, Cache: cache})
 		if err != nil {
 			fatal(err)
 		}
@@ -73,17 +86,18 @@ func main() {
 			}
 			targets = filtered
 		}
-		opts := harness.E2Options{Messages: *messages, Warmup: *warmup, Repeats: *repeats}
-		fmt.Printf("measuring %d app(s) × 3 versions × %d messages...\n", len(targets), opts.Messages)
-		var ms []harness.AppMeasurement
-		for _, app := range targets {
-			m, err := harness.MeasureApp(app, opts)
-			if err != nil {
-				fatal(fmt.Errorf("%s: %w", app.Name, err))
-			}
-			ms = append(ms, *m)
+		opts := harness.E2Options{Messages: *messages, Warmup: *warmup, Repeats: *repeats,
+			Parallel: *parallel, Cache: cache}
+		fmt.Printf("measuring %d app(s) × 3 versions × %d messages on %d worker(s)...\n",
+			len(targets), opts.Messages, *parallel)
+		ms, err := harness.MeasureApps(targets, opts)
+		if err != nil {
+			fatal(err)
+		}
+		for i := range ms {
+			m := &ms[i]
 			fmt.Printf("  %-18s orig %8v  sel %8v  exh %8v (total service time)\n",
-				app.Name, m.Original.Total().Round(100), m.Selective.Total().Round(100), m.Exhaustive.Total().Round(100))
+				m.App, m.Original.Total().Round(100), m.Selective.Total().Round(100), m.Exhaustive.Total().Round(100))
 		}
 		points := harness.Figure11(ms, workload.Rates)
 		if *fig11 {
@@ -109,6 +123,13 @@ func main() {
 			100*(s.MedianSelLow-1), 100*(s.MedianSelHigh-1))
 		fmt.Printf("  apps with acceptable median overhead: selective %d, exhaustive %d (paper: 22 vs 16)\n",
 			s.AcceptableSel, s.AcceptableExh)
+	}
+
+	if cache != nil {
+		if s := cache.Stats(); s.Entries > 0 {
+			fmt.Printf("\npipeline cache: %d app(s) cached, %d lookup hit(s), %d miss(es)\n",
+				s.Entries, s.Hits, s.Misses)
+		}
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"turnstile/internal/baseline"
 	"turnstile/internal/core"
 	"turnstile/internal/corpus"
+	"turnstile/internal/harness"
 	"turnstile/internal/instrument"
 	"turnstile/internal/interp"
 	"turnstile/internal/parser"
@@ -74,24 +75,37 @@ func usage() {
   turnstile flow -flow f.json [-policy p.json] [-inject ID] <pkg.js>...   deploy and drive a Node-RED flow`)
 }
 
-func readSources(paths []string) (map[string]string, []taint.File, error) {
+// readSources loads and parses the input files, fanning the per-file work
+// across up to parallel workers (1 = sequential). Files are sorted first
+// and results are slotted by index, so output order never depends on the
+// worker interleaving.
+func readSources(paths []string, parallel int) (map[string]string, []taint.File, error) {
 	if len(paths) == 0 {
 		return nil, nil, fmt.Errorf("no input files")
 	}
-	sources := make(map[string]string)
-	var files []taint.File
 	sort.Strings(paths)
-	for _, p := range paths {
+	srcs := make([]string, len(paths))
+	files := make([]taint.File, len(paths))
+	err := harness.ForEach(len(paths), parallel, func(i int) error {
+		p := paths[i]
 		data, err := os.ReadFile(p)
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		sources[p] = string(data)
 		prog, err := parser.Parse(p, string(data))
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
-		files = append(files, taint.File{Name: p, Prog: prog})
+		srcs[i] = string(data)
+		files[i] = taint.File{Name: p, Prog: prog}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sources := make(map[string]string, len(paths))
+	for i, p := range paths {
+		sources[p] = srcs[i]
 	}
 	return sources, files, nil
 }
@@ -101,10 +115,11 @@ func cmdAnalyze(args []string) error {
 	typeSensitive := fs.Bool("type-sensitive", true, "enable type-sensitive interprocedural analysis")
 	implicit := fs.Bool("implicit", false, "also track implicit (control-dependence) flows")
 	htmlOut := fs.String("html", "", "write a visual dataflow report to this file")
+	parallel := fs.Int("parallel", harness.DefaultParallelism(), "file-loading worker count (1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	sources, files, err := readSources(fs.Args())
+	sources, files, err := readSources(fs.Args(), *parallel)
 	if err != nil {
 		return err
 	}
@@ -128,7 +143,12 @@ func cmdAnalyze(args []string) error {
 }
 
 func cmdCompare(args []string) error {
-	_, files, err := readSources(args)
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	parallel := fs.Int("parallel", harness.DefaultParallelism(), "file-loading worker count (1 = sequential)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	_, files, err := readSources(fs.Args(), *parallel)
 	if err != nil {
 		return err
 	}
@@ -144,10 +164,11 @@ func cmdInstrument(args []string) error {
 	fs := flag.NewFlagSet("instrument", flag.ExitOnError)
 	policyPath := fs.String("policy", "", "IFC policy JSON file")
 	mode := fs.String("mode", "selective", "instrumentation mode: selective or exhaustive")
+	parallel := fs.Int("parallel", harness.DefaultParallelism(), "file-loading worker count (1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	sources, files, err := readSources(fs.Args())
+	sources, files, err := readSources(fs.Args(), *parallel)
 	if err != nil {
 		return err
 	}
@@ -192,10 +213,11 @@ func cmdRun(args []string) error {
 	payload := fs.String("payload", "person%d:E%d", "payload format (two %d verbs)")
 	enforce := fs.Bool("enforce", true, "block violating flows")
 	implicit := fs.Bool("implicit", false, "track implicit (control-dependence) flows")
+	parallel := fs.Int("parallel", harness.DefaultParallelism(), "file-loading worker count (1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	sources, _, err := readSources(fs.Args())
+	sources, _, err := readSources(fs.Args(), *parallel)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,142 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"turnstile/internal/ast"
+	"turnstile/internal/baseline"
+	"turnstile/internal/parser"
+	"turnstile/internal/taint"
+)
+
+// PipelineCache memoizes the front half of the experiment pipeline per
+// application: the parsed AST and the dataflow-analysis result, keyed by a
+// hash of the source text (plus the analysis options), with the baseline
+// analyzer's result cached alongside for E1 reruns. Repeated experiment
+// runs — warm RunE1With calls, the three-version PrepareApp, E2 sweeps over
+// the same corpus — skip re-parsing and re-analysis entirely.
+//
+// Entries are immutable once computed: every consumer treats the cached
+// *ast.Program and *taint.Result as read-only (the instrumentor builds a
+// fresh AST, the interpreter never writes AST nodes), which is what makes
+// sharing them across worker goroutines safe. Concurrent requests for the
+// same key are collapsed singleflight-style: one goroutine computes, the
+// rest wait on the entry's sync.Once.
+//
+// Timing caveat: a cache hit returns the *originally measured* analysis
+// Duration, so warm-run E1 timing lines reflect the cold-run cost rather
+// than the (near-zero) lookup cost. The deterministic detection tables are
+// unaffected.
+type PipelineCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    int
+	misses  int
+}
+
+type cacheEntry struct {
+	once     sync.Once
+	prog     *ast.Program
+	analysis *taint.Result
+	err      error
+
+	// the baseline result is only needed by E1, so it is computed lazily
+	// under its own once.
+	baseOnce sync.Once
+	base     *baseline.Result
+}
+
+// NewCache creates an empty pipeline cache.
+func NewCache() *PipelineCache {
+	return &PipelineCache{entries: make(map[string]*cacheEntry)}
+}
+
+// CacheStats reports cache activity.
+type CacheStats struct {
+	Entries int
+	Hits    int
+	Misses  int
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *PipelineCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses}
+}
+
+// cacheKey hashes the identity of one pipeline run: file name, source
+// text, and the analysis configuration.
+func cacheKey(file, source string, opts taint.Options) string {
+	h := sha256.New()
+	h.Write([]byte(file))
+	h.Write([]byte{0})
+	h.Write([]byte(source))
+	h.Write([]byte{0})
+	fmt.Fprintf(h, "%+v", opts)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (c *PipelineCache) entry(file, source string, opts taint.Options) *cacheEntry {
+	key := cacheKey(file, source, opts)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[key]
+	if e == nil {
+		e = &cacheEntry{}
+		c.entries[key] = e
+		c.misses++
+	} else {
+		c.hits++
+	}
+	return e
+}
+
+func (e *cacheEntry) analyze(file, source string, opts taint.Options) (*ast.Program, *taint.Result, error) {
+	e.once.Do(func() {
+		prog, err := parser.Parse(file, source)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.prog = prog
+		e.analysis = taint.Analyze([]taint.File{{Name: file, Prog: prog}}, opts)
+	})
+	return e.prog, e.analysis, e.err
+}
+
+// Analyzed returns the parsed AST and dataflow analysis for one source
+// file, computing them on first use. The returned values are shared and
+// must be treated as read-only.
+func (c *PipelineCache) Analyzed(file, source string, opts taint.Options) (*ast.Program, *taint.Result, error) {
+	return c.entry(file, source, opts).analyze(file, source, opts)
+}
+
+// Baseline returns the CodeQL-equivalent baseline result for one source
+// file, computing it (and the parse, if needed) on first use.
+func (c *PipelineCache) Baseline(file, source string, opts taint.Options) (*baseline.Result, error) {
+	e := c.entry(file, source, opts)
+	if _, _, err := e.analyze(file, source, opts); err != nil {
+		return nil, err
+	}
+	e.baseOnce.Do(func() {
+		e.base = baseline.Analyze([]taint.File{{Name: file, Prog: e.prog}})
+	})
+	return e.base, nil
+}
+
+// analyzedApp resolves one corpus app through the cache, or directly when
+// cache is nil.
+func analyzedApp(cache *PipelineCache, file, source string, opts taint.Options) (*ast.Program, *taint.Result, error) {
+	if cache != nil {
+		return cache.Analyzed(file, source, opts)
+	}
+	prog, err := parser.Parse(file, source)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prog, taint.Analyze([]taint.File{{Name: file, Prog: prog}}, opts), nil
+}

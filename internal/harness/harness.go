@@ -77,18 +77,50 @@ type E1Result struct {
 	AppsBothFound     int
 }
 
-// RunE1 analyzes every corpus app with both analyzers.
+// E1Options configures how RunE1With schedules the per-app analyses.
+type E1Options struct {
+	// Parallel is the worker count; 0 selects GOMAXPROCS, 1 is the
+	// sequential path. Result order is index-deterministic either way.
+	Parallel int
+	// Cache, when non-nil, memoizes parse + analysis per app so warm
+	// reruns skip both (see PipelineCache).
+	Cache *PipelineCache
+}
+
+// RunE1 analyzes every corpus app with both analyzers, sequentially and
+// uncached — the paper's original single-goroutine methodology.
 func RunE1(apps []*corpus.App) (*E1Result, error) {
-	res := &E1Result{}
-	var tTotal, bTotal time.Duration
-	for _, app := range apps {
-		files, err := app.Files()
-		if err != nil {
-			return nil, err
+	return RunE1With(apps, E1Options{Parallel: 1})
+}
+
+// RunE1With analyzes every corpus app with both analyzers, fanning the
+// per-app work across a bounded worker pool. Rows are collected in corpus
+// order and every aggregate is computed in a deterministic sequential
+// pass, so the rendered detection tables are byte-identical to a
+// sequential run.
+func RunE1With(apps []*corpus.App, opts E1Options) (*E1Result, error) {
+	rows, err := mapIndexed(len(apps), opts.Parallel, func(i int) (Figure10Row, error) {
+		app := apps[i]
+		file := app.Name + ".js"
+		var tr *taint.Result
+		var br *baseline.Result
+		if opts.Cache != nil {
+			var err error
+			if _, tr, err = opts.Cache.Analyzed(file, app.Source, taint.DefaultOptions()); err != nil {
+				return Figure10Row{}, fmt.Errorf("harness: %s: %w", app.Name, err)
+			}
+			if br, err = opts.Cache.Baseline(file, app.Source, taint.DefaultOptions()); err != nil {
+				return Figure10Row{}, fmt.Errorf("harness: %s: %w", app.Name, err)
+			}
+		} else {
+			files, err := app.Files()
+			if err != nil {
+				return Figure10Row{}, err
+			}
+			tr = taint.Analyze(files, taint.DefaultOptions())
+			br = baseline.Analyze(files)
 		}
-		tr := taint.Analyze(files, taint.DefaultOptions())
-		br := baseline.Analyze(files)
-		row := Figure10Row{
+		return Figure10Row{
 			App:          app.Name,
 			Category:     app.Category.String(),
 			Manual:       app.GroundTruth,
@@ -96,18 +128,24 @@ func RunE1(apps []*corpus.App) (*E1Result, error) {
 			Baseline:     len(br.Paths),
 			TurnstileDur: tr.Duration,
 			BaselineDur:  br.Duration,
-		}
-		res.Rows = append(res.Rows, row)
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &E1Result{Rows: rows}
+	var tTotal, bTotal time.Duration
+	for _, row := range rows {
 		res.ManualTotal += row.Manual
 		res.TurnstileTotal += row.Turnstile
 		res.BaselineTotal += row.Baseline
-		tTotal += tr.Duration
-		bTotal += br.Duration
-		if tr.Duration > res.TurnstileMax {
-			res.TurnstileMax = tr.Duration
+		tTotal += row.TurnstileDur
+		bTotal += row.BaselineDur
+		if row.TurnstileDur > res.TurnstileMax {
+			res.TurnstileMax = row.TurnstileDur
 		}
-		if br.Duration > res.BaselineMax {
-			res.BaselineMax = br.Duration
+		if row.BaselineDur > res.BaselineMax {
+			res.BaselineMax = row.BaselineDur
 		}
 		switch {
 		case row.Turnstile > 0 && row.Baseline == 0:
@@ -129,8 +167,12 @@ func RunE1(apps []*corpus.App) (*E1Result, error) {
 	return res, nil
 }
 
-// RenderE1 formats the Figure 10 data and the timing summary.
-func RenderE1(res *E1Result) string {
+// RenderFigure10 formats the deterministic half of E1: the per-app
+// detection table and the category tallies. Its output depends only on
+// the corpus, never on measured durations, so sequential, parallel, cold-
+// and warm-cache runs must render byte-identically (the determinism tests
+// and golden files assert exactly this).
+func RenderFigure10(res *E1Result) string {
 	var b strings.Builder
 	b.WriteString("Figure 10: privacy-sensitive dataflows per application\n")
 	fmt.Fprintf(&b, "%-18s %-18s %7s %10s %8s\n", "Application", "Category", "Manual", "Turnstile", "CodeQL*")
@@ -141,6 +183,13 @@ func RenderE1(res *E1Result) string {
 	fmt.Fprintf(&b, "\napps where only Turnstile found paths: %d\n", res.AppsOnlyTurnstile)
 	fmt.Fprintf(&b, "apps where both found paths:           %d\n", res.AppsBothFound)
 	fmt.Fprintf(&b, "apps where neither found paths:        %d\n", res.AppsNeither)
+	return b.String()
+}
+
+// RenderE1 formats the Figure 10 data and the timing summary.
+func RenderE1(res *E1Result) string {
+	var b strings.Builder
+	b.WriteString(RenderFigure10(res))
 	fmt.Fprintf(&b, "\nanalysis time: turnstile mean %v (max %v); baseline mean %v (max %v); speedup %.1fx\n",
 		res.TurnstileMean, res.TurnstileMax, res.BaselineMean, res.BaselineMax, res.Speedup)
 	b.WriteString("(*CodeQL-equivalent baseline analyzer)\n")
@@ -202,6 +251,15 @@ type E2Options struct {
 	// ServiceScale is the workload-size normalization (see
 	// AppMeasurement.Scale); 0 selects the default.
 	ServiceScale float64
+	// Parallel is the MeasureApps worker count; 0 selects GOMAXPROCS, 1
+	// measures sequentially. Each app's three versions always stay on one
+	// worker, interleaved per repeat, so the overhead *ratios* remain
+	// apples-to-apples; only absolute service times pick up scheduling
+	// noise from neighbouring workers.
+	Parallel int
+	// Cache, when non-nil, memoizes each app's parse + analysis across
+	// PrepareApp calls and experiment reruns.
+	Cache *PipelineCache
 }
 
 // DefaultServiceScale normalizes the miniaturized corpus workloads to the
@@ -214,33 +272,41 @@ func DefaultE2Options() E2Options {
 	return E2Options{Messages: 200, Warmup: 20, Repeats: 3, ServiceScale: DefaultServiceScale}
 }
 
-// MeasureApps prepares and measures every runnable app.
+// MeasureApps prepares and measures every runnable app, fanning the
+// per-app preparation and measurement across opts.Parallel workers.
+// Measurements are collected in corpus order regardless of worker
+// interleaving.
 func MeasureApps(apps []*corpus.App, opts E2Options) ([]AppMeasurement, error) {
 	if opts.Messages == 0 {
-		opts = DefaultE2Options()
+		d := DefaultE2Options()
+		d.Parallel, d.Cache = opts.Parallel, opts.Cache
+		opts = d
 	}
-	var out []AppMeasurement
-	for _, app := range corpus.Runnable(apps) {
-		m, err := MeasureApp(app, opts)
+	runnable := corpus.Runnable(apps)
+	return mapIndexed(len(runnable), opts.Parallel, func(i int) (AppMeasurement, error) {
+		m, err := MeasureApp(runnable[i], opts)
 		if err != nil {
-			return nil, fmt.Errorf("harness: %s: %w", app.Name, err)
+			return AppMeasurement{}, fmt.Errorf("harness: %s: %w", runnable[i].Name, err)
 		}
-		out = append(out, *m)
-	}
-	return out, nil
+		return *m, nil
+	})
 }
 
 // MeasureApp measures one app's three versions.
 func MeasureApp(app *corpus.App, opts E2Options) (*AppMeasurement, error) {
-	prep, err := PrepareApp(app)
+	prep, err := PrepareAppCached(app, opts.Cache)
 	if err != nil {
 		return nil, err
 	}
 	// one measurement pass of a single version
 	pass := func(r *Runner) (workload.Service, error) {
 		// a clean heap between passes keeps one version's garbage from
-		// being charged to the next version's measurements
-		runtime.GC()
+		// being charged to the next version's measurements; with multiple
+		// measurement workers a forced global GC would instead stall every
+		// other worker mid-pass, so it is only done when measuring alone
+		if opts.Parallel <= 1 {
+			runtime.GC()
+		}
 		for i := 0; i < opts.Warmup; i++ {
 			if err := r.Process(i); err != nil {
 				return nil, err

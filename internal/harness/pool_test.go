@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"turnstile/internal/corpus"
+	"turnstile/internal/taint"
+)
+
+func TestMapIndexedOrderAndConcurrency(t *testing.T) {
+	const n = 100
+	for _, parallel := range []int{0, 1, 3, 8, 200} {
+		var inFlight, peak atomic.Int64
+		out, err := mapIndexed(n, parallel, func(i int) (int, error) {
+			cur := inFlight.Add(1)
+			defer inFlight.Add(-1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("parallel=%d: out[%d] = %d", parallel, i, v)
+			}
+		}
+		if parallel >= 1 && peak.Load() > int64(parallel) {
+			t.Fatalf("parallel=%d: %d workers ran at once", parallel, peak.Load())
+		}
+	}
+}
+
+func TestMapIndexedZeroItems(t *testing.T) {
+	out, err := mapIndexed(0, 8, func(i int) (int, error) { return 0, errors.New("never called") })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestMapIndexedLowestIndexError(t *testing.T) {
+	// every item fails; the reported error must be the lowest-index one so
+	// repeated failing runs are deterministic
+	_, err := mapIndexed(50, 8, func(i int) (int, error) {
+		return 0, fmt.Errorf("item %d", i)
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if err.Error() != "item 0" {
+		t.Fatalf("err = %v, want item 0", err)
+	}
+}
+
+func TestForEachPropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	if err := ForEach(10, 4, func(i int) error {
+		if i == 3 {
+			return sentinel
+		}
+		return nil
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := ForEach(10, 4, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipelineCacheHitsAndSharing(t *testing.T) {
+	cache := NewCache()
+	app := corpus.ByName(corpus.All(), "modbus")
+	opts := taint.DefaultOptions()
+	p1, a1, err := cache.Analyzed("modbus.js", app.Source, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, a2, err := cache.Analyzed("modbus.js", app.Source, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 || a1 != a2 {
+		t.Fatal("cache did not share the parsed AST / analysis")
+	}
+	b1, err := cache.Baseline("modbus.js", app.Source, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := cache.Baseline("modbus.js", app.Source, opts)
+	if err != nil || b1 != b2 {
+		t.Fatalf("baseline result not shared (err %v)", err)
+	}
+	s := cache.Stats()
+	if s.Entries != 1 {
+		t.Fatalf("entries = %d", s.Entries)
+	}
+	if s.Misses != 1 || s.Hits != 3 {
+		t.Fatalf("stats = %+v, want 1 miss / 3 hits", s)
+	}
+
+	// different analysis options are a different pipeline
+	opts.ImplicitFlows = true
+	if _, _, err := cache.Analyzed("modbus.js", app.Source, opts); err != nil {
+		t.Fatal(err)
+	}
+	if s := cache.Stats(); s.Entries != 2 {
+		t.Fatalf("entries = %d, want 2 (options are part of the key)", s.Entries)
+	}
+}
+
+func TestPipelineCacheParseError(t *testing.T) {
+	cache := NewCache()
+	for i := 0; i < 2; i++ {
+		if _, _, err := cache.Analyzed("bad.js", "let = ;", taint.DefaultOptions()); err == nil {
+			t.Fatal("expected parse error")
+		}
+		if _, err := cache.Baseline("bad.js", "let = ;", taint.DefaultOptions()); err == nil {
+			t.Fatal("expected parse error from Baseline")
+		}
+	}
+}

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"turnstile/internal/ast"
 	"turnstile/internal/corpus"
 	"turnstile/internal/instrument"
 	"turnstile/internal/interp"
@@ -43,20 +44,29 @@ type PreparedApp struct {
 // PrepareApp parses, analyzes, instruments and loads all three versions of
 // a runnable corpus app — the full Turnstile workflow of Fig. 3.
 func PrepareApp(app *corpus.App) (*PreparedApp, error) {
+	return PrepareAppCached(app, nil)
+}
+
+// PrepareAppCached is PrepareApp with an optional pipeline cache: the
+// parse and dataflow analysis are looked up (or computed once) in the
+// cache, and the cached AST — which every downstream stage treats as
+// read-only — is shared by the original version's interpreter instead of
+// being re-parsed. Safe to call from multiple goroutines with one shared
+// cache.
+func PrepareAppCached(app *corpus.App, cache *PipelineCache) (*PreparedApp, error) {
 	if !app.Runnable {
 		return nil, fmt.Errorf("harness: app %s is not runnable", app.Name)
 	}
 	file := app.Name + ".js"
-	prog, err := parser.Parse(file, app.Source)
+	prog, analysis, err := analyzedApp(cache, file, app.Source, taint.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
-	analysis := taint.Analyze([]taint.File{{Name: file, Prog: prog}}, taint.DefaultOptions())
 
 	prep := &PreparedApp{App: app, Analysis: analysis}
 
 	// original: no tracker, no instrumentation
-	orig, err := loadRunner(app, "original", app.Source, false)
+	orig, err := loadRunner(app, "original", prog, false)
 	if err != nil {
 		return nil, fmt.Errorf("original version: %w", err)
 	}
@@ -105,13 +115,10 @@ func PrepareApp(app *corpus.App) (*PreparedApp, error) {
 	return prep, nil
 }
 
-// loadRunner loads an uninstrumented version.
-func loadRunner(app *corpus.App, mode, src string, withTracker bool) (*Runner, error) {
+// loadRunner loads an uninstrumented version from an already-parsed (and
+// possibly cache-shared) program.
+func loadRunner(app *corpus.App, mode string, prog *ast.Program, withTracker bool) (*Runner, error) {
 	ip := interp.New()
-	prog, err := parser.Parse(app.Name+".js", src)
-	if err != nil {
-		return nil, err
-	}
 	if withTracker {
 		pol, err := policy.ParseJSON([]byte(app.PolicyJSON), ip.CompileLabelFunc)
 		if err != nil {

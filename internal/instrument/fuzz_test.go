@@ -1,6 +1,7 @@
 package instrument
 
 import (
+	"fmt"
 	"testing"
 
 	"turnstile/internal/interp"
@@ -27,6 +28,31 @@ fs.createReadStream("/in").on("data", d => { ws.write(d.trim()); });`,
 new C().bump();`,
 		`try { JSON.parse("{"); } catch (e) { console.log(e.name); }`,
 		"`a${1 + 2}b`.split('a');",
+		// async/await through a Promise chain
+		`async function load(x) { return x + 1; }
+async function main() { const v = await load(41); console.log(v); }
+main();`,
+		`new Promise((resolve) => resolve(7)).then(v => console.log(v * 2));`,
+		// spread in calls, array literals and object literals
+		`function sum(a, b, c) { return a + b + c; }
+const xs = [1, 2, 3];
+console.log(sum(...xs), [0, ...xs, 4].length);`,
+		`const base = { a: 1, b: 2 };
+const more = { ...base, c: 3 };
+console.log(JSON.stringify(more));`,
+		// template strings: nested interpolation and tainted-looking pipes
+		"const who = \"cam\" ; console.log(`frame:${who}:${`inner${1+1}`}`);",
+		"let acc = \"\"; for (let i = 0; i < 3; i++) { acc = `${acc}|${i * i}`; } console.log(acc);",
+		// classes: inheritance, statics, methods touching this
+		`class Sensor {
+  constructor(id) { this.id = id; this.seen = 0; }
+  read(v) { this.seen++; return this.id + ":" + v; }
+  static kind() { return "sensor"; }
+}
+class Camera extends Sensor {
+  read(v) { return "cam/" + v; }
+}
+console.log(new Camera("c1").read("f0"), Sensor.kind());`,
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -63,6 +89,117 @@ new C().bump();`,
 			tr := ip.InstallTracker(pol)
 			tr.EnableImplicit()
 			_ = ip.Run(managed) // runtime errors are fine; panics are not
+		}
+	})
+}
+
+// execOutput runs one program version in a fresh interpreter and returns
+// its observable output (console lines plus every sink write), or ok=false
+// if it hit a runtime error or the step budget.
+func execOutput(t *testing.T, file, src string, instrumented bool, maxSteps int64) (out []string, ok bool) {
+	t.Helper()
+	prog, err := parser.Parse(file, src)
+	if err != nil {
+		t.Fatalf("%s does not parse: %v\n%s", file, err, src)
+	}
+	ip := interp.New()
+	ip.MaxSteps = maxSteps
+	if instrumented {
+		// a rule-free policy: nothing is ever labelled, so no flow can
+		// violate — the program is violation-free by construction
+		pol, err := policy.ParseJSON([]byte(`{"rules":[]}`), ip.CompileLabelFunc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := ip.InstallTracker(pol)
+		tr.Enforce = false
+	}
+	if err := ip.Run(prog); err != nil {
+		return nil, false
+	}
+	out = append(out, ip.ConsoleOut...)
+	for _, w := range ip.IO.Writes {
+		out = append(out, fmt.Sprintf("%s>%v", w.Module, w.Value))
+	}
+	return out, true
+}
+
+// FuzzInstrumentEquivalence is the non-invasiveness property (C3) as a
+// fuzz target: on any violation-free program — enforced here by running
+// under a rule-free policy, where no flow can be blocked — selective and
+// exhaustive instrumentation must preserve the program's observable
+// output exactly. Nondeterministic or erroring inputs are skipped (no
+// parity claim exists for them); an output mismatch or an error
+// introduced by instrumentation is a real bug.
+func FuzzInstrumentEquivalence(f *testing.F) {
+	seeds := []string{
+		`let a = 2; for (let i = 0; i < 4; i++) { a = a * a % 97; } console.log(a);`,
+		`const fs = require("fs");
+const ws = fs.createWriteStream("/out");
+ws.write("x:" + (1 + 2));
+console.log("done");`,
+		`async function twice(v) { return v * 2; }
+twice(21).then(v => console.log(v));`,
+		`const xs = [3, 1, 2];
+console.log([...xs].sort().join("-"), { ...{ k: 1 } }.k);`,
+		"let s = `p${3 * 3}q`;\nconsole.log(s.toUpperCase());",
+		`class Box { constructor(v) { this.v = v; } get2() { return this.v + 2; } }
+console.log(new Box(5).get2());`,
+		`function rec(n) { return n <= 0 ? "" : rec(n - 1) + n; }
+console.log(rec(5));`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	const budget = 150_000
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := parser.Parse("eq.js", src)
+		if err != nil {
+			return
+		}
+		want, ok := execOutput(t, "eq.js", src, false, budget)
+		if !ok {
+			return // original errors out: nothing to compare
+		}
+		// self-nondeterminism guard: only claim parity for programs whose
+		// output is reproducible in the first place
+		again, ok := execOutput(t, "eq.js", src, false, budget)
+		if !ok || len(again) != len(want) {
+			return
+		}
+		for i := range want {
+			if want[i] != again[i] {
+				return
+			}
+		}
+		analysis := taint.Analyze([]taint.File{{Name: "eq.js", Prog: prog}}, taint.DefaultOptions())
+		for _, mode := range []Mode{Selective, Exhaustive} {
+			res, err := Instrument(prog, Options{
+				Mode:      mode,
+				Selection: Selection(analysis.SelectionFor("eq.js")),
+			})
+			if err != nil {
+				t.Fatalf("instrument(%v): %v\ninput: %q", mode, err, src)
+			}
+			printed := printer.Print(res.Program)
+			// the tracker calls cost extra interpreter steps, so the
+			// instrumented budget is larger; parity failures below are
+			// therefore real, not budget artifacts
+			got, ok := execOutput(t, "eq.inst.js", printed, true, 20*budget)
+			if !ok {
+				t.Fatalf("%v instrumentation made a clean program fail\ninput: %q\ninstrumented:\n%s",
+					mode, src, printed)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%v instrumentation changed output length: %d vs %d\ninput: %q\n got: %q\nwant: %q",
+					mode, len(got), len(want), src, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v instrumentation changed output line %d:\n got: %q\nwant: %q\ninput: %q",
+						mode, i, got[i], want[i], src)
+				}
+			}
 		}
 	})
 }

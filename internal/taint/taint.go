@@ -171,7 +171,8 @@ func (v *aval) tainted() bool { return v != nil && len(v.taints) > 0 }
 
 func (v *aval) clone() *aval {
 	if v == nil {
-		return unknownVal
+		// a fresh value, not the shared singleton: callers mutate clones
+		return newAval("unknown")
 	}
 	c := *v
 	if v.taints != nil {
@@ -184,9 +185,12 @@ func (v *aval) clone() *aval {
 	return &c
 }
 
-// addTaint merges the taints (and flow steps) of src into v.
+// addTaint merges the taints (and flow steps) of src into v. The shared
+// unknownVal singleton is never mutated: writing taints into it would leak
+// them into every later analysis (and race when analyses run on multiple
+// goroutines, e.g. `x.push(tainted)` on an unresolvable receiver).
 func (v *aval) addTaint(src *aval) {
-	if src == nil || len(src.taints) == 0 {
+	if v == unknownVal || src == nil || len(src.taints) == 0 {
 		return
 	}
 	if v.taints == nil {
@@ -211,6 +215,10 @@ func (v *aval) prop(name string) *aval {
 }
 
 func (v *aval) setProp(name string, pv *aval) {
+	if v == unknownVal {
+		// see addTaint: the singleton must stay immutable
+		return
+	}
 	if v.props == nil {
 		v.props = make(map[string]*aval)
 	}

@@ -1,0 +1,20 @@
+#!/bin/sh
+# Tier-1 verification gate: build, vet, tests, race-enabled tests.
+# Run from the repository root: ./scripts/verify.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "verify: OK"
