@@ -9,6 +9,13 @@
 //
 // E2 flags: -messages N (default 200), -warmup N, -repeats N, -apps a,b,c.
 //
+// Chaos mode: -chaos replays the runnable corpus under deterministic
+// fault injection and asserts sink-trace equivalence between the
+// original and instrumented versions on the failure paths. -faultseed N
+// selects the fault schedule (same seed → byte-identical report);
+// -faultschedule FILE replaces the generated per-app schedules with a
+// fixed JSON schedule.
+//
 // Scheduling flags: -parallel N fans the per-app analyses (E1) and
 // preparation+measurement (E2) across N workers (default: one per CPU;
 // 1 restores the paper's sequential methodology). A per-app pipeline
@@ -24,6 +31,7 @@ import (
 	"strings"
 
 	"turnstile/internal/corpus"
+	"turnstile/internal/faults"
 	"turnstile/internal/harness"
 	"turnstile/internal/workload"
 )
@@ -34,6 +42,9 @@ func main() {
 	fig11 := flag.Bool("figure11", false, "regenerate Figure 11 (E2)")
 	fig12 := flag.Bool("figure12", false, "regenerate Figure 12 (E2)")
 	all := flag.Bool("all", false, "run everything")
+	chaos := flag.Bool("chaos", false, "replay the corpus under fault injection and check equivalence")
+	faultSeed := flag.Int64("faultseed", 1, "seed for generated fault schedules (chaos mode)")
+	faultSchedule := flag.String("faultschedule", "", "JSON fault schedule file overriding the generated ones")
 	messages := flag.Int("messages", 200, "messages per E2 run (paper: 1000)")
 	warmup := flag.Int("warmup", 20, "warmup messages per E2 run")
 	repeats := flag.Int("repeats", 1, "repeated E2 runs to average (paper: 10)")
@@ -49,9 +60,9 @@ func main() {
 	}
 
 	if *all {
-		*table2, *fig10, *fig11, *fig12 = true, true, true, true
+		*table2, *fig10, *fig11, *fig12, *chaos = true, true, true, true, true
 	}
-	if !*table2 && !*fig10 && !*fig11 && !*fig12 {
+	if !*table2 && !*fig10 && !*fig11 && !*fig12 && !*chaos {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -123,6 +134,46 @@ func main() {
 			100*(s.MedianSelLow-1), 100*(s.MedianSelHigh-1))
 		fmt.Printf("  apps with acceptable median overhead: selective %d, exhaustive %d (paper: 22 vs 16)\n",
 			s.AcceptableSel, s.AcceptableExh)
+	}
+
+	if *chaos {
+		var schedule *faults.Schedule
+		if *faultSchedule != "" {
+			data, err := os.ReadFile(*faultSchedule)
+			if err != nil {
+				fatal(err)
+			}
+			if schedule, err = faults.ParseSchedule(data); err != nil {
+				fatal(err)
+			}
+		}
+		targets := apps
+		if *appsFilter != "" {
+			runnable := corpus.Runnable(apps)
+			var filtered []*corpus.App
+			for _, name := range strings.Split(*appsFilter, ",") {
+				a := corpus.ByName(runnable, strings.TrimSpace(name))
+				if a == nil {
+					fatal(fmt.Errorf("unknown runnable app %q", name))
+				}
+				filtered = append(filtered, a)
+			}
+			targets = filtered
+		}
+		res, err := harness.RunChaos(targets, harness.ChaosOptions{
+			Seed: *faultSeed, Messages: *messages, Parallel: *parallel,
+			Cache: cache, Schedule: schedule,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(harness.RenderChaos(res))
+		if *outDir != "" {
+			writeOut(*outDir, "chaos-report.txt", []byte(harness.RenderChaos(res)))
+		}
+		if res.Equivalent != len(res.Apps) {
+			fatal(fmt.Errorf("chaos: %d app(s) diverged under faults", len(res.Apps)-res.Equivalent))
+		}
 	}
 
 	if cache != nil {

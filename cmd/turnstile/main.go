@@ -9,6 +9,7 @@
 //	turnstile compare <app.js>...            compare against the CodeQL-equivalent baseline
 //	turnstile instrument -policy p.json [-mode selective|exhaustive] <app.js>
 //	turnstile run -policy p.json [-source NAME] [-messages N] <app.js>
+//	turnstile run -chaos [-faultseed N | -faultschedule f.json] ...  run under fault injection
 //	turnstile check-policy <policy.json>
 package main
 
@@ -22,6 +23,7 @@ import (
 	"turnstile/internal/baseline"
 	"turnstile/internal/core"
 	"turnstile/internal/corpus"
+	"turnstile/internal/faults"
 	"turnstile/internal/harness"
 	"turnstile/internal/instrument"
 	"turnstile/internal/interp"
@@ -70,6 +72,7 @@ func usage() {
   turnstile compare <app.js>...                       compare with the baseline analyzer
   turnstile instrument -policy p.json [-mode M] <app.js>   print the privacy-managed source
   turnstile run -policy p.json [-source S] [-messages N] <app.js>
+                [-chaos] [-faultseed N] [-faultschedule f.json]     run under fault injection
   turnstile check-policy <policy.json>                validate an IFC policy
   turnstile corpus [name]                             list the evaluation corpus / dump one app
   turnstile flow -flow f.json [-policy p.json] [-inject ID] <pkg.js>...   deploy and drive a Node-RED flow`)
@@ -214,6 +217,9 @@ func cmdRun(args []string) error {
 	enforce := fs.Bool("enforce", true, "block violating flows")
 	implicit := fs.Bool("implicit", false, "track implicit (control-dependence) flows")
 	parallel := fs.Int("parallel", harness.DefaultParallelism(), "file-loading worker count (1 = sequential)")
+	chaos := fs.Bool("chaos", false, "run under deterministic fault injection")
+	faultSeed := fs.Int64("faultseed", 1, "seed for the generated fault schedule")
+	faultSchedule := fs.String("faultschedule", "", "JSON fault schedule file (implies -chaos)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -239,6 +245,22 @@ func cmdRun(args []string) error {
 	if err != nil {
 		return err
 	}
+	var injector *faults.Injector
+	if *chaos || *faultSchedule != "" {
+		var schedule *faults.Schedule
+		if *faultSchedule != "" {
+			data, err := os.ReadFile(*faultSchedule)
+			if err != nil {
+				return err
+			}
+			if schedule, err = faults.ParseSchedule(data); err != nil {
+				return err
+			}
+		} else {
+			schedule = faults.Generate(*faultSeed, fs.Arg(0))
+		}
+		injector = app.IP.InstallFaults(schedule)
+	}
 	name := *sourceName
 	if name == "" {
 		names := app.IP.SourceNames()
@@ -251,7 +273,21 @@ func cmdRun(args []string) error {
 	for i := 0; i < *messages; i++ {
 		msg := fmt.Sprintf(*payload, i, i%7)
 		if err := app.Emit(name, "data", msg); err != nil {
-			fmt.Printf("  message %d BLOCKED: %v\n", i, err)
+			if injector != nil {
+				fmt.Printf("  message %d error: %v\n", i, err)
+			} else {
+				fmt.Printf("  message %d BLOCKED: %v\n", i, err)
+			}
+		}
+	}
+	if injector != nil {
+		st := injector.Stats()
+		fmt.Printf("fault injection: %d op(s): %d failed, %d dropped, %d delayed (virtual clock at %d)\n",
+			st.Ops, st.Failed, st.Dropped, st.Delayed, app.IP.Clock.Now())
+		for _, line := range strings.Split(strings.TrimRight(injector.TraceString(), "\n"), "\n") {
+			if line != "" {
+				fmt.Println("  fault:", line)
+			}
 		}
 	}
 	fmt.Printf("sink writes: %d, violations: %d, tracker stats: %+v\n",

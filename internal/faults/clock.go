@@ -1,0 +1,105 @@
+package faults
+
+import "sort"
+
+// Clock is the virtual time source of the fault layer. Time is a plain
+// tick counter: nothing in the repository reads the wall clock on a fault
+// path, so a run's entire temporal behaviour — injected delays, retry
+// backoff waits, scheduled callbacks — is a deterministic function of the
+// operations performed, never of host scheduling. One Clock belongs to one
+// interpreter instance (the analogue of one process's event-loop clock).
+type Clock struct {
+	now    int64
+	timers []*Timer
+	seq    int64
+}
+
+// Timer is one scheduled callback.
+type Timer struct {
+	due     int64
+	seq     int64 // registration order breaks due-time ties deterministically
+	fn      func()
+	stopped bool
+}
+
+// Stop cancels the timer; it reports whether the callback had not yet run.
+func (t *Timer) Stop() bool {
+	was := !t.stopped
+	t.stopped = true
+	return was
+}
+
+// NewClock returns a clock at tick zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual tick.
+func (c *Clock) Now() int64 { return c.now }
+
+// AfterFunc schedules fn to run when the clock has advanced delay ticks.
+// A non-positive delay fires on the next Advance, not immediately — the
+// caller's stack unwinds first, matching timer semantics.
+func (c *Clock) AfterFunc(delay int64, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	c.seq++
+	t := &Timer{due: c.now + delay, seq: c.seq, fn: fn}
+	c.timers = append(c.timers, t)
+	return t
+}
+
+// Advance moves virtual time forward by n ticks, firing due timers in
+// (due, registration) order. Callbacks may schedule further timers; those
+// fire in the same Advance call if they fall inside the window.
+func (c *Clock) Advance(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	target := c.now + n
+	for {
+		next := c.nextDue(target)
+		if next == nil {
+			break
+		}
+		if next.due > c.now {
+			c.now = next.due
+		}
+		next.stopped = true
+		next.fn()
+	}
+	c.now = target
+	// compact the fired/stopped timers
+	live := c.timers[:0]
+	for _, t := range c.timers {
+		if !t.stopped {
+			live = append(live, t)
+		}
+	}
+	c.timers = live
+}
+
+// nextDue returns the earliest live timer due at or before target.
+func (c *Clock) nextDue(target int64) *Timer {
+	var best *Timer
+	for _, t := range c.timers {
+		if t.stopped || t.due > target {
+			continue
+		}
+		if best == nil || t.due < best.due || (t.due == best.due && t.seq < best.seq) {
+			best = t
+		}
+	}
+	return best
+}
+
+// Pending returns the due ticks of live timers, sorted — handy in tests.
+func (c *Clock) Pending() []int64 {
+	var out []int64
+	for _, t := range c.timers {
+		if !t.stopped {
+			out = append(out, t.due)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,238 @@
+// Package faults is the deterministic fault-injection layer of the
+// reproduction's robustness story. A seeded Injector, configured by a
+// JSON/struct Schedule, decides per host operation whether it passes,
+// fails with a Node-style error, is silently dropped, or is delayed on a
+// virtual Clock. Decisions are a pure function of (seed, module, op,
+// target, per-operation invocation count) — never of goroutine
+// interleaving, host time, or map iteration order — so one seed yields a
+// byte-identical fault sequence across runs, across worker counts, and
+// across the original and instrumented versions of an application. That
+// last property is what lets the chaos harness extend the paper's E1
+// sink-trace equivalence check from happy paths to failure paths.
+package faults
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Action is the injector's verdict for one host operation.
+type Action int
+
+const (
+	// Pass lets the operation proceed untouched.
+	Pass Action = iota
+	// Fail makes it fail with Decision.Err.
+	Fail
+	// Drop silently loses it (the caller observes success).
+	Drop
+	// Delay advances the virtual clock by Decision.Delay first.
+	Delay
+)
+
+func (a Action) String() string {
+	switch a {
+	case Pass:
+		return "pass"
+	case Fail:
+		return "fail"
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	}
+	return "action?"
+}
+
+// Decision is the injector's answer for one operation.
+type Decision struct {
+	Action Action
+	Err    string // Fail: the injected error message
+	Delay  int64  // Delay: virtual ticks
+}
+
+// Event is one non-pass decision, recorded for the deterministic fault
+// trace the chaos harness compares across runs.
+type Event struct {
+	Seq    int // per-injector sequence number of the decision
+	Module string
+	Op     string
+	Target string
+	Action Action
+}
+
+// Stats counts decisions by action.
+type Stats struct {
+	Ops, Failed, Dropped, Delayed int
+}
+
+// Injector applies a Schedule to a stream of host operations. One
+// Injector serves one interpreter instance; it is not safe for concurrent
+// use (neither is the interpreter).
+type Injector struct {
+	schedule *Schedule
+	clock    *Clock
+	seed     uint64
+	// counts tracks invocations per (module, op, target) triple; the count
+	// — not a shared PRNG stream — keys each probabilistic decision, so
+	// unrelated extra operations cannot shift later verdicts.
+	counts map[string]int
+	// flaky tracks per-rule, per-triple fired counts for ModeFlaky.
+	flaky map[string]int
+	seq   int
+	trace []Event
+	stats Stats
+}
+
+// NewInjector builds an injector for a schedule on a virtual clock. A nil
+// clock gets a private one; a nil or empty schedule passes everything.
+func NewInjector(s *Schedule, clock *Clock) *Injector {
+	if s == nil {
+		s = &Schedule{}
+	}
+	if clock == nil {
+		clock = NewClock()
+	}
+	return &Injector{
+		schedule: s,
+		clock:    clock,
+		seed:     splitmix64(uint64(s.Seed) ^ 0x7475726e7374696c), // "turnstil"
+		counts:   make(map[string]int),
+		flaky:    make(map[string]int),
+	}
+}
+
+// Clock returns the virtual clock the injector delays on.
+func (in *Injector) Clock() *Clock { return in.clock }
+
+// Stats returns decision counts so far.
+func (in *Injector) Stats() Stats { return in.stats }
+
+// Trace returns the recorded non-pass events in decision order.
+func (in *Injector) Trace() []Event { return in.trace }
+
+// TraceString renders the fault trace one event per line — the
+// byte-identical artifact the determinism gates compare.
+func (in *Injector) TraceString() string {
+	var b strings.Builder
+	for _, e := range in.trace {
+		fmt.Fprintf(&b, "%04d %s %s.%s %s\n", e.Seq, e.Action, e.Module, e.Op, e.Target)
+	}
+	return b.String()
+}
+
+// Decide is the single entry point the host modules call before
+// performing an operation. It never performs the delay itself — the
+// caller advances the clock — so the decision stays side-effect free.
+func (in *Injector) Decide(module, op, target string) Decision {
+	in.seq++
+	key := module + "\x00" + op + "\x00" + target
+	n := in.counts[key]
+	in.counts[key] = n + 1
+	in.stats.Ops++
+	for ri := range in.schedule.Rules {
+		r := &in.schedule.Rules[ri]
+		if !r.matches(module, op, target) {
+			continue
+		}
+		d, fired := in.apply(r, ri, key, n)
+		if !fired {
+			continue
+		}
+		switch d.Action {
+		case Fail:
+			in.stats.Failed++
+		case Drop:
+			in.stats.Dropped++
+		case Delay:
+			in.stats.Delayed++
+		}
+		in.trace = append(in.trace, Event{Seq: in.seq, Module: module, Op: op, Target: target, Action: d.Action})
+		return d
+	}
+	return Decision{Action: Pass}
+}
+
+// apply evaluates one matching rule against the n-th invocation of a
+// (module, op, target) triple.
+func (in *Injector) apply(r *Rule, ri int, key string, n int) (Decision, bool) {
+	if r.Mode == ModeFlaky {
+		fk := fmt.Sprintf("%d\x00%s", ri, key)
+		if in.flaky[fk] >= r.K {
+			return Decision{}, false
+		}
+		in.flaky[fk]++
+		return Decision{Action: Fail, Err: in.errMsg(r)}, true
+	}
+	if r.Prob > 0 && r.Prob < 1 {
+		// hash-derived uniform in [0,1): depends only on seed, rule index,
+		// operation identity and invocation count
+		h := splitmix64(in.seed ^ splitmix64(uint64(ri)+1) ^ hashString(key) ^ splitmix64(uint64(n)))
+		if float64(h>>11)/float64(1<<53) >= r.Prob {
+			return Decision{}, false
+		}
+	}
+	switch r.Mode {
+	case ModeFail:
+		return Decision{Action: Fail, Err: in.errMsg(r)}, true
+	case ModeDrop:
+		return Decision{Action: Drop}, true
+	case ModeDelay:
+		return Decision{Action: Delay, Delay: r.Delay}, true
+	}
+	return Decision{}, false
+}
+
+func (in *Injector) errMsg(r *Rule) string {
+	if r.Error != "" {
+		return r.Error
+	}
+	return "EFAULT: injected fault"
+}
+
+// Retry calls fn up to attempts times, advancing the virtual clock by an
+// exponentially growing backoff (base, 2·base, 4·base, …) between
+// attempts. It returns nil on the first success and the last error once
+// the budget is exhausted. This is the Go-side twin of the MiniJS retry()
+// global; both give applications and the Node-RED substrate a sanctioned
+// way to ride out ModeFlaky faults without real sleeps.
+func Retry(clock *Clock, attempts int, base int64, fn func() error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	if base < 1 {
+		base = 1
+	}
+	var err error
+	backoff := base
+	for i := 0; i < attempts; i++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		if i < attempts-1 {
+			clock.Advance(backoff)
+			backoff *= 2
+		}
+	}
+	return err
+}
+
+// splitmix64 is the SplitMix64 mixing function — platform-stable, no
+// dependence on math/rand internals that could change between Go releases.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// hashString is FNV-1a, inlined to keep the decision function dependency-
+// free and bit-stable.
+func hashString(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,259 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestClockAdvanceAndTimers(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %d", c.Now())
+	}
+	var order []int
+	c.AfterFunc(10, func() { order = append(order, 1) })
+	c.AfterFunc(5, func() { order = append(order, 2) })
+	c.AfterFunc(5, func() { order = append(order, 3) }) // same due: registration order
+	c.Advance(4)
+	if len(order) != 0 {
+		t.Fatalf("fired early: %v", order)
+	}
+	c.Advance(10)
+	if c.Now() != 14 {
+		t.Fatalf("now = %d", c.Now())
+	}
+	if len(order) != 3 || order[0] != 2 || order[1] != 3 || order[2] != 1 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestClockNestedScheduling(t *testing.T) {
+	c := NewClock()
+	var fired []string
+	c.AfterFunc(2, func() {
+		fired = append(fired, "outer")
+		c.AfterFunc(3, func() { fired = append(fired, "inner") })
+	})
+	c.Advance(10)
+	if len(fired) != 2 || fired[0] != "outer" || fired[1] != "inner" {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestClockTimerStop(t *testing.T) {
+	c := NewClock()
+	ran := false
+	tm := c.AfterFunc(1, func() { ran = true })
+	if !tm.Stop() {
+		t.Fatal("first Stop should report true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	c.Advance(5)
+	if ran {
+		t.Fatal("stopped timer ran")
+	}
+	if got := c.Pending(); len(got) != 0 {
+		t.Fatalf("pending = %v", got)
+	}
+}
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	src := []byte(`{
+	  "seed": 42,
+	  "rules": [
+	    { "module": "fs", "op": "writeFile", "mode": "flaky", "k": 2, "error": "EIO" },
+	    { "module": "mqtt", "mode": "drop", "prob": 0.5 },
+	    { "module": "http", "mode": "delay", "delay": 7 },
+	    { "mode": "fail", "error": "EFAULT" }
+	  ]
+	}`)
+	s, err := ParseSchedule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 42 || len(s.Rules) != 4 {
+		t.Fatalf("schedule = %+v", s)
+	}
+	data, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseSchedule(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Rules) != 4 || again.Rules[0].K != 2 || again.Rules[2].Delay != 7 {
+		t.Fatalf("round trip = %+v", again)
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	bad := []string{
+		`{"rules":[{"mode":"explode"}]}`,
+		`{"rules":[{"mode":"delay"}]}`,
+		`{"rules":[{"mode":"flaky"}]}`,
+		`{"rules":[{"mode":"fail","prob":1.5}]}`,
+		`not json`,
+	}
+	for _, src := range bad {
+		if _, err := ParseSchedule([]byte(src)); err == nil {
+			t.Errorf("ParseSchedule(%q) should fail", src)
+		}
+	}
+}
+
+func TestInjectorFlakyFailsFirstK(t *testing.T) {
+	s := &Schedule{Rules: []Rule{{Module: "fs", Op: "writeFile", Mode: ModeFlaky, K: 2, Error: "EIO"}}}
+	in := NewInjector(s, nil)
+	for i := 0; i < 2; i++ {
+		d := in.Decide("fs", "writeFile", "/a")
+		if d.Action != Fail || d.Err != "EIO" {
+			t.Fatalf("attempt %d: %+v", i, d)
+		}
+	}
+	if d := in.Decide("fs", "writeFile", "/a"); d.Action != Pass {
+		t.Fatalf("post-K decision: %+v", d)
+	}
+	// a different target has its own K counter
+	if d := in.Decide("fs", "writeFile", "/b"); d.Action != Fail {
+		t.Fatalf("fresh target should still fail: %+v", d)
+	}
+	// unmatched ops pass
+	if d := in.Decide("fs", "readFile", "/a"); d.Action != Pass {
+		t.Fatalf("unmatched op: %+v", d)
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	mk := func(seed int64) string {
+		s := Generate(seed, "modbus")
+		in := NewInjector(s, nil)
+		for i := 0; i < 200; i++ {
+			mod := []string{"fs", "net", "mqtt", "http", "smtp", "sqlite"}[i%6]
+			in.Decide(mod, "write", "t")
+		}
+		return in.TraceString()
+	}
+	a, b := mk(7), mk(7)
+	if a != b {
+		t.Fatal("same seed produced different fault traces")
+	}
+	if a == mk(8) {
+		t.Fatal("different seeds produced identical fault traces")
+	}
+	if mk(7) == "" {
+		t.Fatal("generated schedule injected nothing in 200 ops")
+	}
+}
+
+func TestInjectorCountKeyedNotStreamKeyed(t *testing.T) {
+	// interleaving unrelated operations must not shift later verdicts for
+	// a given (module, op, target, count) — the property that keeps the
+	// original and instrumented runs in lockstep
+	s := &Schedule{Seed: 3, Rules: []Rule{{Module: "net", Mode: ModeFail, Prob: 0.5, Error: "E"}}}
+	plain := NewInjector(s, nil)
+	noisy := NewInjector(s, nil)
+	var got, want []Action
+	for i := 0; i < 64; i++ {
+		want = append(want, plain.Decide("net", "socket.write", "cam").Action)
+		noisy.Decide("fs", "readFile", "/etc/x") // unmatched noise
+		got = append(got, noisy.Decide("net", "socket.write", "cam").Action)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("decision %d shifted: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestInjectorProbabilityEdges(t *testing.T) {
+	always := NewInjector(&Schedule{Rules: []Rule{{Mode: ModeFail, Prob: 1}}}, nil)
+	if d := always.Decide("m", "o", "t"); d.Action != Fail {
+		t.Fatalf("prob 1: %+v", d)
+	}
+	zero := NewInjector(&Schedule{Rules: []Rule{{Mode: ModeDrop, Prob: 0}}}, nil)
+	if d := zero.Decide("m", "o", "t"); d.Action != Drop {
+		t.Fatalf("prob 0 means always: %+v", d)
+	}
+	mid := NewInjector(&Schedule{Seed: 1, Rules: []Rule{{Mode: ModeFail, Prob: 0.5}}}, nil)
+	fails := 0
+	for i := 0; i < 400; i++ {
+		if mid.Decide("m", "o", "t").Action == Fail {
+			fails++
+		}
+	}
+	if fails < 100 || fails > 300 {
+		t.Fatalf("prob 0.5 fired %d/400", fails)
+	}
+}
+
+func TestInjectorFirstMatchWinsAndStats(t *testing.T) {
+	s := &Schedule{Rules: []Rule{
+		{Module: "fs", Mode: ModeDrop},
+		{Module: "fs", Mode: ModeFail, Error: "shadowed"},
+	}}
+	in := NewInjector(s, nil)
+	if d := in.Decide("fs", "writeFile", "/x"); d.Action != Drop {
+		t.Fatalf("first rule should win: %+v", d)
+	}
+	in.Decide("net", "write", "y")
+	st := in.Stats()
+	if st.Ops != 2 || st.Dropped != 1 || st.Failed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestNilScheduleAndNilClock(t *testing.T) {
+	in := NewInjector(nil, nil)
+	if d := in.Decide("fs", "writeFile", "/x"); d.Action != Pass {
+		t.Fatalf("nil schedule: %+v", d)
+	}
+	if in.Clock() == nil {
+		t.Fatal("injector without clock")
+	}
+}
+
+func TestRetryBackoffOnVirtualClock(t *testing.T) {
+	clock := NewClock()
+	calls := 0
+	err := Retry(clock, 5, 3, func() error {
+		calls++
+		if calls < 4 {
+			return errors.New("flaky")
+		}
+		return nil
+	})
+	if err != nil || calls != 4 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	// three waits: 3 + 6 + 12 virtual ticks
+	if clock.Now() != 21 {
+		t.Fatalf("clock = %d", clock.Now())
+	}
+	// exhaustion returns the last error, with attempts-1 waits
+	clock2 := NewClock()
+	err = Retry(clock2, 3, 1, func() error { return errors.New("always") })
+	if err == nil || err.Error() != "always" {
+		t.Fatalf("err = %v", err)
+	}
+	if clock2.Now() != 3 { // 1 + 2
+		t.Fatalf("clock2 = %d", clock2.Now())
+	}
+}
+
+func TestGenerateDeterministicPerNameAndSeed(t *testing.T) {
+	a, _ := Generate(9, "modbus").Marshal()
+	b, _ := Generate(9, "modbus").Marshal()
+	if string(a) != string(b) {
+		t.Fatal("Generate not deterministic")
+	}
+	c, _ := Generate(9, "nlp.js").Marshal()
+	if string(a) == string(c) {
+		t.Fatal("Generate ignores the name")
+	}
+	if err := Generate(9, "modbus").Validate(); err != nil {
+		t.Fatalf("generated schedule invalid: %v", err)
+	}
+}

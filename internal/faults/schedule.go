@@ -1,0 +1,150 @@
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Mode selects what a matching rule does to a host operation.
+type Mode string
+
+const (
+	// ModeFail makes the operation fail with a Node-style error: async ops
+	// surface (err, null) callbacks, sync ops throw.
+	ModeFail Mode = "fail"
+	// ModeDelay advances the virtual clock by Delay ticks before the
+	// operation proceeds normally (network latency, slow disk).
+	ModeDelay Mode = "delay"
+	// ModeDrop silently loses the operation: sink writes vanish, source
+	// callbacks are never invoked, the caller observes success (a lossy
+	// link, a dead letter queue).
+	ModeDrop Mode = "drop"
+	// ModeFlaky fails the first K matching operations, then passes — the
+	// canonical retry-able failure (a sensor warming up, a broker
+	// reconnecting).
+	ModeFlaky Mode = "flaky"
+)
+
+// Rule matches host operations and prescribes a fault. Empty (or "*")
+// Module/Op match anything; Target matches by substring. Prob scales the
+// match down probabilistically (1 or 0 mean "always" for fail/delay/drop;
+// flaky ignores Prob — its K counter is the whole point).
+type Rule struct {
+	Module string  `json:"module,omitempty"`
+	Op     string  `json:"op,omitempty"`
+	Target string  `json:"target,omitempty"`
+	Mode   Mode    `json:"mode"`
+	K      int     `json:"k,omitempty"`     // flaky: fail the first K matches
+	Delay  int64   `json:"delay,omitempty"` // delay: virtual ticks
+	Prob   float64 `json:"prob,omitempty"`  // 0 or 1 → always
+	Error  string  `json:"error,omitempty"` // injected error message
+}
+
+// matches reports whether the rule applies to one host operation.
+func (r *Rule) matches(module, op, target string) bool {
+	if r.Module != "" && r.Module != "*" && r.Module != module {
+		return false
+	}
+	if r.Op != "" && r.Op != "*" && r.Op != op {
+		return false
+	}
+	if r.Target != "" && !contains(target, r.Target) {
+		return false
+	}
+	return true
+}
+
+func contains(s, sub string) bool {
+	if sub == "" {
+		return true
+	}
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// Schedule is a complete fault plan: a seed plus an ordered rule list
+// (first matching rule wins). The same schedule always produces the same
+// fault sequence for the same sequence of host operations.
+type Schedule struct {
+	Seed  int64  `json:"seed"`
+	Rules []Rule `json:"rules"`
+}
+
+// ParseSchedule decodes and validates a JSON schedule.
+func ParseSchedule(data []byte) (*Schedule, error) {
+	var s Schedule
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("faults: invalid schedule JSON: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// MarshalJSON renders the schedule in its canonical form.
+func (s *Schedule) Marshal() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Validate checks every rule for a known mode and sane parameters.
+func (s *Schedule) Validate() error {
+	for i, r := range s.Rules {
+		switch r.Mode {
+		case ModeFail, ModeDrop:
+		case ModeDelay:
+			if r.Delay <= 0 {
+				return fmt.Errorf("faults: rule %d: delay mode needs delay > 0", i)
+			}
+		case ModeFlaky:
+			if r.K <= 0 {
+				return fmt.Errorf("faults: rule %d: flaky mode needs k > 0", i)
+			}
+		default:
+			return fmt.Errorf("faults: rule %d: unknown mode %q", i, r.Mode)
+		}
+		if r.Prob < 0 || r.Prob > 1 {
+			return fmt.Errorf("faults: rule %d: prob %v outside [0,1]", i, r.Prob)
+		}
+	}
+	return nil
+}
+
+// Generate builds the chaos-mode schedule for one named scenario (the
+// harness derives the name from the app under test). The rule mix covers
+// every fault mode across the host modules the corpus uses; the seed and
+// name select which operations actually fire, so two apps see different —
+// but individually reproducible — fault sequences from one -faultseed.
+func Generate(seed int64, name string) *Schedule {
+	h := splitmix64(uint64(seed) ^ hashString(name))
+	// derived probabilities in [0.1, 0.4): enough faults to exercise error
+	// paths, few enough that most messages still flow end to end
+	p := func() float64 {
+		h = splitmix64(h)
+		return 0.1 + 0.3*float64(h>>11)/float64(1<<53)
+	}
+	k := func(n int) int {
+		h = splitmix64(h)
+		return 1 + int(h%uint64(n))
+	}
+	return &Schedule{
+		Seed: seed,
+		Rules: []Rule{
+			{Module: "fs", Op: "writeFile", Mode: ModeFlaky, K: k(3), Error: "EIO: injected write failure"},
+			{Module: "net", Mode: ModeFail, Prob: p(), Error: "ECONNRESET: injected connection reset"},
+			{Module: "mqtt", Mode: ModeDrop, Prob: p()},
+			{Module: "http", Mode: ModeDelay, Delay: int64(1 + k(20))},
+			{Module: "smtp", Mode: ModeFail, Prob: p(), Error: "ETIMEDOUT: injected smtp timeout"},
+			{Module: "sqlite", Mode: ModeFlaky, K: k(2), Error: "SQLITE_BUSY: injected lock contention"},
+			// the corpus apps log through write streams; a lossy stream
+			// exercises ModeDrop on the path every runnable app takes
+			{Module: "fs", Op: "stream.write", Mode: ModeDrop, Prob: p() / 2},
+			{Module: "*", Mode: ModeDelay, Delay: int64(1 + k(5)), Prob: p() / 2},
+			{Module: "*", Mode: ModeFail, Prob: p() / 4, Error: "EFAULT: injected fault"},
+		},
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"turnstile/internal/ast"
 	"turnstile/internal/dift"
+	"turnstile/internal/faults"
 )
 
 // promiseState is the Host payload of a Promise object.
@@ -436,15 +437,65 @@ func (ip *Interp) installGlobals() {
 	}))
 	g.Define("Date", dateNS, false)
 
-	// timers: synchronous model — callbacks run immediately (the corpus
-	// apps use setTimeout(fn, 0) style deferrals only)
+	// timers: synchronous model — callbacks run immediately after advancing
+	// the virtual clock by the requested delay (the corpus apps use
+	// setTimeout(fn, 0) style deferrals only, so eager execution preserves
+	// their semantics while keeping virtual time honest)
 	g.Define("setTimeout", NewHostFunc("setTimeout", func(ip *Interp, this Value, args []Value) (Value, error) {
+		if len(args) > 1 {
+			if ms := ToNumber(args[1]); ms > 0 {
+				ip.Clock.Advance(int64(ms))
+			}
+		}
 		if len(args) > 0 {
 			if _, err := ip.CallFunction(args[0], undef, nil, ast.Pos{}); err != nil {
 				return nil, err
 			}
 		}
 		return 0.0, nil
+	}), false)
+	// retry(fn, attempts?, baseDelay?) — exponential backoff on the virtual
+	// clock. Retries only JS exceptions (a failing host op surfaced as a
+	// throw); interpreter-level errors such as step-budget exhaustion
+	// propagate immediately. Returns fn's value from the first success;
+	// rethrows the last exception once attempts are exhausted.
+	g.Define("retry", NewHostFunc("retry", func(ip *Interp, this Value, args []Value) (Value, error) {
+		if len(args) == 0 {
+			return undef, nil
+		}
+		attempts := 3
+		if len(args) > 1 {
+			if n := int(ToNumber(args[1])); n > 0 {
+				attempts = n
+			}
+		}
+		base := int64(1)
+		if len(args) > 2 {
+			if b := int64(ToNumber(args[2])); b > 0 {
+				base = b
+			}
+		}
+		var result Value = undef
+		var fatal error
+		err := faults.Retry(ip.Clock, attempts, base, func() error {
+			v, callErr := ip.CallFunction(args[0], undef, nil, ast.Pos{})
+			if callErr != nil {
+				if _, isThrow := callErr.(*Throw); isThrow {
+					return callErr
+				}
+				fatal = callErr
+				return nil
+			}
+			result = v
+			return nil
+		})
+		if fatal != nil {
+			return nil, fatal
+		}
+		if err != nil {
+			return nil, err
+		}
+		return result, nil
 	}), false)
 	g.Define("setInterval", NewHostFunc("setInterval", func(ip *Interp, this Value, args []Value) (Value, error) {
 		// intervals are driven externally by the workload pump; register

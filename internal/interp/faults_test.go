@@ -1,0 +1,237 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"turnstile/internal/faults"
+	"turnstile/internal/parser"
+	"turnstile/internal/policy"
+)
+
+// runFaulted executes src in a fresh interpreter with a fault schedule
+// installed.
+func runFaulted(t *testing.T, s *faults.Schedule, src string) *Interp {
+	t.Helper()
+	ip := New()
+	ip.InstallFaults(s)
+	prog, err := parser.Parse("test.js", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := ip.Run(prog); err != nil {
+		t.Fatalf("run: %v\nsource:\n%s", err, src)
+	}
+	return ip
+}
+
+func failRule(module, op string) *faults.Schedule {
+	return &faults.Schedule{Rules: []faults.Rule{
+		{Module: module, Op: op, Mode: faults.ModeFail, Error: "EIO: injected failure"},
+	}}
+}
+
+func TestFaultFailAsyncCallback(t *testing.T) {
+	// async ops surface Node-style (err, result) callbacks
+	ip := runFaulted(t, failRule("fs", "readFile"), `
+const fs = require("fs");
+fs.readFile("/etc/conf", function(err, data) {
+  if (err) { console.log("err:", err.message, err.code, err.syscall, data); }
+  else { console.log("ok:", data); }
+});
+`)
+	if len(ip.ConsoleOut) != 1 || !strings.Contains(ip.ConsoleOut[0], "err: EIO: injected failure EIO fs.readFile null") {
+		t.Fatalf("console = %v", ip.ConsoleOut)
+	}
+}
+
+func TestFaultSyncThrowCatchable(t *testing.T) {
+	// sync ops throw a catchable Error; the failed write leaves no record
+	ip := runFaulted(t, failRule("fs", "writeFileSync"), `
+const fs = require("fs");
+try {
+  fs.writeFileSync("/out", "data");
+  console.log("unreachable");
+} catch (e) { console.log("caught:", e.message); }
+`)
+	if len(ip.ConsoleOut) != 1 || ip.ConsoleOut[0] != "caught: EIO: injected failure" {
+		t.Fatalf("console = %v", ip.ConsoleOut)
+	}
+	if n := len(ip.IO.Writes); n != 0 {
+		t.Fatalf("failed write was recorded: %d", n)
+	}
+}
+
+func TestFaultDropSilentSuccess(t *testing.T) {
+	// dropped ops vanish but the caller observes success
+	s := &faults.Schedule{Rules: []faults.Rule{
+		{Module: "fs", Op: "writeFile", Mode: faults.ModeDrop},
+	}}
+	ip := runFaulted(t, s, `
+const fs = require("fs");
+fs.writeFile("/out", "lost", function(err) { console.log("cb err:", err); });
+`)
+	if len(ip.ConsoleOut) != 1 || ip.ConsoleOut[0] != "cb err: null" {
+		t.Fatalf("console = %v", ip.ConsoleOut)
+	}
+	if n := len(ip.IO.Writes); n != 0 {
+		t.Fatalf("dropped write was recorded: %d", n)
+	}
+}
+
+func TestFaultDelayAdvancesClock(t *testing.T) {
+	s := &faults.Schedule{Rules: []faults.Rule{
+		{Module: "fs", Op: "writeFileSync", Mode: faults.ModeDelay, Delay: 7},
+	}}
+	ip := runFaulted(t, s, `
+const fs = require("fs");
+fs.writeFileSync("/slow", "x");
+`)
+	if ip.Clock.Now() != 7 {
+		t.Fatalf("clock = %d", ip.Clock.Now())
+	}
+	// a delayed op still completes
+	if n := len(ip.IO.Writes); n != 1 {
+		t.Fatalf("writes = %d", n)
+	}
+}
+
+func TestRetryGlobalRidesOutFlaky(t *testing.T) {
+	s := &faults.Schedule{Rules: []faults.Rule{
+		{Module: "fs", Op: "writeFileSync", Mode: faults.ModeFlaky, K: 2, Error: "EIO: warming up"},
+	}}
+	ip := runFaulted(t, s, `
+const fs = require("fs");
+const out = retry(function() { fs.writeFileSync("/flaky", "v"); return "done"; }, 5, 2);
+console.log(out);
+`)
+	if len(ip.ConsoleOut) != 1 || ip.ConsoleOut[0] != "done" {
+		t.Fatalf("console = %v", ip.ConsoleOut)
+	}
+	if n := len(ip.IO.Writes); n != 1 {
+		t.Fatalf("writes = %d", n)
+	}
+	// two backoff waits: 2 + 4 virtual ticks
+	if ip.Clock.Now() != 6 {
+		t.Fatalf("clock = %d", ip.Clock.Now())
+	}
+}
+
+func TestRetryGlobalExhaustionRethrows(t *testing.T) {
+	ip := runFaulted(t, failRule("fs", "writeFileSync"), `
+try {
+  retry(function() { require("fs").writeFileSync("/never", "v"); }, 3, 1);
+} catch (e) { console.log("gave up:", e.message); }
+`)
+	if len(ip.ConsoleOut) != 1 || ip.ConsoleOut[0] != "gave up: EIO: injected failure" {
+		t.Fatalf("console = %v", ip.ConsoleOut)
+	}
+	if ip.Clock.Now() != 3 { // 1 + 2
+		t.Fatalf("clock = %d", ip.Clock.Now())
+	}
+}
+
+func TestSetTimeoutAdvancesClock(t *testing.T) {
+	ip := run(t, `
+setTimeout(function() { console.log("later"); }, 25);
+console.log("after");
+`)
+	if ip.Clock.Now() != 25 {
+		t.Fatalf("clock = %d", ip.Clock.Now())
+	}
+	if len(ip.ConsoleOut) != 2 || ip.ConsoleOut[0] != "later" {
+		t.Fatalf("console = %v", ip.ConsoleOut)
+	}
+}
+
+func TestEmitDeliversToAllListeners(t *testing.T) {
+	// one throwing listener must not starve its siblings, and Emit must
+	// report every failure
+	ip := run(t, `
+process.stdin.on("data", function(d) { throw new Error("first broke: " + d); });
+process.stdin.on("data", function(d) { console.log("second got:", d); });
+process.stdin.on("data", function(d) { throw new Error("third broke"); });
+`)
+	src, ok := ip.Source("process.stdin")
+	if !ok {
+		t.Fatal("stdin source missing")
+	}
+	err := ip.Emit(src, "data", "m1")
+	if err == nil {
+		t.Fatal("Emit swallowed the listener errors")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "first broke: m1") || !strings.Contains(msg, "third broke") {
+		t.Fatalf("joined error = %q", msg)
+	}
+	if len(ip.ConsoleOut) != 1 || ip.ConsoleOut[0] != "second got: m1" {
+		t.Fatalf("sibling starved: console = %v", ip.ConsoleOut)
+	}
+}
+
+func TestIORecorderResetClearsIntervals(t *testing.T) {
+	ip := run(t, `
+const fs = require("fs");
+fs.writeFileSync("/x", "v");
+setInterval(function() {}, 100);
+`)
+	if len(ip.IO.Writes) != 1 || len(ip.IO.Intervals) != 1 {
+		t.Fatalf("precondition: writes=%d intervals=%d", len(ip.IO.Writes), len(ip.IO.Intervals))
+	}
+	ip.IO.Reset()
+	if len(ip.IO.Writes) != 0 {
+		t.Fatalf("writes not cleared: %d", len(ip.IO.Writes))
+	}
+	if len(ip.IO.Intervals) != 0 {
+		t.Fatalf("intervals not cleared: %d", len(ip.IO.Intervals))
+	}
+	// the deployment environment survives a reset
+	if ip.IO.Files == nil || ip.IO.Sources == nil {
+		t.Fatal("Reset dropped the environment maps")
+	}
+}
+
+func TestLabelsSurviveFaultErrorPath(t *testing.T) {
+	// a host-op failure on the primary sink must not strip DIFT labels:
+	// the fallback write on the error path still carries them
+	ip := New()
+	pol, err := policy.ParseJSON([]byte(`{
+	  "labellers": { "Reading": "v => \"sensitive\"" },
+	  "rules": [ "sensitive -> archive" ]
+	}`), ip.CompileLabelFunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ip.InstallTracker(pol)
+	tr.Enforce = false
+	ip.InstallFaults(failRule("fs", "writeFileSync"))
+	prog, err := parser.Parse("test.js", `
+const fs = require("fs");
+let kept = __t.label("reading-7", "Reading");
+try {
+  fs.writeFileSync("/primary", kept);
+} catch (e) {
+  fs.appendFileSync("/fallback", kept);
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ip.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	w := ip.IO.Writes
+	if len(w) != 1 || w[0].Target != "/fallback" || w[0].Value != "reading-7" {
+		t.Fatalf("writes = %+v", w)
+	}
+	kept, found := ip.Globals.Lookup("kept")
+	if !found {
+		t.Fatal("kept missing from globals")
+	}
+	if labels := ip.Tracker.DataLabels(kept); labels.Empty() {
+		t.Fatal("error path dropped the DIFT labels")
+	}
+	if st := ip.Tracker.Stats(); st.Labelled != 1 || st.Boxed < 1 {
+		t.Fatalf("tracker stats = %+v", st)
+	}
+}

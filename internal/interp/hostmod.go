@@ -1,11 +1,13 @@
 package interp
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"turnstile/internal/ast"
 	"turnstile/internal/dift"
+	"turnstile/internal/faults"
 )
 
 // SinkWrite records one write to a host I/O sink — the observable output of
@@ -39,8 +41,16 @@ func NewIORecorder() *IORecorder {
 	}
 }
 
-// Reset clears recorded writes (keeps sources and files).
-func (r *IORecorder) Reset() { r.Writes = r.Writes[:0] }
+// Reset prepares the recorder for a fresh run: it clears the recorded
+// writes and the interval callbacks registered by the previous run (a
+// reused interpreter must not re-fire a prior program's setInterval
+// handlers). Sources and Files are intentionally kept — they model the
+// deployment environment (attached devices, the virtual disk), which
+// persists across runs of the same interpreter.
+func (r *IORecorder) Reset() {
+	r.Writes = r.Writes[:0]
+	r.Intervals = nil
+}
 
 // WritesTo returns the writes whose module matches.
 func (r *IORecorder) WritesTo(module string) []SinkWrite {
@@ -64,16 +74,51 @@ func (ip *Interp) record(module, op, target string, v Value) {
 	ip.IO.Writes = append(ip.IO.Writes, SinkWrite{Module: module, Op: op, Target: target, Value: v})
 }
 
+// fault consults the injector (when installed) before a host operation.
+// An injected delay is performed here, on the virtual clock; an injected
+// failure returns the Node-style error object the op should surface
+// (throw for sync ops, first callback argument for async ones). The
+// decision is a pure function of the operation's identity and invocation
+// count, so the original and instrumented versions of an application see
+// an identical fault sequence.
+func (ip *Interp) fault(module, op, target string) (faults.Decision, *Object) {
+	if ip.Faults == nil {
+		return faults.Decision{Action: faults.Pass}, nil
+	}
+	d := ip.Faults.Decide(module, op, target)
+	switch d.Action {
+	case faults.Delay:
+		ip.Clock.Advance(d.Delay)
+	case faults.Fail:
+		return d, ip.faultError(d, module, op)
+	}
+	return d, nil
+}
+
+// faultError builds the Node-style error object for an injected failure:
+// the conventional "CODE: detail" message is split into a code property.
+func (ip *Interp) faultError(d faults.Decision, module, op string) *Object {
+	e := ip.MakeError("Error", d.Err)
+	if i := strings.IndexByte(d.Err, ':'); i > 0 {
+		e.Set("code", d.Err[:i])
+	}
+	e.Set("syscall", module+"."+op)
+	return e
+}
+
 // Emit fires the named event on an emitter object, invoking every listener
 // registered via .on(event, cb). It is how the workload pump injects
-// messages into the application.
+// messages into the application. Every listener is delivered to even when
+// an earlier one fails — one bad callback must not starve its siblings —
+// and the collected errors are returned joined.
 func (ip *Interp) Emit(obj *Object, event string, args ...Value) error {
+	var errs []error
 	for _, cb := range obj.Listeners[event] {
 		if _, err := ip.CallFunction(cb, obj, args, ast.Pos{}); err != nil {
-			return err
+			errs = append(errs, err)
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // RegisterModule installs a custom module for require(name); used by the
@@ -222,6 +267,13 @@ func (ip *Interp) installHostModules() {
 	proc.Set("stdin", stdin)
 	stdout := NewObject()
 	stdout.Set("write", NewHostFunc("write", func(ip *Interp, this Value, args []Value) (Value, error) {
+		d, errObj := ip.fault("process", "stdout.write", "stdout")
+		switch d.Action {
+		case faults.Fail:
+			return nil, &Throw{Val: errObj}
+		case faults.Drop:
+			return true, nil
+		}
 		if len(args) > 0 {
 			ip.record("process", "stdout.write", "stdout", args[0])
 		}
@@ -285,6 +337,13 @@ func (ip *Interp) fsModule() *Object {
 		}
 		path := ToString(args[0])
 		cb := args[len(args)-1]
+		d, errObj := ip.fault("fs", "readFile", path)
+		switch d.Action {
+		case faults.Fail:
+			return ip.CallFunction(cb, undef, []Value{errObj, null}, ast.Pos{})
+		case faults.Drop:
+			return undef, nil // the callback is never invoked
+		}
 		content, ok := ip.IO.Files[path]
 		if !ok {
 			content = "contents-of:" + path
@@ -296,6 +355,13 @@ func (ip *Interp) fsModule() *Object {
 			return "", nil
 		}
 		path := ToString(args[0])
+		d, errObj := ip.fault("fs", "readFileSync", path)
+		switch d.Action {
+		case faults.Fail:
+			return nil, &Throw{Val: errObj}
+		case faults.Drop:
+			return "", nil
+		}
 		if content, ok := ip.IO.Files[path]; ok {
 			return content, nil
 		}
@@ -306,8 +372,17 @@ func (ip *Interp) fsModule() *Object {
 			return undef, nil
 		}
 		path := ToString(args[0])
-		ip.record("fs", "writeFile", path, args[1])
-		ip.IO.Files[path] = ToString(args[1])
+		d, errObj := ip.fault("fs", "writeFile", path)
+		if d.Action == faults.Fail {
+			if len(args) > 2 {
+				return ip.CallFunction(args[len(args)-1], undef, []Value{errObj}, ast.Pos{})
+			}
+			return undef, nil
+		}
+		if d.Action != faults.Drop {
+			ip.record("fs", "writeFile", path, args[1])
+			ip.IO.Files[path] = ToString(args[1])
+		}
 		if len(args) > 2 {
 			return ip.CallFunction(args[len(args)-1], undef, []Value{null}, ast.Pos{})
 		}
@@ -318,6 +393,13 @@ func (ip *Interp) fsModule() *Object {
 			return undef, nil
 		}
 		path := ToString(args[0])
+		d, errObj := ip.fault("fs", "writeFileSync", path)
+		switch d.Action {
+		case faults.Fail:
+			return nil, &Throw{Val: errObj}
+		case faults.Drop:
+			return undef, nil
+		}
 		ip.record("fs", "writeFileSync", path, args[1])
 		ip.IO.Files[path] = ToString(args[1])
 		return undef, nil
@@ -327,6 +409,13 @@ func (ip *Interp) fsModule() *Object {
 			return undef, nil
 		}
 		path := ToString(args[0])
+		d, errObj := ip.fault("fs", "appendFileSync", path)
+		switch d.Action {
+		case faults.Fail:
+			return nil, &Throw{Val: errObj}
+		case faults.Drop:
+			return undef, nil
+		}
 		ip.record("fs", "appendFileSync", path, args[1])
 		ip.IO.Files[path] += ToString(args[1])
 		return undef, nil
@@ -356,12 +445,26 @@ func (ip *Interp) fsModule() *Object {
 		stream := NewObject()
 		stream.Class = "WriteStream"
 		stream.Set("write", NewHostFunc("write", func(ip *Interp, this Value, args []Value) (Value, error) {
+			d, errObj := ip.fault("fs", "stream.write", path)
+			switch d.Action {
+			case faults.Fail:
+				return nil, &Throw{Val: errObj}
+			case faults.Drop:
+				return true, nil
+			}
 			if len(args) > 0 {
 				ip.record("fs", "stream.write", path, args[0])
 			}
 			return true, nil
 		}))
 		stream.Set("end", NewHostFunc("end", func(ip *Interp, this Value, args []Value) (Value, error) {
+			d, errObj := ip.fault("fs", "stream.end", path)
+			switch d.Action {
+			case faults.Fail:
+				return nil, &Throw{Val: errObj}
+			case faults.Drop:
+				return undef, nil
+			}
 			if len(args) > 0 {
 				ip.record("fs", "stream.end", path, args[0])
 			}
@@ -379,6 +482,22 @@ func (ip *Interp) netModule() *Object {
 		sock := ip.newEmitter("Socket")
 		ip.registerSource("net.socket:"+tag, sock)
 		sock.Set("write", NewHostFunc("write", func(ip *Interp, this Value, args []Value) (Value, error) {
+			d, errObj := ip.fault("net", "socket.write", tag)
+			switch d.Action {
+			case faults.Fail:
+				// Node signals write failure through the optional trailing
+				// callback; without one, the write just reports failure
+				if len(args) > 1 {
+					if _, isFn := dift.Unwrap(args[len(args)-1]).(*Function); isFn {
+						if _, err := ip.CallFunction(args[len(args)-1], undef, []Value{errObj}, ast.Pos{}); err != nil {
+							return nil, err
+						}
+					}
+				}
+				return false, nil
+			case faults.Drop:
+				return true, nil
+			}
 			if len(args) > 0 {
 				ip.record("net", "socket.write", tag, args[0])
 			}
@@ -440,18 +559,22 @@ func (ip *Interp) httpModule() *Object {
 		req := NewObject()
 		req.Class = "ClientRequest"
 		req.Set("write", NewHostFunc("write", func(ip *Interp, this Value, args []Value) (Value, error) {
-			if len(args) > 0 {
+			d, _ := ip.fault("http", "request.write", target)
+			if d.Action == faults.Fail {
+				return false, nil
+			}
+			if d.Action != faults.Drop && len(args) > 0 {
 				ip.record("http", "request.write", target, args[0])
 			}
 			return true, nil
 		}))
 		req.Set("end", NewHostFunc("end", func(ip *Interp, this Value, args []Value) (Value, error) {
+			d, _ := ip.fault("http", "request.end", target)
+			if d.Action == faults.Fail || d.Action == faults.Drop {
+				return undef, nil
+			}
 			if len(args) > 0 {
 				ip.record("http", "request.end", target, args[0])
-			}
-			// invoke the response callback with a response stream
-			if len(args) == 0 || true {
-				// response delivery handled below
 			}
 			return undef, nil
 		}))
@@ -514,6 +637,23 @@ func (ip *Interp) mqttModule() *Object {
 			if len(args) > 0 {
 				topic = ToString(args[0])
 			}
+			d, errObj := ip.fault("mqtt", "publish", topic)
+			switch d.Action {
+			case faults.Fail:
+				// publish(topic, msg, [cb]): failure goes to the callback
+				// when given, otherwise it throws like a lost connection
+				if len(args) > 2 {
+					if _, isFn := dift.Unwrap(args[len(args)-1]).(*Function); isFn {
+						if _, err := ip.CallFunction(args[len(args)-1], undef, []Value{errObj}, ast.Pos{}); err != nil {
+							return nil, err
+						}
+						return client, nil
+					}
+				}
+				return nil, &Throw{Val: errObj}
+			case faults.Drop:
+				return client, nil
+			}
 			if len(args) > 1 {
 				ip.record("mqtt", "publish", topic, args[1])
 			}
@@ -546,6 +686,22 @@ func (ip *Interp) mailModule() *Object {
 					to = ToString(t)
 				}
 			}
+			d, errObj := ip.fault("smtp", "sendMail", to)
+			switch d.Action {
+			case faults.Fail:
+				if len(args) > 1 {
+					return ip.CallFunction(args[1], undef, []Value{errObj, null}, ast.Pos{})
+				}
+				return nil, &Throw{Val: errObj}
+			case faults.Drop:
+				// the mail vanishes in transit; the caller sees success
+				if len(args) > 1 {
+					info := NewObject()
+					info.Set("accepted", NewArray(to))
+					return ip.CallFunction(args[1], undef, []Value{null, info}, ast.Pos{})
+				}
+				return undef, nil
+			}
 			ip.record("smtp", "sendMail", to, args[0])
 			if len(args) > 1 {
 				info := NewObject()
@@ -574,6 +730,21 @@ func (ip *Interp) sqliteModule() *Object {
 				return db, nil
 			}
 			sql := ToString(args[0])
+			d, errObj := ip.fault("sqlite", "run", path+":"+firstWord(sql))
+			switch d.Action {
+			case faults.Fail:
+				if len(args) > 2 {
+					if _, isFn := dift.Unwrap(args[len(args)-1]).(*Function); isFn {
+						if _, err := ip.CallFunction(args[len(args)-1], undef, []Value{errObj}, ast.Pos{}); err != nil {
+							return nil, err
+						}
+						return db, nil
+					}
+				}
+				return nil, &Throw{Val: errObj}
+			case faults.Drop:
+				return db, nil
+			}
 			var payload Value = undef
 			if len(args) > 1 {
 				payload = args[1]
@@ -589,6 +760,17 @@ func (ip *Interp) sqliteModule() *Object {
 		}))
 		db.Set("all", NewHostFunc("all", func(ip *Interp, this Value, args []Value) (Value, error) {
 			if len(args) < 2 {
+				return db, nil
+			}
+			sql := ""
+			if len(args) > 0 {
+				sql = ToString(args[0])
+			}
+			d, errObj := ip.fault("sqlite", "all", path+":"+firstWord(sql))
+			switch d.Action {
+			case faults.Fail:
+				return ip.CallFunction(args[len(args)-1], undef, []Value{errObj, null}, ast.Pos{})
+			case faults.Drop:
 				return db, nil
 			}
 			rows := NewArray()
@@ -612,6 +794,16 @@ func (ip *Interp) childProcessModule() *Object {
 		cmd := "?"
 		if len(args) > 0 {
 			cmd = ToString(args[0])
+		}
+		d, errObj := ip.fault("child_process", "exec", cmd)
+		switch d.Action {
+		case faults.Fail:
+			if len(args) > 1 {
+				return ip.CallFunction(args[len(args)-1], undef, []Value{errObj, "", ""}, ast.Pos{})
+			}
+			return nil, &Throw{Val: errObj}
+		case faults.Drop:
+			return undef, nil
 		}
 		ip.record("child_process", "exec", cmd, cmd)
 		if len(args) > 1 {

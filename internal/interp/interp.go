@@ -8,6 +8,7 @@ import (
 
 	"turnstile/internal/ast"
 	"turnstile/internal/dift"
+	"turnstile/internal/faults"
 )
 
 // Throw is a MiniJS exception in flight.
@@ -61,6 +62,13 @@ type Interp struct {
 	ConsoleOut []string
 	// MaxSteps bounds evaluation steps to catch runaway programs.
 	MaxSteps int64
+	// Clock is the virtual time source: injected delays, retry backoff and
+	// setTimeout deferrals advance it instead of sleeping, so temporal
+	// behaviour is a deterministic function of the executed operations.
+	Clock *faults.Clock
+	// Faults, when non-nil, consults a seeded fault schedule before every
+	// host-module operation (chaos mode). Nil means every op succeeds.
+	Faults *faults.Injector
 
 	steps       int64
 	modules     map[string]Value
@@ -75,10 +83,23 @@ func New() *Interp {
 		Globals:  NewEnv(nil),
 		IO:       NewIORecorder(),
 		MaxSteps: 200_000_000,
+		Clock:    faults.NewClock(),
 		modules:  make(map[string]Value),
 	}
 	ip.installGlobals()
 	return ip
+}
+
+// InstallFaults attaches a seeded fault injector running on this
+// interpreter's virtual clock and returns it for inspection. Passing a
+// nil schedule removes the injector.
+func (ip *Interp) InstallFaults(s *faults.Schedule) *faults.Injector {
+	if s == nil {
+		ip.Faults = nil
+		return nil
+	}
+	ip.Faults = faults.NewInjector(s, ip.Clock)
+	return ip.Faults
 }
 
 // step charges one unit against the step budget.

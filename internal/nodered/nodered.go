@@ -8,6 +8,7 @@ package nodered
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 
 	"turnstile/internal/ast"
@@ -40,6 +41,24 @@ type Delivery struct {
 	Msg    interp.Value
 }
 
+// Health aggregates the runtime's degradation counters: how often node
+// handlers threw, how many of those errors reached catch nodes, and how
+// many messages were shed at quarantined nodes. A healthy run is all
+// zeros; under chaos mode these counters are part of the deterministic
+// report.
+type Health struct {
+	// HandlerErrors counts JS exceptions thrown by node input handlers
+	// and isolated by the runtime (the flow kept running).
+	HandlerErrors int
+	// CtorErrors counts node constructors that threw during Deploy; the
+	// node is still wired in, degraded to a pass-through shell.
+	CtorErrors int
+	// Caught counts errors delivered to catch nodes.
+	Caught int
+	// Dropped counts messages shed at quarantined nodes.
+	Dropped int
+}
+
 // Runtime hosts node packages and deployed flows on one interpreter.
 type Runtime struct {
 	IP *interp.Interp
@@ -47,24 +66,49 @@ type Runtime struct {
 	ctors     map[string]interp.Value
 	instances map[string]*interp.Object
 	wires     map[string][][]string
+	types     map[string]string
 	// Deliveries counts input messages routed per node.
 	Deliveries []Delivery
 	// Depth guards against cyclic flows.
 	depth int
+
+	// BreakerThreshold is the circuit breaker: a node whose input handler
+	// throws this many times consecutively is quarantined — subsequent
+	// messages to it are shed instead of executed — until the runtime is
+	// rebuilt. Zero or negative disables the breaker.
+	BreakerThreshold int
+	// Health holds the degradation counters for this runtime.
+	Health Health
+
+	catches     []string       // deployed catch-node IDs, in flow order
+	failures    map[string]int // consecutive handler failures per node
+	quarantined map[string]bool
+	inCatch     bool // suppresses catch re-entry while a catch handler runs
 }
+
+// DefaultBreakerThreshold is the consecutive-failure count after which a
+// node is quarantined.
+const DefaultBreakerThreshold = 3
 
 // New creates a runtime and installs the RED API into the interpreter's
 // globals.
 func New(ip *interp.Interp) *Runtime {
 	rt := &Runtime{
-		IP:        ip,
-		ctors:     make(map[string]interp.Value),
-		instances: make(map[string]*interp.Object),
-		wires:     make(map[string][][]string),
+		IP:               ip,
+		ctors:            make(map[string]interp.Value),
+		instances:        make(map[string]*interp.Object),
+		wires:            make(map[string][][]string),
+		types:            make(map[string]string),
+		BreakerThreshold: DefaultBreakerThreshold,
+		failures:         make(map[string]int),
+		quarantined:      make(map[string]bool),
 	}
 	ip.Globals.Define("RED", rt.redObject(), false)
 	return rt
 }
+
+// Quarantined reports whether the circuit breaker has isolated a node.
+func (rt *Runtime) Quarantined(id string) bool { return rt.quarantined[id] }
 
 // redObject builds the RED host API.
 func (rt *Runtime) redObject() *interp.Object {
@@ -245,6 +289,11 @@ func (rt *Runtime) RegisteredTypes() []string {
 }
 
 // Deploy instantiates a flow: every node is constructed with its config.
+// A constructor that throws does not abort the deployment — the node is
+// kept as a degraded pass-through shell (wired, but with no handlers) and
+// the throw is counted, mirroring Node-RED's per-node isolation. Unknown
+// node types remain fatal: that is a broken flow definition, not a
+// runtime failure.
 func (rt *Runtime) Deploy(flow *Flow) error {
 	for _, def := range flow.Nodes {
 		ctor, ok := rt.ctors[def.Type]
@@ -260,7 +309,15 @@ func (rt *Runtime) Deploy(flow *Flow) error {
 		inst := interp.NewObject()
 		inst.Host = def.ID
 		if _, err := rt.IP.CallFunction(ctor, inst, []interp.Value{cfg}, ast.Pos{}); err != nil {
-			return fmt.Errorf("nodered: constructing node %s (%s): %w", def.ID, def.Type, err)
+			var throw *interp.Throw
+			if !errors.As(err, &throw) {
+				return fmt.Errorf("nodered: constructing node %s (%s): %w", def.ID, def.Type, err)
+			}
+			rt.Health.CtorErrors++
+			rt.IP.ConsoleOut = append(rt.IP.ConsoleOut,
+				fmt.Sprintf("nodered: node %s (%s) constructor failed: %s", def.ID, def.Type, throw.Error()))
+			inst = interp.NewObject()
+			inst.Host = def.ID
 		}
 		if inst.Listeners == nil {
 			// the constructor did not call RED.nodes.createNode; equip the
@@ -269,6 +326,10 @@ func (rt *Runtime) Deploy(flow *Flow) error {
 		}
 		rt.instances[def.ID] = inst
 		rt.wires[def.ID] = def.Wires
+		rt.types[def.ID] = def.Type
+		if def.Type == "catch" {
+			rt.catches = append(rt.catches, def.ID)
+		}
 	}
 	return nil
 }
@@ -295,6 +356,10 @@ func (rt *Runtime) deliver(node *interp.Object, nodeID string, msg interp.Value)
 	if rt.depth >= maxRouteDepth {
 		return fmt.Errorf("nodered: routing depth exceeded (cyclic flow?)")
 	}
+	if rt.quarantined[nodeID] {
+		rt.Health.Dropped++
+		return nil
+	}
 	rt.depth++
 	defer func() { rt.depth-- }()
 	rt.Deliveries = append(rt.Deliveries, Delivery{NodeID: nodeID, Msg: msg})
@@ -307,12 +372,68 @@ func (rt *Runtime) deliver(node *interp.Object, nodeID string, msg interp.Value)
 	done := interp.NewHostFunc("done", func(ip *interp.Interp, this interp.Value, args []interp.Value) (interp.Value, error) {
 		return interp.Undefined{}, nil
 	})
+	threw := false
 	for _, cb := range node.Listeners["input"] {
 		if _, err := rt.IP.CallFunction(cb, node, []interp.Value{msg, send, done}, ast.Pos{}); err != nil {
-			return err
+			// A JS exception is a node failure, not a flow failure: isolate
+			// it, tell the catch nodes, and keep delivering. Anything else
+			// (step-budget exhaustion, cyclic-route guard, internal errors)
+			// is the interpreter failing, and must propagate.
+			var throw *interp.Throw
+			if !errors.As(err, &throw) {
+				return err
+			}
+			threw = true
+			rt.Health.HandlerErrors++
+			rt.dispatchCatch(nodeID, throw, msg)
 		}
 	}
+	if threw {
+		rt.failures[nodeID]++
+		if rt.BreakerThreshold > 0 && rt.failures[nodeID] >= rt.BreakerThreshold {
+			rt.quarantined[nodeID] = true
+			rt.IP.ConsoleOut = append(rt.IP.ConsoleOut,
+				fmt.Sprintf("nodered: node %s quarantined after %d consecutive failures", nodeID, rt.failures[nodeID]))
+		}
+	} else {
+		rt.failures[nodeID] = 0
+	}
 	return nil
+}
+
+// dispatchCatch delivers an isolated handler error to every deployed
+// catch node, Node-RED style: the original message augmented with an
+// error object naming the failing node. A throw inside a catch handler
+// is counted but not re-dispatched, so error handling cannot recurse.
+func (rt *Runtime) dispatchCatch(sourceID string, throw *interp.Throw, original interp.Value) {
+	if rt.inCatch || len(rt.catches) == 0 {
+		return
+	}
+	rt.inCatch = true
+	defer func() { rt.inCatch = false }()
+	msg := interp.NewObject()
+	if o, ok := dift.Unwrap(original).(*interp.Object); ok {
+		for _, k := range o.Keys() {
+			pv, _ := o.GetOwn(k)
+			msg.Set(k, pv)
+		}
+	}
+	errObj := interp.NewObject()
+	errObj.Set("message", throw.Error())
+	src := interp.NewObject()
+	src.Set("id", sourceID)
+	src.Set("type", rt.types[sourceID])
+	errObj.Set("source", src)
+	msg.Set("error", errObj)
+	for _, cid := range rt.catches {
+		if cid == sourceID {
+			continue
+		}
+		if node, ok := rt.instances[cid]; ok {
+			rt.Health.Caught++
+			_ = rt.deliver(node, cid, msg)
+		}
+	}
 }
 
 // route forwards a message from a node to its wired downstream nodes.

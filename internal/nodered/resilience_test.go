@@ -1,0 +1,398 @@
+package nodered
+
+import (
+	"strings"
+	"testing"
+
+	"turnstile/internal/dift"
+	"turnstile/internal/faults"
+	"turnstile/internal/interp"
+	"turnstile/internal/policy"
+)
+
+const boomNodePkg = `
+module.exports = function(RED) {
+  function BoomNode(config) {
+    RED.nodes.createNode(this, config);
+    const node = this;
+    node.on("input", function(msg) {
+      throw new Error("boom: " + msg.payload);
+    });
+  }
+  RED.nodes.registerType("boom", BoomNode);
+};
+`
+
+const catchNodePkg = `
+module.exports = function(RED) {
+  function CatchNode(config) {
+    RED.nodes.createNode(this, config);
+    const node = this;
+    node.on("input", function(msg) {
+      node.send(msg);
+    });
+  }
+  RED.nodes.registerType("catch", CatchNode);
+};
+`
+
+const recordNodePkg = `
+module.exports = function(RED) {
+  function RecordNode(config) {
+    RED.nodes.createNode(this, config);
+    const fs = require("fs");
+    const node = this;
+    node.on("input", function(msg) {
+      let text = msg.payload;
+      if (msg.error) { text = msg.error.source.id + "|" + msg.error.message; }
+      fs.writeFileSync(config.path, text);
+    });
+  }
+  RED.nodes.registerType("record", RecordNode);
+};
+`
+
+func loadResiliencePkgs(t *testing.T, rt *Runtime) {
+	t.Helper()
+	for name, src := range map[string]string{
+		"upper.js":  upperNodePkg,
+		"boom.js":   boomNodePkg,
+		"catch.js":  catchNodePkg,
+		"record.js": recordNodePkg,
+	} {
+		if err := rt.LoadPackage(name, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestHandlerThrowIsolated(t *testing.T) {
+	// a throwing node must not abort the flow: its sibling on the same
+	// fan-out port still receives the message
+	rt := newRuntime(t)
+	loadResiliencePkgs(t, rt)
+	flow := &Flow{Nodes: []NodeDef{
+		{ID: "src", Type: "upper", Wires: [][]string{{"bad", "ok"}}},
+		{ID: "bad", Type: "boom"},
+		{ID: "ok", Type: "record", Config: map[string]any{"path": "/ok"}},
+	}}
+	if err := rt.Deploy(flow); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Inject("src", mkMsg("x")); err != nil {
+		t.Fatalf("throw escaped the runtime: %v", err)
+	}
+	if rt.Health.HandlerErrors != 1 {
+		t.Fatalf("health = %+v", rt.Health)
+	}
+	w := rt.IP.IO.WritesTo("fs")
+	if len(w) != 1 || w[0].Value != "X" {
+		t.Fatalf("sibling starved: writes = %+v", w)
+	}
+}
+
+func TestSiblingListenersRunAfterThrow(t *testing.T) {
+	rt := newRuntime(t)
+	if err := rt.LoadPackage("two.js", `
+module.exports = function(RED) {
+  function TwoNode(config) {
+    RED.nodes.createNode(this, config);
+    const fs = require("fs");
+    const node = this;
+    node.on("input", function(msg) { throw new Error("first"); });
+    node.on("input", function(msg) { fs.writeFileSync("/second", msg.payload); });
+  }
+  RED.nodes.registerType("two", TwoNode);
+};
+`); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Deploy(&Flow{Nodes: []NodeDef{{ID: "n", Type: "two"}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Inject("n", mkMsg("p")); err != nil {
+		t.Fatal(err)
+	}
+	if w := rt.IP.IO.WritesTo("fs"); len(w) != 1 || w[0].Target != "/second" {
+		t.Fatalf("second listener starved: %+v", w)
+	}
+}
+
+func TestCatchNodeReceivesError(t *testing.T) {
+	rt := newRuntime(t)
+	loadResiliencePkgs(t, rt)
+	flow := &Flow{Nodes: []NodeDef{
+		{ID: "bad", Type: "boom"},
+		{ID: "trap", Type: "catch", Wires: [][]string{{"log"}}},
+		{ID: "log", Type: "record", Config: map[string]any{"path": "/errors"}},
+	}}
+	if err := rt.Deploy(flow); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Inject("bad", mkMsg("42")); err != nil {
+		t.Fatal(err)
+	}
+	w := rt.IP.IO.WritesTo("fs")
+	if len(w) != 1 {
+		t.Fatalf("catch chain produced %+v", w)
+	}
+	got := interp.ToString(w[0].Value)
+	if !strings.Contains(got, "bad|") || !strings.Contains(got, "boom: 42") {
+		t.Fatalf("error message = %q", got)
+	}
+	if rt.Health.Caught != 1 {
+		t.Fatalf("health = %+v", rt.Health)
+	}
+}
+
+func TestThrowingCatchHandlerDoesNotRecurse(t *testing.T) {
+	rt := newRuntime(t)
+	loadResiliencePkgs(t, rt)
+	if err := rt.LoadPackage("badcatch.js", `
+module.exports = function(RED) {
+  function BadCatchNode(config) {
+    RED.nodes.createNode(this, config);
+    this.on("input", function(msg) { throw new Error("catch is broken too"); });
+  }
+  RED.nodes.registerType("bad-catch", BadCatchNode);
+};
+`); err != nil {
+		t.Fatal(err)
+	}
+	flow := &Flow{Nodes: []NodeDef{
+		{ID: "bad", Type: "boom"},
+		{ID: "trap", Type: "catch"},
+	}}
+	// replace the catch ctor with the throwing one for node "trap"
+	rt.ctors["catch"] = rt.ctors["bad-catch"]
+	if err := rt.Deploy(flow); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Inject("bad", mkMsg("x")); err != nil {
+		t.Fatal(err)
+	}
+	// one error from the boom node, one from the catch handler itself;
+	// the catch handler's error is not re-dispatched
+	if rt.Health.HandlerErrors != 2 || rt.Health.Caught != 1 {
+		t.Fatalf("health = %+v", rt.Health)
+	}
+}
+
+func TestCircuitBreakerQuarantine(t *testing.T) {
+	rt := newRuntime(t)
+	loadResiliencePkgs(t, rt)
+	if err := rt.Deploy(&Flow{Nodes: []NodeDef{{ID: "bad", Type: "boom"}}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < DefaultBreakerThreshold; i++ {
+		if err := rt.Inject("bad", mkMsg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !rt.Quarantined("bad") {
+		t.Fatal("node not quarantined at threshold")
+	}
+	before := len(rt.Deliveries)
+	if err := rt.Inject("bad", mkMsg("post")); err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Deliveries) != before {
+		t.Fatal("quarantined node still executed")
+	}
+	if rt.Health.Dropped != 1 || rt.Health.HandlerErrors != DefaultBreakerThreshold {
+		t.Fatalf("health = %+v", rt.Health)
+	}
+	quarantineNote := false
+	for _, line := range rt.IP.ConsoleOut {
+		if strings.Contains(line, "quarantined") {
+			quarantineNote = true
+		}
+	}
+	if !quarantineNote {
+		t.Fatalf("console = %v", rt.IP.ConsoleOut)
+	}
+}
+
+func TestBreakerResetsOnSuccess(t *testing.T) {
+	rt := newRuntime(t)
+	if err := rt.LoadPackage("alt.js", `
+module.exports = function(RED) {
+  let n = 0;
+  function AltNode(config) {
+    RED.nodes.createNode(this, config);
+    this.on("input", function(msg) {
+      n = n + 1;
+      if (n % 2 === 1) { throw new Error("odd call"); }
+    });
+  }
+  RED.nodes.registerType("alt", AltNode);
+};
+`); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Deploy(&Flow{Nodes: []NodeDef{{ID: "a", Type: "alt"}}}); err != nil {
+		t.Fatal(err)
+	}
+	// alternating fail/success never reaches the consecutive threshold
+	for i := 0; i < 10; i++ {
+		if err := rt.Inject("a", mkMsg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rt.Quarantined("a") {
+		t.Fatal("breaker tripped without consecutive failures")
+	}
+	if rt.Health.HandlerErrors != 5 {
+		t.Fatalf("health = %+v", rt.Health)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	rt := newRuntime(t)
+	loadResiliencePkgs(t, rt)
+	rt.BreakerThreshold = 0
+	if err := rt.Deploy(&Flow{Nodes: []NodeDef{{ID: "bad", Type: "boom"}}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := rt.Inject("bad", mkMsg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rt.Quarantined("bad") {
+		t.Fatal("disabled breaker still tripped")
+	}
+	if rt.Health.HandlerErrors != 10 {
+		t.Fatalf("health = %+v", rt.Health)
+	}
+}
+
+func TestDeploySurvivesThrowingCtor(t *testing.T) {
+	rt := newRuntime(t)
+	loadResiliencePkgs(t, rt)
+	if err := rt.LoadPackage("badctor.js", `
+module.exports = function(RED) {
+  function BadCtorNode(config) {
+    RED.nodes.createNode(this, config);
+    throw new Error("cannot init hardware");
+  }
+  RED.nodes.registerType("bad-ctor", BadCtorNode);
+};
+`); err != nil {
+		t.Fatal(err)
+	}
+	flow := &Flow{Nodes: []NodeDef{
+		{ID: "src", Type: "upper", Wires: [][]string{{"dead", "ok"}}},
+		{ID: "dead", Type: "bad-ctor"},
+		{ID: "ok", Type: "record", Config: map[string]any{"path": "/ok"}},
+	}}
+	if err := rt.Deploy(flow); err != nil {
+		t.Fatalf("throwing ctor aborted Deploy: %v", err)
+	}
+	if rt.Health.CtorErrors != 1 {
+		t.Fatalf("health = %+v", rt.Health)
+	}
+	// the degraded node is routable (a no-op shell); the healthy sibling
+	// still works
+	if err := rt.Inject("src", mkMsg("m")); err != nil {
+		t.Fatal(err)
+	}
+	if w := rt.IP.IO.WritesTo("fs"); len(w) != 1 || w[0].Value != "M" {
+		t.Fatalf("writes = %+v", w)
+	}
+}
+
+func TestFaultedSinkKeepsLabelsAndFlowRunning(t *testing.T) {
+	// a host-op failure inside a node handler is isolated by the runtime,
+	// and the DIFT labels on the message survive to the next delivery
+	ip := interp.New()
+	pol, err := policy.ParseJSON([]byte(`{
+	  "labellers": { "Payload": "v => \"sensitive\"" },
+	  "rules": [ "sensitive -> archive" ]
+	}`), ip.CompileLabelFunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ip.InstallTracker(pol)
+	tr.Enforce = false
+	ip.InstallFaults(&faults.Schedule{Rules: []faults.Rule{
+		{Module: "fs", Op: "writeFileSync", Mode: faults.ModeFlaky, K: 1, Error: "EIO: disk warming up"},
+	}})
+	rt := New(ip)
+	err = rt.LoadPackage("lbl.js", `
+module.exports = function(RED) {
+  function LabelNode(config) {
+    RED.nodes.createNode(this, config);
+    const node = this;
+    node.on("input", function(msg) {
+      msg.payload = __t.label(msg.payload, "Payload");
+      node.send(msg);
+    });
+  }
+  RED.nodes.registerType("labeler", LabelNode);
+};
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.LoadPackage("sink.js", sinkNodePkg); err != nil {
+		t.Fatal(err)
+	}
+	flow := &Flow{Nodes: []NodeDef{
+		{ID: "lab", Type: "labeler", Wires: [][]string{{"out"}}},
+		{ID: "out", Type: "file-sink", Config: map[string]any{"path": "/arch"}},
+	}}
+	if err := rt.Deploy(flow); err != nil {
+		t.Fatal(err)
+	}
+	// first message: the sink's writeFileSync fails; the throw is isolated
+	if err := rt.Inject("lab", mkMsg("frame-1")); err != nil {
+		t.Fatalf("fault escaped the runtime: %v", err)
+	}
+	if rt.Health.HandlerErrors != 1 {
+		t.Fatalf("health = %+v", rt.Health)
+	}
+	// second message: the flaky budget is spent, the tracked write lands
+	if err := rt.Inject("lab", mkMsg("frame-2")); err != nil {
+		t.Fatal(err)
+	}
+	w := rt.IP.IO.WritesTo("fs")
+	if len(w) != 1 || w[0].Value != "frame-2" {
+		t.Fatalf("writes = %+v", w)
+	}
+	if _, boxed := w[0].Value.(*dift.Box); boxed {
+		t.Fatal("sink write not unwrapped")
+	}
+	// both payloads were labelled — the error path did not skip tracking
+	if st := ip.Tracker.Stats(); st.Labelled != 2 {
+		t.Fatalf("tracker stats = %+v", st)
+	}
+}
+
+func TestRuntimeErrorStillPropagates(t *testing.T) {
+	// step-budget exhaustion is an interpreter failure, not a node
+	// failure: isolation must not swallow it
+	rt := newRuntime(t)
+	rt.IP.MaxSteps = 500
+	if err := rt.LoadPackage("spin.js", `
+module.exports = function(RED) {
+  function SpinNode(config) {
+    RED.nodes.createNode(this, config);
+    this.on("input", function(msg) { while (true) { msg.payload = msg.payload + 1; } });
+  }
+  RED.nodes.registerType("spin", SpinNode);
+};
+`); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Deploy(&Flow{Nodes: []NodeDef{{ID: "s", Type: "spin"}}}); err != nil {
+		t.Fatal(err)
+	}
+	err := rt.Inject("s", mkMsg(0))
+	if err == nil || !strings.Contains(err.Error(), "step") {
+		t.Fatalf("err = %v", err)
+	}
+	if rt.Health.HandlerErrors != 0 {
+		t.Fatalf("runtime error miscounted as handler error: %+v", rt.Health)
+	}
+}

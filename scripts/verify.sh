@@ -17,4 +17,12 @@ go test ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== chaos smoke (fixed seed, corpus slice)"
+go run ./cmd/turnstile-bench -chaos -faultseed 7 -messages 20 \
+  -apps modbus,sensor-logger,thermostat-hub > /tmp/turnstile-chaos-a.txt
+go run ./cmd/turnstile-bench -chaos -faultseed 7 -messages 20 \
+  -apps modbus,sensor-logger,thermostat-hub -parallel 1 > /tmp/turnstile-chaos-b.txt
+cmp /tmp/turnstile-chaos-a.txt /tmp/turnstile-chaos-b.txt
+rm -f /tmp/turnstile-chaos-a.txt /tmp/turnstile-chaos-b.txt
+
 echo "verify: OK"
