@@ -21,6 +21,14 @@
 // 1 restores the paper's sequential methodology). A per-app pipeline
 // cache shares each app's parsed AST and dataflow analysis between E1 and
 // E2 and across repeated runs; -nocache disables it.
+//
+// Observability flags: -metrics replays each runnable app's selective and
+// exhaustive versions with the telemetry layer attached and emits the
+// per-app overhead-breakdown tables attributing instrumented cost to
+// individual DIFT ops (count-based and byte-identical across runs and
+// -parallel counts). -trace DIR additionally writes each app's
+// selective-version structured trace JSON (virtual-clock timestamps).
+// -profile FILE writes a pprof CPU profile of the whole run.
 package main
 
 import (
@@ -28,11 +36,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"strings"
 
 	"turnstile/internal/corpus"
 	"turnstile/internal/faults"
 	"turnstile/internal/harness"
+	"turnstile/internal/telemetry"
 	"turnstile/internal/workload"
 )
 
@@ -52,17 +62,38 @@ func main() {
 	outDir := flag.String("out", "", "also write compiled results (JSON/CSV) into this directory")
 	parallel := flag.Int("parallel", harness.DefaultParallelism(), "experiment worker count (1 = sequential)")
 	nocache := flag.Bool("nocache", false, "disable the per-app parse+analysis cache")
+	metrics := flag.Bool("metrics", false, "emit the per-app DIFT overhead-breakdown tables")
+	traceDir := flag.String("trace", "", "write per-app selective-version trace JSON into this directory (implies -metrics)")
+	profileOut := flag.String("profile", "", "write a pprof CPU profile of the whole run to this file")
 	flag.Parse()
+
+	if *profileOut != "" {
+		f, err := os.Create(*profileOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("cpu profile written to %s\n", *profileOut)
+		}()
+	}
 
 	cache := harness.NewCache()
 	if *nocache {
 		cache = nil
 	}
 
-	if *all {
-		*table2, *fig10, *fig11, *fig12, *chaos = true, true, true, true, true
+	if *traceDir != "" {
+		*metrics = true
 	}
-	if !*table2 && !*fig10 && !*fig11 && !*fig12 && !*chaos {
+	if *all {
+		*table2, *fig10, *fig11, *fig12, *chaos, *metrics = true, true, true, true, true, true
+	}
+	if !*table2 && !*fig10 && !*fig11 && !*fig12 && !*chaos && !*metrics {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -87,15 +118,7 @@ func main() {
 	if *fig11 || *fig12 {
 		targets := corpus.Runnable(apps)
 		if *appsFilter != "" {
-			var filtered []*corpus.App
-			for _, name := range strings.Split(*appsFilter, ",") {
-				a := corpus.ByName(targets, strings.TrimSpace(name))
-				if a == nil {
-					fatal(fmt.Errorf("unknown runnable app %q", name))
-				}
-				filtered = append(filtered, a)
-			}
-			targets = filtered
+			targets = filterRunnable(apps, *appsFilter)
 		}
 		opts := harness.E2Options{Messages: *messages, Warmup: *warmup, Repeats: *repeats,
 			Parallel: *parallel, Cache: cache}
@@ -136,6 +159,34 @@ func main() {
 			s.AcceptableSel, s.AcceptableExh)
 	}
 
+	if *metrics {
+		targets := apps
+		if *appsFilter != "" {
+			targets = filterRunnable(apps, *appsFilter)
+		}
+		traceCap := 0
+		if *traceDir != "" {
+			traceCap = telemetry.DefaultTraceCapacity
+		}
+		res, err := harness.RunBreakdown(targets, harness.BreakdownOptions{
+			Messages: *messages, Parallel: *parallel, Cache: cache, TraceCapacity: traceCap,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(harness.RenderBreakdown(res))
+		if *traceDir != "" {
+			for i := range res.Rows {
+				if res.Rows[i].SelectiveTrace != nil {
+					writeOut(*traceDir, res.Rows[i].App+"-trace.json", res.Rows[i].SelectiveTrace)
+				}
+			}
+		}
+		if *outDir != "" {
+			writeOut(*outDir, "overhead-breakdown.txt", []byte(harness.RenderBreakdown(res)))
+		}
+	}
+
 	if *chaos {
 		var schedule *faults.Schedule
 		if *faultSchedule != "" {
@@ -149,16 +200,7 @@ func main() {
 		}
 		targets := apps
 		if *appsFilter != "" {
-			runnable := corpus.Runnable(apps)
-			var filtered []*corpus.App
-			for _, name := range strings.Split(*appsFilter, ",") {
-				a := corpus.ByName(runnable, strings.TrimSpace(name))
-				if a == nil {
-					fatal(fmt.Errorf("unknown runnable app %q", name))
-				}
-				filtered = append(filtered, a)
-			}
-			targets = filtered
+			targets = filterRunnable(apps, *appsFilter)
 		}
 		res, err := harness.RunChaos(targets, harness.ChaosOptions{
 			Seed: *faultSeed, Messages: *messages, Parallel: *parallel,
@@ -187,6 +229,21 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "turnstile-bench:", err)
 	os.Exit(1)
+}
+
+// filterRunnable resolves a comma-separated -apps list against the
+// runnable corpus, fataling on unknown names.
+func filterRunnable(apps []*corpus.App, filter string) []*corpus.App {
+	runnable := corpus.Runnable(apps)
+	var filtered []*corpus.App
+	for _, name := range strings.Split(filter, ",") {
+		a := corpus.ByName(runnable, strings.TrimSpace(name))
+		if a == nil {
+			fatal(fmt.Errorf("unknown runnable app %q", name))
+		}
+		filtered = append(filtered, a)
+	}
+	return filtered
 }
 
 // writeOut writes one compiled artifact, creating the directory if needed.

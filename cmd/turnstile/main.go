@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -30,6 +31,7 @@ import (
 	"turnstile/internal/parser"
 	"turnstile/internal/policy"
 	"turnstile/internal/taint"
+	"turnstile/internal/telemetry"
 )
 
 func main() {
@@ -73,6 +75,7 @@ func usage() {
   turnstile instrument -policy p.json [-mode M] <app.js>   print the privacy-managed source
   turnstile run -policy p.json [-source S] [-messages N] <app.js>
                 [-chaos] [-faultseed N] [-faultschedule f.json]     run under fault injection
+                [-metrics] [-trace out.json] [-profile cpu.pprof]   observability hooks
   turnstile check-policy <policy.json>                validate an IFC policy
   turnstile corpus [name]                             list the evaluation corpus / dump one app
   turnstile flow -flow f.json [-policy p.json] [-inject ID] <pkg.js>...   deploy and drive a Node-RED flow`)
@@ -220,8 +223,26 @@ func cmdRun(args []string) error {
 	chaos := fs.Bool("chaos", false, "run under deterministic fault injection")
 	faultSeed := fs.Int64("faultseed", 1, "seed for the generated fault schedule")
 	faultSchedule := fs.String("faultschedule", "", "JSON fault schedule file (implies -chaos)")
+	metrics := fs.Bool("metrics", false, "print the telemetry metrics table after the run")
+	traceOut := fs.String("trace", "", "write the structured event trace to this file (chrome-trace format with a .chrome.json suffix, JSON otherwise)")
+	profileOut := fs.String("profile", "", "write a pprof CPU profile of the run to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *profileOut != "" {
+		f, err := os.Create(*profileOut)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("cpu profile written to %s\n", *profileOut)
+		}()
 	}
 	sources, _, err := readSources(fs.Args(), *parallel)
 	if err != nil {
@@ -241,6 +262,12 @@ func cmdRun(args []string) error {
 	}
 	opts.Enforce = *enforce
 	opts.ImplicitFlows = *implicit
+	if *metrics {
+		opts.Metrics = telemetry.NewMetrics()
+	}
+	if *traceOut != "" {
+		opts.TraceCapacity = telemetry.DefaultTraceCapacity
+	}
 	app, err := core.Manage(sources, policyJSON, opts)
 	if err != nil {
 		return err
@@ -297,6 +324,25 @@ func cmdRun(args []string) error {
 	}
 	for _, line := range app.IP.ConsoleOut {
 		fmt.Println("  console:", line)
+	}
+	if *metrics {
+		fmt.Print(opts.Metrics.Render())
+	}
+	if *traceOut != "" {
+		var data []byte
+		if strings.HasSuffix(*traceOut, ".chrome.json") {
+			data, err = app.Tracer.ExportChromeTrace()
+		} else {
+			data, err = app.Tracer.ExportJSON()
+		}
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (%d event(s), %d dropped)\n",
+			*traceOut, app.Tracer.Len(), app.Tracer.Dropped())
 	}
 	return nil
 }

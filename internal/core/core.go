@@ -18,6 +18,7 @@ import (
 	"turnstile/internal/policy"
 	"turnstile/internal/printer"
 	"turnstile/internal/taint"
+	"turnstile/internal/telemetry"
 )
 
 // Options configures the pipeline.
@@ -33,6 +34,13 @@ type Options struct {
 	// instrumentor wraps conditionals in pc scopes, and the tracker labels
 	// values written under secret control.
 	ImplicitFlows bool
+	// Metrics, when non-nil, is attached to the runtime and tracker before
+	// deployment, so load-time tracker activity is counted too.
+	Metrics *telemetry.Metrics
+	// TraceCapacity > 0 attaches a structured event tracer (a ring buffer
+	// of that many events, timestamped on the virtual clock) exposed as
+	// ManagedApp.Tracer.
+	TraceCapacity int
 }
 
 // DefaultOptions returns the paper's configuration: selective
@@ -53,6 +61,9 @@ type ManagedApp struct {
 	Instrumented map[string]string
 	// Results per file from the instrumentor.
 	Results map[string]*instrument.Result
+	// Tracer is the structured event tracer (nil unless
+	// Options.TraceCapacity was set).
+	Tracer *telemetry.Tracer
 }
 
 // Analyze runs only the Dataflow Analyzer over named sources.
@@ -78,6 +89,13 @@ func Manage(sources map[string]string, policyJSON string, opts Options) (*Manage
 	analysis := taint.Analyze(files, opts.Analyzer)
 
 	ip := interp.New()
+	var tracer *telemetry.Tracer
+	if opts.TraceCapacity > 0 {
+		tracer = telemetry.NewTracer(opts.TraceCapacity, ip.Clock.Now)
+	}
+	if opts.Metrics != nil || tracer != nil {
+		ip.EnableTelemetry(opts.Metrics, tracer)
+	}
 	pol, err := policy.ParseJSON([]byte(policyJSON), ip.CompileLabelFunc)
 	if err != nil {
 		return nil, err
@@ -89,6 +107,7 @@ func Manage(sources map[string]string, policyJSON string, opts Options) (*Manage
 		Analysis:     analysis,
 		Instrumented: make(map[string]string, len(files)),
 		Results:      make(map[string]*instrument.Result, len(files)),
+		Tracer:       tracer,
 	}
 	tr := ip.InstallTracker(pol)
 	tr.Enforce = opts.Enforce

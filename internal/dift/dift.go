@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 
 	"turnstile/internal/policy"
+	"turnstile/internal/telemetry"
 )
 
 // Ref is implemented by reference-type runtime values; the identity is used
@@ -124,9 +125,85 @@ type Tracker struct {
 	violations []*Violation
 	stats      Stats
 
+	// tel, when non-nil, holds the pre-resolved telemetry handles. Every
+	// hook below guards on this one field, so the telemetry-off hot path
+	// costs a single predictable branch per operation (the benchmark gate
+	// in scripts/verify.sh holds that line).
+	tel *telHooks
+
 	// implicit-flow tracking (see implicit.go)
 	implicit bool
 	pcStack  []policy.LabelSet
+}
+
+// telHooks bundles the counter handles for the tracker's per-operation
+// metrics, resolved once in EnableTelemetry, plus the optional tracer.
+type telHooks struct {
+	metrics *telemetry.Metrics
+	tracer  *telemetry.Tracer
+
+	label, binaryOp, assign, check, invoke, track, box, violation *telemetry.Counter
+	checkLabels                                                   *telemetry.Histogram
+}
+
+// EnableTelemetry attaches a metrics registry and/or structured tracer to
+// the tracker and its policy graph. Counter handles are resolved here so
+// the per-operation hooks are lock-free atomic adds. Passing two nils
+// detaches telemetry.
+func (t *Tracker) EnableTelemetry(m *telemetry.Metrics, tr *telemetry.Tracer) {
+	if m == nil && tr == nil {
+		t.tel = nil
+		if t.Policy != nil && t.Policy.Graph != nil {
+			t.Policy.Graph.SetMetrics(nil)
+		}
+		return
+	}
+	h := &telHooks{metrics: m, tracer: tr}
+	if m != nil {
+		h.label = m.Counter("dift.label")
+		h.binaryOp = m.Counter("dift.binaryOp")
+		h.assign = m.Counter("dift.assign")
+		h.check = m.Counter("dift.check")
+		h.invoke = m.Counter("dift.invoke")
+		h.track = m.Counter("dift.track")
+		h.box = m.Counter("dift.box")
+		h.violation = m.Counter("dift.violation")
+		h.checkLabels = m.Histogram("dift.check.labels")
+	}
+	t.tel = h
+	if t.Policy != nil && t.Policy.Graph != nil {
+		t.Policy.Graph.SetMetrics(m)
+	}
+}
+
+// Telemetry returns the attached metrics registry (nil when disabled).
+func (t *Tracker) Telemetry() *telemetry.Metrics {
+	if t.tel == nil {
+		return nil
+	}
+	return t.tel.metrics
+}
+
+// Tracer returns the attached structured tracer (nil when disabled).
+func (t *Tracker) Tracer() *telemetry.Tracer {
+	if t.tel == nil {
+		return nil
+	}
+	return t.tel.tracer
+}
+
+// LabelStrings converts a label set to its sorted string form for trace
+// events (LabelSet.Slice is sorted, keeping traces deterministic).
+func LabelStrings(ls policy.LabelSet) []string {
+	if ls.Empty() {
+		return nil
+	}
+	sl := ls.Slice()
+	out := make([]string, len(sl))
+	for i, l := range sl {
+		out[i] = string(l)
+	}
+	return out
 }
 
 // refIDCounter is the global identity counter shared by every Ref value:
@@ -156,6 +233,9 @@ func (t *Tracker) Stats() Stats { return t.stats }
 // newBox wraps a value-type v.
 func (t *Tracker) newBox(v any) *Box {
 	t.stats.Boxed++
+	if h := t.tel; h != nil && h.box != nil {
+		h.box.Inc()
+	}
 	return &Box{Val: v, id: NextRefID()}
 }
 
@@ -190,7 +270,28 @@ func (t *Tracker) Attach(v any, ls policy.LabelSet) any {
 // labeller specification and attaches it. The returned value replaces v.
 func (t *Tracker) Label(v any, l *policy.Labeller) (any, error) {
 	t.stats.Labelled++
+	if h := t.tel; h != nil {
+		if h.label != nil {
+			h.label.Inc()
+		}
+		out, err := t.applyLabeller(v, l)
+		if h.tracer != nil {
+			name := ""
+			if l != nil {
+				name = l.Name
+			}
+			t.trace(telemetry.Event{Op: "label", Site: name, Labels: LabelStrings(t.LabelsOf(out))})
+		}
+		return out, err
+	}
 	return t.applyLabeller(v, l)
+}
+
+// trace records one event on the attached tracer (telemetry-on path only).
+func (t *Tracker) trace(ev telemetry.Event) {
+	if h := t.tel; h != nil && h.tracer != nil {
+		h.tracer.Record(ev)
+	}
 }
 
 func (t *Tracker) applyLabeller(v any, l *policy.Labeller) (any, error) {
@@ -256,6 +357,9 @@ func (t *Tracker) applyLabeller(v any, l *policy.Labeller) (any, error) {
 // heap-allocated object (§6.2), which is exactly the overhead source the
 // selective strategy avoids.
 func (t *Tracker) Track(v any) any {
+	if h := t.tel; h != nil && h.track != nil {
+		h.track.Inc()
+	}
 	if _, ok := v.(Ref); ok {
 		return v
 	}
@@ -270,6 +374,9 @@ func (t *Tracker) Track(v any) any {
 // of the sources' labels. The returned value replaces result.
 func (t *Tracker) Derive(result any, sources ...any) any {
 	t.stats.Derived++
+	if h := t.tel; h != nil && h.binaryOp != nil {
+		h.binaryOp.Inc()
+	}
 	var union policy.LabelSet
 	for _, s := range sources {
 		union = union.Union(t.LabelsOf(s))
@@ -338,6 +445,22 @@ func (t *Tracker) CollectProperties(v any, names []string) policy.LabelSet {
 func (t *Tracker) Check(data, recv any, site string) error {
 	t.stats.Checks++
 	dl := t.pcAugment(t.DataLabels(data))
+	if h := t.tel; h != nil {
+		if h.check != nil {
+			h.check.Inc()
+			h.checkLabels.Observe(int64(len(dl)))
+		}
+		// mirror the telemetry-off control flow exactly: receiverLabels may
+		// run a MiniJS $invoke labeller, so it must only be called when the
+		// off path would call it, or the two runs' step counts diverge
+		if dl.Empty() {
+			t.trace(telemetry.Event{Op: "check", Site: site})
+			return nil
+		}
+		rl := t.receiverLabels(recv, nil)
+		t.trace(telemetry.Event{Op: "check", Site: site, Labels: LabelStrings(dl), Recv: LabelStrings(rl)})
+		return t.verdict(dl, rl, "check", site)
+	}
 	if dl.Empty() {
 		return nil
 	}
@@ -384,6 +507,24 @@ func (t *Tracker) InvokeCheckTarget(fnVal, target any, args []any, site string) 
 		dl = dl.Union(t.DataLabels(a))
 	}
 	dl = t.pcAugment(dl)
+	if h := t.tel; h != nil {
+		if h.invoke != nil {
+			h.invoke.Inc()
+			h.checkLabels.Observe(int64(len(dl)))
+		}
+		// as in Check: receiverLabels may execute a labeller, so it is only
+		// reached when the telemetry-off path would reach it
+		if dl.Empty() {
+			t.trace(telemetry.Event{Op: "invoke", Site: site})
+			return nil
+		}
+		rl := t.receiverLabels(fnVal, args)
+		if target != nil {
+			rl = rl.Union(t.receiverLabels(target, args))
+		}
+		t.trace(telemetry.Event{Op: "invoke", Site: site, Labels: LabelStrings(dl), Recv: LabelStrings(rl)})
+		return t.verdict(dl, rl, "invoke", site)
+	}
 	if dl.Empty() {
 		return nil
 	}
@@ -409,6 +550,13 @@ func (t *Tracker) verdict(dl, rl policy.LabelSet, op, site string) error {
 	v := &Violation{Site: site, Op: op, Data: dl.Clone(), Recv: rl.Clone()}
 	t.violations = append(t.violations, v)
 	t.stats.Violations++
+	if h := t.tel; h != nil {
+		if h.violation != nil {
+			h.violation.Inc()
+		}
+		t.trace(telemetry.Event{Op: "violation", Site: site, Detail: op,
+			Labels: LabelStrings(dl), Recv: LabelStrings(rl)})
+	}
 	if t.OnViolation != nil {
 		t.OnViolation(v)
 	}

@@ -67,6 +67,9 @@ func (t *Tracker) Assign(v any) any {
 	if !t.implicit {
 		return v
 	}
+	if h := t.tel; h != nil && h.assign != nil {
+		h.assign.Inc()
+	}
 	pc := t.PC()
 	if pc.Empty() {
 		return v

@@ -53,6 +53,21 @@ class Camera extends Sensor {
   read(v) { return "cam/" + v; }
 }
 console.log(new Camera("c1").read("f0"), Sensor.kind());`,
+		// deeply nested invoke chains: every call site is an invoke-check
+		// candidate, and the receivers of inner calls are themselves call
+		// results
+		`const w = { get(x) { return { get(y) { return { get(z) { return x + y + z; } }; } }; } };
+console.log(w.get(1).get(2).get(3), w.get(w.get(0).get(0).get(0)).get(4).get(5));`,
+		`function chain(n) { return { next() { return n > 0 ? chain(n - 1) : null; }, v: n }; }
+console.log(chain(4).next().next().next().v);`,
+		// implicit-flow shapes: branches, loops and early returns whose
+		// conditions guard later assignments (exercises the pc-scope stack)
+		`let secret = 1, leak = 0;
+if (secret > 0) { leak = 1; } else { leak = 2; }
+while (leak < 3) { if (secret) { leak++; } }
+console.log(leak);`,
+		`function gate(s) { let out = "lo"; if (s) { if (s > 1) { out = "hi"; } } return out; }
+console.log(gate(0) + gate(1) + gate(2));`,
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -147,6 +162,18 @@ console.log([...xs].sort().join("-"), { ...{ k: 1 } }.k);`,
 console.log(new Box(5).get2());`,
 		`function rec(n) { return n <= 0 ? "" : rec(n - 1) + n; }
 console.log(rec(5));`,
+		// nested invoke chain: parity must survive invoke-checks on receivers
+		// that are themselves call results
+		`const mk = v => ({ add(d) { return mk(v + d); }, v() { return v; } });
+console.log(mk(1).add(2).add(3).v());`,
+		// implicit-flow branch shape: condition-guarded assignments inside a
+		// loop, then the result flows to a sink
+		`const fs = require("fs");
+const ws = fs.createWriteStream("/out");
+let acc = 0;
+for (let i = 0; i < 5; i++) { if (i % 2) { acc += i; } else { acc -= 1; } }
+ws.write("acc:" + acc);
+console.log(acc > 0 ? "pos" : "neg");`,
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -8,6 +8,7 @@ import (
 	"turnstile/internal/ast"
 	"turnstile/internal/dift"
 	"turnstile/internal/faults"
+	"turnstile/internal/telemetry"
 )
 
 // SinkWrite records one write to a host I/O sink — the observable output of
@@ -66,10 +67,22 @@ func (r *IORecorder) WritesTo(module string) []SinkWrite {
 // record appends a sink write, unwrapping tracked values so external
 // interfaces receive native data (§4.4).
 func (ip *Interp) record(module, op, target string, v Value) {
+	// the labels are read before unwrapping: UnwrapDeep strips Box
+	// wrappers, and with them the identities the label map is keyed on
+	if ip.Tracer != nil {
+		var labels []string
+		if ip.Tracker != nil {
+			labels = dift.LabelStrings(ip.Tracker.DataLabels(v))
+		}
+		ip.Tracer.Record(telemetry.Event{Op: "sink", Site: module + "." + op, Target: target, Labels: labels})
+	}
 	if ip.Tracker != nil {
 		v = ip.Tracker.UnwrapDeep(v)
 	} else {
 		v = dift.Unwrap(v)
+	}
+	if ip.Metrics != nil {
+		ip.Metrics.Add("sink."+module+"."+op, 1)
 	}
 	ip.IO.Writes = append(ip.IO.Writes, SinkWrite{Module: module, Op: op, Target: target, Value: v})
 }
@@ -82,6 +95,11 @@ func (ip *Interp) record(module, op, target string, v Value) {
 // count, so the original and instrumented versions of an application see
 // an identical fault sequence.
 func (ip *Interp) fault(module, op, target string) (faults.Decision, *Object) {
+	// every host-module operation funnels through here, making it the one
+	// interception point for host-call metrics
+	if ip.Metrics != nil {
+		ip.Metrics.Add("host."+module+"."+op, 1)
+	}
 	if ip.Faults == nil {
 		return faults.Decision{Action: faults.Pass}, nil
 	}

@@ -9,6 +9,7 @@ import (
 	"turnstile/internal/ast"
 	"turnstile/internal/dift"
 	"turnstile/internal/faults"
+	"turnstile/internal/telemetry"
 )
 
 // Throw is a MiniJS exception in flight.
@@ -69,6 +70,13 @@ type Interp struct {
 	// Faults, when non-nil, consults a seeded fault schedule before every
 	// host-module operation (chaos mode). Nil means every op succeeds.
 	Faults *faults.Injector
+	// Metrics, when non-nil, receives host-module call counters and sink
+	// write counters; the tracker's per-op counters share the registry.
+	Metrics *telemetry.Metrics
+	// Tracer, when non-nil, records structured flow events (sink writes
+	// here; label/check/invoke/violation events from the tracker) with
+	// timestamps from the virtual Clock.
+	Tracer *telemetry.Tracer
 
 	steps       int64
 	modules     map[string]Value
@@ -88,6 +96,19 @@ func New() *Interp {
 	}
 	ip.installGlobals()
 	return ip
+}
+
+// EnableTelemetry attaches a metrics registry and/or structured tracer to
+// the interpreter and, if a tracker is installed, to the tracker and its
+// policy graph. Call with two nils to detach. A nil tracer with metrics
+// enables counting only; NewTracer(cap, ip.Clock.Now) builds a tracer on
+// this interpreter's virtual clock.
+func (ip *Interp) EnableTelemetry(m *telemetry.Metrics, tr *telemetry.Tracer) {
+	ip.Metrics = m
+	ip.Tracer = tr
+	if ip.Tracker != nil {
+		ip.Tracker.EnableTelemetry(m, tr)
+	}
 }
 
 // InstallFaults attaches a seeded fault injector running on this

@@ -61,6 +61,10 @@ func (Adapter) IsReference(v any) bool {
 func (ip *Interp) InstallTracker(pol *policy.Policy) *dift.Tracker {
 	tr := dift.NewTracker(pol, Adapter{})
 	ip.Tracker = tr
+	// telemetry enabled before the tracker was installed: wire it through
+	if ip.Metrics != nil || ip.Tracer != nil {
+		tr.EnableTelemetry(ip.Metrics, ip.Tracer)
+	}
 	tau := NewObject()
 	tau.Class = "DIFTracker"
 

@@ -13,6 +13,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"turnstile/internal/telemetry"
 )
 
 // Label is a single privacy label, e.g. "employee" or "EU".
@@ -176,6 +178,23 @@ type Graph struct {
 
 	mu    sync.RWMutex
 	cache map[[2]Label]bool
+	// telHits/telMisses, when non-nil, count memoized reachability lookups.
+	// Guarded by mu so SetMetrics is safe while checks are in flight; the
+	// telemetry-off cost is one nil check under the lock already held.
+	telHits, telMisses *telemetry.Counter
+}
+
+// SetMetrics attaches (or, with nil, detaches) reachability-cache hit and
+// miss counters to the graph.
+func (g *Graph) SetMetrics(m *telemetry.Metrics) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if m == nil {
+		g.telHits, g.telMisses = nil, nil
+		return
+	}
+	g.telHits = m.Counter("policy.cache.hit")
+	g.telMisses = m.Counter("policy.cache.miss")
 }
 
 // NewGraph builds the rule DAG and validates it. A *CycleError is returned
@@ -275,10 +294,17 @@ func (g *Graph) CanFlow(from, to Label) bool {
 	key := [2]Label{from, to}
 	g.mu.RLock()
 	if r, ok := g.cache[key]; ok {
+		if g.telHits != nil {
+			g.telHits.Inc()
+		}
 		g.mu.RUnlock()
 		return r
 	}
+	miss := g.telMisses
 	g.mu.RUnlock()
+	if miss != nil {
+		miss.Inc()
+	}
 
 	r := g.reach(from, to)
 	g.mu.Lock()

@@ -1,0 +1,287 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"turnstile/internal/telemetry"
+)
+
+// Property-based tests over randomized rule DAGs and label sets. All
+// randomness is seeded, so failures reproduce: re-run with the seed from
+// the subtest name.
+
+// randRules generates a random rule set over nLabels labels. With
+// allowCycles the edge set is unrestricted; otherwise edges only go from a
+// lower-numbered label to a higher one, which guarantees acyclicity.
+func randRules(rng *rand.Rand, nLabels, nEdges int, allowCycles bool) []Rule {
+	name := func(i int) Label { return Label(fmt.Sprintf("L%02d", i)) }
+	seen := make(map[Rule]bool)
+	var rules []Rule
+	for len(rules) < nEdges {
+		a, b := rng.Intn(nLabels), rng.Intn(nLabels)
+		if a == b {
+			continue
+		}
+		if !allowCycles && a > b {
+			a, b = b, a
+		}
+		r := Rule{From: name(a), To: name(b)}
+		if seen[r] {
+			// a duplicate edge: keep it occasionally to exercise parallel
+			// edges, which the graph must tolerate
+			if rng.Intn(4) != 0 {
+				continue
+			}
+		}
+		seen[r] = true
+		rules = append(rules, r)
+	}
+	return rules
+}
+
+// refReach is an independent uncached DFS over the raw rule list — the
+// specification CanFlow must agree with.
+func refReach(rules []Rule, from, to Label) bool {
+	if from == to {
+		return true
+	}
+	adj := make(map[Label][]Label)
+	nodes := make(map[Label]bool)
+	for _, r := range rules {
+		adj[r.From] = append(adj[r.From], r.To)
+		nodes[r.From], nodes[r.To] = true, true
+	}
+	if !nodes[from] {
+		return false
+	}
+	seen := map[Label]bool{from: true}
+	stack := []Label{from}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range adj[u] {
+			if v == to {
+				return true
+			}
+			if !seen[v] {
+				seen[v] = true
+				stack = append(stack, v)
+			}
+		}
+	}
+	return false
+}
+
+// TestPropCachedReachabilityMatchesDFS checks that the memoized CanFlow
+// agrees with an uncached DFS on every label pair of randomized DAGs, and
+// that answers do not change once cached (queried twice, in two different
+// random orders).
+func TestPropCachedReachabilityMatchesDFS(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			nLabels := 2 + rng.Intn(10)
+			nEdges := 1 + rng.Intn(2*nLabels)
+			rules := randRules(rng, nLabels, nEdges, false)
+			g, err := NewGraph(rules)
+			if err != nil {
+				t.Fatalf("acyclic generator produced a rejected graph: %v", err)
+			}
+			m := telemetry.NewMetrics()
+			g.SetMetrics(m)
+			labels := g.Labels()
+			type pair struct{ from, to Label }
+			var pairs []pair
+			for _, a := range labels {
+				for _, b := range labels {
+					pairs = append(pairs, pair{a, b})
+				}
+			}
+			// two passes over the pairs in independent shuffles: pass one
+			// fills the cache, pass two must read only cached decisions
+			for pass := 0; pass < 2; pass++ {
+				order := rng.Perm(len(pairs))
+				for _, i := range order {
+					p := pairs[i]
+					got := g.CanFlow(p.from, p.to)
+					want := refReach(rules, p.from, p.to)
+					if got != want {
+						t.Fatalf("pass %d: CanFlow(%s, %s) = %v, DFS says %v (rules %v)",
+							pass, p.from, p.to, got, want, rules)
+					}
+				}
+			}
+			// every distinct-label pair was decided once and re-read at least
+			// once: the cache must have registered hits and misses
+			if m.CounterValue("policy.cache.miss") == 0 {
+				t.Fatal("no cache misses counted over a fresh graph")
+			}
+			if m.CounterValue("policy.cache.hit") == 0 {
+				t.Fatal("no cache hits counted over the second pass")
+			}
+		})
+	}
+}
+
+// TestPropCyclicRulesRejected checks that graphs with cycles are rejected
+// with a CycleError naming a real cycle in the rule set.
+func TestPropCyclicRulesRejected(t *testing.T) {
+	rejected := 0
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		nLabels := 2 + rng.Intn(6)
+		nEdges := 2 + rng.Intn(3*nLabels)
+		rules := randRules(rng, nLabels, nEdges, true)
+		g, err := NewGraph(rules)
+		if err == nil {
+			// accepted: must genuinely be acyclic — CanFlow(a,b) && CanFlow(b,a)
+			// for distinct labels would betray a cycle
+			for _, a := range g.Labels() {
+				for _, b := range g.Labels() {
+					if a != b && g.CanFlow(a, b) && g.CanFlow(b, a) {
+						t.Fatalf("seed %d: accepted graph has mutual reachability %s <-> %s (rules %v)",
+							seed, a, b, rules)
+					}
+				}
+			}
+			continue
+		}
+		rejected++
+		var ce *CycleError
+		if !errors.As(err, &ce) {
+			t.Fatalf("seed %d: NewGraph error is not a CycleError: %v", seed, err)
+		}
+		if len(ce.Cycle) < 2 || ce.Cycle[0] != ce.Cycle[len(ce.Cycle)-1] {
+			t.Fatalf("seed %d: reported cycle %v does not close", seed, ce.Cycle)
+		}
+		edge := make(map[Rule]bool)
+		for _, r := range rules {
+			edge[r] = true
+		}
+		for i := 0; i+1 < len(ce.Cycle); i++ {
+			if !edge[(Rule{From: ce.Cycle[i], To: ce.Cycle[i+1]})] {
+				t.Fatalf("seed %d: reported cycle %v uses nonexistent edge %s -> %s",
+					seed, ce.Cycle, ce.Cycle[i], ce.Cycle[i+1])
+			}
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("cycle generator never produced a cyclic rule set; property untested")
+	}
+}
+
+// randLabelSet draws a random subset of a small label universe (nil and
+// empty sets included).
+func randLabelSet(rng *rand.Rand) LabelSet {
+	switch rng.Intn(8) {
+	case 0:
+		return nil
+	case 1:
+		return NewLabelSet()
+	}
+	s := NewLabelSet()
+	n := rng.Intn(5)
+	for i := 0; i < n; i++ {
+		s[Label(fmt.Sprintf("l%d", rng.Intn(6)))] = struct{}{}
+	}
+	return s
+}
+
+// TestPropLabelJoinLaws checks the lattice-join laws the compound-label
+// semantics of Fig. 5 rely on: Union is commutative, associative and
+// idempotent, with the empty set as identity, and never mutates its
+// operands.
+func TestPropLabelJoinLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a, b, c := randLabelSet(rng), randLabelSet(rng), randLabelSet(rng)
+		ac, bc := a.Clone(), b.Clone()
+
+		if ab, ba := a.Union(b), b.Union(a); !ab.Equal(ba) {
+			t.Fatalf("commutativity: %v ∪ %v = %v, but %v ∪ %v = %v", a, b, ab, b, a, ba)
+		}
+		if l, r := a.Union(b).Union(c), a.Union(b.Union(c)); !l.Equal(r) {
+			t.Fatalf("associativity: (%v ∪ %v) ∪ %v = %v ≠ %v", a, b, c, l, r)
+		}
+		if aa := a.Union(a); !aa.Equal(a) {
+			t.Fatalf("idempotence: %v ∪ %v = %v", a, a, aa)
+		}
+		if ae := a.Union(NewLabelSet()); !ae.Equal(a) {
+			t.Fatalf("identity: %v ∪ {} = %v", a, ae)
+		}
+		if an := a.Union(nil); !an.Equal(a) {
+			t.Fatalf("identity(nil): %v ∪ nil = %v", a, an)
+		}
+
+		// union must be fresh: growing it must not alter the operands
+		// (a nil union — both operands empty — has nothing to alias)
+		if u := a.Union(b); u != nil {
+			u[Label("poison")] = struct{}{}
+			if !a.Equal(ac) || !b.Equal(bc) {
+				t.Fatalf("Union aliases an operand: a=%v (was %v), b=%v (was %v)", a, ac, b, bc)
+			}
+		}
+	}
+}
+
+// TestPropFlowAllowedModes cross-checks the compound-label comparison of
+// FlowAllowed against a direct re-statement of its definition for both
+// modes, over random graphs and label sets.
+func TestPropFlowAllowedModes(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(2000 + seed))
+		rules := randRules(rng, 2+rng.Intn(6), 1+rng.Intn(10), false)
+		g, err := NewGraph(rules)
+		if err != nil {
+			t.Fatal(err)
+		}
+		labelOf := func() LabelSet {
+			s := NewLabelSet()
+			for i, n := 0, rng.Intn(4); i < n; i++ {
+				s[Label(fmt.Sprintf("L%02d", rng.Intn(8)))] = struct{}{}
+			}
+			return s
+		}
+		for i := 0; i < 50; i++ {
+			data, recv := labelOf(), labelOf()
+
+			wantStrict := true
+			for p := range data {
+				ok := false
+				for q := range recv {
+					if g.CanFlow(p, q) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					wantStrict = false
+					break
+				}
+			}
+			if data.Empty() {
+				wantStrict = true
+			}
+			if got := g.FlowAllowed(data, recv, FlowStrict); got != wantStrict {
+				t.Fatalf("seed %d: strict FlowAllowed(%v, %v) = %v, want %v", seed, data, recv, got, wantStrict)
+			}
+
+			wantCmp := true
+			if !data.Empty() {
+				for p := range data {
+					for q := range recv {
+						if p != q && g.Comparable(p, q) && !g.CanFlow(p, q) {
+							wantCmp = false
+						}
+					}
+				}
+			}
+			if got := g.FlowAllowed(data, recv, FlowComparable); got != wantCmp {
+				t.Fatalf("seed %d: comparable FlowAllowed(%v, %v) = %v, want %v", seed, data, recv, got, wantCmp)
+			}
+		}
+	}
+}

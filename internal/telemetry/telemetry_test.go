@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("a")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if m.Counter("a") != c {
+		t.Fatal("Counter must return the same handle for the same name")
+	}
+	if got := m.CounterValue("a"); got != 5 {
+		t.Fatalf("CounterValue = %d, want 5", got)
+	}
+	if got := m.CounterValue("missing"); got != 0 {
+		t.Fatalf("CounterValue(missing) = %d, want 0", got)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := m.Counter("shared")
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				m.Observe("h", int64(i%7))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.CounterValue("shared"); got != 8000 {
+		t.Fatalf("shared = %d, want 8000", got)
+	}
+	if got := m.Histogram("h").Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{-3, 0, 1, 2, 3, 4, 1 << 30} {
+		h.Observe(v)
+	}
+	b := h.Buckets()
+	// -3 and 0 land in bucket 0; 1 in bucket 1; 2,3 in bucket 2; 4 in
+	// bucket 3; 1<<30 clamps into the last bucket.
+	if b[0] != 2 || b[1] != 1 || b[2] != 2 || b[3] != 1 || b[histBuckets-1] != 1 {
+		t.Fatalf("unexpected buckets: %v", b)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if h.Sum() != -3+0+1+2+3+4+(1<<30) {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+}
+
+func TestPrefixHelpers(t *testing.T) {
+	m := NewMetrics()
+	m.Add("dift.label", 2)
+	m.Add("dift.check", 3)
+	m.Add("host.fs.readFile", 7)
+	got := m.CountersWithPrefix("dift.")
+	if len(got) != 2 || got["label"] != 2 || got["check"] != 3 {
+		t.Fatalf("CountersWithPrefix = %v", got)
+	}
+	if s := m.SumWithPrefix("host."); s != 7 {
+		t.Fatalf("SumWithPrefix = %d, want 7", s)
+	}
+}
+
+func TestRenderDeterministicAndSorted(t *testing.T) {
+	m := NewMetrics()
+	m.Add("zz", 1)
+	m.Add("aa", 2)
+	m.Observe("hist.x", 3)
+	a, b := m.Render(), m.Render()
+	if a != b {
+		t.Fatal("Render must be deterministic")
+	}
+	if strings.Index(a, "aa") > strings.Index(a, "zz") {
+		t.Fatalf("counters not sorted:\n%s", a)
+	}
+	if !strings.Contains(a, "hist.x") {
+		t.Fatalf("histogram missing:\n%s", a)
+	}
+	empty := NewMetrics().Render()
+	if !strings.Contains(empty, "(empty)") {
+		t.Fatalf("empty render = %q", empty)
+	}
+}

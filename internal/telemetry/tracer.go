@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// Event is one structured trace record: a DIFT operation, a sink write, a
+// policy violation, or a host-module call, with the privacy labels in
+// play and the virtual-clock tick it happened at. Label slices must be
+// handed in sorted (policy.LabelSet.Slice already is) so the encoded
+// trace is deterministic.
+type Event struct {
+	Seq    int64    `json:"seq"`
+	TS     int64    `json:"ts"` // virtual-clock ticks, never wall time
+	Op     string   `json:"op"`
+	Site   string   `json:"site,omitempty"`
+	Target string   `json:"target,omitempty"`
+	Labels []string `json:"labels,omitempty"`
+	Recv   []string `json:"recv,omitempty"`
+	Detail string   `json:"detail,omitempty"`
+}
+
+// Tracer records events into a bounded ring buffer. When the buffer is
+// full the oldest events are overwritten; Dropped reports how many were
+// lost. Sequence numbers and timestamps are assigned at record time, so a
+// trace is a deterministic function of the operations performed and the
+// virtual clock — wall time never appears.
+type Tracer struct {
+	mu    sync.Mutex
+	now   func() int64 // virtual clock; nil pins every timestamp to 0
+	buf   []Event
+	start int // index of the oldest event
+	n     int // live events in buf
+	seq   int64
+	total int64
+}
+
+// DefaultTraceCapacity is the ring size the CLIs use for -trace.
+const DefaultTraceCapacity = 65536
+
+// NewTracer creates a tracer over a ring of the given capacity whose
+// timestamps come from now (typically faults.Clock.Now). capacity <= 0
+// selects DefaultTraceCapacity.
+func NewTracer(capacity int, now func() int64) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{now: now, buf: make([]Event, 0, capacity)}
+}
+
+// Record appends an event, stamping its sequence number and timestamp.
+func (t *Tracer) Record(ev Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	ev.Seq = t.seq
+	if t.now != nil {
+		ev.TS = t.now()
+	}
+	t.total++
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+		t.n++
+		return
+	}
+	// ring full: overwrite the oldest
+	t.buf[t.start] = ev
+	t.start = (t.start + 1) % len(t.buf)
+}
+
+// Len returns the number of retained events.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Total returns the number of events ever recorded.
+func (t *Tracer) Total() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Dropped returns how many events the ring overwrote.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total - int64(t.n)
+}
+
+// Events returns the retained events oldest-first.
+func (t *Tracer) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.buf[(t.start+i)%len(t.buf)])
+	}
+	return out
+}
+
+// traceDoc is the JSON export envelope.
+type traceDoc struct {
+	Total   int64   `json:"total"`
+	Dropped int64   `json:"dropped"`
+	Events  []Event `json:"events"`
+}
+
+// ExportJSON renders the trace as indented JSON: an envelope with the
+// total/dropped tallies and the retained events oldest-first.
+func (t *Tracer) ExportJSON() ([]byte, error) {
+	return json.MarshalIndent(traceDoc{Total: t.Total(), Dropped: t.Dropped(), Events: t.Events()}, "", "  ")
+}
+
+// chromeEvent is one entry of the chrome://tracing (Trace Event Format)
+// export: an instant event on a single pid/tid track, timestamped in
+// virtual ticks (standing in for microseconds).
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ExportChromeTrace renders the retained events in the Trace Event
+// Format, loadable in chrome://tracing and Perfetto.
+func (t *Tracer) ExportChromeTrace() ([]byte, error) {
+	events := t.Events()
+	out := make([]chromeEvent, 0, len(events))
+	for _, ev := range events {
+		args := map[string]any{"seq": ev.Seq}
+		if ev.Site != "" {
+			args["site"] = ev.Site
+		}
+		if ev.Target != "" {
+			args["target"] = ev.Target
+		}
+		if len(ev.Labels) > 0 {
+			args["labels"] = ev.Labels
+		}
+		if len(ev.Recv) > 0 {
+			args["recv"] = ev.Recv
+		}
+		if ev.Detail != "" {
+			args["detail"] = ev.Detail
+		}
+		out = append(out, chromeEvent{
+			Name: ev.Op, Cat: "dift", Phase: "i", TS: ev.TS, PID: 1, TID: 1, Scope: "t", Args: args,
+		})
+	}
+	return json.MarshalIndent(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: out}, "", "  ")
+}

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestTracerSeqAndClock(t *testing.T) {
+	tick := int64(0)
+	tr := NewTracer(8, func() int64 { return tick })
+	tr.Record(Event{Op: "a"})
+	tick = 5
+	tr.Record(Event{Op: "b"})
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("len = %d, want 2", len(evs))
+	}
+	if evs[0].Seq != 1 || evs[0].TS != 0 || evs[1].Seq != 2 || evs[1].TS != 5 {
+		t.Fatalf("unexpected events: %+v", evs)
+	}
+}
+
+func TestTracerRingOverwrite(t *testing.T) {
+	tr := NewTracer(3, nil)
+	for i := 0; i < 5; i++ {
+		tr.Record(Event{Op: "e", Detail: string(rune('a' + i))})
+	}
+	if tr.Total() != 5 || tr.Len() != 3 || tr.Dropped() != 2 {
+		t.Fatalf("total=%d len=%d dropped=%d", tr.Total(), tr.Len(), tr.Dropped())
+	}
+	evs := tr.Events()
+	// oldest-first: events 3, 4, 5 survive
+	if evs[0].Seq != 3 || evs[1].Seq != 4 || evs[2].Seq != 5 {
+		t.Fatalf("ring order wrong: %+v", evs)
+	}
+}
+
+func TestTracerExportJSONRoundTrip(t *testing.T) {
+	tr := NewTracer(4, nil)
+	tr.Record(Event{Op: "check", Site: "app.js:3:1", Labels: []string{"eu", "person"}})
+	data, err := tr.ExportJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Total   int64   `json:"total"`
+		Dropped int64   `json:"dropped"`
+		Events  []Event `json:"events"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, data)
+	}
+	if doc.Total != 1 || len(doc.Events) != 1 || doc.Events[0].Op != "check" {
+		t.Fatalf("round trip lost data: %+v", doc)
+	}
+}
+
+func TestTracerExportChromeTrace(t *testing.T) {
+	tr := NewTracer(4, func() int64 { return 42 })
+	tr.Record(Event{Op: "sink", Site: "mqtt.publish", Target: "alerts", Labels: []string{"person"}})
+	data, err := tr.ExportChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, data)
+	}
+	if len(doc.TraceEvents) != 1 {
+		t.Fatalf("want 1 trace event, got %d", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[0]
+	if ev["name"] != "sink" || ev["ph"] != "i" || ev["ts"] != float64(42) {
+		t.Fatalf("unexpected chrome event: %v", ev)
+	}
+}
+
+func TestTracerDefaultCapacity(t *testing.T) {
+	tr := NewTracer(0, nil)
+	tr.Record(Event{Op: "x"})
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}

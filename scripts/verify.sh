@@ -25,4 +25,15 @@ go run ./cmd/turnstile-bench -chaos -faultseed 7 -messages 20 \
 cmp /tmp/turnstile-chaos-a.txt /tmp/turnstile-chaos-b.txt
 rm -f /tmp/turnstile-chaos-a.txt /tmp/turnstile-chaos-b.txt
 
+echo "== metrics determinism (overhead breakdown, differing -parallel)"
+go run ./cmd/turnstile-bench -metrics -messages 20 \
+  -apps modbus,sensor-logger,thermostat-hub > /tmp/turnstile-metrics-a.txt
+go run ./cmd/turnstile-bench -metrics -messages 20 \
+  -apps modbus,sensor-logger,thermostat-hub -parallel 1 > /tmp/turnstile-metrics-b.txt
+cmp /tmp/turnstile-metrics-a.txt /tmp/turnstile-metrics-b.txt
+rm -f /tmp/turnstile-metrics-a.txt /tmp/turnstile-metrics-b.txt
+
+echo "== telemetry-disabled overhead gate (BenchmarkDIFTOps)"
+TURNSTILE_BENCH_GATE=1 go test ./internal/dift -run TestDisabledOverheadGate -v
+
 echo "verify: OK"
