@@ -16,6 +16,15 @@
 // -faultschedule FILE replaces the generated per-app schedules with a
 // fixed JSON schedule.
 //
+// Crash mode: -crash runs the adversarial crash corpus (unbounded loops,
+// recursion, allocation blow-ups, timer storms, parser-depth abuse) under
+// tight guard budgets with the tracker in fail-closed enforcement mode,
+// and exits non-zero unless every app terminates with its expected typed
+// error. The report is byte-identical at any -parallel level. Combine
+// with -faultschedule to compose fault injection with the crash corpus
+// (outcome kinds may legitimately shift under faults, so the expected-kind
+// gate is skipped; determinism still holds).
+//
 // Scheduling flags: -parallel N fans the per-app analyses (E1) and
 // preparation+measurement (E2) across N workers (default: one per CPU;
 // 1 restores the paper's sequential methodology). A per-app pipeline
@@ -53,6 +62,7 @@ func main() {
 	fig12 := flag.Bool("figure12", false, "regenerate Figure 12 (E2)")
 	all := flag.Bool("all", false, "run everything")
 	chaos := flag.Bool("chaos", false, "replay the corpus under fault injection and check equivalence")
+	crash := flag.Bool("crash", false, "run the adversarial crash corpus under tight guard budgets")
 	faultSeed := flag.Int64("faultseed", 1, "seed for generated fault schedules (chaos mode)")
 	faultSchedule := flag.String("faultschedule", "", "JSON fault schedule file overriding the generated ones")
 	messages := flag.Int("messages", 200, "messages per E2 run (paper: 1000)")
@@ -91,9 +101,9 @@ func main() {
 		*metrics = true
 	}
 	if *all {
-		*table2, *fig10, *fig11, *fig12, *chaos, *metrics = true, true, true, true, true, true
+		*table2, *fig10, *fig11, *fig12, *chaos, *crash, *metrics = true, true, true, true, true, true, true
 	}
-	if !*table2 && !*fig10 && !*fig11 && !*fig12 && !*chaos && !*metrics {
+	if !*table2 && !*fig10 && !*fig11 && !*fig12 && !*chaos && !*crash && !*metrics {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -215,6 +225,30 @@ func main() {
 		}
 		if res.Equivalent != len(res.Apps) {
 			fatal(fmt.Errorf("chaos: %d app(s) diverged under faults", len(res.Apps)-res.Equivalent))
+		}
+	}
+
+	if *crash {
+		var schedule *faults.Schedule
+		if *faultSchedule != "" {
+			data, err := os.ReadFile(*faultSchedule)
+			if err != nil {
+				fatal(err)
+			}
+			if schedule, err = faults.ParseSchedule(data); err != nil {
+				fatal(err)
+			}
+		}
+		res, err := harness.RunCrashCorpus(harness.CrashOptions{Parallel: *parallel, Schedule: schedule})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(harness.RenderCrash(res))
+		if *outDir != "" {
+			writeOut(*outDir, "crash-report.txt", []byte(harness.RenderCrash(res)))
+		}
+		if schedule == nil && res.Passed != len(res.Apps) {
+			fatal(fmt.Errorf("crash corpus: %d app(s) escaped typed termination", len(res.Apps)-res.Passed))
 		}
 	}
 

@@ -10,6 +10,7 @@
 //	turnstile instrument -policy p.json [-mode selective|exhaustive] <app.js>
 //	turnstile run -policy p.json [-source NAME] [-messages N] <app.js>
 //	turnstile run -chaos [-faultseed N | -faultschedule f.json] ...  run under fault injection
+//	turnstile run -fuel N -maxdepth N -maxalloc N -deadline N [-failclosed] ...  resource governance
 //	turnstile check-policy <policy.json>
 package main
 
@@ -25,6 +26,7 @@ import (
 	"turnstile/internal/core"
 	"turnstile/internal/corpus"
 	"turnstile/internal/faults"
+	"turnstile/internal/guard"
 	"turnstile/internal/harness"
 	"turnstile/internal/instrument"
 	"turnstile/internal/interp"
@@ -75,6 +77,8 @@ func usage() {
   turnstile instrument -policy p.json [-mode M] <app.js>   print the privacy-managed source
   turnstile run -policy p.json [-source S] [-messages N] <app.js>
                 [-chaos] [-faultseed N] [-faultschedule f.json]     run under fault injection
+                [-fuel N] [-maxdepth N] [-maxalloc N] [-deadline N] resource budgets (0 = off)
+                [-failclosed]                                       deny sinks after a guard trip
                 [-metrics] [-trace out.json] [-profile cpu.pprof]   observability hooks
   turnstile check-policy <policy.json>                validate an IFC policy
   turnstile corpus [name]                             list the evaluation corpus / dump one app
@@ -223,6 +227,11 @@ func cmdRun(args []string) error {
 	chaos := fs.Bool("chaos", false, "run under deterministic fault injection")
 	faultSeed := fs.Int64("faultseed", 1, "seed for the generated fault schedule")
 	faultSchedule := fs.String("faultschedule", "", "JSON fault schedule file (implies -chaos)")
+	fuel := fs.Int64("fuel", 0, "interpreter step budget (0 = unlimited)")
+	maxDepth := fs.Int64("maxdepth", 0, "call-stack depth cap (0 = unlimited)")
+	maxAlloc := fs.Int64("maxalloc", 0, "allocation-unit budget (0 = unlimited)")
+	deadline := fs.Int64("deadline", 0, "virtual-clock deadline in ticks (0 = none)")
+	failClosed := fs.Bool("failclosed", false, "fail closed: deny all sink flows after a guard trip or tracker inconsistency")
 	metrics := fs.Bool("metrics", false, "print the telemetry metrics table after the run")
 	traceOut := fs.String("trace", "", "write the structured event trace to this file (chrome-trace format with a .chrome.json suffix, JSON otherwise)")
 	profileOut := fs.String("profile", "", "write a pprof CPU profile of the run to this file")
@@ -262,6 +271,12 @@ func cmdRun(args []string) error {
 	}
 	opts.Enforce = *enforce
 	opts.ImplicitFlows = *implicit
+	if *fuel > 0 || *maxDepth > 0 || *maxAlloc > 0 || *deadline > 0 {
+		opts.Guard = &guard.Limits{
+			Fuel: *fuel, MaxDepth: *maxDepth, MaxAlloc: *maxAlloc, DeadlineTicks: *deadline,
+		}
+	}
+	opts.FailClosed = *failClosed
 	if *metrics {
 		opts.Metrics = telemetry.NewMetrics()
 	}
@@ -316,6 +331,17 @@ func cmdRun(args []string) error {
 				fmt.Println("  fault:", line)
 			}
 		}
+	}
+	if app.Guard != nil {
+		if be := app.Guard.Tripped(); be != nil {
+			fmt.Printf("guard TRIPPED: %v\n", be)
+		} else {
+			fmt.Printf("guard: within budget (fuel %d, alloc %d)\n",
+				app.Guard.FuelUsed(), app.Guard.AllocUsed())
+		}
+	}
+	if deg, reason := app.Tracker.Degraded(); deg {
+		fmt.Printf("tracker DEGRADED (fail-closed): %s\n", reason)
 	}
 	fmt.Printf("sink writes: %d, violations: %d, tracker stats: %+v\n",
 		len(app.Writes()), len(app.Violations()), app.Tracker.Stats())

@@ -12,6 +12,8 @@ import (
 	"turnstile/internal/ast"
 
 	"turnstile/internal/dift"
+	"turnstile/internal/faults"
+	"turnstile/internal/guard"
 	"turnstile/internal/instrument"
 	"turnstile/internal/interp"
 	"turnstile/internal/parser"
@@ -41,6 +43,18 @@ type Options struct {
 	// of that many events, timestamped on the virtual clock) exposed as
 	// ManagedApp.Tracer.
 	TraceCapacity int
+	// Guard, when non-nil, installs a resource guard with these limits on
+	// the deployed runtime (fuel, call depth, allocation units, virtual
+	// deadline). Budget trips surface as typed *guard.BudgetError.
+	Guard *guard.Limits
+	// FailClosed puts the tracker in fail-closed mode: any internal
+	// inconsistency or guard trip poisons it and every subsequent sink
+	// check (and sink write) is denied with reason "degraded".
+	FailClosed bool
+	// Faults, when non-nil, installs the deterministic fault injector on
+	// the runtime before deployment, so load-time host operations are
+	// subject to the schedule too.
+	Faults *faults.Schedule
 }
 
 // DefaultOptions returns the paper's configuration: selective
@@ -64,6 +78,9 @@ type ManagedApp struct {
 	// Tracer is the structured event tracer (nil unless
 	// Options.TraceCapacity was set).
 	Tracer *telemetry.Tracer
+	// Guard is the installed resource guard (nil unless Options.Guard was
+	// set); inspect Guard.Tripped() after a run.
+	Guard *guard.Guard
 }
 
 // Analyze runs only the Dataflow Analyzer over named sources.
@@ -86,9 +103,18 @@ func Manage(sources map[string]string, policyJSON string, opts Options) (*Manage
 	if opts.ImplicitFlows {
 		opts.Analyzer.ImplicitFlows = true
 	}
-	analysis := taint.Analyze(files, opts.Analyzer)
+	var analysis *taint.Result
+	if err := guard.Contain("analyze", "", func() error {
+		analysis = taint.Analyze(files, opts.Analyzer)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
 
 	ip := interp.New()
+	if opts.Faults != nil {
+		ip.InstallFaults(opts.Faults)
+	}
 	var tracer *telemetry.Tracer
 	if opts.TraceCapacity > 0 {
 		tracer = telemetry.NewTracer(opts.TraceCapacity, ip.Clock.Now)
@@ -111,25 +137,41 @@ func Manage(sources map[string]string, policyJSON string, opts Options) (*Manage
 	}
 	tr := ip.InstallTracker(pol)
 	tr.Enforce = opts.Enforce
+	tr.FailClosed = opts.FailClosed
 	if opts.ImplicitFlows {
 		tr.EnableImplicit()
 	}
 	app.Tracker = tr
+	if opts.Guard != nil {
+		g := guard.New(*opts.Guard)
+		g.SetMetrics(opts.Metrics)
+		ip.SetGuard(g) // binds the deadline to ip.Clock and wires fail-closed poisoning
+		app.Guard = g
+	}
 
-	// instrument every file before deployment
+	// instrument every file before deployment; each stage is contained so
+	// a panic on one adversarial input surfaces as a typed *PipelineError
+	// instead of taking down the caller (e.g. a harness worker)
 	managed := make(map[string]*ast.Program, len(files))
 	for _, f := range files {
-		res, err := instrument.Instrument(f.Prog, instrument.Options{
-			Mode:          opts.Mode,
-			Selection:     instrument.Selection(analysis.SelectionFor(f.Name)),
-			Injections:    pol.Injections,
-			File:          f.Name,
-			ImplicitFlows: opts.ImplicitFlows,
-		})
-		if err != nil {
+		var res *instrument.Result
+		if err := guard.Contain("instrument", f.Name, func() error {
+			r, err := instrument.Instrument(f.Prog, instrument.Options{
+				Mode:          opts.Mode,
+				Selection:     instrument.Selection(analysis.SelectionFor(f.Name)),
+				Injections:    pol.Injections,
+				File:          f.Name,
+				ImplicitFlows: opts.ImplicitFlows,
+			})
+			res = r
+			return err
+		}); err != nil {
 			return nil, fmt.Errorf("core: instrumenting %s: %w", f.Name, err)
 		}
-		src := printer.Print(res.Program)
+		src, err := printer.SafePrint(res.Program)
+		if err != nil {
+			return nil, fmt.Errorf("core: printing instrumented %s: %w", f.Name, err)
+		}
 		app.Instrumented[f.Name] = src
 		app.Results[f.Name] = res
 		prog, err := parser.Parse(f.Name, src)
@@ -167,7 +209,10 @@ func Manage(sources map[string]string, policyJSON string, opts Options) (*Manage
 		if _, done := exports[f.Name]; done {
 			continue
 		}
-		if _, _, err := mustLoad(ip, f.Name); err != nil {
+		if err := guard.Contain("deploy", f.Name, func() error {
+			_, _, err := mustLoad(ip, f.Name)
+			return err
+		}); err != nil {
 			return nil, err
 		}
 	}
@@ -213,8 +258,12 @@ func parseAll(sources map[string]string) ([]taint.File, error) {
 	sort.Strings(names)
 	files := make([]taint.File, 0, len(names))
 	for _, n := range names {
-		prog, err := parser.Parse(n, sources[n])
-		if err != nil {
+		var prog *ast.Program
+		if err := guard.Contain("parse", n, func() error {
+			p, err := parser.Parse(n, sources[n])
+			prog = p
+			return err
+		}); err != nil {
 			return nil, err
 		}
 		files = append(files, taint.File{Name: n, Prog: prog})

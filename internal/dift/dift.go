@@ -70,9 +70,16 @@ type Violation struct {
 	Op   string // "check" or "invoke"
 	Data policy.LabelSet
 	Recv policy.LabelSet
+	// Reason distinguishes policy denials ("" — the rule DAG forbade the
+	// flow) from fail-closed denials ("degraded" — the tracker was poisoned
+	// by an internal inconsistency and denies everything).
+	Reason string
 }
 
 func (v *Violation) Error() string {
+	if v.Reason != "" {
+		return fmt.Sprintf("dift: flow denied at %s (%s): tracker %s", v.Site, v.Op, v.Reason)
+	}
 	return fmt.Sprintf("dift: policy violation at %s (%s): data %v may not flow to receiver %v",
 		v.Site, v.Op, v.Data, v.Recv)
 }
@@ -80,10 +87,11 @@ func (v *Violation) Error() string {
 // MarshalJSON renders the violation for audit logs.
 func (v *Violation) MarshalJSON() ([]byte, error) {
 	type row struct {
-		Site string   `json:"site"`
-		Op   string   `json:"op"`
-		Data []string `json:"data"`
-		Recv []string `json:"receiver"`
+		Site   string   `json:"site"`
+		Op     string   `json:"op"`
+		Data   []string `json:"data"`
+		Recv   []string `json:"receiver"`
+		Reason string   `json:"reason,omitempty"`
 	}
 	toStrings := func(ls policy.LabelSet) []string {
 		out := make([]string, 0, len(ls))
@@ -92,7 +100,7 @@ func (v *Violation) MarshalJSON() ([]byte, error) {
 		}
 		return out
 	}
-	return json.Marshal(row{Site: v.Site, Op: v.Op, Data: toStrings(v.Data), Recv: toStrings(v.Recv)})
+	return json.Marshal(row{Site: v.Site, Op: v.Op, Data: toStrings(v.Data), Recv: toStrings(v.Recv), Reason: v.Reason})
 }
 
 // Stats counts tracker activity; used by the benchmarks and tests.
@@ -120,10 +128,23 @@ type Tracker struct {
 	// OnViolation, when set, observes each violation as it is found.
 	OnViolation func(*Violation)
 
+	// FailClosed selects fail-closed mode: any internal tracker
+	// inconsistency — collect-depth overflow, label-table corruption, a
+	// recovered panic inside a tracker op — poisons the tracker, after
+	// which every sink check denies with reason "degraded" regardless of
+	// Enforce. Off (the default), the tracker still never drops labels
+	// silently (truncation joins policy.Top), but panics propagate to the
+	// stage boundary and audit mode keeps auditing.
+	FailClosed bool
+
 	labels     map[uint64]policy.LabelSet
 	invokeFns  map[uint64]policy.LabelFunc
 	violations []*Violation
 	stats      Stats
+
+	// degraded/degradedReason form the poison latch (see Poison).
+	degraded       bool
+	degradedReason string
 
 	// tel, when non-nil, holds the pre-resolved telemetry handles. Every
 	// hook below guards on this one field, so the telemetry-off hot path
@@ -230,6 +251,73 @@ func (t *Tracker) Violations() []*Violation { return t.violations }
 // Stats returns a copy of the activity counters.
 func (t *Tracker) Stats() Stats { return t.stats }
 
+// Poison marks the tracker degraded. The latch is sticky and keeps the
+// first reason; in fail-closed mode every subsequent sink check denies
+// with reason "degraded". The interpreter calls this when a resource
+// guard trips, and the tracker calls it on its own internal failures.
+func (t *Tracker) Poison(reason string) {
+	if t.degraded {
+		return
+	}
+	t.degraded = true
+	t.degradedReason = reason
+	if h := t.tel; h != nil {
+		if h.metrics != nil {
+			h.metrics.Counter("dift.poisoned").Inc()
+		}
+		t.trace(telemetry.Event{Op: "poison", Detail: reason})
+	}
+}
+
+// Degraded reports whether the tracker has been poisoned, and why.
+func (t *Tracker) Degraded() (bool, string) { return t.degraded, t.degradedReason }
+
+// VerifyLabelTable scans the label table for corruption (entries that
+// should have been elided). On inconsistency it poisons the tracker and
+// returns an error describing the first bad entry.
+func (t *Tracker) VerifyLabelTable() error {
+	for id, ls := range t.labels {
+		if ls.Empty() {
+			err := fmt.Errorf("dift: label table corrupt: ref %d has an empty label set", id)
+			t.Poison(err.Error())
+			return err
+		}
+	}
+	return nil
+}
+
+// denyDegraded records and returns the fail-closed denial for a sink
+// check against a poisoned tracker. It bypasses Enforce: fail-closed
+// means no flow is permitted once the tracker cannot vouch for its own
+// state, even in audit mode.
+func (t *Tracker) denyDegraded(op, site string) error {
+	v := &Violation{Site: site, Op: op, Reason: "degraded"}
+	t.violations = append(t.violations, v)
+	t.stats.Violations++
+	if h := t.tel; h != nil {
+		if h.violation != nil {
+			h.violation.Inc()
+		}
+		t.trace(telemetry.Event{Op: "violation", Site: site, Detail: "degraded"})
+	}
+	if t.OnViolation != nil {
+		t.OnViolation(v)
+	}
+	return v
+}
+
+// recoverOp is deferred by the fail-closed variants of the public tracker
+// ops: a panic inside the op poisons the tracker and becomes a degraded
+// denial instead of unwinding into the host runtime. Outside fail-closed
+// mode ops do not defer it, so panics propagate to the stage boundary
+// (guard.Contain) unchanged.
+func (t *Tracker) recoverOp(op, site string, errp *error) {
+	if r := recover(); r != nil {
+		t.Poison(fmt.Sprintf("panic in tracker op %s: %v", op, r))
+		*errp = t.denyDegraded(op, site)
+	}
+}
+
 // newBox wraps a value-type v.
 func (t *Tracker) newBox(v any) *Box {
 	t.stats.Boxed++
@@ -268,7 +356,15 @@ func (t *Tracker) Attach(v any, ls policy.LabelSet) any {
 // Label implements the label(target, labeller) API method (Table 1): it
 // evaluates the value-dependent privacy label of v using the given
 // labeller specification and attaches it. The returned value replaces v.
-func (t *Tracker) Label(v any, l *policy.Labeller) (any, error) {
+func (t *Tracker) Label(v any, l *policy.Labeller) (out any, err error) {
+	if t.FailClosed {
+		name := ""
+		if l != nil {
+			name = l.Name
+		}
+		out = v // keep the unlabelled value if the op panics
+		defer t.recoverOp("label", name, &err)
+	}
 	t.stats.Labelled++
 	if h := t.tel; h != nil {
 		if h.label != nil {
@@ -372,7 +468,16 @@ func (t *Tracker) Track(v any) any {
 // Derive implements label propagation for derived values (the binaryOp,
 // assignment and invoke rules of Fig. 5): result's label becomes the union
 // of the sources' labels. The returned value replaces result.
-func (t *Tracker) Derive(result any, sources ...any) any {
+func (t *Tracker) Derive(result any, sources ...any) (out any) {
+	if t.FailClosed {
+		out = result // a panicking derive poisons; the raw value is safe
+		// because every later sink check now denies
+		defer func() {
+			if r := recover(); r != nil {
+				t.Poison(fmt.Sprintf("panic in tracker op derive: %v", r))
+			}
+		}()
+	}
 	t.stats.Derived++
 	if h := t.tel; h != nil && h.binaryOp != nil {
 		h.binaryOp.Inc()
@@ -400,8 +505,29 @@ func (t *Tracker) DataLabels(v any) policy.LabelSet {
 
 const maxCollectDepth = 12
 
+// topSet is the ⊤ singleton joined on truncation; hoisted so the bound
+// check stays allocation-free.
+var topSet = policy.NewLabelSet(policy.Top)
+
 func (t *Tracker) collect(v any, union *policy.LabelSet, seen map[uint64]bool, depth int) {
 	if depth > maxCollectDepth {
+		// Truncating a plain value is lossless — it carries no identity
+		// and reaches nothing — but truncating a Ref or a container may
+		// hide labels below this point, and silently returning would
+		// under-taint (fail-open). Join ⊤ instead — the sink check then
+		// denies — and in fail-closed mode poison the tracker outright.
+		// This also covers the `seen` cycle guard: a revisit can only lose
+		// labels if the first visit truncated, and that truncation already
+		// joined ⊤.
+		if _, isRef := v.(Ref); !isRef {
+			if _, isArr := t.Adapter.Elements(v); !isArr {
+				return
+			}
+		}
+		*union = union.Union(topSet)
+		if t.FailClosed {
+			t.Poison(fmt.Sprintf("collect depth overflow (> %d)", maxCollectDepth))
+		}
 		return
 	}
 	if r, ok := v.(Ref); ok {
@@ -442,7 +568,14 @@ func (t *Tracker) CollectProperties(v any, names []string) policy.LabelSet {
 // privacy rules allow data to flow into receiver. In enforcement mode a
 // violation is returned as an error; in audit mode it is recorded and nil
 // is returned.
-func (t *Tracker) Check(data, recv any, site string) error {
+func (t *Tracker) Check(data, recv any, site string) (err error) {
+	if t.FailClosed {
+		if t.degraded {
+			t.stats.Checks++
+			return t.denyDegraded("check", site)
+		}
+		defer t.recoverOp("check", site, &err)
+	}
 	t.stats.Checks++
 	dl := t.pcAugment(t.DataLabels(data))
 	if h := t.tel; h != nil {
@@ -500,7 +633,14 @@ func (t *Tracker) InvokeCheck(fnVal any, args []any, site string) error {
 // labels of both the function value and the object it was read from (the
 // storage/db objects of §5 carry region labels on the object itself)
 // constrain the flow, as do their dynamic $invoke labellers.
-func (t *Tracker) InvokeCheckTarget(fnVal, target any, args []any, site string) error {
+func (t *Tracker) InvokeCheckTarget(fnVal, target any, args []any, site string) (err error) {
+	if t.FailClosed {
+		if t.degraded {
+			t.stats.Checks++
+			return t.denyDegraded("invoke", site)
+		}
+		defer t.recoverOp("invoke", site, &err)
+	}
 	t.stats.Checks++
 	var dl policy.LabelSet
 	for _, a := range args {

@@ -1,0 +1,234 @@
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"turnstile/internal/telemetry"
+)
+
+func TestNilGuardIsNoGovernance(t *testing.T) {
+	var g *Guard
+	if err := g.Step(1, "x"); err != nil {
+		t.Fatalf("nil guard Step: %v", err)
+	}
+	if err := g.Enter("x"); err != nil {
+		t.Fatalf("nil guard Enter: %v", err)
+	}
+	g.Exit()
+	if err := g.Alloc(1<<40, "x"); err != nil {
+		t.Fatalf("nil guard Alloc: %v", err)
+	}
+	if err := g.CheckDeadline("x"); err != nil {
+		t.Fatalf("nil guard CheckDeadline: %v", err)
+	}
+	if g.Tripped() != nil {
+		t.Fatal("nil guard reports tripped")
+	}
+	if g.FuelUsed() != 0 || g.AllocUsed() != 0 || g.Depth() != 0 {
+		t.Fatal("nil guard reports nonzero usage")
+	}
+	g.SetMetrics(telemetry.NewMetrics())
+}
+
+func TestZeroLimitsNeverTrip(t *testing.T) {
+	g := New(Limits{})
+	for i := 0; i < 10_000; i++ {
+		if err := g.Step(1, "loop"); err != nil {
+			t.Fatalf("unlimited guard tripped: %v", err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if err := g.Enter("call"); err != nil {
+			t.Fatalf("unlimited guard depth tripped: %v", err)
+		}
+	}
+	if err := g.Alloc(1<<40, "big"); err != nil {
+		t.Fatalf("unlimited guard alloc tripped: %v", err)
+	}
+	if g.Tripped() != nil {
+		t.Fatal("unlimited guard tripped")
+	}
+}
+
+func TestFuelTripIsSticky(t *testing.T) {
+	g := New(Limits{Fuel: 10})
+	var first error
+	for i := 0; i < 10; i++ {
+		if err := g.Step(1, "ok"); err != nil {
+			t.Fatalf("step %d within budget tripped: %v", i, err)
+		}
+	}
+	first = g.Step(1, "pos:11")
+	if first == nil {
+		t.Fatal("expected fuel trip")
+	}
+	var be *BudgetError
+	if !errors.As(first, &be) || be.Kind != KindFuel || be.Limit != 10 || be.Used != 11 || be.Site != "pos:11" {
+		t.Fatalf("unexpected budget error: %#v", first)
+	}
+	// sticky: same error object, site unchanged, no further accounting
+	again := g.Step(1, "pos:12")
+	if again != first {
+		t.Fatalf("trip not sticky: %v vs %v", again, first)
+	}
+	if err := g.Alloc(1, "later"); err != first {
+		t.Fatalf("alloc after trip should return sticky error, got %v", err)
+	}
+	if err := g.Enter("later"); err != first {
+		t.Fatalf("enter after trip should return sticky error, got %v", err)
+	}
+	if g.FuelUsed() != 11 {
+		t.Fatalf("fuel accounting continued after trip: %d", g.FuelUsed())
+	}
+}
+
+func TestDepthTripAndExit(t *testing.T) {
+	g := New(Limits{MaxDepth: 3})
+	for i := 0; i < 3; i++ {
+		if err := g.Enter(fmt.Sprintf("call%d", i)); err != nil {
+			t.Fatalf("enter %d: %v", i, err)
+		}
+	}
+	err := g.Enter("deep")
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Kind != KindDepth {
+		t.Fatalf("expected depth trip, got %v", err)
+	}
+	// Exit never underflows.
+	g2 := New(Limits{MaxDepth: 3})
+	g2.Exit()
+	if g2.Depth() != 0 {
+		t.Fatalf("exit underflowed: %d", g2.Depth())
+	}
+	if err := g2.Enter("a"); err != nil {
+		t.Fatal(err)
+	}
+	g2.Exit()
+	if g2.Depth() != 0 {
+		t.Fatalf("depth after enter/exit: %d", g2.Depth())
+	}
+}
+
+func TestAllocTrip(t *testing.T) {
+	g := New(Limits{MaxAlloc: 100})
+	if err := g.Alloc(60, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Alloc(0, "zero"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Alloc(-5, "neg"); err != nil {
+		t.Fatal(err)
+	}
+	err := g.Alloc(41, "b")
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Kind != KindAlloc || be.Used != 101 {
+		t.Fatalf("expected alloc trip at 101, got %v", err)
+	}
+}
+
+func TestDeadlineTrip(t *testing.T) {
+	var now int64
+	g := New(Limits{DeadlineTicks: 50, Now: func() int64 { return now }})
+	// Fuel steps only probe the deadline every deadlineCheckInterval.
+	now = 100
+	if err := g.CheckDeadline("timer"); err == nil {
+		t.Fatal("expected deadline trip")
+	}
+	var be *BudgetError
+	if !errors.As(g.Tripped(), &be) || be.Kind != KindDeadline || be.Used != 100 {
+		t.Fatalf("unexpected deadline trip: %#v", g.Tripped())
+	}
+
+	// Via Step: only fires on the periodic probe.
+	now = 0
+	g2 := New(Limits{DeadlineTicks: 50, Now: func() int64 { return now }})
+	for i := 0; i < deadlineCheckInterval-1; i++ {
+		if err := g2.Step(1, "s"); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	now = 200
+	err := g2.Step(1, "boundary")
+	if !errors.As(err, &be) || be.Kind != KindDeadline {
+		t.Fatalf("expected deadline trip at probe boundary, got %v", err)
+	}
+}
+
+func TestDeadlineWithoutClockNeverTrips(t *testing.T) {
+	g := New(Limits{DeadlineTicks: 1})
+	if err := g.CheckDeadline("x"); err != nil {
+		t.Fatalf("deadline without Now tripped: %v", err)
+	}
+}
+
+func TestOnTripFiresOnce(t *testing.T) {
+	g := New(Limits{Fuel: 1})
+	var fired []Kind
+	g.OnTrip = func(be *BudgetError) { fired = append(fired, be.Kind) }
+	g.Step(1, "a")
+	g.Step(1, "b")
+	g.Step(1, "c")
+	if len(fired) != 1 || fired[0] != KindFuel {
+		t.Fatalf("OnTrip fired %v", fired)
+	}
+}
+
+func TestTripCountersExported(t *testing.T) {
+	m := telemetry.NewMetrics()
+	g := New(Limits{Fuel: 1})
+	g.SetMetrics(m)
+	g.Step(5, "x")
+	g.Step(5, "x")
+	if got := m.Counter("guard.trip.fuel").Value(); got != 1 {
+		t.Fatalf("guard.trip.fuel = %d, want 1", got)
+	}
+	if got := m.Counter("guard.trip.depth").Value(); got != 0 {
+		t.Fatalf("guard.trip.depth = %d, want 0", got)
+	}
+}
+
+func TestErrorStrings(t *testing.T) {
+	be := &BudgetError{Kind: KindFuel, Limit: 10, Used: 11, Site: "app.js:3:1"}
+	if !strings.Contains(be.Error(), "fuel") || !strings.Contains(be.Error(), "app.js:3:1") {
+		t.Fatalf("budget error text: %q", be.Error())
+	}
+	pe := &PipelineError{Stage: "parse", Pos: "x.js:1:1", Cause: errors.New("boom")}
+	if !strings.Contains(pe.Error(), "parse") || !strings.Contains(pe.Error(), "boom") {
+		t.Fatalf("pipeline error text: %q", pe.Error())
+	}
+	if !errors.Is(pe, pe.Cause) {
+		t.Fatal("PipelineError does not unwrap to cause")
+	}
+}
+
+func TestContain(t *testing.T) {
+	// Plain error passes through.
+	sentinel := errors.New("plain")
+	if err := Contain("interp", "", func() error { return sentinel }); err != sentinel {
+		t.Fatalf("plain error not passed through: %v", err)
+	}
+	// nil passes through.
+	if err := Contain("interp", "", func() error { return nil }); err != nil {
+		t.Fatalf("nil not passed through: %v", err)
+	}
+	// Panic becomes PipelineError.
+	err := Contain("instrument", "f.js", func() error { panic("kaboom") })
+	var pe *PipelineError
+	if !errors.As(err, &pe) || pe.Stage != "instrument" || pe.Pos != "f.js" {
+		t.Fatalf("panic not contained: %#v", err)
+	}
+	if !strings.Contains(pe.Cause.Error(), "kaboom") {
+		t.Fatalf("cause lost: %v", pe.Cause)
+	}
+	// A panicked *PipelineError is passed through verbatim (stage-local
+	// aborts like the parser's depth limit).
+	orig := &PipelineError{Stage: "parse", Pos: "p", Cause: errors.New("deep")}
+	err = Contain("outer", "", func() error { panic(orig) })
+	if err != orig {
+		t.Fatalf("inner PipelineError not preserved: %#v", err)
+	}
+}

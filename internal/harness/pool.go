@@ -1,9 +1,12 @@
 package harness
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"turnstile/internal/guard"
 )
 
 // This file implements the bounded worker-pool scheduler behind the
@@ -45,6 +48,19 @@ func mapIndexed[T any](n, parallel int, fn func(i int) (T, error)) ([]T, error) 
 	out := make([]T, n)
 	if n == 0 {
 		return out, nil
+	}
+	// contain worker panics: an adversarial work item must surface as a
+	// typed *guard.PipelineError from the pool, not crash the process (a
+	// panic on a pool goroutine is unrecoverable for the whole test run)
+	raw := fn
+	fn = func(i int) (T, error) {
+		var v T
+		err := guard.Contain("worker", fmt.Sprintf("item %d", i), func() error {
+			var e error
+			v, e = raw(i)
+			return e
+		})
+		return v, err
 	}
 	parallel = clampWorkers(parallel, n)
 	if parallel == 1 {

@@ -1,0 +1,9 @@
+// a labelled cyclic structure, wrapped deeper than the tracker's collect
+// bound, reaches a sink: collection must terminate on the cycles AND the
+// truncation must join the top label so the flow is denied, not leaked
+const o = { name: __t.label("secret", "Msg") };
+o.self = o;
+o.loop = [o, [o, { back: o }]];
+let w = o;
+for (let i = 0; i < 14; i++) { w = [w]; }
+__t.check(w, { sink: true }, "crash:cyclic-labeled");

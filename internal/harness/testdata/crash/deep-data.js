@@ -1,0 +1,6 @@
+// the sensitive label sits deeper than the tracker's collect bound: a
+// lossy truncation would let it flow; the tracker must join the top label
+// and deny instead
+let v = __t.label("secret", "Msg");
+for (let i = 0; i < 14; i++) { v = [v]; }
+__t.check(v, { sink: true }, "crash:deep-data");

@@ -1,0 +1,4 @@
+// unbounded array growth: the allocation budget trips long before the
+// fuel budget would
+let a = [];
+while (true) { a.push(1, 2, 3, 4, 5, 6, 7, 8); }

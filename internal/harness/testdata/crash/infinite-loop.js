@@ -1,0 +1,4 @@
+// spins forever without allocating or advancing the clock: only the fuel
+// budget can stop it
+let n = 0;
+while (true) { n = n + 1; }

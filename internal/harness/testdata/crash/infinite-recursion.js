@@ -1,0 +1,4 @@
+// unbounded self-recursion: the call-depth budget must trip before the
+// host stack does
+function f(n) { return f(n + 1); }
+f(0);

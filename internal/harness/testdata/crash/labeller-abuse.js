@@ -1,0 +1,3 @@
+// the policy's label function spins forever: the guard's fuel budget must
+// trip inside the labeller call
+__t.label("x", "Spin");

@@ -1,0 +1,4 @@
+// unbounded mutual recursion: depth accumulates across two frames
+function even(n) { return odd(n + 1); }
+function odd(n) { return even(n + 1); }
+even(0);

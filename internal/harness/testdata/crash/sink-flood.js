@@ -1,0 +1,6 @@
+// floods a sink with host writes in a tight loop: host operations do not
+// bypass the fuel budget
+const fs = require("fs");
+while (true) {
+  fs.writeFileSync("/flood", "chunk");
+}

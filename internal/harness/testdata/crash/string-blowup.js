@@ -1,0 +1,4 @@
+// exponential string doubling: a handful of iterations exhausts the
+// allocation budget while burning almost no fuel
+let s = "xxxxxxxx";
+while (true) { s = s + s; }

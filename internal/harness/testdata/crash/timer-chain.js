@@ -1,0 +1,6 @@
+// each timer reschedules itself, advancing the virtual clock while
+// burning almost no fuel: only the deadline budget can stop it
+function tick(n) {
+  setTimeout(function() { tick(n + 1); }, 1000);
+}
+tick(0);

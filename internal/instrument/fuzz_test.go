@@ -2,8 +2,10 @@ package instrument
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 
+	"turnstile/internal/guard"
 	"turnstile/internal/interp"
 	"turnstile/internal/parser"
 	"turnstile/internal/policy"
@@ -68,6 +70,19 @@ while (leak < 3) { if (secret) { leak++; } }
 console.log(leak);`,
 		`function gate(s) { let out = "lo"; if (s) { if (s > 1) { out = "hi"; } } return out; }
 console.log(gate(0) + gate(1) + gate(2));`,
+		// crash-corpus shapes: resource-abusive programs must trip the guard
+		// budgets as typed errors even after instrumentation doubles their
+		// step and allocation footprint
+		`while (true) { }`,
+		`function f(n) { return f(n + 1); } f(0);`,
+		`function even(n) { return odd(n + 1); } function odd(n) { return even(n + 1); } even(0);`,
+		`let s = "xxxxxxxx"; while (true) { s = s + s; }`,
+		`let a = []; while (true) { a.push(1, 2, 3, 4); }`,
+		`function t(n) { setTimeout(function() { t(n + 1); }, 1000); } t(0);`,
+		// deep-but-parseable nesting: exercises analysis, instrumentation and
+		// printing recursion well below the parser's depth limit
+		"console.log(" + strings.Repeat("(", 200) + "1 + 2" + strings.Repeat(")", 200) + ");",
+		"const deep = " + strings.Repeat("[", 200) + "7" + strings.Repeat("]", 200) + "; console.log(deep.length);",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -97,6 +112,15 @@ console.log(gate(0) + gate(1) + gate(2));`,
 			}
 			ip := interp.New()
 			ip.MaxSteps = 200_000
+			// the guard bounds what the step budget cannot: exponential
+			// allocation and timer-driven virtual-time runaways both end in a
+			// typed BudgetError instead of exhausting host memory
+			ip.SetGuard(guard.New(guard.Limits{
+				Fuel:          400_000,
+				MaxDepth:      512,
+				MaxAlloc:      1 << 20,
+				DeadlineTicks: 100_000,
+			}))
 			pol, err := policy.ParseJSON([]byte(`{"rules":["a -> b"]}`), ip.CompileLabelFunc)
 			if err != nil {
 				t.Fatal(err)
@@ -174,6 +198,14 @@ let acc = 0;
 for (let i = 0; i < 5; i++) { if (i % 2) { acc += i; } else { acc -= 1; } }
 ws.write("acc:" + acc);
 console.log(acc > 0 ? "pos" : "neg");`,
+		// bounded crash-corpus shapes: the terminating cousins of the guard
+		// battery — parity must hold right up to the edge of the budgets
+		`function f(n) { return n <= 0 ? 0 : f(n - 1) + 1; } console.log(f(60));`,
+		`let s = "x"; for (let i = 0; i < 10; i++) { s = s + s; } console.log(s.length);`,
+		`let a = []; for (let i = 0; i < 50; i++) { a.push(i, i * i); } console.log(a.length, a[99]);`,
+		`function tick(n) { if (n <= 0) { console.log("done"); return; } setTimeout(function() { tick(n - 1); }, 10); }
+tick(5);`,
+		"const deep = " + strings.Repeat("[", 60) + "3" + strings.Repeat("]", 60) + "; console.log(deep.length);",
 	}
 	for _, s := range seeds {
 		f.Add(s)

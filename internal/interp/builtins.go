@@ -445,6 +445,11 @@ func (ip *Interp) installGlobals() {
 		if len(args) > 1 {
 			if ms := ToNumber(args[1]); ms > 0 {
 				ip.Clock.Advance(int64(ms))
+				// probe the guard deadline at the advance site: a timer
+				// chain moves virtual time without burning much fuel
+				if err := ip.Guard.CheckDeadline("setTimeout"); err != nil {
+					return nil, err
+				}
 			}
 		}
 		if len(args) > 0 {

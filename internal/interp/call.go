@@ -146,6 +146,25 @@ func (ip *Interp) invokeFuncLit(decl *ast.FuncLit, closure *Env, this Value, arg
 	if err := ip.step(pos); err != nil {
 		return nil, err
 	}
+	// Cooperative call-depth cap: a Go stack overflow is unrecoverable, so
+	// this must trip before MiniJS recursion can reach it. The hard cap
+	// applies even with no Guard; a Guard with a tighter MaxDepth trips
+	// first with a typed BudgetError.
+	ip.callDepth++
+	defer func() { ip.callDepth-- }()
+	if g := ip.Guard; g != nil {
+		if err := g.Enter(""); err != nil {
+			ip.siteOnTrip(pos)
+			return nil, err
+		}
+		defer g.Exit()
+	}
+	if ip.MaxCallDepth > 0 && ip.callDepth > ip.MaxCallDepth {
+		return nil, &RuntimeError{
+			Msg: fmt.Sprintf("call stack exceeded %d frames (possible unbounded recursion)", ip.MaxCallDepth),
+			Pos: pos,
+		}
+	}
 	env := NewEnv(closure)
 	// arrow functions inherit `this` lexically: do not rebind
 	if !decl.Arrow {
@@ -446,9 +465,15 @@ func (ip *Interp) stringMethod(s string, name string, args []Value, pos ast.Pos)
 		if n < 0 || n > 1<<20 {
 			return nil, &Throw{Val: ip.MakeError("RangeError", "invalid repeat count")}
 		}
+		if err := ip.alloc(int64(len(s))*int64(n), pos); err != nil {
+			return nil, err
+		}
 		return strings.Repeat(s, n), nil
 	case "padStart":
 		width := int(ToNumber(arg(0)))
+		if err := ip.alloc(int64(max(0, width-len(s))), pos); err != nil {
+			return nil, err
+		}
 		pad := " "
 		if p, ok := arg(1).(string); ok && p != "" {
 			pad = p
@@ -462,6 +487,9 @@ func (ip *Interp) stringMethod(s string, name string, args []Value, pos ast.Pos)
 		b.WriteString(s)
 		for _, a := range args {
 			b.WriteString(ToString(a))
+		}
+		if err := ip.alloc(int64(b.Len()), pos); err != nil {
+			return nil, err
 		}
 		return b.String(), nil
 	case "toString":
@@ -502,6 +530,9 @@ func (ip *Interp) arrayMethod(a *Array, name string, args []Value, pos ast.Pos) 
 	}
 	switch name {
 	case "push":
+		if err := ip.alloc(int64(len(args)), pos); err != nil {
+			return nil, err
+		}
 		a.Elems = append(a.Elems, args...)
 		return float64(len(a.Elems)), nil
 	case "pop":
@@ -519,6 +550,9 @@ func (ip *Interp) arrayMethod(a *Array, name string, args []Value, pos ast.Pos) 
 		a.Elems = a.Elems[1:]
 		return v, nil
 	case "unshift":
+		if err := ip.alloc(int64(len(args)), pos); err != nil {
+			return nil, err
+		}
 		a.Elems = append(append([]Value{}, args...), a.Elems...)
 		return float64(len(a.Elems)), nil
 	case "map":
@@ -671,6 +705,9 @@ func (ip *Interp) arrayMethod(a *Array, name string, args []Value, pos ast.Pos) 
 			} else {
 				out.Elems = append(out.Elems, ag)
 			}
+		}
+		if err := ip.alloc(int64(len(out.Elems)), pos); err != nil {
+			return nil, err
 		}
 		return out, nil
 	case "reverse":

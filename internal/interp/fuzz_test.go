@@ -1,0 +1,59 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+
+	"turnstile/internal/guard"
+	"turnstile/internal/parser"
+)
+
+// FuzzInterpNoPanicWithinFuel is the resource-governance property as a
+// fuzz target: any program that parses must run to a typed outcome under
+// tight guard budgets — no panic, no hang, no unbounded allocation.
+// Budget trips, runtime errors and throws are all fine; guard.Contain
+// converts any residual panic into a *guard.PipelineError, which this
+// target treats as the bug it is hunting.
+func FuzzInterpNoPanicWithinFuel(f *testing.F) {
+	seeds := []string{
+		// the crash-corpus shapes, inlined
+		`while (true) { }`,
+		`function f(n) { return f(n + 1); } f(0);`,
+		`function even(n) { return odd(n + 1); } function odd(n) { return even(n + 1); } even(0);`,
+		`let s = "xxxxxxxx"; while (true) { s = s + s; }`,
+		`let a = []; while (true) { a.push(1, 2, 3, 4); }`,
+		`function t(n) { setTimeout(function() { t(n + 1); }, 1000); } t(0);`,
+		`const fs = require("fs"); while (true) { fs.writeFileSync("/flood", "chunk"); }`,
+		`const o = { n: 1 }; o.self = o; console.log(o.n);`,
+		// ordinary programs must finish clean inside the budgets
+		`let acc = 0; for (let i = 0; i < 10; i++) { acc += i * i; } console.log(acc);`,
+		"console.log(`t${`u${`v${1 + 2}`}`}`);",
+		`const xs = [3, 1, 2]; console.log(xs.sort().join("-"));`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := parser.Parse("fz.js", src)
+		if err != nil {
+			return
+		}
+		ip := New()
+		ip.SetGuard(guard.New(guard.Limits{
+			Fuel:          200_000,
+			MaxDepth:      256,
+			MaxAlloc:      1 << 20,
+			DeadlineTicks: 50_000,
+		}))
+		runErr := guard.Contain("interp", "fz.js", func() error {
+			return ip.Run(prog)
+		})
+		// Contain passes plain errors (budget trips, runtime errors, throws)
+		// through untouched; a *guard.PipelineError here can only come from
+		// a recovered panic
+		var pe *guard.PipelineError
+		if errors.As(runErr, &pe) {
+			t.Fatalf("interpreter panicked: %v\ninput: %q", pe, src)
+		}
+	})
+}

@@ -1,0 +1,250 @@
+package interp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"turnstile/internal/guard"
+	"turnstile/internal/parser"
+	"turnstile/internal/policy"
+)
+
+// runGuarded executes src with the given guard limits and returns the
+// interpreter and the run error.
+func runGuarded(t *testing.T, src string, lim guard.Limits) (*Interp, error) {
+	t.Helper()
+	ip := New()
+	ip.SetGuard(guard.New(lim))
+	prog, err := parser.Parse("test.js", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return ip, ip.Run(prog)
+}
+
+func wantBudgetErr(t *testing.T, err error, kind guard.Kind) *guard.BudgetError {
+	t.Helper()
+	var be *guard.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("expected *guard.BudgetError(%s), got %T: %v", kind, err, err)
+	}
+	if be.Kind != kind {
+		t.Fatalf("budget kind = %s, want %s", be.Kind, kind)
+	}
+	return be
+}
+
+func TestGuardFuelTripsInfiniteLoop(t *testing.T) {
+	_, err := runGuarded(t, `while (true) { }`, guard.Limits{Fuel: 10_000})
+	be := wantBudgetErr(t, err, guard.KindFuel)
+	if be.Site == "" {
+		t.Fatal("trip site not back-filled with a source position")
+	}
+}
+
+func TestGuardDepthTripsRecursion(t *testing.T) {
+	_, err := runGuarded(t, `function f() { return f(); } f();`, guard.Limits{MaxDepth: 100})
+	wantBudgetErr(t, err, guard.KindDepth)
+}
+
+func TestGuardDepthReleasedOnReturn(t *testing.T) {
+	// sequential calls never accumulate depth
+	ip, err := runGuarded(t, `
+function f(n) { return n <= 0 ? 0 : f(n - 1); }
+let total = 0;
+for (let i = 0; i < 50; i++) { total = total + f(40); }
+console.log(total);
+`, guard.Limits{MaxDepth: 100})
+	if err != nil {
+		t.Fatalf("bounded recursion tripped: %v", err)
+	}
+	if ip.Guard.Depth() != 0 {
+		t.Fatalf("depth not released: %d", ip.Guard.Depth())
+	}
+}
+
+func TestHardCallDepthCapWithoutGuard(t *testing.T) {
+	// Even with no guard installed, unbounded MiniJS recursion must return
+	// a typed error instead of overflowing the Go stack (which would kill
+	// the process: recover cannot catch it).
+	ip := New()
+	prog, err := parser.Parse("test.js", `function f() { return f(); } f();`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = ip.Run(prog)
+	var re *RuntimeError
+	if !errors.As(err, &re) || !strings.Contains(re.Msg, "call stack exceeded") {
+		t.Fatalf("expected call-stack RuntimeError, got %T: %v", err, err)
+	}
+}
+
+func TestGuardAllocTripsStringDoubling(t *testing.T) {
+	_, err := runGuarded(t, `
+let s = "x";
+while (true) { s = s + s; }
+`, guard.Limits{Fuel: 1_000_000, MaxAlloc: 1 << 20})
+	wantBudgetErr(t, err, guard.KindAlloc)
+}
+
+func TestGuardAllocTripsArrayGrowth(t *testing.T) {
+	_, err := runGuarded(t, `
+let a = [];
+while (true) { a.push(1, 2, 3, 4); }
+`, guard.Limits{Fuel: 10_000_000, MaxAlloc: 50_000})
+	wantBudgetErr(t, err, guard.KindAlloc)
+}
+
+func TestGuardDeadlineTripsTimerChain(t *testing.T) {
+	// each setTimeout advances the virtual clock by 1000 ticks while
+	// burning almost no fuel; the deadline probe at the advance site trips
+	_, err := runGuarded(t, `
+function tick(n) {
+  if (n <= 0) { return; }
+  setTimeout(function() { tick(n - 1); }, 1000);
+}
+tick(100);
+`, guard.Limits{DeadlineTicks: 10_000})
+	wantBudgetErr(t, err, guard.KindDeadline)
+}
+
+func TestGuardGenerousLimitsAreTransparent(t *testing.T) {
+	src := `
+let acc = [];
+for (let i = 0; i < 100; i++) { acc.push(i * i); }
+console.log(acc.length, acc[99]);
+`
+	plain := run(t, src)
+	ip, err := runGuarded(t, src, guard.Limits{
+		Fuel: 100_000_000, MaxDepth: 10_000, MaxAlloc: 1 << 30, DeadlineTicks: 1 << 40,
+	})
+	if err != nil {
+		t.Fatalf("guarded run failed: %v", err)
+	}
+	if strings.Join(ip.ConsoleOut, "\n") != strings.Join(plain.ConsoleOut, "\n") {
+		t.Fatalf("guarded output diverged:\n%v\nvs\n%v", ip.ConsoleOut, plain.ConsoleOut)
+	}
+}
+
+// failClosedInterp builds a guarded interpreter with a fail-closed tracker.
+func failClosedInterp(t *testing.T, lim guard.Limits) *Interp {
+	t.Helper()
+	ip := New()
+	pol, err := policy.ParseJSON([]byte(`{
+	  "labellers": { "Reading": "v => \"sensitive\"" },
+	  "rules": [ "sensitive -> archive" ]
+	}`), ip.CompileLabelFunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ip.InstallTracker(pol)
+	tr.Enforce = false
+	tr.FailClosed = true
+	ip.SetGuard(guard.New(lim))
+	return ip
+}
+
+func TestFailClosedGuardTripPoisonsTrackerAndGatesSinks(t *testing.T) {
+	ip := failClosedInterp(t, guard.Limits{Fuel: 10_000})
+	prog, err := parser.Parse("test.js", `
+const fs = require("fs");
+fs.writeFileSync("/before", "ok");
+while (true) { }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := ip.Run(prog)
+	wantBudgetErr(t, runErr, guard.KindFuel)
+
+	if deg, reason := ip.Tracker.Degraded(); !deg || !strings.Contains(reason, "guard trip: fuel") {
+		t.Fatalf("guard trip did not poison fail-closed tracker: %v %q", deg, reason)
+	}
+	// the pre-trip write went through
+	if len(ip.IO.Writes) != 1 || ip.IO.Writes[0].Target != "/before" {
+		t.Fatalf("pre-trip writes = %+v", ip.IO.Writes)
+	}
+
+	// after the trip, no sink write is permitted — even via a fresh
+	// host-op with no labelled data near it
+	prog2, err := parser.Parse("after.js", `
+const fs = require("fs");
+fs.writeFileSync("/after", "leak");
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ip.Run(prog2) // the sticky guard aborts this run before any host op
+	for _, w := range ip.IO.Writes {
+		if w.Target == "/after" {
+			t.Fatalf("sink write permitted after guard trip: %+v", ip.IO.Writes)
+		}
+	}
+}
+
+// TestFailClosedRecordGateSuppressesWrites exercises the record() gate
+// directly: a poisoned tracker with a healthy guard still runs code, but
+// no sink write goes through (the Emit multi-listener path is exactly this
+// shape — a sibling listener keeps running after one trips).
+func TestFailClosedRecordGateSuppressesWrites(t *testing.T) {
+	ip := failClosedInterp(t, guard.Limits{})
+	ip.Tracker.Poison("test: simulated mid-run inconsistency")
+	prog, err := parser.Parse("test.js", `
+const fs = require("fs");
+fs.writeFileSync("/gated", "leak");
+console.log("still running");
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ip.Run(prog); err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if len(ip.IO.Writes) != 0 {
+		t.Fatalf("poisoned tracker permitted sink writes: %+v", ip.IO.Writes)
+	}
+	if ip.IO.Denied != 1 {
+		t.Fatalf("denied counter = %d, want 1", ip.IO.Denied)
+	}
+	if len(ip.ConsoleOut) != 1 {
+		t.Fatalf("non-sink execution should continue: %v", ip.ConsoleOut)
+	}
+}
+
+func TestFailClosedOffGuardTripDoesNotPoison(t *testing.T) {
+	ip := New()
+	pol, err := policy.ParseJSON([]byte(`{
+	  "labellers": { "Reading": "v => \"sensitive\"" },
+	  "rules": [ "sensitive -> archive" ]
+	}`), ip.CompileLabelFunc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := ip.InstallTracker(pol)
+	tr.Enforce = false // fail-open default
+	ip.SetGuard(guard.New(guard.Limits{Fuel: 10_000}))
+	prog, err := parser.Parse("test.js", `while (true) { }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBudgetErr(t, ip.Run(prog), guard.KindFuel)
+	if deg, _ := ip.Tracker.Degraded(); deg {
+		t.Fatal("guard trip poisoned a fail-open tracker")
+	}
+}
+
+func TestGuardTripIsStickyAcrossRuns(t *testing.T) {
+	ip, err := runGuarded(t, `while (true) { }`, guard.Limits{Fuel: 5_000})
+	wantBudgetErr(t, err, guard.KindFuel)
+	// a second program on the same interpreter (same guard) fails fast
+	prog, perr := parser.Parse("again.js", `console.log("hi");`)
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	err = ip.Run(prog)
+	wantBudgetErr(t, err, guard.KindFuel)
+	if len(ip.ConsoleOut) != 0 {
+		t.Fatalf("post-trip program produced output: %v", ip.ConsoleOut)
+	}
+}

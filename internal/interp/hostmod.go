@@ -32,6 +32,9 @@ type IORecorder struct {
 	Files map[string]string
 	// Intervals holds callbacks registered via setInterval.
 	Intervals []Value
+	// Denied counts sink writes suppressed by the fail-closed gate (the
+	// tracker was degraded when the write reached the sink boundary).
+	Denied int
 }
 
 // NewIORecorder returns an empty recorder with a few seed files.
@@ -51,6 +54,7 @@ func NewIORecorder() *IORecorder {
 func (r *IORecorder) Reset() {
 	r.Writes = r.Writes[:0]
 	r.Intervals = nil
+	r.Denied = 0
 }
 
 // WritesTo returns the writes whose module matches.
@@ -67,6 +71,20 @@ func (r *IORecorder) WritesTo(module string) []SinkWrite {
 // record appends a sink write, unwrapping tracked values so external
 // interfaces receive native data (§4.4).
 func (ip *Interp) record(module, op, target string, v Value) {
+	// Fail-closed gate: every sink write funnels through here, so a
+	// degraded tracker suppresses the write no matter how the op was
+	// reached — including paths with no instrumented check in front of
+	// them. This is what makes "no sink write after a guard trip" a
+	// property of the runtime rather than of the instrumentation.
+	if ip.Tracker != nil && ip.Tracker.FailClosed {
+		if degraded, _ := ip.Tracker.Degraded(); degraded {
+			ip.IO.Denied++
+			if ip.Metrics != nil {
+				ip.Metrics.Add("sink.denied."+module+"."+op, 1)
+			}
+			return
+		}
+	}
 	// the labels are read before unwrapping: UnwrapDeep strips Box
 	// wrappers, and with them the identities the label map is keyed on
 	if ip.Tracer != nil {
@@ -107,6 +125,9 @@ func (ip *Interp) fault(module, op, target string) (faults.Decision, *Object) {
 	switch d.Action {
 	case faults.Delay:
 		ip.Clock.Advance(d.Delay)
+		// the clock just moved: probe the guard deadline immediately so an
+		// injected-delay storm cannot outrun the periodic fuel-based probe
+		ip.Guard.CheckDeadline(module + "." + op)
 	case faults.Fail:
 		return d, ip.faultError(d, module, op)
 	}

@@ -9,6 +9,7 @@ import (
 	"turnstile/internal/ast"
 	"turnstile/internal/dift"
 	"turnstile/internal/faults"
+	"turnstile/internal/guard"
 	"turnstile/internal/telemetry"
 )
 
@@ -77,8 +78,19 @@ type Interp struct {
 	// here; label/check/invoke/violation events from the tracker) with
 	// timestamps from the virtual Clock.
 	Tracer *telemetry.Tracer
+	// Guard, when non-nil, enforces resource budgets (fuel, call depth,
+	// allocation, virtual-clock deadline) on top of MaxSteps, surfacing
+	// trips as typed *guard.BudgetError. Install via SetGuard so the
+	// fail-closed tracker integration is wired up.
+	Guard *guard.Guard
+	// MaxCallDepth hard-caps MiniJS call-stack depth even with no Guard
+	// installed: a Go stack overflow is unrecoverable and would kill the
+	// whole process, so this cooperative cap must trip first. 0 disables
+	// (tests only).
+	MaxCallDepth int
 
 	steps       int64
+	callDepth   int
 	modules     map[string]Value
 	localLoader func(name string) (Value, bool, error)
 	now         float64 // deterministic Date.now() counter
@@ -88,11 +100,12 @@ type Interp struct {
 // modules installed.
 func New() *Interp {
 	ip := &Interp{
-		Globals:  NewEnv(nil),
-		IO:       NewIORecorder(),
-		MaxSteps: 200_000_000,
-		Clock:    faults.NewClock(),
-		modules:  make(map[string]Value),
+		Globals:      NewEnv(nil),
+		IO:           NewIORecorder(),
+		MaxSteps:     200_000_000,
+		MaxCallDepth: DefaultMaxCallDepth,
+		Clock:        faults.NewClock(),
+		modules:      make(map[string]Value),
 	}
 	ip.installGlobals()
 	return ip
@@ -123,13 +136,68 @@ func (ip *Interp) InstallFaults(s *faults.Schedule) *faults.Injector {
 	return ip.Faults
 }
 
-// step charges one unit against the step budget.
+// DefaultMaxCallDepth is the hard call-stack cap installed by New. It is
+// far above what the corpus applications reach while keeping the Go stack
+// well clear of its unrecoverable limit (each MiniJS frame costs a bounded
+// number of Go frames).
+const DefaultMaxCallDepth = 20_000
+
+// step charges one unit against the step budget and, when a Guard is
+// installed, against its fuel/deadline budgets.
 func (ip *Interp) step(pos ast.Pos) error {
 	ip.steps++
 	if ip.steps > ip.MaxSteps {
 		return &RuntimeError{Msg: "step budget exceeded (possible infinite loop)", Pos: pos}
 	}
+	if ip.Guard != nil {
+		// the site string is only materialized on the first trip; the hot
+		// path must not format a position per step
+		if err := ip.Guard.Step(1, ""); err != nil {
+			ip.siteOnTrip(pos)
+			return err
+		}
+	}
 	return nil
+}
+
+// alloc charges n allocation units against the guard at the runtime's
+// amplification sites (literals, string growth, array growth). No-op when
+// unguarded.
+func (ip *Interp) alloc(n int64, pos ast.Pos) error {
+	if ip.Guard == nil {
+		return nil
+	}
+	if err := ip.Guard.Alloc(n, ""); err != nil {
+		ip.siteOnTrip(pos)
+		return err
+	}
+	return nil
+}
+
+// siteOnTrip back-fills the source position onto the sticky budget error
+// the first time it surfaces (the trip site itself passed "" to avoid
+// per-operation formatting).
+func (ip *Interp) siteOnTrip(pos ast.Pos) {
+	if be := ip.Guard.Tripped(); be != nil && be.Site == "" {
+		be.Site = pos.String()
+	}
+}
+
+// SetGuard installs (or with nil removes) the resource guard, binds its
+// deadline to this interpreter's virtual clock, and arranges the
+// fail-closed integration: when the tracker is in fail-closed mode, any
+// budget trip poisons it, so no sink write is permitted afterwards.
+func (ip *Interp) SetGuard(g *guard.Guard) {
+	ip.Guard = g
+	if g == nil {
+		return
+	}
+	g.SetClock(ip.Clock.Now)
+	g.OnTrip = func(be *guard.BudgetError) {
+		if ip.Tracker != nil && ip.Tracker.FailClosed {
+			ip.Tracker.Poison("guard trip: " + string(be.Kind))
+		}
+	}
 }
 
 // Steps returns the number of evaluation steps consumed so far.
@@ -534,6 +602,9 @@ func (ip *Interp) eval(e ast.Expr, env *Env) (Value, error) {
 				b.WriteString(ToString(v))
 			}
 		}
+		if err := ip.alloc(int64(b.Len()), x.Pos()); err != nil {
+			return nil, err
+		}
 		return b.String(), nil
 	case *ast.ArrayLit:
 		var elems []Value
@@ -555,8 +626,14 @@ func (ip *Interp) eval(e ast.Expr, env *Env) (Value, error) {
 			}
 			elems = append(elems, v)
 		}
+		if err := ip.alloc(int64(len(elems))+1, x.Pos()); err != nil {
+			return nil, err
+		}
 		return NewArray(elems...), nil
 	case *ast.ObjectLit:
+		if err := ip.alloc(int64(len(x.Props))+1, x.Pos()); err != nil {
+			return nil, err
+		}
 		o := NewObject()
 		for _, prop := range x.Props {
 			switch {
@@ -854,11 +931,21 @@ func (ip *Interp) BinaryOp(op string, l, r Value, pos ast.Pos) (Value, error) {
 	lu, ru := dift.Unwrap(l), dift.Unwrap(r)
 	switch op {
 	case "+":
+		// string concatenation is the classic memory amplifier (s = s + s
+		// doubles per iteration); charge the result length
 		if ls, ok := lu.(string); ok {
-			return ls + ToString(ru), nil
+			rs := ToString(ru)
+			if err := ip.alloc(int64(len(ls)+len(rs)), pos); err != nil {
+				return nil, err
+			}
+			return ls + rs, nil
 		}
 		if rs, ok := ru.(string); ok {
-			return ToString(lu) + rs, nil
+			ls := ToString(lu)
+			if err := ip.alloc(int64(len(ls)+len(rs)), pos); err != nil {
+				return nil, err
+			}
+			return ls + rs, nil
 		}
 		if _, ok := lu.(*Array); ok {
 			return ToString(lu) + ToString(ru), nil

@@ -1,10 +1,12 @@
 package interp
 
 import (
+	"errors"
 	"fmt"
 
 	"turnstile/internal/ast"
 	"turnstile/internal/dift"
+	"turnstile/internal/guard"
 	"turnstile/internal/parser"
 	"turnstile/internal/policy"
 )
@@ -80,6 +82,13 @@ func (ip *Interp) InstallTracker(pol *policy.Policy) *dift.Tracker {
 		}
 		out, err := tr.Label(args[0], l)
 		if err != nil {
+			// a guard budget trip inside the label function is a resource
+			// abort, not an application exception: it must stay typed and
+			// uncatchable, or a try/catch could swallow the enforcement
+			var be *guard.BudgetError
+			if errors.As(err, &be) {
+				return nil, err
+			}
 			return nil, &Throw{Val: ip.MakeError("Error", err.Error())}
 		}
 		return out, nil

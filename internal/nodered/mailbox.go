@@ -1,0 +1,168 @@
+package nodered
+
+import (
+	"fmt"
+
+	"turnstile/internal/interp"
+)
+
+// This file is the queued delivery engine and the flow supervisor.
+//
+// With Runtime.MailboxCap > 0, node.send no longer delivers recursively:
+// messages are appended to a global FIFO and drained one at a time from
+// the top-level Inject, with at most MailboxCap messages pending per
+// target node. A full mailbox applies backpressure by shedding: the
+// message goes to the dead-letter queue instead of being buffered without
+// bound or blocking the sender (there is no blocking in a single-threaded
+// event loop — a sender that waited on a full downstream mailbox would
+// deadlock the whole flow). Messages addressed to quarantined nodes are
+// dead-lettered the same way, so the circuit breaker's sheds become
+// observable records instead of silent drops.
+//
+// With Runtime.RestartBase > 0, a supervisor schedules quarantined nodes
+// for restart on the virtual clock with bounded exponential backoff:
+// RestartBase << priorRestarts ticks, capped at RestartMax. Restarts are
+// deterministic — they fire during Clock.Advance, never from a host
+// timer — so a run's recovery behaviour is a pure function of its inputs.
+
+// queued is one message waiting in the global FIFO.
+type queued struct {
+	nodeID string
+	msg    interp.Value
+}
+
+// DeadLetter records one message the queued engine shed instead of
+// delivering.
+type DeadLetter struct {
+	// NodeID is the target the message was addressed to.
+	NodeID string
+	// Reason is ReasonOverflow or ReasonQuarantined.
+	Reason string
+	// Msg is the shed message.
+	Msg interp.Value
+}
+
+// Dead-letter reasons.
+const (
+	// ReasonOverflow: the target's mailbox already held MailboxCap
+	// messages.
+	ReasonOverflow = "overflow"
+	// ReasonQuarantined: the target was quarantined by the circuit
+	// breaker.
+	ReasonQuarantined = "quarantined"
+)
+
+// DefaultMailboxBudget is the per-drain delivery cap of the queued
+// engine — its cyclic-flow protection, standing in for the synchronous
+// engine's recursion depth guard.
+const DefaultMailboxBudget = 4096
+
+// enqueue appends a message to the global FIFO, or dead-letters it when
+// the target is quarantined or its mailbox is full.
+func (rt *Runtime) enqueue(nodeID string, msg interp.Value) {
+	if rt.quarantined[nodeID] {
+		rt.Health.Dropped++
+		rt.deadLetter(nodeID, ReasonQuarantined, msg)
+		return
+	}
+	if rt.pending == nil {
+		rt.pending = make(map[string]int)
+	}
+	if rt.pending[nodeID] >= rt.MailboxCap {
+		rt.deadLetter(nodeID, ReasonOverflow, msg)
+		return
+	}
+	rt.pending[nodeID]++
+	rt.queue = append(rt.queue, queued{nodeID: nodeID, msg: msg})
+}
+
+// deadLetter records a shed message.
+func (rt *Runtime) deadLetter(nodeID, reason string, msg interp.Value) {
+	rt.DeadLetters = append(rt.DeadLetters, DeadLetter{NodeID: nodeID, Reason: reason, Msg: msg})
+	rt.Health.DeadLettered++
+	if m := rt.IP.Metrics; m != nil {
+		m.Add("nodered.deadletter."+reason, 1)
+	}
+}
+
+// drain delivers queued messages in FIFO order until the queue is empty.
+// Handlers running inside a delivery enqueue (via send) rather than
+// recurse, so the stack stays flat no matter how deep the flow fans out.
+// A reentrant call (a handler that somehow reaches Inject) is a no-op:
+// the outer drain loop will pick up whatever it enqueued.
+func (rt *Runtime) drain() error {
+	if rt.draining {
+		return nil
+	}
+	rt.draining = true
+	defer func() { rt.draining = false }()
+	budget := rt.MailboxBudget
+	if budget <= 0 {
+		budget = DefaultMailboxBudget
+	}
+	delivered := 0
+	for len(rt.queue) > 0 {
+		q := rt.queue[0]
+		rt.queue = rt.queue[1:]
+		rt.pending[q.nodeID]--
+		delivered++
+		if delivered > budget {
+			return fmt.Errorf("nodered: mailbox delivery budget (%d) exceeded (cyclic flow?)", budget)
+		}
+		// quarantine may have happened after this message was enqueued
+		if rt.quarantined[q.nodeID] {
+			rt.Health.Dropped++
+			rt.deadLetter(q.nodeID, ReasonQuarantined, q.msg)
+			continue
+		}
+		node, ok := rt.instances[q.nodeID]
+		if !ok {
+			return fmt.Errorf("nodered: wire to unknown node %q", q.nodeID)
+		}
+		if err := rt.deliver(node, q.nodeID, q.msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// scheduleRestart arms the supervisor for a freshly quarantined node:
+// after a backoff of RestartBase << priorRestarts virtual ticks (capped
+// at RestartMax) the node is un-quarantined with its failure count reset.
+// A node that keeps failing re-quarantines and backs off longer each
+// time, so a permanently broken node converges to the capped cadence
+// instead of flapping.
+func (rt *Runtime) scheduleRestart(nodeID string) {
+	if rt.RestartBase <= 0 {
+		return
+	}
+	if rt.restartCount == nil {
+		rt.restartCount = make(map[string]int)
+	}
+	prior := rt.restartCount[nodeID]
+	rt.restartCount[nodeID] = prior + 1
+	max := rt.RestartMax
+	if max <= 0 {
+		max = rt.RestartBase << 6
+	}
+	delay := rt.RestartBase
+	for i := 0; i < prior && delay < max; i++ {
+		delay <<= 1
+	}
+	if delay > max {
+		delay = max
+	}
+	rt.IP.Clock.AfterFunc(delay, func() {
+		if !rt.quarantined[nodeID] {
+			return
+		}
+		rt.quarantined[nodeID] = false
+		rt.failures[nodeID] = 0
+		rt.Health.Restarts++
+		rt.IP.ConsoleOut = append(rt.IP.ConsoleOut,
+			fmt.Sprintf("nodered: node %s restarted by supervisor (attempt %d, backoff %d ticks)", nodeID, prior+1, delay))
+		if m := rt.IP.Metrics; m != nil {
+			m.Add("nodered.restart."+nodeID, 1)
+		}
+	})
+}

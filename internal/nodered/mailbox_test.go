@@ -1,0 +1,431 @@
+package nodered
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"turnstile/internal/faults"
+	"turnstile/internal/interp"
+)
+
+// fanNodePkg sends four derived messages per input — the backpressure
+// workload.
+const fanNodePkg = `
+module.exports = function(RED) {
+  function FanNode(config) {
+    RED.nodes.createNode(this, config);
+    const node = this;
+    node.on("input", function(msg) {
+      for (let i = 0; i < 4; i++) {
+        node.send({ payload: msg.payload + ":" + i });
+      }
+    });
+  }
+  RED.nodes.registerType("fan", FanNode);
+};
+`
+
+func TestMailboxLinearFlowMatchesSynchronous(t *testing.T) {
+	build := func(cap int) *Runtime {
+		rt := newRuntime(t)
+		rt.MailboxCap = cap
+		for _, p := range []struct{ name, src string }{
+			{"upper.js", upperNodePkg}, {"sink.js", sinkNodePkg},
+		} {
+			if err := rt.LoadPackage(p.name, p.src); err != nil {
+				t.Fatal(err)
+			}
+		}
+		flow := &Flow{Nodes: []NodeDef{
+			{ID: "u", Type: "upper", Wires: [][]string{{"s"}}},
+			{ID: "s", Type: "file-sink", Config: map[string]any{"path": "/out"}},
+		}}
+		if err := rt.Deploy(flow); err != nil {
+			t.Fatal(err)
+		}
+		return rt
+	}
+	sync := build(0)
+	queued := build(8)
+	for i := 0; i < 5; i++ {
+		msg := fmt.Sprintf("m%d", i)
+		if err := sync.Inject("u", mkMsg(msg)); err != nil {
+			t.Fatal(err)
+		}
+		if err := queued.Inject("u", mkMsg(msg)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sw, qw := sync.IP.IO.WritesTo("fs"), queued.IP.IO.WritesTo("fs")
+	if len(sw) != len(qw) {
+		t.Fatalf("write counts diverged: sync %d vs queued %d", len(sw), len(qw))
+	}
+	for i := range sw {
+		if sw[i].Value != qw[i].Value || sw[i].Target != qw[i].Target {
+			t.Fatalf("write %d diverged: %+v vs %+v", i, sw[i], qw[i])
+		}
+	}
+	if len(queued.DeadLetters) != 0 || queued.Health.DeadLettered != 0 {
+		t.Fatalf("linear flow dead-lettered: %+v", queued.DeadLetters)
+	}
+}
+
+func TestMailboxBackpressureShedsToDeadLetterQueue(t *testing.T) {
+	rt := newRuntime(t)
+	rt.MailboxCap = 2
+	if err := rt.LoadPackage("fan.js", fanNodePkg); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.LoadPackage("sink.js", sinkNodePkg); err != nil {
+		t.Fatal(err)
+	}
+	flow := &Flow{Nodes: []NodeDef{
+		{ID: "f", Type: "fan", Wires: [][]string{{"s"}}},
+		{ID: "s", Type: "file-sink", Config: map[string]any{"path": "/out"}},
+	}}
+	if err := rt.Deploy(flow); err != nil {
+		t.Fatal(err)
+	}
+	// the fan handler enqueues 4 messages for "s" in one invocation; with a
+	// cap of 2, the last two are shed before the drain loop can pop any
+	if err := rt.Inject("f", mkMsg("x")); err != nil {
+		t.Fatal(err)
+	}
+	if w := rt.IP.IO.WritesTo("fs"); len(w) != 2 {
+		t.Fatalf("writes = %+v", w)
+	}
+	if rt.Health.DeadLettered != 2 || len(rt.DeadLetters) != 2 {
+		t.Fatalf("health = %+v, dlq = %+v", rt.Health, rt.DeadLetters)
+	}
+	for _, d := range rt.DeadLetters {
+		if d.NodeID != "s" || d.Reason != ReasonOverflow {
+			t.Fatalf("dead letter = %+v", d)
+		}
+	}
+}
+
+func TestMailboxQuarantinedTargetDeadLetters(t *testing.T) {
+	rt := newRuntime(t)
+	rt.MailboxCap = 4
+	if err := rt.LoadPackage("boom.js", boomNodePkg); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Deploy(&Flow{Nodes: []NodeDef{{ID: "bad", Type: "boom"}}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < DefaultBreakerThreshold; i++ {
+		if err := rt.Inject("bad", mkMsg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !rt.Quarantined("bad") {
+		t.Fatal("node not quarantined at threshold")
+	}
+	if err := rt.Inject("bad", mkMsg("post")); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Health.Dropped != 1 || rt.Health.DeadLettered != 1 {
+		t.Fatalf("health = %+v", rt.Health)
+	}
+	last := rt.DeadLetters[len(rt.DeadLetters)-1]
+	if last.NodeID != "bad" || last.Reason != ReasonQuarantined {
+		t.Fatalf("dead letter = %+v", last)
+	}
+}
+
+func TestMailboxCycleBudgetStopsLoops(t *testing.T) {
+	rt := newRuntime(t)
+	rt.MailboxCap = 1
+	rt.MailboxBudget = 64
+	if err := rt.LoadPackage("echo.js", `
+module.exports = function(RED) {
+  function EchoNode(config) {
+    RED.nodes.createNode(this, config);
+    const node = this;
+    node.on("input", function(msg) { node.send(msg); });
+  }
+  RED.nodes.registerType("echo", EchoNode);
+};
+`); err != nil {
+		t.Fatal(err)
+	}
+	flow := &Flow{Nodes: []NodeDef{
+		{ID: "a", Type: "echo", Wires: [][]string{{"b"}}},
+		{ID: "b", Type: "echo", Wires: [][]string{{"a"}}},
+	}}
+	if err := rt.Deploy(flow); err != nil {
+		t.Fatal(err)
+	}
+	err := rt.Inject("a", mkMsg("loop"))
+	if err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSupervisorRestartsWithExponentialBackoff(t *testing.T) {
+	rt := newRuntime(t)
+	rt.RestartBase = 100
+	if err := rt.LoadPackage("boom.js", boomNodePkg); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Deploy(&Flow{Nodes: []NodeDef{{ID: "bad", Type: "boom"}}}); err != nil {
+		t.Fatal(err)
+	}
+	quarantine := func() {
+		t.Helper()
+		for !rt.Quarantined("bad") {
+			if err := rt.Inject("bad", mkMsg("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	quarantine()
+	rt.IP.Clock.Advance(99)
+	if !rt.Quarantined("bad") {
+		t.Fatal("restarted before the backoff elapsed")
+	}
+	rt.IP.Clock.Advance(1)
+	if rt.Quarantined("bad") {
+		t.Fatal("supervisor did not restart the node")
+	}
+	if rt.Health.Restarts != 1 {
+		t.Fatalf("health = %+v", rt.Health)
+	}
+	// the restart reset the failure count: the node runs again
+	before := len(rt.Deliveries)
+	if err := rt.Inject("bad", mkMsg("again")); err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.Deliveries) != before+1 {
+		t.Fatal("restarted node did not execute")
+	}
+	// second quarantine backs off twice as long
+	quarantine()
+	rt.IP.Clock.Advance(199)
+	if !rt.Quarantined("bad") {
+		t.Fatal("second restart ignored the doubled backoff")
+	}
+	rt.IP.Clock.Advance(1)
+	if rt.Quarantined("bad") || rt.Health.Restarts != 2 {
+		t.Fatalf("health = %+v, quarantined = %v", rt.Health, rt.Quarantined("bad"))
+	}
+	restartNote := false
+	for _, line := range rt.IP.ConsoleOut {
+		if strings.Contains(line, "restarted by supervisor") {
+			restartNote = true
+		}
+	}
+	if !restartNote {
+		t.Fatalf("console = %v", rt.IP.ConsoleOut)
+	}
+}
+
+func TestSupervisorBackoffCap(t *testing.T) {
+	rt := newRuntime(t)
+	rt.RestartBase = 100
+	rt.RestartMax = 150
+	if err := rt.LoadPackage("boom.js", boomNodePkg); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Deploy(&Flow{Nodes: []NodeDef{{ID: "bad", Type: "boom"}}}); err != nil {
+		t.Fatal(err)
+	}
+	quarantine := func() {
+		t.Helper()
+		for !rt.Quarantined("bad") {
+			if err := rt.Inject("bad", mkMsg("x")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	quarantine()
+	rt.IP.Clock.Advance(100)
+	if rt.Quarantined("bad") {
+		t.Fatal("first restart late")
+	}
+	quarantine()
+	// uncapped this would be 200 ticks; RestartMax pins it at 150
+	rt.IP.Clock.Advance(149)
+	if !rt.Quarantined("bad") {
+		t.Fatal("restarted before the capped backoff")
+	}
+	rt.IP.Clock.Advance(1)
+	if rt.Quarantined("bad") {
+		t.Fatal("capped backoff not honoured")
+	}
+}
+
+func TestSupervisorDisabledByDefault(t *testing.T) {
+	rt := newRuntime(t)
+	if err := rt.LoadPackage("boom.js", boomNodePkg); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Deploy(&Flow{Nodes: []NodeDef{{ID: "bad", Type: "boom"}}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < DefaultBreakerThreshold; i++ {
+		if err := rt.Inject("bad", mkMsg(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.IP.Clock.Advance(1 << 20)
+	if !rt.Quarantined("bad") || rt.Health.Restarts != 0 {
+		t.Fatalf("supervisor ran without RestartBase: %+v", rt.Health)
+	}
+}
+
+func TestQueuedCatchHandlerThrowDoesNotRecurse(t *testing.T) {
+	rt := newRuntime(t)
+	rt.MailboxCap = 4
+	for _, p := range []struct{ name, src string }{
+		{"boom.js", boomNodePkg},
+		{"badcatch.js", `
+module.exports = function(RED) {
+  function BadCatchNode(config) {
+    RED.nodes.createNode(this, config);
+    this.on("input", function(msg) { throw new Error("catch is broken too"); });
+  }
+  RED.nodes.registerType("catch", BadCatchNode);
+};
+`},
+	} {
+		if err := rt.LoadPackage(p.name, p.src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flow := &Flow{Nodes: []NodeDef{
+		{ID: "bad", Type: "boom"},
+		{ID: "trap", Type: "catch"},
+	}}
+	if err := rt.Deploy(flow); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Inject("bad", mkMsg("x")); err != nil {
+		t.Fatal(err)
+	}
+	// one error from the boom node, one from the catch handler; the catch
+	// handler's own error is never re-dispatched, so the drain terminates
+	if rt.Health.HandlerErrors != 2 || rt.Health.Caught != 1 {
+		t.Fatalf("health = %+v", rt.Health)
+	}
+}
+
+// runMailboxScenario drives a fixed workload — fan-out under a tight
+// mailbox cap, a persistently failing node that trips the breaker, a
+// supervisor on the virtual clock, and a catch chain — and returns the
+// full observable record: the sink trace, the dead-letter queue, the
+// console, and the Health counters. It never touches *testing.T so it can
+// run on worker goroutines.
+func runMailboxScenario(schedule *faults.Schedule) (string, Health, error) {
+	ip := interp.New()
+	if schedule != nil {
+		ip.InstallFaults(schedule)
+	}
+	rt := New(ip)
+	rt.MailboxCap = 2
+	rt.RestartBase = 100
+	rt.RestartMax = 400
+	for _, p := range []struct{ name, src string }{
+		{"fan.js", fanNodePkg},
+		{"boom.js", boomNodePkg},
+		{"catch.js", catchNodePkg},
+		{"record.js", recordNodePkg},
+	} {
+		if err := rt.LoadPackage(p.name, p.src); err != nil {
+			return "", Health{}, err
+		}
+	}
+	flow := &Flow{Nodes: []NodeDef{
+		{ID: "src", Type: "fan", Wires: [][]string{{"out", "bad"}}},
+		{ID: "out", Type: "record", Config: map[string]any{"path": "/out"}},
+		{ID: "bad", Type: "boom"},
+		{ID: "trap", Type: "catch", Wires: [][]string{{"errlog"}}},
+		{ID: "errlog", Type: "record", Config: map[string]any{"path": "/errors"}},
+	}}
+	if err := rt.Deploy(flow); err != nil {
+		return "", Health{}, err
+	}
+	for i := 0; i < 6; i++ {
+		if err := rt.Inject("src", mkMsg(fmt.Sprintf("m%d", i))); err != nil {
+			return "", Health{}, err
+		}
+		// advance the virtual clock between rounds so supervisor restarts
+		// fire at deterministic ticks
+		ip.Clock.Advance(60)
+	}
+	var b strings.Builder
+	for _, w := range ip.IO.Writes {
+		fmt.Fprintf(&b, "%s.%s %s %v\n", w.Module, w.Op, w.Target, w.Value)
+	}
+	for _, d := range rt.DeadLetters {
+		fmt.Fprintf(&b, "dlq %s %s\n", d.NodeID, d.Reason)
+	}
+	for _, line := range ip.ConsoleOut {
+		fmt.Fprintf(&b, "console %s\n", line)
+	}
+	return b.String(), rt.Health, nil
+}
+
+// mailboxEquivalence asserts that 8 concurrent runs of the scenario each
+// reproduce the sequential golden record byte for byte — the queued
+// engine, DLQ, breaker and supervisor hold no cross-runtime state and
+// depend on nothing scheduler-ordered.
+func mailboxEquivalence(t *testing.T, schedule *faults.Schedule) {
+	t.Helper()
+	want, wantHealth, err := runMailboxScenario(schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want == "" {
+		t.Fatal("scenario produced no observable record")
+	}
+	const workers = 8
+	traces := make([]string, workers)
+	healths := make([]Health, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			traces[w], healths[w], errs[w] = runMailboxScenario(schedule)
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		if traces[w] != want {
+			t.Fatalf("worker %d trace diverged:\n--- sequential\n%s--- worker\n%s", w, want, traces[w])
+		}
+		if healths[w] != wantHealth {
+			t.Fatalf("worker %d health = %+v, want %+v", w, healths[w], wantHealth)
+		}
+	}
+}
+
+func TestMailboxParallelEquivalence(t *testing.T) {
+	mailboxEquivalence(t, nil)
+}
+
+func TestMailboxParallelEquivalenceUnderFaults(t *testing.T) {
+	mailboxEquivalence(t, &faults.Schedule{Seed: 7, Rules: []faults.Rule{
+		{Module: "fs", Op: "writeFileSync", Mode: faults.ModeFlaky, K: 3, Error: "EIO: injected write failure"},
+		{Module: "*", Mode: faults.ModeDelay, Delay: 3, Prob: 0.5},
+	}})
+}
+
+func TestMailboxScenarioExercisesEveryCounter(t *testing.T) {
+	// guard against the golden scenario silently going stale: it must keep
+	// exercising backpressure, quarantine, restarts and the catch chain
+	_, h, err := runMailboxScenario(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.HandlerErrors == 0 || h.Caught == 0 || h.DeadLettered == 0 || h.Restarts == 0 || h.Dropped == 0 {
+		t.Fatalf("scenario no longer exercises the full failure surface: %+v", h)
+	}
+}

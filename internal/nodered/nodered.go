@@ -57,6 +57,12 @@ type Health struct {
 	Caught int
 	// Dropped counts messages shed at quarantined nodes.
 	Dropped int
+	// DeadLettered counts messages the queued engine refused to deliver
+	// (mailbox overflow or a quarantined target); each has a DeadLetter
+	// record in Runtime.DeadLetters.
+	DeadLettered int
+	// Restarts counts supervisor restarts of quarantined nodes.
+	Restarts int
 }
 
 // Runtime hosts node packages and deployed flows on one interpreter.
@@ -80,10 +86,35 @@ type Runtime struct {
 	// Health holds the degradation counters for this runtime.
 	Health Health
 
-	catches     []string       // deployed catch-node IDs, in flow order
-	failures    map[string]int // consecutive handler failures per node
-	quarantined map[string]bool
-	inCatch     bool // suppresses catch re-entry while a catch handler runs
+	// MailboxCap > 0 switches delivery to the queued engine (mailbox.go):
+	// node.send enqueues onto a global FIFO instead of delivering
+	// recursively, with at most MailboxCap messages pending per node.
+	// Overflow is shed to the dead-letter queue instead of delivered —
+	// backpressure by load shedding, never by unbounded buffering. Zero
+	// keeps the synchronous recursive engine byte-identical.
+	MailboxCap int
+	// MailboxBudget caps deliveries per drain in the queued engine (its
+	// cyclic-flow protection, replacing the recursion depth guard). Zero
+	// means DefaultMailboxBudget.
+	MailboxBudget int
+	// RestartBase > 0 enables the supervisor: a quarantined node is
+	// scheduled for un-quarantine after RestartBase << priorRestarts
+	// virtual-clock ticks, capped at RestartMax (exponential backoff).
+	RestartBase int64
+	// RestartMax caps the supervisor backoff; zero means RestartBase << 6.
+	RestartMax int64
+	// DeadLetters records every message the queued engine shed, in shed
+	// order.
+	DeadLetters []DeadLetter
+
+	catches      []string       // deployed catch-node IDs, in flow order
+	failures     map[string]int // consecutive handler failures per node
+	quarantined  map[string]bool
+	inCatch      bool // suppresses catch re-entry while a catch handler runs
+	queue        []queued
+	pending      map[string]int // queued-message count per target node
+	draining     bool
+	restartCount map[string]int // supervisor restarts scheduled per node
 }
 
 // DefaultBreakerThreshold is the consecutive-failure count after which a
@@ -347,6 +378,10 @@ func (rt *Runtime) Inject(nodeID string, msg interp.Value) error {
 	if !ok {
 		return fmt.Errorf("nodered: unknown node %q", nodeID)
 	}
+	if rt.MailboxCap > 0 {
+		rt.enqueue(nodeID, msg)
+		return rt.drain()
+	}
 	return rt.deliver(node, nodeID, msg)
 }
 
@@ -402,6 +437,7 @@ func (rt *Runtime) deliver(node *interp.Object, nodeID string, msg interp.Value)
 			rt.quarantined[nodeID] = true
 			rt.IP.ConsoleOut = append(rt.IP.ConsoleOut,
 				fmt.Sprintf("nodered: node %s quarantined after %d consecutive failures", nodeID, rt.failures[nodeID]))
+			rt.scheduleRestart(nodeID)
 		}
 	} else {
 		rt.failures[nodeID] = 0
@@ -416,6 +452,16 @@ func (rt *Runtime) deliver(node *interp.Object, nodeID string, msg interp.Value)
 func (rt *Runtime) dispatchCatch(sourceID string, throw *interp.Throw, original interp.Value) {
 	if rt.inCatch || len(rt.catches) == 0 {
 		return
+	}
+	if rt.MailboxCap > 0 {
+		// in the queued engine catch deliveries happen outside the inCatch
+		// window, so an error thrown by a catch handler must be stopped
+		// here — counted, never re-dispatched — or error handling recurses
+		for _, cid := range rt.catches {
+			if cid == sourceID {
+				return
+			}
+		}
 	}
 	rt.inCatch = true
 	defer func() { rt.inCatch = false }()
@@ -439,6 +485,10 @@ func (rt *Runtime) dispatchCatch(sourceID string, throw *interp.Throw, original 
 		}
 		if node, ok := rt.instances[cid]; ok {
 			rt.Health.Caught++
+			if rt.MailboxCap > 0 {
+				rt.enqueue(cid, msg)
+				continue
+			}
 			_ = rt.deliver(node, cid, msg)
 		}
 	}
@@ -467,6 +517,10 @@ func (rt *Runtime) route(from *interp.Object, msg interp.Value) error {
 			target, ok := rt.instances[targetID]
 			if !ok {
 				return fmt.Errorf("nodered: wire to unknown node %q", targetID)
+			}
+			if rt.MailboxCap > 0 {
+				rt.enqueue(targetID, m)
+				continue
 			}
 			if err := rt.deliver(target, targetID, m); err != nil {
 				return err

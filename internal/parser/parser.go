@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"turnstile/internal/ast"
+	"turnstile/internal/guard"
 	"turnstile/internal/lexer"
 )
 
@@ -36,7 +37,34 @@ type parser struct {
 	toks   []lexer.Token
 	pos    int
 	nextID int
+	depth  int
 }
+
+// maxParseDepth bounds grammar-level nesting (statements and expressions).
+// The recursive-descent grammar burns a bounded number of Go frames per
+// level, so this cap keeps the parser far from the unrecoverable Go stack
+// limit while admitting any program a human (or the instrumentor) writes.
+const maxParseDepth = 10_000
+
+// enter charges one grammar nesting level; leave releases it. Called at
+// the two recursion hubs every nesting level passes through — statement()
+// and unaryExpr() — so pathological inputs (deep literal nesting, long
+// unary chains, deeply parenthesized expressions) abort with a typed
+// *guard.PipelineError instead of overflowing the Go stack, which recover
+// cannot catch.
+func (p *parser) enter() {
+	p.depth++
+	if p.depth > maxParseDepth {
+		t := p.cur()
+		panic(parseAbort{&guard.PipelineError{
+			Stage: "parse",
+			Pos:   fmt.Sprintf("%s:%d:%d", p.file, t.Line, t.Col),
+			Cause: fmt.Errorf("nesting exceeds %d levels", maxParseDepth),
+		}})
+	}
+}
+
+func (p *parser) leave() { p.depth-- }
 
 // Parse parses src and returns the program. file is used in error messages
 // and recorded on the returned Program.
@@ -150,6 +178,8 @@ func (p *parser) semi() {
 // Statements
 
 func (p *parser) statement() ast.Stmt {
+	p.enter()
+	defer p.leave()
 	t := p.cur()
 	switch {
 	case t.Kind == lexer.Punct && t.Text == "{":
@@ -676,6 +706,11 @@ func (p *parser) binaryExpr(minPrec int) ast.Expr {
 }
 
 func (p *parser) unaryExpr() ast.Expr {
+	// Every expression nesting level passes through here exactly once
+	// (primary's bracketed forms re-enter via expression/assignExpr), so
+	// this single charge bounds expression recursion as a whole.
+	p.enter()
+	defer p.leave()
 	t := p.cur()
 	if t.Kind == lexer.Punct && (t.Text == "!" || t.Text == "-" || t.Text == "+" || t.Text == "~") {
 		b := p.base()

@@ -20,6 +20,13 @@ import (
 // Label is a single privacy label, e.g. "employee" or "EU".
 type Label string
 
+// Top is the maximal privacy label ⊤. The tracker joins it whenever it
+// must over-approximate — e.g. when label collection is truncated by its
+// depth bound — so lost precision surfaces as a denial at the sink rather
+// than a silent leak. Data carrying Top may not flow to any receiver, in
+// either flow mode.
+const Top Label = "⊤"
+
 // LabelSet is a compound privacy label (§2): a set of simple labels.
 // Following Denning's lattice model, compound labels arise when values
 // derived from multiple labelled objects are combined.
@@ -358,6 +365,12 @@ func (g *Graph) CacheSize() int {
 func (g *Graph) FlowAllowed(data, recv LabelSet, mode FlowMode) bool {
 	if data.Empty() {
 		return true
+	}
+	// Top is above every receiver label: in FlowComparable mode an
+	// otherwise-unrelated label would fail open, which would defeat its
+	// purpose as the truncation over-approximation.
+	if data.Contains(Top) {
+		return false
 	}
 	switch mode {
 	case FlowStrict:

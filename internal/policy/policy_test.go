@@ -226,6 +226,29 @@ func TestFlowComparableNVRScenario(t *testing.T) {
 	}
 }
 
+// Top is above everything: data carrying ⊤ flows nowhere, in either mode,
+// even to receivers whose labels are unrelated to it (the comparable-mode
+// fail-open gap the tracker's truncation fix relies on).
+func TestFlowTopDeniesEverywhere(t *testing.T) {
+	g := mustGraph(t, "a -> b")
+	withTop := NewLabelSet("a", Top)
+	for _, mode := range []FlowMode{FlowComparable, FlowStrict} {
+		if g.FlowAllowed(withTop, NewLabelSet("b"), mode) {
+			t.Fatalf("⊤ flowed to a labelled receiver (%v)", mode)
+		}
+		if g.FlowAllowed(NewLabelSet(Top), NewLabelSet(), mode) {
+			t.Fatalf("⊤ flowed to an unlabelled receiver (%v)", mode)
+		}
+		if g.FlowAllowed(NewLabelSet(Top), NewLabelSet(Top), mode) {
+			t.Fatalf("⊤ flowed to a ⊤ receiver (%v)", mode)
+		}
+	}
+	// receivers labelled ⊤ accept ordinary data as usual
+	if !g.FlowAllowed(NewLabelSet("a"), NewLabelSet(Top), FlowComparable) {
+		t.Fatal("⊤ on the receiver side should not reject unrelated data")
+	}
+}
+
 func TestFlowUnlabelledData(t *testing.T) {
 	g := mustGraph(t, "a -> b")
 	if !g.FlowAllowed(NewLabelSet(), NewLabelSet("a"), FlowStrict) {

@@ -1,0 +1,60 @@
+package printer
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"turnstile/internal/ast"
+	"turnstile/internal/guard"
+)
+
+// deepUnary builds !!!…!x as an AST directly (the parser's own depth cap
+// is lower, so a tree this deep can only come from programmatic
+// construction — e.g. a buggy instrumentation pass).
+func deepUnary(n int) ast.Expr {
+	var e ast.Expr = &ast.Ident{Name: "x"}
+	for i := 0; i < n; i++ {
+		e = &ast.UnaryExpr{Op: "!", X: e}
+	}
+	return e
+}
+
+func TestSafePrintDepthLimit(t *testing.T) {
+	prog := &ast.Program{Body: []ast.Stmt{
+		&ast.ExprStmt{X: deepUnary(maxPrintDepth + 10)},
+	}}
+	_, err := SafePrint(prog)
+	if err == nil {
+		t.Fatal("over-deep AST printed")
+	}
+	var pe *guard.PipelineError
+	if !errors.As(err, &pe) || pe.Stage != "print" {
+		t.Fatalf("expected print PipelineError, got %T: %v", err, err)
+	}
+}
+
+func TestSafePrintHappyPath(t *testing.T) {
+	prog := &ast.Program{Body: []ast.Stmt{
+		&ast.ExprStmt{X: deepUnary(64)},
+	}}
+	out, err := SafePrint(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "!x") {
+		t.Fatalf("unexpected output: %q", out)
+	}
+}
+
+// TestSafePrintDepthResets: the walk counter is per-run; printing many
+// shallow statements never accumulates depth.
+func TestSafePrintDepthResets(t *testing.T) {
+	body := make([]ast.Stmt, maxPrintDepth/100)
+	for i := range body {
+		body[i] = &ast.ExprStmt{X: deepUnary(200)}
+	}
+	if _, err := SafePrint(&ast.Program{Body: body}); err != nil {
+		t.Fatalf("shallow statements tripped the walk bound: %v", err)
+	}
+}

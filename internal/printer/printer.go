@@ -13,16 +13,45 @@ import (
 	"strings"
 
 	"turnstile/internal/ast"
+	"turnstile/internal/guard"
 	"turnstile/internal/lexer"
 )
 
-// Print renders a program as source text.
+// maxPrintDepth bounds AST nesting during the walk. It is far above the
+// parser's maxParseDepth because instrumentation wraps nodes in extra call
+// layers, but still low enough that the walk cannot overflow the Go stack
+// (which recover cannot catch).
+const maxPrintDepth = 100_000
+
+// printAbort is the panic sentinel carrying the depth-limit error out of
+// the recursive walk; SafePrint recovers it.
+type printAbort struct{ err *guard.PipelineError }
+
+// Print renders a program as source text. On ASTs nested beyond
+// maxPrintDepth it panics with a sentinel that SafePrint converts to a
+// typed error; callers printing untrusted (e.g. fuzzer-built) trees should
+// use SafePrint.
 func Print(prog *ast.Program) string {
 	p := &printer{}
 	for _, s := range prog.Body {
 		p.stmt(s, 0)
 	}
 	return p.b.String()
+}
+
+// SafePrint is Print with the depth limit surfaced as a *guard.PipelineError
+// instead of a panic.
+func SafePrint(prog *ast.Program) (out string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pa, ok := r.(printAbort); ok {
+				out, err = "", pa.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	return Print(prog), nil
 }
 
 // PrintExpr renders a single expression.
@@ -40,12 +69,28 @@ func PrintStmt(s ast.Stmt) string {
 }
 
 type printer struct {
-	b strings.Builder
+	b     strings.Builder
+	depth int
 }
 
 func (p *printer) ws(indent int) { p.b.WriteString(strings.Repeat("  ", indent)) }
 
+// enter charges one AST nesting level; leave releases it.
+func (p *printer) enter() {
+	p.depth++
+	if p.depth > maxPrintDepth {
+		panic(printAbort{&guard.PipelineError{
+			Stage: "print",
+			Cause: fmt.Errorf("AST nesting exceeds %d levels", maxPrintDepth),
+		}})
+	}
+}
+
+func (p *printer) leave() { p.depth-- }
+
 func (p *printer) stmt(s ast.Stmt, indent int) {
+	p.enter()
+	defer p.leave()
 	switch x := s.(type) {
 	case *ast.VarDecl:
 		p.ws(indent)
@@ -350,6 +395,8 @@ var printBinPrec = map[string]int{
 }
 
 func (p *printer) expr(e ast.Expr, ctx int) {
+	p.enter()
+	defer p.leave()
 	switch x := e.(type) {
 	case *ast.Ident:
 		p.b.WriteString(x.Name)

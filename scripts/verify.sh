@@ -33,6 +33,15 @@ go run ./cmd/turnstile-bench -metrics -messages 20 \
 cmp /tmp/turnstile-metrics-a.txt /tmp/turnstile-metrics-b.txt
 rm -f /tmp/turnstile-metrics-a.txt /tmp/turnstile-metrics-b.txt
 
+echo "== crash-corpus gate (typed termination, differing -parallel)"
+go run ./cmd/turnstile-bench -crash > /tmp/turnstile-crash-a.txt
+go run ./cmd/turnstile-bench -crash -parallel 1 > /tmp/turnstile-crash-b.txt
+cmp /tmp/turnstile-crash-a.txt /tmp/turnstile-crash-b.txt
+rm -f /tmp/turnstile-crash-a.txt /tmp/turnstile-crash-b.txt
+
+echo "== interp fuzz smoke (no panic within fuel, -race)"
+go test ./internal/interp -run '^$' -fuzz FuzzInterpNoPanicWithinFuel -fuzztime 5s -race
+
 echo "== telemetry-disabled overhead gate (BenchmarkDIFTOps)"
 TURNSTILE_BENCH_GATE=1 go test ./internal/dift -run TestDisabledOverheadGate -v
 
