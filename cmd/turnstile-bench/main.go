@@ -38,6 +38,12 @@
 // -parallel counts). -trace DIR additionally writes each app's
 // selective-version structured trace JSON (virtual-clock timestamps).
 // -profile FILE writes a pprof CPU profile of the whole run.
+//
+// Execution-mode flags: -noresolve runs every interpreter on the map-walk
+// environment with the resolver fast paths disabled (the A/B escape
+// hatch). -bench runs the slot-env vs map-walk interpreter
+// microbenchmarks (-benchrepeats best-of repeats) and -benchout FILE
+// writes the report JSON (the committed BENCH_*.json artifacts).
 package main
 
 import (
@@ -75,6 +81,10 @@ func main() {
 	metrics := flag.Bool("metrics", false, "emit the per-app DIFT overhead-breakdown tables")
 	traceDir := flag.String("trace", "", "write per-app selective-version trace JSON into this directory (implies -metrics)")
 	profileOut := flag.String("profile", "", "write a pprof CPU profile of the whole run to this file")
+	noResolve := flag.Bool("noresolve", false, "run interpreters on the map-walk env with resolver fast paths disabled (A/B escape hatch)")
+	bench := flag.Bool("bench", false, "run the slot-env vs map-walk interpreter microbenchmarks")
+	benchOut := flag.String("benchout", "", "also write the microbenchmark report JSON to this file (e.g. BENCH_baseline.json)")
+	benchRepeats := flag.Int("benchrepeats", 5, "best-of repeats per microbenchmark mode")
 	flag.Parse()
 
 	if *profileOut != "" {
@@ -103,9 +113,27 @@ func main() {
 	if *all {
 		*table2, *fig10, *fig11, *fig12, *chaos, *crash, *metrics = true, true, true, true, true, true, true
 	}
-	if !*table2 && !*fig10 && !*fig11 && !*fig12 && !*chaos && !*crash && !*metrics {
+	if !*table2 && !*fig10 && !*fig11 && !*fig12 && !*chaos && !*crash && !*metrics && !*bench {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *bench {
+		rep, err := harness.RunMicrobench(*benchRepeats)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(harness.RenderMicrobench(rep))
+		if *benchOut != "" {
+			data, err := harness.ExportMicrobenchJSON(rep)
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*benchOut, data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *benchOut)
+		}
 	}
 
 	apps := corpus.All()
@@ -131,7 +159,7 @@ func main() {
 			targets = filterRunnable(apps, *appsFilter)
 		}
 		opts := harness.E2Options{Messages: *messages, Warmup: *warmup, Repeats: *repeats,
-			Parallel: *parallel, Cache: cache}
+			Parallel: *parallel, Cache: cache, NoResolve: *noResolve}
 		fmt.Printf("measuring %d app(s) × 3 versions × %d messages on %d worker(s)...\n",
 			len(targets), opts.Messages, *parallel)
 		ms, err := harness.MeasureApps(targets, opts)
@@ -180,6 +208,7 @@ func main() {
 		}
 		res, err := harness.RunBreakdown(targets, harness.BreakdownOptions{
 			Messages: *messages, Parallel: *parallel, Cache: cache, TraceCapacity: traceCap,
+			NoResolve: *noResolve,
 		})
 		if err != nil {
 			fatal(err)
@@ -214,7 +243,7 @@ func main() {
 		}
 		res, err := harness.RunChaos(targets, harness.ChaosOptions{
 			Seed: *faultSeed, Messages: *messages, Parallel: *parallel,
-			Cache: cache, Schedule: schedule,
+			Cache: cache, Schedule: schedule, NoResolve: *noResolve,
 		})
 		if err != nil {
 			fatal(err)
@@ -239,7 +268,7 @@ func main() {
 				fatal(err)
 			}
 		}
-		res, err := harness.RunCrashCorpus(harness.CrashOptions{Parallel: *parallel, Schedule: schedule})
+		res, err := harness.RunCrashCorpus(harness.CrashOptions{Parallel: *parallel, Schedule: schedule, NoResolve: *noResolve})
 		if err != nil {
 			fatal(err)
 		}

@@ -235,6 +235,7 @@ func cmdRun(args []string) error {
 	metrics := fs.Bool("metrics", false, "print the telemetry metrics table after the run")
 	traceOut := fs.String("trace", "", "write the structured event trace to this file (chrome-trace format with a .chrome.json suffix, JSON otherwise)")
 	profileOut := fs.String("profile", "", "write a pprof CPU profile of the run to this file")
+	noResolve := fs.Bool("noresolve", false, "run on the map-walk env with resolver fast paths disabled (A/B escape hatch)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -277,6 +278,7 @@ func cmdRun(args []string) error {
 		}
 	}
 	opts.FailClosed = *failClosed
+	opts.NoResolve = *noResolve
 	if *metrics {
 		opts.Metrics = telemetry.NewMetrics()
 	}
@@ -352,6 +354,9 @@ func cmdRun(args []string) error {
 		fmt.Println("  console:", line)
 	}
 	if *metrics {
+		// fold the interpreter's env/IC fast-path counters into the registry
+		// before rendering
+		app.IP.FlushEnvTelemetry()
 		fmt.Print(opts.Metrics.Render())
 	}
 	if *traceOut != "" {

@@ -57,6 +57,55 @@ func (b NodeInfo) Pos() Pos { return b.Loc }
 // NodeID returns the parser-assigned unique ID.
 func (b NodeInfo) NodeID() int { return b.ID }
 
+// ---------------------------------------------------------------------------
+// Resolver annotations
+//
+// The static resolver pass (internal/resolve) runs after parsing and
+// annotates the tree in place: every lexical scope the interpreter will
+// create at run time gets a ScopeInfo describing its slot layout, and every
+// identifier reference or declaration that resolves statically gets a
+// VarRef coordinate into that layout. Un-annotated nodes (Ref == nil,
+// Scope == nil) take the interpreter's dynamic map-based path, so an
+// unresolved program executes exactly as before the pass existed.
+
+// VarRef is a resolved variable coordinate: the binding lives Depth
+// environment hops outward from the innermost scope, at slot index Slot.
+type VarRef struct {
+	Depth int // environment hops outward from the use site's scope
+	Slot  int // slot index within that scope
+}
+
+// ScopeInfo is the static slot layout of one lexical scope. Slots are
+// allocated by the resolver; the runtime environment for the scope holds a
+// flat value array of NumSlots entries. Names is indexed by slot.
+type ScopeInfo struct {
+	Names []string
+	index map[string]int
+}
+
+// AddSlot allocates (or returns the existing) slot for name.
+func (s *ScopeInfo) AddSlot(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	if s.index == nil {
+		s.index = make(map[string]int)
+	}
+	i := len(s.Names)
+	s.Names = append(s.Names, name)
+	s.index[name] = i
+	return i
+}
+
+// Slot returns the slot index for name, if the scope declares it.
+func (s *ScopeInfo) Slot(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// NumSlots returns the number of allocated slots.
+func (s *ScopeInfo) NumSlots() int { return len(s.Names) }
+
 // Program is the root of a parsed file.
 type Program struct {
 	NodeInfo
@@ -99,7 +148,8 @@ func (k DeclKind) String() string {
 type Declarator struct {
 	NodeInfo
 	Name string
-	Init Expr // may be nil
+	Init Expr    // may be nil
+	Ref  *VarRef // set by the resolver; nil → dynamic define
 }
 
 // VarDecl is a var/let/const statement.
@@ -116,6 +166,7 @@ type FuncDecl struct {
 	NodeInfo
 	Name string
 	Fn   *FuncLit
+	Ref  *VarRef // set by the resolver; nil → dynamic define
 }
 
 func (*FuncDecl) stmtNode() {}
@@ -150,10 +201,11 @@ func (*IfStmt) stmtNode() {}
 // Init is either a *VarDecl or an *ExprStmt.
 type ForStmt struct {
 	NodeInfo
-	Init Stmt
-	Cond Expr
-	Post Expr
-	Body Stmt
+	Init  Stmt
+	Cond  Expr
+	Post  Expr
+	Body  Stmt
+	Scope *ScopeInfo // header scope layout; set by the resolver
 }
 
 func (*ForStmt) stmtNode() {}
@@ -176,6 +228,8 @@ type ForInStmt struct {
 	Name     string
 	Object   Expr
 	Body     Stmt
+	Scope    *ScopeInfo // per-iteration scope (Decl only); set by the resolver
+	Ref      *VarRef    // loop-var coordinate (declared or assigned); set by the resolver
 }
 
 func (*ForInStmt) stmtNode() {}
@@ -201,7 +255,8 @@ func (*DoWhileStmt) stmtNode() {}
 // BlockStmt is a brace-delimited statement list.
 type BlockStmt struct {
 	NodeInfo
-	Body []Stmt
+	Body  []Stmt
+	Scope *ScopeInfo // block scope layout; set by the resolver
 }
 
 func (*BlockStmt) stmtNode() {}
@@ -231,6 +286,7 @@ type TryStmt struct {
 	CatchVar string // "" when the catch clause has no binding
 	Catch    *BlockStmt
 	Finally  *BlockStmt
+	CatchRef *VarRef // catch-binding coordinate; set by the resolver
 }
 
 func (*TryStmt) stmtNode() {}
@@ -247,6 +303,7 @@ type SwitchStmt struct {
 	NodeInfo
 	Disc  Expr
 	Cases []*SwitchCase
+	Scope *ScopeInfo // scope shared by all case bodies; set by the resolver
 }
 
 func (*SwitchStmt) stmtNode() {}
@@ -265,6 +322,7 @@ type ClassDecl struct {
 	Name       string
 	SuperClass Expr
 	Methods    []*ClassMethod
+	Ref        *VarRef // set by the resolver; nil → dynamic define
 }
 
 func (*ClassDecl) stmtNode() {}
@@ -281,6 +339,7 @@ func (*EmptyStmt) stmtNode() {}
 type Ident struct {
 	NodeInfo
 	Name string
+	Ref  *VarRef // set by the resolver; nil → dynamic lookup
 }
 
 func (*Ident) exprNode() {}
@@ -330,7 +389,10 @@ type UndefinedLit struct{ NodeInfo }
 func (*UndefinedLit) exprNode() {}
 
 // ThisExpr is the this keyword.
-type ThisExpr struct{ NodeInfo }
+type ThisExpr struct {
+	NodeInfo
+	Ref *VarRef // set by the resolver; nil → dynamic lookup of "this"
+}
 
 func (*ThisExpr) exprNode() {}
 
@@ -365,6 +427,7 @@ type Param struct {
 	NodeInfo
 	Name string
 	Rest bool
+	Ref  *VarRef // set by the resolver; nil → dynamic define
 }
 
 // FuncLit is a function body shared by declarations, expressions, arrows
@@ -376,7 +439,8 @@ type FuncLit struct {
 	Body    *BlockStmt
 	Arrow   bool
 	Async   bool
-	ExprRet Expr // arrow with expression body: x => x + 1
+	ExprRet Expr       // arrow with expression body: x => x + 1
+	Scope   *ScopeInfo // function scope layout; set by the resolver
 }
 
 func (*FuncLit) exprNode() {}

@@ -19,6 +19,7 @@ import (
 	"turnstile/internal/parser"
 	"turnstile/internal/policy"
 	"turnstile/internal/printer"
+	"turnstile/internal/resolve"
 	"turnstile/internal/taint"
 	"turnstile/internal/telemetry"
 )
@@ -55,6 +56,10 @@ type Options struct {
 	// the runtime before deployment, so load-time host operations are
 	// subject to the schedule too.
 	Faults *faults.Schedule
+	// NoResolve skips the static scope-resolution pass on the deployed
+	// programs and disables the interpreter's slot/inline-cache fast
+	// paths, restoring the pure map-walk execution for A/B comparison.
+	NoResolve bool
 }
 
 // DefaultOptions returns the paper's configuration: selective
@@ -112,6 +117,7 @@ func Manage(sources map[string]string, policyJSON string, opts Options) (*Manage
 	}
 
 	ip := interp.New()
+	ip.NoResolve = opts.NoResolve
 	if opts.Faults != nil {
 		ip.InstallFaults(opts.Faults)
 	}
@@ -177,6 +183,17 @@ func Manage(sources map[string]string, policyJSON string, opts Options) (*Manage
 		prog, err := parser.Parse(f.Name, src)
 		if err != nil {
 			return nil, fmt.Errorf("core: instrumented %s does not re-parse: %w", f.Name, err)
+		}
+		if !opts.NoResolve {
+			// resolution must run on the re-parsed program: annotations do
+			// not survive printing
+			r := resolve.Resolve(prog)
+			if opts.Metrics != nil {
+				opts.Metrics.Add(telemetry.CtrResolveScopes, int64(r.Scopes))
+				opts.Metrics.Add(telemetry.CtrResolveSlots, int64(r.Slots))
+				opts.Metrics.Add(telemetry.CtrResolveResolved, int64(r.Resolved))
+				opts.Metrics.Add(telemetry.CtrResolveDynamic, int64(r.Dynamic))
+			}
 		}
 		managed[f.Name] = prog
 	}

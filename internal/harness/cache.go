@@ -9,6 +9,7 @@ import (
 	"turnstile/internal/ast"
 	"turnstile/internal/baseline"
 	"turnstile/internal/parser"
+	"turnstile/internal/resolve"
 	"turnstile/internal/taint"
 )
 
@@ -102,6 +103,10 @@ func (e *cacheEntry) analyze(file, source string, opts taint.Options) (*ast.Prog
 			e.err = err
 			return
 		}
+		// annotate before publication: the entry stays immutable afterwards.
+		// Annotations are inert on interpreters running with NoResolve, so
+		// one cached program serves both execution modes.
+		resolve.Resolve(prog)
 		e.prog = prog
 		e.analysis = taint.Analyze([]taint.File{{Name: file, Prog: prog}}, opts)
 	})
@@ -138,5 +143,6 @@ func analyzedApp(cache *PipelineCache, file, source string, opts taint.Options) 
 	if err != nil {
 		return nil, nil, err
 	}
+	resolve.Resolve(prog)
 	return prog, taint.Analyze([]taint.File{{Name: file, Prog: prog}}, opts), nil
 }

@@ -32,6 +32,9 @@ type ChaosOptions struct {
 	// Schedule, when non-nil, replaces the generated per-app schedules
 	// with one fixed schedule for every app (the -faultschedule file).
 	Schedule *faults.Schedule
+	// NoResolve runs every version on the map-walk interpreter with the
+	// resolver fast paths disabled (A/B escape hatch).
+	NoResolve bool
 }
 
 // ChaosAppResult is one app's outcome under fault injection.
@@ -86,7 +89,7 @@ type chaosVersion struct {
 }
 
 func chaosApp(app *corpus.App, opts ChaosOptions) (ChaosAppResult, error) {
-	prep, err := PrepareAppCached(app, opts.Cache)
+	prep, err := PrepareAppOpt(app, opts.Cache, opts.NoResolve)
 	if err != nil {
 		return ChaosAppResult{}, fmt.Errorf("harness: %s: %w", app.Name, err)
 	}

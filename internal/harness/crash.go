@@ -87,6 +87,9 @@ type CrashOptions struct {
 	// Schedule, when non-nil, additionally injects faults while the
 	// adversarial programs run (the -chaos composition).
 	Schedule *faults.Schedule
+	// NoResolve deploys each app on the map-walk interpreter with the
+	// resolver fast paths disabled (A/B escape hatch).
+	NoResolve bool
 }
 
 // CrashAppResult is one app's outcome.
@@ -138,6 +141,7 @@ func crashOne(ca CrashApp, opts CrashOptions) (CrashAppResult, error) {
 	copts.Guard = &lim
 	copts.FailClosed = true
 	copts.Faults = opts.Schedule
+	copts.NoResolve = opts.NoResolve
 	_, runErr := core.Manage(map[string]string{ca.Name + ".js": string(src)}, pol, copts)
 	kind, detail := ClassifyCrash(runErr)
 	return CrashAppResult{App: ca.Name, Want: ca.Want, Kind: kind, Detail: detail, OK: kind == ca.Want}, nil

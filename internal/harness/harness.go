@@ -260,6 +260,9 @@ type E2Options struct {
 	// Cache, when non-nil, memoizes each app's parse + analysis across
 	// PrepareApp calls and experiment reruns.
 	Cache *PipelineCache
+	// NoResolve runs every version on the map-walk interpreter with the
+	// resolver fast paths disabled (A/B escape hatch).
+	NoResolve bool
 }
 
 // DefaultServiceScale normalizes the miniaturized corpus workloads to the
@@ -279,7 +282,7 @@ func DefaultE2Options() E2Options {
 func MeasureApps(apps []*corpus.App, opts E2Options) ([]AppMeasurement, error) {
 	if opts.Messages == 0 {
 		d := DefaultE2Options()
-		d.Parallel, d.Cache = opts.Parallel, opts.Cache
+		d.Parallel, d.Cache, d.NoResolve = opts.Parallel, opts.Cache, opts.NoResolve
 		opts = d
 	}
 	runnable := corpus.Runnable(apps)
@@ -294,7 +297,7 @@ func MeasureApps(apps []*corpus.App, opts E2Options) ([]AppMeasurement, error) {
 
 // MeasureApp measures one app's three versions.
 func MeasureApp(app *corpus.App, opts E2Options) (*AppMeasurement, error) {
-	prep, err := PrepareAppCached(app, opts.Cache)
+	prep, err := PrepareAppOpt(app, opts.Cache, opts.NoResolve)
 	if err != nil {
 		return nil, err
 	}

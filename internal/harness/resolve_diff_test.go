@@ -1,0 +1,127 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"turnstile/internal/corpus"
+)
+
+// appModeSignature runs all three versions of one app under one execution
+// mode and renders everything observable into a canonical string: the
+// per-message error outcomes, the full sink trace, the recorded
+// violations and the tracker statistics. Two execution modes are
+// equivalent iff their signatures are byte-identical.
+func appModeSignature(app *corpus.App, noResolve bool, messages int) (string, error) {
+	prep, err := PrepareAppOpt(app, nil, noResolve)
+	if err != nil {
+		return "", fmt.Errorf("%s: %w", app.Name, err)
+	}
+	var b strings.Builder
+	for _, r := range []*Runner{prep.Original, prep.Selective, prep.Exhaustive} {
+		fmt.Fprintf(&b, "== %s/%s\n", app.Name, r.Mode)
+		for i := 0; i < messages; i++ {
+			if err := r.Process(i); err != nil {
+				fmt.Fprintf(&b, "msg %d: %v\n", i, err)
+			}
+		}
+		for _, w := range r.IP.IO.Writes {
+			fmt.Fprintf(&b, "write: %s.%s %s %v\n", w.Module, w.Op, w.Target, w.Value)
+		}
+		if r.IP.Tracker != nil {
+			for _, v := range r.IP.Tracker.Violations() {
+				fmt.Fprintf(&b, "violation: %v\n", v.Error())
+			}
+			fmt.Fprintf(&b, "stats: %+v\n", r.IP.Tracker.Stats())
+		}
+		for _, line := range r.IP.ConsoleOut {
+			fmt.Fprintf(&b, "console: %s\n", line)
+		}
+	}
+	return b.String(), nil
+}
+
+// corpusSignatures computes every runnable app's signature under one
+// execution mode with the given worker count, returning them in corpus
+// order.
+func corpusSignatures(t *testing.T, noResolve bool, parallel, messages int) []string {
+	t.Helper()
+	runnable := corpus.Runnable(corpus.All())
+	sigs, err := mapIndexed(len(runnable), parallel, func(i int) (string, error) {
+		return appModeSignature(runnable[i], noResolve, messages)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sigs
+}
+
+// TestResolveDifferentialFullCorpus is the resolver's corpus-wide
+// semantics gate: for every runnable app, the slot-env fast path and the
+// -noresolve map walk must produce byte-identical sink traces, violations,
+// tracker statistics and console output across all three versions — and
+// the result must not depend on the worker count.
+func TestResolveDifferentialFullCorpus(t *testing.T) {
+	const messages = 25
+	runnable := corpus.Runnable(corpus.All())
+	if len(runnable) == 0 {
+		t.Fatal("no runnable corpus apps")
+	}
+
+	slotSeq := corpusSignatures(t, false, 1, messages)
+	mapSeq := corpusSignatures(t, true, 1, messages)
+	for i := range slotSeq {
+		if slotSeq[i] != mapSeq[i] {
+			t.Errorf("%s: slot-env and map-env diverged:\n--- slot\n%s--- noresolve\n%s",
+				runnable[i].Name, slotSeq[i], mapSeq[i])
+		}
+	}
+
+	// worker-count independence of the same comparison
+	slotPar := corpusSignatures(t, false, 8, messages)
+	mapPar := corpusSignatures(t, true, 8, messages)
+	for i := range slotSeq {
+		if slotSeq[i] != slotPar[i] {
+			t.Errorf("%s: slot-env signature depends on worker count", runnable[i].Name)
+		}
+		if mapSeq[i] != mapPar[i] {
+			t.Errorf("%s: map-env signature depends on worker count", runnable[i].Name)
+		}
+	}
+}
+
+// TestResolveDifferentialSharedCache exercises the inert-annotation
+// property directly: one PipelineCache serves both execution modes — the
+// resolver annotations on the shared AST must be harmless to a NoResolve
+// interpreter.
+func TestResolveDifferentialSharedCache(t *testing.T) {
+	const messages = 25
+	cache := NewCache()
+	runnable := corpus.Runnable(corpus.All())
+	for _, app := range runnable[:5] {
+		var sigs [2]string
+		for m, noResolve := range []bool{false, true} {
+			prep, err := PrepareAppOpt(app, cache, noResolve)
+			if err != nil {
+				t.Fatalf("%s (noresolve=%v): %v", app.Name, noResolve, err)
+			}
+			var b strings.Builder
+			for _, r := range []*Runner{prep.Original, prep.Selective} {
+				for i := 0; i < messages; i++ {
+					if err := r.Process(i); err != nil {
+						fmt.Fprintf(&b, "msg %d: %v\n", i, err)
+					}
+				}
+				for _, w := range r.IP.IO.Writes {
+					fmt.Fprintf(&b, "write: %s.%s %s %v\n", w.Module, w.Op, w.Target, w.Value)
+				}
+			}
+			sigs[m] = b.String()
+		}
+		if sigs[0] != sigs[1] {
+			t.Errorf("%s: execution modes diverge when sharing one cache:\n--- slot\n%s--- noresolve\n%s",
+				app.Name, sigs[0], sigs[1])
+		}
+	}
+}

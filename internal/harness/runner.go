@@ -10,6 +10,7 @@ import (
 	"turnstile/internal/parser"
 	"turnstile/internal/policy"
 	"turnstile/internal/printer"
+	"turnstile/internal/resolve"
 	"turnstile/internal/taint"
 )
 
@@ -54,6 +55,14 @@ func PrepareApp(app *corpus.App) (*PreparedApp, error) {
 // being re-parsed. Safe to call from multiple goroutines with one shared
 // cache.
 func PrepareAppCached(app *corpus.App, cache *PipelineCache) (*PreparedApp, error) {
+	return PrepareAppOpt(app, cache, false)
+}
+
+// PrepareAppOpt is PrepareAppCached with an execution-mode switch:
+// noResolve runs all three versions on the map-walk interpreter with the
+// resolver fast paths disabled (the cached AST keeps its inert
+// annotations, so one cache serves both modes).
+func PrepareAppOpt(app *corpus.App, cache *PipelineCache, noResolve bool) (*PreparedApp, error) {
 	if !app.Runnable {
 		return nil, fmt.Errorf("harness: app %s is not runnable", app.Name)
 	}
@@ -66,7 +75,7 @@ func PrepareAppCached(app *corpus.App, cache *PipelineCache) (*PreparedApp, erro
 	prep := &PreparedApp{App: app, Analysis: analysis}
 
 	// original: no tracker, no instrumentation
-	orig, err := loadRunner(app, "original", prog, false)
+	orig, err := loadRunner(app, "original", prog, false, noResolve)
 	if err != nil {
 		return nil, fmt.Errorf("original version: %w", err)
 	}
@@ -75,6 +84,7 @@ func PrepareAppCached(app *corpus.App, cache *PipelineCache) (*PreparedApp, erro
 	// helper building an instrumented version
 	build := func(mode instrument.Mode, sel instrument.Selection) (*Runner, *instrument.Result, error) {
 		ip := interp.New()
+		ip.NoResolve = noResolve
 		pol, err := policy.ParseJSON([]byte(app.PolicyJSON), ip.CompileLabelFunc)
 		if err != nil {
 			return nil, nil, fmt.Errorf("policy: %w", err)
@@ -92,6 +102,9 @@ func PrepareAppCached(app *corpus.App, cache *PipelineCache) (*PreparedApp, erro
 		inst, err := parser.Parse(file, src)
 		if err != nil {
 			return nil, nil, fmt.Errorf("instrumented output does not re-parse: %w", err)
+		}
+		if !noResolve {
+			resolve.Resolve(inst)
 		}
 		tr := ip.InstallTracker(pol)
 		tr.Enforce = false // audit mode for performance runs (§6.2)
@@ -117,8 +130,9 @@ func PrepareAppCached(app *corpus.App, cache *PipelineCache) (*PreparedApp, erro
 
 // loadRunner loads an uninstrumented version from an already-parsed (and
 // possibly cache-shared) program.
-func loadRunner(app *corpus.App, mode string, prog *ast.Program, withTracker bool) (*Runner, error) {
+func loadRunner(app *corpus.App, mode string, prog *ast.Program, withTracker, noResolve bool) (*Runner, error) {
 	ip := interp.New()
+	ip.NoResolve = noResolve
 	if withTracker {
 		pol, err := policy.ParseJSON([]byte(app.PolicyJSON), ip.CompileLabelFunc)
 		if err != nil {

@@ -96,6 +96,9 @@ type BreakdownOptions struct {
 	// TraceCapacity > 0 also attaches a structured tracer to each version
 	// and exports the selective version's trace into the row.
 	TraceCapacity int
+	// NoResolve runs every version on the map-walk interpreter with the
+	// resolver fast paths disabled (A/B escape hatch).
+	NoResolve bool
 }
 
 // RunBreakdown replays every runnable app's selective and exhaustive
@@ -118,7 +121,7 @@ func RunBreakdown(apps []*corpus.App, opts BreakdownOptions) (*BreakdownResult, 
 }
 
 func breakdownApp(app *corpus.App, opts BreakdownOptions) (BreakdownRow, error) {
-	prep, err := PrepareAppCached(app, opts.Cache)
+	prep, err := PrepareAppOpt(app, opts.Cache, opts.NoResolve)
 	if err != nil {
 		return BreakdownRow{}, fmt.Errorf("harness: %s: %w", app.Name, err)
 	}
@@ -163,6 +166,10 @@ func replayWithTelemetry(r *Runner, messages, traceCap int) (*BreakdownVersion, 
 			return nil, nil, err
 		}
 	}
+	// fold the interpreter's fast-path counters ("interp.*") into the
+	// registry; the breakdown tables only render "dift."-prefixed counters,
+	// so their byte-identity across execution modes is unaffected
+	r.IP.FlushEnvTelemetry()
 	snap := snapshotVersion(m)
 	if r.IP.Tracker != nil {
 		snap.Violations = int64(len(r.IP.Tracker.Violations()))

@@ -10,6 +10,7 @@ import (
 	"turnstile/internal/parser"
 	"turnstile/internal/policy"
 	"turnstile/internal/printer"
+	"turnstile/internal/resolve"
 	"turnstile/internal/taint"
 )
 
@@ -110,6 +111,8 @@ console.log(gate(0) + gate(1) + gate(2));`,
 				t.Fatalf("instrumented output does not re-parse (%v): %v\ninput: %q\noutput:\n%s",
 					mode, err, src, out)
 			}
+			// run on the slot-env fast path, like the production pipeline
+			resolve.Resolve(managed)
 			ip := interp.New()
 			ip.MaxSteps = 200_000
 			// the guard bounds what the step budget cannot: exponential
@@ -141,6 +144,7 @@ func execOutput(t *testing.T, file, src string, instrumented bool, maxSteps int6
 	if err != nil {
 		t.Fatalf("%s does not parse: %v\n%s", file, err, src)
 	}
+	resolve.Resolve(prog)
 	ip := interp.New()
 	ip.MaxSteps = maxSteps
 	if instrumented {

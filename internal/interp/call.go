@@ -26,6 +26,13 @@ func (ip *Interp) evalCall(x *ast.CallExpr, env *Env) (Value, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !mem.Computed && !ip.NoResolve {
+			if o, isObj := dift.Unwrap(recv).(*Object); isObj {
+				if fn, hit := ip.icMethod(mem, o, name); hit {
+					return ip.CallFunction(fn, o, args, x.Pos())
+				}
+			}
+		}
 		return ip.CallMethod(recv, name, args, x.Pos())
 	}
 	fn, err := ip.eval(x.Callee, env)
@@ -165,24 +172,35 @@ func (ip *Interp) invokeFuncLit(decl *ast.FuncLit, closure *Env, this Value, arg
 			Pos: pos,
 		}
 	}
-	env := NewEnv(closure)
+	env := newEnvFor(closure, decl.Scope)
 	// arrow functions inherit `this` lexically: do not rebind
 	if !decl.Arrow {
-		env.Define("this", this, false)
-		env.Define("arguments", NewArray(args...), false)
+		// resolver slot layout: non-arrow scopes place this/arguments at
+		// slots 0 and 1; DefineSlot falls back for unresolved programs
+		if !env.DefineSlot(0, this, false) {
+			env.Define("this", this, false)
+		}
+		argsArr := NewArray(args...)
+		if !env.DefineSlot(1, argsArr, false) {
+			env.Define("arguments", argsArr, false)
+		}
 	}
 	for i, p := range decl.Params {
+		var v Value
 		switch {
 		case p.Rest:
 			rest := NewArray()
 			if i < len(args) {
 				rest.Elems = append(rest.Elems, args[i:]...)
 			}
-			env.Define(p.Name, rest, false)
+			v = rest
 		case i < len(args):
-			env.Define(p.Name, args[i], false)
+			v = args[i]
 		default:
-			env.Define(p.Name, undef, false)
+			v = undef
+		}
+		if p.Ref == nil || !env.DefineSlot(p.Ref.Slot, v, false) {
+			env.Define(p.Name, v, false)
 		}
 	}
 	if decl.ExprRet != nil {

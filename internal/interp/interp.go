@@ -88,12 +88,26 @@ type Interp struct {
 	// whole process, so this cooperative cap must trip first. 0 disables
 	// (tests only).
 	MaxCallDepth int
+	// NoResolve disables the resolver fast paths (slot-indexed variable
+	// access and per-call-site inline caches) even on resolved programs,
+	// restoring the pure map-walk interpreter for A/B comparison.
+	NoResolve bool
 
 	steps       int64
 	callDepth   int
 	modules     map[string]Value
 	localLoader func(name string) (Value, bool, error)
 	now         float64 // deterministic Date.now() counter
+
+	// ics holds the per-call-site monomorphic inline caches, indexed by
+	// AST node ID (see ic.go). Sized lazily from Program.MaxID.
+	ics []icEntry
+
+	// resolver fast-path telemetry, flushed into Metrics by
+	// FlushEnvTelemetry
+	envSlotReads, envDynReads   int64
+	envSlotWrites, envDynWrites int64
+	icHits, icMisses            int64
 }
 
 // New creates an interpreter with the standard global environment and host
@@ -206,6 +220,9 @@ func (ip *Interp) Steps() int64 { return ip.steps }
 // Run parses nothing — it executes an already-parsed program in the global
 // scope.
 func (ip *Interp) Run(prog *ast.Program) error {
+	if !ip.NoResolve {
+		ip.ensureICs(prog.MaxID)
+	}
 	c, _, err := ip.execStmts(prog.Body, ip.Globals)
 	if err != nil {
 		return err
@@ -220,7 +237,7 @@ func (ip *Interp) execStmts(stmts []ast.Stmt, env *Env) (ctrlKind, Value, error)
 	// hoist function declarations (JS semantics; corpus apps rely on it)
 	for _, s := range stmts {
 		if fd, ok := s.(*ast.FuncDecl); ok {
-			env.Define(fd.Name, NewFunction(fd.Name, fd.Fn, env), false)
+			ip.defineVar(env, fd.Name, fd.Ref, NewFunction(fd.Name, fd.Fn, env), false)
 		}
 	}
 	for _, s := range stmts {
@@ -247,7 +264,7 @@ func (ip *Interp) execStmt(s ast.Stmt, env *Env) (ctrlKind, Value, error) {
 					return ctrlNormal, nil, err
 				}
 			}
-			env.Define(d.Name, v, x.Kind == ast.DeclConst)
+			ip.defineVar(env, d.Name, d.Ref, v, x.Kind == ast.DeclConst)
 		}
 		return ctrlNormal, undef, nil
 	case *ast.FuncDecl:
@@ -271,21 +288,29 @@ func (ip *Interp) execStmt(s ast.Stmt, env *Env) (ctrlKind, Value, error) {
 		if err != nil {
 			return ctrlNormal, nil, err
 		}
+		// branch bodies run directly in the surrounding environment; a
+		// block body creates its own scope in the BlockStmt case below
 		if Truthy(cond) {
-			return ip.execStmt(x.Then, NewEnv(env))
+			return ip.execStmt(x.Then, env)
 		}
 		if x.Else != nil {
-			return ip.execStmt(x.Else, NewEnv(env))
+			return ip.execStmt(x.Else, env)
 		}
 		return ctrlNormal, undef, nil
 	case *ast.BlockStmt:
-		return ip.execStmts(x.Body, NewEnv(env))
+		return ip.execStmts(x.Body, newEnvFor(env, x.Scope))
 	case *ast.ForStmt:
-		loopEnv := NewEnv(env)
+		loopEnv := newEnvFor(env, x.Scope)
 		if x.Init != nil {
 			if c, v, err := ip.execStmt(x.Init, loopEnv); err != nil || c != ctrlNormal {
 				return c, v, err
 			}
+		}
+		// a let/const header gets a fresh binding per iteration, so
+		// closures created in the body capture that iteration's value
+		perIter := false
+		if vd, isDecl := x.Init.(*ast.VarDecl); isDecl && vd.Kind != ast.DeclVar {
+			perIter = true
 		}
 		for {
 			if err := ip.step(x.Pos()); err != nil {
@@ -300,7 +325,7 @@ func (ip *Interp) execStmt(s ast.Stmt, env *Env) (ctrlKind, Value, error) {
 					break
 				}
 			}
-			c, v, err := ip.execStmt(x.Body, NewEnv(loopEnv))
+			c, v, err := ip.execStmt(x.Body, loopEnv)
 			if err != nil {
 				return ctrlNormal, nil, err
 			}
@@ -309,6 +334,11 @@ func (ip *Interp) execStmt(s ast.Stmt, env *Env) (ctrlKind, Value, error) {
 			}
 			if c == ctrlReturn {
 				return c, v, nil
+			}
+			if perIter {
+				// copy-before-post: the update expression mutates the next
+				// iteration's binding, leaving captured ones untouched
+				loopEnv = loopEnv.IterCopy()
 			}
 			if x.Post != nil {
 				if _, err := ip.eval(x.Post, loopEnv); err != nil {
@@ -330,10 +360,12 @@ func (ip *Interp) execStmt(s ast.Stmt, env *Env) (ctrlKind, Value, error) {
 			if err := ip.step(x.Pos()); err != nil {
 				return ctrlNormal, nil, err
 			}
-			iterEnv := NewEnv(env)
+			iterEnv := env
 			if x.Decl {
-				iterEnv.Define(x.Name, item, false)
-			} else if err := env.Assign(x.Name, item); err != nil {
+				// fresh binding each iteration; const loop vars are const
+				iterEnv = newEnvFor(env, x.Scope)
+				ip.defineVar(iterEnv, x.Name, x.Ref, item, x.DeclKind == ast.DeclConst)
+			} else if err := ip.assignIdent(iterEnv, x.Name, x.Ref, item); err != nil {
 				return ctrlNormal, nil, &RuntimeError{Msg: err.Error(), Pos: x.Pos()}
 			}
 			c, v, err := ip.execStmt(x.Body, iterEnv)
@@ -360,7 +392,7 @@ func (ip *Interp) execStmt(s ast.Stmt, env *Env) (ctrlKind, Value, error) {
 			if !Truthy(cond) {
 				break
 			}
-			c, v, err := ip.execStmt(x.Body, NewEnv(env))
+			c, v, err := ip.execStmt(x.Body, env)
 			if err != nil {
 				return ctrlNormal, nil, err
 			}
@@ -377,7 +409,7 @@ func (ip *Interp) execStmt(s ast.Stmt, env *Env) (ctrlKind, Value, error) {
 			if err := ip.step(x.Pos()); err != nil {
 				return ctrlNormal, nil, err
 			}
-			c, v, err := ip.execStmt(x.Body, NewEnv(env))
+			c, v, err := ip.execStmt(x.Body, env)
 			if err != nil {
 				return ctrlNormal, nil, err
 			}
@@ -407,18 +439,18 @@ func (ip *Interp) execStmt(s ast.Stmt, env *Env) (ctrlKind, Value, error) {
 		}
 		return ctrlNormal, nil, &Throw{Val: v}
 	case *ast.TryStmt:
-		c, v, err := ip.execStmts(x.Body.Body, NewEnv(env))
+		c, v, err := ip.execStmts(x.Body.Body, newEnvFor(env, x.Body.Scope))
 		if err != nil {
 			if th, ok := err.(*Throw); ok && x.Catch != nil {
-				catchEnv := NewEnv(env)
+				catchEnv := newEnvFor(env, x.Catch.Scope)
 				if x.CatchVar != "" {
-					catchEnv.Define(x.CatchVar, th.Val, false)
+					ip.defineVar(catchEnv, x.CatchVar, x.CatchRef, th.Val, false)
 				}
 				c, v, err = ip.execStmts(x.Catch.Body, catchEnv)
 			}
 		}
 		if x.Finally != nil {
-			fc, fv, ferr := ip.execStmts(x.Finally.Body, NewEnv(env))
+			fc, fv, ferr := ip.execStmts(x.Finally.Body, newEnvFor(env, x.Finally.Scope))
 			if ferr != nil {
 				return ctrlNormal, nil, ferr
 			}
@@ -432,7 +464,7 @@ func (ip *Interp) execStmt(s ast.Stmt, env *Env) (ctrlKind, Value, error) {
 		if err != nil {
 			return ctrlNormal, nil, err
 		}
-		swEnv := NewEnv(env)
+		swEnv := newEnvFor(env, x.Scope)
 		matched := false
 		for _, cs := range x.Cases {
 			if !matched && cs.Test != nil {
@@ -483,7 +515,7 @@ func (ip *Interp) execStmt(s ast.Stmt, env *Env) (ctrlKind, Value, error) {
 		return ctrlNormal, undef, nil
 	case *ast.ClassDecl:
 		fn := ip.makeClass(x, env)
-		env.Define(x.Name, fn, false)
+		ip.defineVar(env, x.Name, x.Ref, fn, false)
 		return ctrlNormal, undef, nil
 	case *ast.EmptyStmt:
 		return ctrlNormal, undef, nil
@@ -571,7 +603,7 @@ func (ip *Interp) eval(e ast.Expr, env *Env) (Value, error) {
 	}
 	switch x := e.(type) {
 	case *ast.Ident:
-		if v, ok := env.Lookup(x.Name); ok {
+		if v, ok := ip.lookupIdent(env, x.Name, x.Ref); ok {
 			return v, nil
 		}
 		return nil, &RuntimeError{Msg: fmt.Sprintf("%q is not defined", x.Name), Pos: x.Pos()}
@@ -586,7 +618,7 @@ func (ip *Interp) eval(e ast.Expr, env *Env) (Value, error) {
 	case *ast.UndefinedLit:
 		return undef, nil
 	case *ast.ThisExpr:
-		if v, ok := env.Lookup("this"); ok {
+		if v, ok := ip.lookupIdent(env, "this", x.Ref); ok {
 			return v, nil
 		}
 		return undef, nil
@@ -682,6 +714,13 @@ func (ip *Interp) eval(e ast.Expr, env *Env) (Value, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !x.Computed && !ip.NoResolve {
+			if o, isObj := dift.Unwrap(obj).(*Object); isObj {
+				if v, hit := ip.icRead(x, o, name); hit {
+					return v, nil
+				}
+			}
+		}
 		return ip.GetMember(obj, name, x.Pos())
 	case *ast.BinaryExpr:
 		l, err := ip.eval(x.Left, env)
@@ -734,7 +773,7 @@ func (ip *Interp) eval(e ast.Expr, env *Env) (Value, error) {
 		if x.Op == "typeof" {
 			// typeof of an undefined identifier does not throw
 			if id, ok := x.X.(*ast.Ident); ok {
-				if _, found := env.Lookup(id.Name); !found {
+				if _, found := ip.lookupIdent(env, id.Name, id.Ref); !found {
 					return "undefined", nil
 				}
 			}
@@ -826,7 +865,7 @@ func (ip *Interp) memberName(x *ast.MemberExpr, env *Env) (string, error) {
 func (ip *Interp) evalTarget(e ast.Expr, env *Env, pos ast.Pos) (Value, error) {
 	switch t := e.(type) {
 	case *ast.Ident:
-		if v, ok := env.Lookup(t.Name); ok {
+		if v, ok := ip.lookupIdent(env, t.Name, t.Ref); ok {
 			return v, nil
 		}
 		return undef, nil
@@ -899,13 +938,7 @@ func (ip *Interp) evalAssign(x *ast.AssignExpr, env *Env) (Value, error) {
 func (ip *Interp) assignTo(target ast.Expr, v Value, env *Env) error {
 	switch t := target.(type) {
 	case *ast.Ident:
-		if err := env.Assign(t.Name, v); err != nil {
-			if errors.Is(err, ErrNotDefined) {
-				// implicit global definition (sloppy-mode JS; some corpus
-				// apps assign undeclared names)
-				env.Global().Define(t.Name, v, false)
-				return nil
-			}
+		if err := ip.assignIdent(env, t.Name, t.Ref, v); err != nil {
 			return &RuntimeError{Msg: err.Error(), Pos: target.Pos()}
 		}
 		return nil
@@ -921,6 +954,68 @@ func (ip *Interp) assignTo(target ast.Expr, v Value, env *Env) error {
 		return ip.SetMember(obj, name, v, t.Pos())
 	}
 	return &RuntimeError{Msg: "invalid assignment target", Pos: target.Pos()}
+}
+
+// newEnvFor creates the environment for a statically-resolved scope, or a
+// plain map-based one when the resolver left it un-annotated.
+func newEnvFor(parent *Env, scope *ast.ScopeInfo) *Env {
+	if scope == nil {
+		return NewEnv(parent)
+	}
+	return NewScopeEnv(parent, scope)
+}
+
+// defineVar declares name in env, going through the resolved slot when the
+// declaration carries one.
+func (ip *Interp) defineVar(env *Env, name string, ref *ast.VarRef, v Value, isConst bool) {
+	if ref != nil && env.DefineSlot(ref.Slot, v, isConst) {
+		ip.envSlotWrites++
+		return
+	}
+	ip.envDynWrites++
+	env.Define(name, v, isConst)
+}
+
+// lookupIdent reads a variable, through the resolved slot coordinate when
+// available and bound, falling back to the dynamic map walk.
+func (ip *Interp) lookupIdent(env *Env, name string, ref *ast.VarRef) (Value, bool) {
+	if ref != nil {
+		if v, ok := env.SlotRead(ref.Depth, ref.Slot); ok {
+			ip.envSlotReads++
+			return v, true
+		}
+	}
+	ip.envDynReads++
+	return env.Lookup(name)
+}
+
+// assignIdent writes a variable through the resolved coordinate when
+// available, falling back to the dynamic walk. An undeclared name becomes
+// an implicit global — the single sloppy-mode semantics shared by plain
+// assignments, compound assignments, update expressions and undeclared
+// for-in/of loop variables.
+func (ip *Interp) assignIdent(env *Env, name string, ref *ast.VarRef, v Value) error {
+	if ref != nil {
+		done, err := env.SlotAssign(ref.Depth, ref.Slot, v)
+		if err != nil {
+			return err
+		}
+		if done {
+			ip.envSlotWrites++
+			return nil
+		}
+	}
+	ip.envDynWrites++
+	if err := env.Assign(name, v); err != nil {
+		if errors.Is(err, ErrNotDefined) {
+			// implicit global definition (sloppy-mode JS; some corpus
+			// apps assign undeclared names)
+			env.Global().Define(name, v, false)
+			return nil
+		}
+		return err
+	}
+	return nil
 }
 
 // BinaryOp evaluates a binary operator with JS-lite semantics. Tracked

@@ -9,6 +9,7 @@ import (
 	"turnstile/internal/guard"
 	"turnstile/internal/parser"
 	"turnstile/internal/policy"
+	"turnstile/internal/resolve"
 )
 
 // Adapter implements dift.ValueAdapter over MiniJS values.
@@ -269,6 +270,10 @@ func (ip *Interp) CompileLabelFunc(source string) (policy.LabelFunc, error) {
 	prog, err := parser.Parse("<labeller>", "const __lf = ("+source+");")
 	if err != nil {
 		return nil, fmt.Errorf("label function %q: %w", source, err)
+	}
+	if !ip.NoResolve {
+		resolve.Resolve(prog)
+		ip.ensureICs(prog.MaxID)
 	}
 	env := NewEnv(ip.Globals)
 	if err := func() error {

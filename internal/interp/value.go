@@ -47,7 +47,12 @@ type Object struct {
 	id    uint64
 	props map[string]Value
 	keys  []string
-	Proto *Object
+	// version counts every property write or delete; shape counts only
+	// key-set changes (add/delete). The interpreter's inline caches use
+	// them as invalidation guards (see ic.go).
+	version uint32
+	shape   uint32
+	Proto   *Object
 	// Class names the constructor for diagnostics ("Object", "Error", ...).
 	Class string
 	// Listeners holds event callbacks registered via .on(event, cb) on
@@ -85,7 +90,9 @@ func (o *Object) GetOwn(name string) (Value, bool) {
 func (o *Object) Set(name string, v Value) {
 	if _, exists := o.props[name]; !exists {
 		o.keys = append(o.keys, name)
+		o.shape++
 	}
+	o.version++
 	o.props[name] = v
 }
 
@@ -94,6 +101,8 @@ func (o *Object) Delete(name string) {
 	if _, ok := o.props[name]; !ok {
 		return
 	}
+	o.version++
+	o.shape++
 	delete(o.props, name)
 	for i, k := range o.keys {
 		if k == name {

@@ -15,6 +15,7 @@ import (
 	"turnstile/internal/dift"
 	"turnstile/internal/interp"
 	"turnstile/internal/parser"
+	"turnstile/internal/resolve"
 )
 
 // NodeDef is one node instance in a flow definition (the JSON objects a
@@ -281,6 +282,9 @@ func (rt *Runtime) LoadPackage(name, src string) error {
 	prog, err := parser.Parse(name, src)
 	if err != nil {
 		return fmt.Errorf("nodered: package %s: %w", name, err)
+	}
+	if !rt.IP.NoResolve {
+		resolve.Resolve(prog)
 	}
 	return rt.LoadPackageAST(name, prog)
 }

@@ -1,0 +1,240 @@
+package resolve_test
+
+import (
+	"testing"
+
+	"turnstile/internal/ast"
+	"turnstile/internal/parser"
+	"turnstile/internal/resolve"
+)
+
+func parse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	prog, err := parser.Parse("resolve.js", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return prog
+}
+
+// slot asserts sc maps name to slot i.
+func slot(t *testing.T, sc *ast.ScopeInfo, name string, want int) {
+	t.Helper()
+	if sc == nil {
+		t.Fatalf("scope for %q is nil", name)
+	}
+	got, ok := sc.Slot(name)
+	if !ok {
+		t.Fatalf("scope has no slot for %q (names %v)", name, sc.Names)
+	}
+	if got != want {
+		t.Fatalf("slot(%q) = %d, want %d", name, got, want)
+	}
+}
+
+// Non-arrow function layout: this=0, arguments=1, params, then body
+// declarations — the fixed prefix the interpreter's call path relies on.
+func TestFunctionSlotLayout(t *testing.T) {
+	prog := parse(t, `function f(a, b) { let x = 1; return a + b + x; }`)
+	resolve.Resolve(prog)
+	fn := prog.Body[0].(*ast.FuncDecl).Fn
+	slot(t, fn.Scope, "this", 0)
+	slot(t, fn.Scope, "arguments", 1)
+	slot(t, fn.Scope, "a", 2)
+	slot(t, fn.Scope, "b", 3)
+	slot(t, fn.Scope, "x", 4)
+	if n := fn.Scope.NumSlots(); n != 5 {
+		t.Fatalf("NumSlots = %d, want 5", n)
+	}
+	for i, p := range fn.Params {
+		if p.Ref == nil || p.Ref.Depth != 0 || p.Ref.Slot != 2+i {
+			t.Fatalf("param %d ref = %+v", i, p.Ref)
+		}
+	}
+}
+
+// Arrow functions have no this/arguments slots of their own.
+func TestArrowSlotLayout(t *testing.T) {
+	prog := parse(t, `const g = (a, b) => a + b;`)
+	resolve.Resolve(prog)
+	fn := prog.Body[0].(*ast.VarDecl).Decls[0].Init.(*ast.FuncLit)
+	slot(t, fn.Scope, "a", 0)
+	slot(t, fn.Scope, "b", 1)
+	if _, ok := fn.Scope.Slot("this"); ok {
+		t.Fatal("arrow scope must not allocate a this slot")
+	}
+}
+
+// References walk the static scope chain one depth unit per runtime
+// environment hop; unresolvable names stay dynamic (nil Ref).
+func TestReferenceDepths(t *testing.T) {
+	prog := parse(t, `
+function f() {
+  let x = 1;
+  {
+    let y = 2;
+    console.log(x + y);
+  }
+}`)
+	resolve.Resolve(prog)
+	fn := prog.Body[0].(*ast.FuncDecl).Fn
+	block := fn.Body.Body[1].(*ast.BlockStmt)
+	call := block.Body[1].(*ast.ExprStmt).X.(*ast.CallExpr)
+	sum := call.Args[0].(*ast.BinaryExpr)
+	x := sum.Left.(*ast.Ident)
+	y := sum.Right.(*ast.Ident)
+	if x.Ref == nil || x.Ref.Depth != 1 {
+		t.Fatalf("x ref = %+v, want depth 1", x.Ref)
+	}
+	if y.Ref == nil || y.Ref.Depth != 0 {
+		t.Fatalf("y ref = %+v, want depth 0", y.Ref)
+	}
+	// console lives on the dynamic global env
+	if mem, ok := call.Callee.(*ast.MemberExpr); ok {
+		if id := mem.Object.(*ast.Ident); id.Ref != nil {
+			t.Fatalf("console ref = %+v, want nil (dynamic)", id.Ref)
+		}
+	}
+}
+
+// The global (program) scope is deliberately dynamic: top-level
+// declarations and uses get no slot coordinates.
+func TestGlobalScopeStaysDynamic(t *testing.T) {
+	prog := parse(t, `let a = 1; console.log(a);`)
+	res := resolve.Resolve(prog)
+	decl := prog.Body[0].(*ast.VarDecl).Decls[0]
+	if decl.Ref != nil {
+		t.Fatalf("top-level declaration ref = %+v, want nil", decl.Ref)
+	}
+	use := prog.Body[1].(*ast.ExprStmt).X.(*ast.CallExpr).Args[0].(*ast.Ident)
+	if use.Ref != nil {
+		t.Fatalf("top-level use ref = %+v, want nil", use.Ref)
+	}
+	if res.Dynamic == 0 {
+		t.Fatal("Dynamic counter must record the unresolved references")
+	}
+}
+
+// A var declared in a bare (non-block) branch body executes its Define in
+// the surrounding environment, so it must be collected into the
+// surrounding scope.
+func TestBareBranchVarCollectedIntoEnclosingScope(t *testing.T) {
+	prog := parse(t, `function f(c) { if (c) var x = 1; return x; }`)
+	resolve.Resolve(prog)
+	fn := prog.Body[0].(*ast.FuncDecl).Fn
+	slot(t, fn.Scope, "x", 3) // this, arguments, c, x
+	ret := fn.Body.Body[1].(*ast.ReturnStmt).Value.(*ast.Ident)
+	if ret.Ref == nil || ret.Ref.Depth != 0 || ret.Ref.Slot != 3 {
+		t.Fatalf("x use ref = %+v, want {0 3}", ret.Ref)
+	}
+}
+
+// The for header owns its init declarations; a block body hangs one
+// environment below it.
+func TestForHeaderScope(t *testing.T) {
+	prog := parse(t, `
+function f() {
+  for (let i = 0; i < 3; i = i + 1) {
+    console.log(i);
+  }
+}`)
+	resolve.Resolve(prog)
+	loop := prog.Body[0].(*ast.FuncDecl).Fn.Body.Body[0].(*ast.ForStmt)
+	slot(t, loop.Scope, "i", 0)
+	cond := loop.Cond.(*ast.BinaryExpr).Left.(*ast.Ident)
+	if cond.Ref == nil || cond.Ref.Depth != 0 {
+		t.Fatalf("cond i ref = %+v, want depth 0", cond.Ref)
+	}
+	body := loop.Body.(*ast.BlockStmt)
+	use := body.Body[0].(*ast.ExprStmt).X.(*ast.CallExpr).Args[0].(*ast.Ident)
+	if use.Ref == nil || use.Ref.Depth != 1 {
+		t.Fatalf("body i ref = %+v, want depth 1", use.Ref)
+	}
+}
+
+// A declared for-in/of loop variable gets its own per-iteration scope; a
+// bare-name head resolves the name like any other reference.
+func TestForInScopes(t *testing.T) {
+	prog := parse(t, `
+function f(o) {
+  for (const k in o) { console.log(k); }
+  let t = 0;
+  for (t of o) { }
+}`)
+	resolve.Resolve(prog)
+	fn := prog.Body[0].(*ast.FuncDecl).Fn
+	decl := fn.Body.Body[0].(*ast.ForInStmt)
+	if decl.Scope == nil || decl.Ref == nil || decl.Ref.Depth != 0 || decl.Ref.Slot != 0 {
+		t.Fatalf("declared loop var: scope=%v ref=%+v", decl.Scope, decl.Ref)
+	}
+	use := decl.Body.(*ast.BlockStmt).Body[0].(*ast.ExprStmt).X.(*ast.CallExpr).Args[0].(*ast.Ident)
+	if use.Ref == nil || use.Ref.Depth != 1 {
+		t.Fatalf("body k ref = %+v, want depth 1", use.Ref)
+	}
+	bare := fn.Body.Body[2].(*ast.ForInStmt)
+	if bare.Scope != nil {
+		t.Fatal("bare-name loop head must not allocate a scope")
+	}
+	if bare.Ref == nil || bare.Ref.Depth != 0 {
+		t.Fatalf("bare loop var ref = %+v, want depth 0 into the function scope", bare.Ref)
+	}
+}
+
+// The catch clause owns its binding at slot 0.
+func TestCatchScope(t *testing.T) {
+	prog := parse(t, `function f() { try { throw 1; } catch (e) { return e; } }`)
+	resolve.Resolve(prog)
+	try := prog.Body[0].(*ast.FuncDecl).Fn.Body.Body[0].(*ast.TryStmt)
+	if try.CatchRef == nil || try.CatchRef.Slot != 0 {
+		t.Fatalf("catch ref = %+v", try.CatchRef)
+	}
+	slot(t, try.Catch.Scope, "e", 0)
+	ret := try.Catch.Body[0].(*ast.ReturnStmt).Value.(*ast.Ident)
+	if ret.Ref == nil || ret.Ref.Depth != 0 || ret.Ref.Slot != 0 {
+		t.Fatalf("e use ref = %+v, want {0 0}", ret.Ref)
+	}
+}
+
+// All case bodies of a switch share one scope.
+func TestSwitchSharedScope(t *testing.T) {
+	prog := parse(t, `
+function f(v) {
+  switch (v) {
+    case 1: let a = 1; return a;
+    default: return a;
+  }
+}`)
+	resolve.Resolve(prog)
+	sw := prog.Body[0].(*ast.FuncDecl).Fn.Body.Body[0].(*ast.SwitchStmt)
+	slot(t, sw.Scope, "a", 0)
+	caseRet := sw.Cases[0].Body[1].(*ast.ReturnStmt).Value.(*ast.Ident)
+	defRet := sw.Cases[1].Body[0].(*ast.ReturnStmt).Value.(*ast.Ident)
+	for _, id := range []*ast.Ident{caseRet, defRet} {
+		if id.Ref == nil || id.Ref.Depth != 0 || id.Ref.Slot != 0 {
+			t.Fatalf("case-body a ref = %+v, want {0 0}", id.Ref)
+		}
+	}
+}
+
+// Resolution is idempotent: re-resolving an annotated program recomputes
+// identical coverage statistics.
+func TestResolveIdempotent(t *testing.T) {
+	prog := parse(t, `
+function outer(a) {
+  let xs = [a, 2, 3];
+  for (const x of xs) {
+    try { console.log(x); } catch (e) { console.log(e); }
+  }
+  return function inner() { return a; };
+}
+outer(1)();
+`)
+	first := *resolve.Resolve(prog)
+	second := *resolve.Resolve(prog)
+	if first != second {
+		t.Fatalf("resolve not idempotent: %+v vs %+v", first, second)
+	}
+	if first.Scopes == 0 || first.Slots == 0 || first.Resolved == 0 {
+		t.Fatalf("coverage counters empty: %+v", first)
+	}
+}

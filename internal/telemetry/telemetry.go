@@ -32,6 +32,25 @@ import (
 	"sync/atomic"
 )
 
+// Interpreter fast-path counter names. The resolver/slot-environment
+// machinery (internal/resolve, internal/interp) accumulates these locally
+// and flushes them here; the "interp." prefix keeps them out of the
+// "dift."-prefixed overhead-breakdown tables, which must stay
+// byte-identical with the fast paths on or off.
+const (
+	CtrEnvSlotReads  = "interp.env.slot_reads"
+	CtrEnvDynReads   = "interp.env.dyn_reads"
+	CtrEnvSlotWrites = "interp.env.slot_writes"
+	CtrEnvDynWrites  = "interp.env.dyn_writes"
+	CtrICHits        = "interp.ic.hits"
+	CtrICMisses      = "interp.ic.misses"
+
+	CtrResolveScopes   = "interp.resolve.scopes"
+	CtrResolveSlots    = "interp.resolve.slots"
+	CtrResolveResolved = "interp.resolve.resolved"
+	CtrResolveDynamic  = "interp.resolve.dynamic"
+)
+
 // Counter is one monotonically increasing metric. Handles are resolved
 // once (Metrics.Counter) and then incremented lock-free, so a hot loop
 // pays one atomic add per event and no map lookups.

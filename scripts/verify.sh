@@ -39,10 +39,30 @@ go run ./cmd/turnstile-bench -crash -parallel 1 > /tmp/turnstile-crash-b.txt
 cmp /tmp/turnstile-crash-a.txt /tmp/turnstile-crash-b.txt
 rm -f /tmp/turnstile-crash-a.txt /tmp/turnstile-crash-b.txt
 
+echo "== resolver differential: chaos report, slot env vs -noresolve map walk"
+go run ./cmd/turnstile-bench -chaos -faultseed 7 -messages 20 \
+  -apps modbus,sensor-logger,thermostat-hub > /tmp/turnstile-resolve-a.txt
+go run ./cmd/turnstile-bench -chaos -faultseed 7 -messages 20 \
+  -apps modbus,sensor-logger,thermostat-hub -noresolve > /tmp/turnstile-resolve-b.txt
+cmp /tmp/turnstile-resolve-a.txt /tmp/turnstile-resolve-b.txt
+rm -f /tmp/turnstile-resolve-a.txt /tmp/turnstile-resolve-b.txt
+
+echo "== resolver differential: crash corpus (fail-closed), slot env vs -noresolve"
+go run ./cmd/turnstile-bench -crash > /tmp/turnstile-rescrash-a.txt
+go run ./cmd/turnstile-bench -crash -noresolve > /tmp/turnstile-rescrash-b.txt
+cmp /tmp/turnstile-rescrash-a.txt /tmp/turnstile-rescrash-b.txt
+rm -f /tmp/turnstile-rescrash-a.txt /tmp/turnstile-rescrash-b.txt
+
 echo "== interp fuzz smoke (no panic within fuel, -race)"
 go test ./internal/interp -run '^$' -fuzz FuzzInterpNoPanicWithinFuel -fuzztime 5s -race
 
+echo "== resolver equivalence fuzz smoke (slot env = map env)"
+go test ./internal/resolve -run '^$' -fuzz FuzzResolveEquivalence -fuzztime 5s -race
+
 echo "== telemetry-disabled overhead gate (BenchmarkDIFTOps)"
 TURNSTILE_BENCH_GATE=1 go test ./internal/dift -run TestDisabledOverheadGate -v
+
+echo "== slot-env perf gate (interpreter microbenchmarks)"
+TURNSTILE_BENCH_GATE=1 go test ./internal/harness -run TestSlotEnvFasterGate -v
 
 echo "verify: OK"
