@@ -69,6 +69,7 @@ func main() {
 	all := flag.Bool("all", false, "run everything")
 	chaos := flag.Bool("chaos", false, "replay the corpus under fault injection and check equivalence")
 	crash := flag.Bool("crash", false, "run the adversarial crash corpus under tight guard budgets")
+	attack := flag.Bool("attack", false, "run the adversarial attack corpus and score precision/recall against ground truth")
 	faultSeed := flag.Int64("faultseed", 1, "seed for generated fault schedules (chaos mode)")
 	faultSchedule := flag.String("faultschedule", "", "JSON fault schedule file overriding the generated ones")
 	messages := flag.Int("messages", 200, "messages per E2 run (paper: 1000)")
@@ -111,9 +112,9 @@ func main() {
 		*metrics = true
 	}
 	if *all {
-		*table2, *fig10, *fig11, *fig12, *chaos, *crash, *metrics = true, true, true, true, true, true, true
+		*table2, *fig10, *fig11, *fig12, *chaos, *crash, *attack, *metrics = true, true, true, true, true, true, true, true
 	}
-	if !*table2 && !*fig10 && !*fig11 && !*fig12 && !*chaos && !*crash && !*metrics && !*bench {
+	if !*table2 && !*fig10 && !*fig11 && !*fig12 && !*chaos && !*crash && !*attack && !*metrics && !*bench {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -278,6 +279,23 @@ func main() {
 		}
 		if schedule == nil && res.Passed != len(res.Apps) {
 			fatal(fmt.Errorf("crash corpus: %d app(s) escaped typed termination", len(res.Apps)-res.Passed))
+		}
+	}
+
+	if *attack {
+		res, err := harness.RunAttackCorpus(harness.AttackOptions{Parallel: *parallel, NoResolve: *noResolve})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(harness.RenderAttack(res))
+		if *outDir != "" {
+			writeOut(*outDir, "attack-report.txt", []byte(harness.RenderAttack(res)))
+		}
+		if res.FN > 0 {
+			fatal(fmt.Errorf("attack corpus: %d must-catch flow(s) escaped the tracker", res.FN))
+		}
+		if res.Passed != len(res.Apps) {
+			fatal(fmt.Errorf("attack corpus: %d app(s) failed (errors or false positives)", len(res.Apps)-res.Passed))
 		}
 	}
 

@@ -12,6 +12,7 @@
 //	turnstile run -chaos [-faultseed N | -faultschedule f.json] ...  run under fault injection
 //	turnstile run -fuel N -maxdepth N -maxalloc N -deadline N [-failclosed] ...  resource governance
 //	turnstile check-policy <policy.json>
+//	turnstile attack [name | -run]           list, dump or score the adversarial attack corpus
 package main
 
 import (
@@ -55,6 +56,8 @@ func main() {
 		err = cmdCheckPolicy(os.Args[2:])
 	case "corpus":
 		err = cmdCorpus(os.Args[2:])
+	case "attack":
+		err = cmdAttack(os.Args[2:])
 	case "flow":
 		err = cmdFlow(os.Args[2:])
 	case "help", "-h", "--help":
@@ -82,6 +85,7 @@ func usage() {
                 [-metrics] [-trace out.json] [-profile cpu.pprof]   observability hooks
   turnstile check-policy <policy.json>                validate an IFC policy
   turnstile corpus [name]                             list the evaluation corpus / dump one app
+  turnstile attack [name | -run]                      list the adversarial attack corpus / dump one app / score it
   turnstile flow -flow f.json [-policy p.json] [-inject ID] <pkg.js>...   deploy and drive a Node-RED flow`)
 }
 
@@ -403,6 +407,40 @@ func cmdCorpus(args []string) error {
 	return nil
 }
 
+func cmdAttack(args []string) error {
+	apps := corpus.AttackApps()
+	if len(args) == 1 && args[0] == "-run" {
+		res, err := harness.RunAttackCorpus(harness.AttackOptions{Parallel: harness.DefaultParallelism()})
+		if err != nil {
+			return err
+		}
+		fmt.Print(harness.RenderAttack(res))
+		if res.FN > 0 || res.Passed != len(res.Apps) {
+			return fmt.Errorf("attack corpus: %d missed flow(s), %d app(s) failed", res.FN, len(res.Apps)-res.Passed)
+		}
+		return nil
+	}
+	if len(args) == 0 {
+		fmt.Printf("%-22s %-38s %10s %10s\n", "name", "vector", "must-catch", "must-allow")
+		for _, a := range apps {
+			fmt.Printf("%-22s %-38s %10d %10d\n", a.Name, a.Vector, len(a.MustCatch), len(a.MustAllow))
+		}
+		return nil
+	}
+	app := corpus.AttackByName(apps, args[0])
+	if app == nil {
+		return fmt.Errorf("unknown attack app %q", args[0])
+	}
+	fmt.Printf("// %s — %s\n", app.Name, app.Vector)
+	fmt.Printf("// must catch: %s\n", strings.Join(app.MustCatch, ", "))
+	if len(app.MustAllow) > 0 {
+		fmt.Printf("// must allow: %s\n", strings.Join(app.MustAllow, ", "))
+	}
+	fmt.Printf("// policy: %s\n", strings.Join(strings.Fields(app.Policy), " "))
+	fmt.Println(app.Source)
+	return nil
+}
+
 func cmdCheckPolicy(args []string) error {
 	if len(args) != 1 {
 		return fmt.Errorf("check-policy takes exactly one policy file")
@@ -419,5 +457,9 @@ func cmdCheckPolicy(args []string) error {
 	fmt.Printf("policy OK: %d labeller(s), %d rule(s), %d injection(s), mode %v\n",
 		len(pol.Labellers), len(pol.Rules), len(pol.Injections), pol.Mode)
 	fmt.Printf("labels: %v\n", pol.Graph.Labels())
+	if pol.HasCNF() {
+		fmt.Printf("cnf: %d exchange(s), %d declassifier(s), %d endorsement(s)\n",
+			len(pol.Exchanges), len(pol.Declassifiers), len(pol.Endorsements))
+	}
 	return nil
 }

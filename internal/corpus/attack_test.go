@@ -1,0 +1,142 @@
+package corpus
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"turnstile/internal/core"
+	"turnstile/internal/instrument"
+	"turnstile/internal/policy"
+)
+
+func TestAttackCorpusShape(t *testing.T) {
+	apps := AttackApps()
+	if len(apps) < 8 {
+		t.Fatalf("attack corpus has %d apps, want >= 8", len(apps))
+	}
+	seen := map[string]bool{}
+	sitePat := regexp.MustCompile(`^[a-z-]+\.js:\d+:$`)
+	for _, a := range apps {
+		if a.Name == "" || seen[a.Name] {
+			t.Fatalf("missing or duplicate app name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Vector == "" || a.Source == "" || a.Policy == "" {
+			t.Fatalf("%s: incomplete app", a.Name)
+		}
+		if len(a.MustCatch) == 0 {
+			t.Fatalf("%s: no ground truth", a.Name)
+		}
+		for _, p := range append(append([]string{}, a.MustCatch...), a.MustAllow...) {
+			ok := sitePat.MatchString(p) ||
+				strings.HasPrefix(p, "declassify:") || strings.HasPrefix(p, "endorse:")
+			if !ok {
+				t.Fatalf("%s: malformed ground-truth prefix %q", a.Name, p)
+			}
+			if sitePat.MatchString(p) && !strings.HasPrefix(p, a.Name+".js:") {
+				t.Fatalf("%s: prefix %q names a different file", a.Name, p)
+			}
+		}
+		// sink-site prefixes must reference lines that exist in the source
+		lines := strings.Count(a.Source, "\n")
+		for _, p := range a.MustCatch {
+			var ln int
+			if n, _ := fmtSscanfLine(p, a.Name); n > 0 {
+				ln = n
+			} else {
+				continue
+			}
+			if ln < 1 || ln > lines {
+				t.Fatalf("%s: ground-truth line %d out of range (source has %d lines)", a.Name, ln, lines)
+			}
+		}
+		// every policy must parse (stub compiler: structure and CNF blocks
+		// are validated without evaluating labeller sources)
+		stub := func(string) (policy.LabelFunc, error) {
+			return func(...any) (policy.LabelSet, error) { return nil, nil }, nil
+		}
+		if _, err := policy.ParseJSON([]byte(a.Policy), stub); err != nil {
+			t.Fatalf("%s: policy does not parse: %v", a.Name, err)
+		}
+	}
+	if AttackByName(apps, apps[0].Name) != apps[0] {
+		t.Fatal("AttackByName lookup failed")
+	}
+	if AttackByName(apps, "no-such-app") != nil {
+		t.Fatal("AttackByName returned an app for an unknown name")
+	}
+}
+
+func fmtSscanfLine(prefix, app string) (int, bool) {
+	rest, ok := strings.CutPrefix(prefix, app+".js:")
+	if !ok {
+		return 0, false
+	}
+	rest = strings.TrimSuffix(rest, ":")
+	n := 0
+	for _, c := range rest {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n, n > 0
+}
+
+// TestAttackCorpusDeterministicOrder pins the corpus order: the rendered
+// precision/recall table is compared byte-for-byte across runs, so the app
+// sequence is part of the contract.
+func TestAttackCorpusDeterministicOrder(t *testing.T) {
+	a, b := AttackApps(), AttackApps()
+	if len(a) != len(b) {
+		t.Fatal("corpus size unstable")
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("order unstable at %d: %s vs %s", i, a[i].Name, b[i].Name)
+		}
+	}
+}
+
+// TestDynamicPropSmuggleNeedsCNFTraversal shows the CNF deep property walk
+// is load-bearing: under a flat policy (identical but for the CNF-enabling
+// block) the property-stashed flow escapes; under the shipped policy it is
+// caught.
+func TestDynamicPropSmuggleNeedsCNFTraversal(t *testing.T) {
+	app := AttackByName(AttackApps(), "dynamic-prop-smuggle")
+	if app == nil {
+		t.Fatal("dynamic-prop-smuggle missing from corpus")
+	}
+	run := func(pol string) []string {
+		t.Helper()
+		opts := core.DefaultOptions()
+		opts.Mode = instrument.Exhaustive
+		opts.ImplicitFlows = true
+		opts.Enforce = false
+		m, err := core.Manage(map[string]string{app.Name + ".js": app.Source}, pol, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sites []string
+		for _, v := range m.Violations() {
+			sites = append(sites, v.Site)
+		}
+		return sites
+	}
+	matches := func(sites []string, prefix string) bool {
+		for _, s := range sites {
+			if strings.HasPrefix(s, prefix) {
+				return true
+			}
+		}
+		return false
+	}
+	catch := app.MustCatch[0]
+	if !matches(run(app.Policy), catch) {
+		t.Fatalf("CNF policy missed the smuggled flow at %s", catch)
+	}
+	if matches(run(attackPolicy("")), catch) {
+		t.Fatalf("flat policy caught %s — the CNF property traversal is not load-bearing", catch)
+	}
+}

@@ -1,0 +1,323 @@
+package dift
+
+import (
+	"strings"
+	"testing"
+
+	"turnstile/internal/policy"
+)
+
+// cnfAdapter extends the test adapter with deterministic property listing,
+// enabling the CNF-mode deep walks over object properties.
+type cnfAdapter struct{ tAdapter }
+
+func (cnfAdapter) PropertyNames(v any) ([]string, bool) {
+	o, ok := v.(*tObj)
+	if !ok {
+		return nil, false
+	}
+	names := make([]string, 0, len(o.props))
+	for n := range o.props {
+		names = append(names, n)
+	}
+	return names, true
+}
+
+// cnfTracker builds an enforcing tracker over a CNF-extended policy.
+func cnfTracker(t *testing.T, rules ...string) *Tracker {
+	t.Helper()
+	p := testPolicy(t, rules...)
+	err := p.SetCNF(
+		[]policy.Exchange{{Guard: "Paid", From: "Secret", Adds: []policy.Label{"Licensed"}}},
+		[]policy.Declassifier{
+			{Name: "release", Removes: "Secret", Requires: "Audited"},
+			{Name: "open", Removes: "Secret"}, // no Requires: refuses under ANY secret pc
+		},
+		[]policy.Endorsement{
+			{Name: "audit", Adds: "Audited"},
+			{Name: "pay", Adds: "Paid"},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracker(p, cnfAdapter{})
+	tr.Enforce = true
+	tr.EnableImplicit()
+	return tr
+}
+
+func TestCNFEnabledFlag(t *testing.T) {
+	if tracker(t, "a -> b").CNFEnabled() {
+		t.Fatal("flat tracker claims CNF mode")
+	}
+	if !cnfTracker(t, "a -> b").CNFEnabled() {
+		t.Fatal("CNF policy did not enable CNF mode")
+	}
+}
+
+func TestDeclassifyOnFlatTrackerRefused(t *testing.T) {
+	tr := tracker(t, "a -> b")
+	o := newObj()
+	if _, err := tr.Declassify(o, "release"); err == nil {
+		t.Fatal("flat tracker accepted declassify")
+	}
+	vs := tr.Violations()
+	if len(vs) != 1 || vs[0].Reason != "cnf-disabled" || vs[0].Op != "declassify" {
+		t.Fatalf("violations = %+v", vs)
+	}
+}
+
+func TestDeclassifyUnknownName(t *testing.T) {
+	tr := cnfTracker(t)
+	if _, err := tr.Declassify(newObj(), "nope"); err == nil {
+		t.Fatal("unknown declassifier accepted")
+	}
+	if vs := tr.Violations(); len(vs) != 1 || vs[0].Reason != "unknown-declassifier" {
+		t.Fatalf("violations = %+v", vs)
+	}
+}
+
+func TestDeclassifyDischargesLabel(t *testing.T) {
+	tr := cnfTracker(t)
+	o, err := tr.Label(newObj(), constLabeller("Secret", "Other"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := tr.Declassify(o, "release")
+	if err != nil {
+		t.Fatalf("top-level declassify refused: %v", err)
+	}
+	if ls := tr.LabelsOf(out); !ls.Equal(policy.NewLabelSet("Other")) {
+		t.Fatalf("labels after declassify = %v", ls)
+	}
+	// discharging the last clause removes the table entry entirely
+	if out, err = tr.Declassify(out, "release"); err != nil {
+		t.Fatal(err)
+	}
+	o2, _ := tr.Label(newObj(), constLabeller("Secret"))
+	if o3, err := tr.Declassify(o2, "release"); err != nil {
+		t.Fatal(err)
+	} else if ls := tr.LabelsOf(o3); !ls.Empty() {
+		t.Fatalf("label entry not removed: %v", ls)
+	}
+}
+
+func TestRobustDeclassificationRefusesUntrustedScope(t *testing.T) {
+	tr := cnfTracker(t)
+	secret, _ := tr.Label(newObj(), constLabeller("Secret"))
+
+	tr.PushScope()
+	tr.PCCondition(secret) // secret-steered branch, no Audited guard
+	if _, err := tr.Declassify(secret, "release"); err == nil {
+		t.Fatal("declassify accepted under untrusted secret pc")
+	}
+	tr.PopScope()
+
+	vs := tr.Violations()
+	if len(vs) != 1 || vs[0].Reason != "robust-declassification" || vs[0].Site != "declassify:release" {
+		t.Fatalf("violations = %+v", vs)
+	}
+	// refusal must leave the label intact so the sink still catches it
+	if ls := tr.LabelsOf(secret); !ls.Contains("Secret") {
+		t.Fatalf("refused declassify stripped the label: %v", ls)
+	}
+	// a declassifier with no Requires refuses under any secret pc
+	tr.PushScope()
+	tr.PCCondition(secret)
+	if _, err := tr.Declassify(secret, "open"); err == nil {
+		t.Fatal("requires-less declassify accepted under secret pc")
+	}
+	tr.PopScope()
+}
+
+func TestRobustDeclassificationAuditRecordsButAllows(t *testing.T) {
+	tr := cnfTracker(t)
+	tr.Enforce = false
+	secret, _ := tr.Label(newObj(), constLabeller("Secret"))
+	tr.PushScope()
+	tr.PCCondition(secret)
+	if _, err := tr.Declassify(secret, "release"); err != nil {
+		t.Fatalf("audit mode returned an error: %v", err)
+	}
+	tr.PopScope()
+	if vs := tr.Violations(); len(vs) != 1 || vs[0].Reason != "robust-declassification" {
+		t.Fatalf("violations = %+v", vs)
+	}
+}
+
+func TestEndorsedScopePermitsDeclassification(t *testing.T) {
+	tr := cnfTracker(t)
+	secret, _ := tr.Label(newObj(), constLabeller("Secret"))
+
+	// endorse a secret-derived gate at toplevel (public pc), then branch on
+	// it: the one condition carries both the Secret label and the Audited
+	// fact, so the scope is secret-influenced but trusted
+	gate, err := tr.Endorse(tr.Derive(newObj(), secret), "audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.PushScope()
+	tr.PCCondition(gate)
+	out, err := tr.Declassify(secret, "release")
+	if err != nil {
+		t.Fatalf("declassify refused in endorsed scope: %v", err)
+	}
+	tr.PopScope()
+	if ls := tr.LabelsOf(out); ls.Contains("Secret") {
+		t.Fatalf("labels not discharged: %v", ls)
+	}
+	if len(tr.Violations()) != 0 {
+		t.Fatalf("violations = %+v", tr.Violations())
+	}
+}
+
+func TestPCIntegrityIsMeetAcrossConditions(t *testing.T) {
+	tr := cnfTracker(t)
+	secret, _ := tr.Label(newObj(), constLabeller("Secret"))
+	gate, _ := tr.Endorse(newObj(), "audit")
+
+	// two conditions: one Audited, one not — the scope's integrity is the
+	// meet, so the Audited fact must NOT survive
+	tr.PushScope()
+	tr.PCCondition(gate)
+	tr.PCCondition(secret)
+	if _, err := tr.Declassify(secret, "release"); err == nil {
+		t.Fatal("meet over pc conditions kept a fact only one condition had")
+	}
+	tr.PopScope()
+}
+
+func TestTransparentEndorsementRefusedUnderSecretPC(t *testing.T) {
+	tr := cnfTracker(t)
+	secret, _ := tr.Label(newObj(), constLabeller("Secret"))
+	tr.PushScope()
+	tr.PCCondition(secret)
+	if _, err := tr.Endorse(newObj(), "audit"); err == nil {
+		t.Fatal("endorse accepted under secret pc")
+	}
+	tr.PopScope()
+	if vs := tr.Violations(); len(vs) != 1 || vs[0].Reason != "opaque-endorsement" || vs[0].Site != "endorse:audit" {
+		t.Fatalf("violations = %+v", vs)
+	}
+}
+
+func TestEndorseUnknownAndFlat(t *testing.T) {
+	tr := cnfTracker(t)
+	if _, err := tr.Endorse(newObj(), "nope"); err == nil {
+		t.Fatal("unknown endorsement accepted")
+	}
+	fl := tracker(t)
+	if _, err := fl.Endorse(newObj(), "audit"); err == nil {
+		t.Fatal("flat tracker accepted endorse")
+	}
+}
+
+func TestEndorseBoxesPrimitives(t *testing.T) {
+	tr := cnfTracker(t)
+	out, err := tr.Endorse(true, "pay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := out.(*Box)
+	if !ok {
+		t.Fatalf("primitive not boxed: %T", out)
+	}
+	if is := tr.IntegrityOf(b); !is.Contains("Paid") {
+		t.Fatalf("integrity = %v", is)
+	}
+}
+
+func TestDeriveUnionsIntegrity(t *testing.T) {
+	tr := cnfTracker(t)
+	a, _ := tr.Endorse(newObj(), "pay")
+	b, _ := tr.Endorse(newObj(), "audit")
+	out := tr.Derive(newObj(), a, b)
+	if is := tr.IntegrityOf(out); !is.Equal(policy.NewLabelSet("Paid", "Audited")) {
+		t.Fatalf("derived integrity = %v", is)
+	}
+}
+
+func TestDataIntegrityWalksContainers(t *testing.T) {
+	tr := cnfTracker(t)
+	token, _ := tr.Endorse(newObj(), "pay")
+	bundle := newArr(token, newObj())
+	if is := tr.DataIntegrity(bundle); !is.Contains("Paid") {
+		t.Fatalf("array walk missed integrity: %v", is)
+	}
+	holder := newObj()
+	holder.props["token"] = token
+	if is := tr.DataIntegrity(holder); !is.Contains("Paid") {
+		t.Fatalf("property walk missed integrity: %v", is)
+	}
+}
+
+func TestExchangeUnlocksFlow(t *testing.T) {
+	// Public -> Secret makes Secret comparable to (and forbidden at) a
+	// Public receiver; a Paid token in the same bundle rewrites Secret to
+	// Licensed|Secret, whose Licensed alternative is incomparable → allowed.
+	tr := cnfTracker(t, "Public -> Secret")
+	recv, _ := tr.Label(newObj(), constLabeller("Public"))
+	secret, _ := tr.Label(newObj(), constLabeller("Secret"))
+
+	if err := tr.Check(secret, recv, "sink"); err == nil {
+		t.Fatal("bare secret flow allowed")
+	}
+	token, _ := tr.Endorse(newObj(), "pay")
+	bundle := newArr(token, secret)
+	if err := tr.Check(bundle, recv, "sink"); err != nil {
+		t.Fatalf("exchange did not unlock the flow: %v", err)
+	}
+}
+
+func TestCNFCollectWalksProperties(t *testing.T) {
+	// the dynamic-property smuggling vector: a label reachable only through
+	// an object property is invisible to the flat collector but found in
+	// CNF mode
+	secretIn := func(tr *Tracker) any {
+		s, err := tr.Label(newObj(), constLabeller("Secret"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		holder := newObj()
+		holder.props["stash"] = s
+		return holder
+	}
+	fl := tracker(t, "Public -> Secret")
+	if dl := fl.DataLabels(secretIn(fl)); dl.Contains("Secret") {
+		t.Fatal("flat collector unexpectedly walked properties; CNF traversal is not load-bearing")
+	}
+	cn := cnfTracker(t, "Public -> Secret")
+	if dl := cn.DataLabels(secretIn(cn)); !dl.Contains("Secret") {
+		t.Fatalf("CNF collector missed property-stashed label: %v", dl)
+	}
+}
+
+func TestCNFViolationErrorText(t *testing.T) {
+	tr := cnfTracker(t)
+	secret, _ := tr.Label(newObj(), constLabeller("Secret"))
+	tr.PushScope()
+	tr.PCCondition(secret)
+	_, err := tr.Declassify(secret, "release")
+	tr.PopScope()
+	if err == nil {
+		t.Fatal("expected refusal")
+	}
+	msg := err.Error()
+	for _, want := range []string{"declassify", "declassify:release", "robust-declassification"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestDeclassifyFailClosedDegraded(t *testing.T) {
+	tr := cnfTracker(t)
+	tr.FailClosed = true
+	tr.Poison("test")
+	if _, err := tr.Declassify(newObj(), "release"); err == nil {
+		t.Fatal("degraded tracker accepted declassify")
+	}
+	if _, err := tr.Endorse(newObj(), "audit"); err == nil {
+		t.Fatal("degraded tracker accepted endorse")
+	}
+}

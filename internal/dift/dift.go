@@ -64,6 +64,16 @@ type ValueAdapter interface {
 	IsReference(v any) bool
 }
 
+// PropertyLister is an optional extension of ValueAdapter: adapters that
+// can enumerate an object's property names let the CNF-mode tracker walk
+// object graphs during label collection, closing the dynamic-property
+// label-smuggling hole (a secret stashed under a computed key on an
+// otherwise clean object). Flat-policy trackers never consult it, so the
+// flat collection path — and its cost — is unchanged.
+type PropertyLister interface {
+	PropertyNames(v any) ([]string, bool)
+}
+
 // Violation records one forbidden flow detected at run time.
 type Violation struct {
 	Site string // source location or API description
@@ -77,11 +87,17 @@ type Violation struct {
 }
 
 func (v *Violation) Error() string {
-	if v.Reason != "" {
+	switch v.Reason {
+	case "":
+		return fmt.Sprintf("dift: policy violation at %s (%s): data %v may not flow to receiver %v",
+			v.Site, v.Op, v.Data, v.Recv)
+	case "degraded":
 		return fmt.Sprintf("dift: flow denied at %s (%s): tracker %s", v.Site, v.Op, v.Reason)
+	default:
+		// CNF-rule refusals (robust-declassification, opaque-endorsement,
+		// unknown-declassifier, ...) carry no receiver.
+		return fmt.Sprintf("dift: %s denied at %s: %s (data %v)", v.Op, v.Site, v.Reason, v.Data)
 	}
-	return fmt.Sprintf("dift: policy violation at %s (%s): data %v may not flow to receiver %v",
-		v.Site, v.Op, v.Data, v.Recv)
 }
 
 // MarshalJSON renders the violation for audit logs.
@@ -155,6 +171,16 @@ type Tracker struct {
 	// implicit-flow tracking (see implicit.go)
 	implicit bool
 	pcStack  []policy.LabelSet
+
+	// CNF extension (see declass.go). cnf gates every clause-aware code
+	// path and is derived from Policy.HasCNF at construction; integ is the
+	// per-value integrity fact table; props deepens collection over object
+	// properties when the adapter supports enumeration; pcInteg mirrors
+	// pcStack with the integrity meet of each scope's conditions.
+	cnf     bool
+	integ   map[uint64]policy.LabelSet
+	props   PropertyLister
+	pcInteg []policy.LabelSet
 }
 
 // telHooks bundles the counter handles for the tracker's per-operation
@@ -235,14 +261,23 @@ var refIDCounter uint64
 // NextRefID allocates a fresh identity for a reference-type runtime value.
 func NextRefID() uint64 { return atomic.AddUint64(&refIDCounter, 1) }
 
-// NewTracker creates a tracker bound to a policy and value adapter.
+// NewTracker creates a tracker bound to a policy and value adapter. A
+// policy carrying the CNF extension (exchange rules, declassifiers or
+// endorsements) switches the tracker onto the clause-aware paths; a flat
+// policy keeps every hot path identical to the pre-CNF tracker.
 func NewTracker(p *policy.Policy, adapter ValueAdapter) *Tracker {
-	return &Tracker{
+	t := &Tracker{
 		Policy:    p,
 		Adapter:   adapter,
 		labels:    make(map[uint64]policy.LabelSet),
 		invokeFns: make(map[uint64]policy.LabelFunc),
+		integ:     make(map[uint64]policy.LabelSet),
 	}
+	if p != nil && p.HasCNF() {
+		t.cnf = true
+		t.props, _ = adapter.(PropertyLister)
+	}
+	return t
 }
 
 // Violations returns the violations recorded so far.
@@ -487,6 +522,13 @@ func (t *Tracker) Derive(result any, sources ...any) (out any) {
 		union = union.Union(t.LabelsOf(s))
 	}
 	union = t.pcAugment(union)
+	if t.cnf {
+		out = result
+		if !union.Empty() {
+			out = t.Attach(out, union)
+		}
+		return t.deriveIntegrity(out, sources)
+	}
 	if union.Empty() {
 		return result
 	}
@@ -548,6 +590,21 @@ func (t *Tracker) collect(v any, union *policy.LabelSet, seen map[uint64]bool, d
 	}
 	if b, ok := v.(*Box); ok {
 		t.collect(b.Val, union, seen, depth+1)
+		return
+	}
+	// CNF mode walks object properties too: a compound policy's attack
+	// surface includes stashing a secret under a dynamically computed key,
+	// so collection must be exhaustive over the object graph. The flat path
+	// skips this (properties are labelled onto the holder by the labeller
+	// specs), keeping pre-CNF collection costs and output intact.
+	if t.cnf && t.props != nil {
+		if names, ok := t.props.PropertyNames(v); ok {
+			for _, n := range names {
+				if pv, found := t.Adapter.Property(v, n); found {
+					t.collect(pv, union, seen, depth+1)
+				}
+			}
+		}
 	}
 }
 
@@ -578,6 +635,9 @@ func (t *Tracker) Check(data, recv any, site string) (err error) {
 	}
 	t.stats.Checks++
 	dl := t.pcAugment(t.DataLabels(data))
+	if t.cnf {
+		dl = t.exchanged(dl, data)
+	}
 	if h := t.tel; h != nil {
 		if h.check != nil {
 			h.check.Inc()
@@ -647,6 +707,9 @@ func (t *Tracker) InvokeCheckTarget(fnVal, target any, args []any, site string) 
 		dl = dl.Union(t.DataLabels(a))
 	}
 	dl = t.pcAugment(dl)
+	if t.cnf {
+		dl = t.exchanged(dl, args...)
+	}
 	if h := t.tel; h != nil {
 		if h.invoke != nil {
 			h.invoke.Inc()

@@ -27,6 +27,9 @@ func (t *Tracker) PushScope() {
 		return
 	}
 	t.pcStack = append(t.pcStack, nil)
+	if t.cnf {
+		t.pcInteg = append(t.pcInteg, nil)
+	}
 }
 
 // PCCondition folds the labels of a branch condition into the innermost pc
@@ -37,6 +40,21 @@ func (t *Tracker) PCCondition(cond any) {
 	}
 	top := len(t.pcStack) - 1
 	t.pcStack[top] = t.pcStack[top].Union(t.DataLabels(cond))
+	if t.cnf && top < len(t.pcInteg) {
+		// Scope integrity is the MEET over the scope's conditions: a fact is
+		// trusted for the region only if every condition evaluated for it
+		// carried the fact. nil marks a scope whose first condition hasn't
+		// arrived yet; an empty non-nil set means "initialized, no facts".
+		ci := t.DataIntegrity(cond)
+		if t.pcInteg[top] == nil {
+			if ci == nil {
+				ci = policy.NewLabelSet()
+			}
+			t.pcInteg[top] = ci
+		} else {
+			t.pcInteg[top] = t.pcInteg[top].Intersect(ci)
+		}
+	}
 }
 
 // PopScope closes the innermost conditional region.
@@ -45,6 +63,9 @@ func (t *Tracker) PopScope() {
 		return
 	}
 	t.pcStack = t.pcStack[:len(t.pcStack)-1]
+	if t.cnf && len(t.pcInteg) > 0 {
+		t.pcInteg = t.pcInteg[:len(t.pcInteg)-1]
+	}
 }
 
 // ScopeDepth returns the current pc nesting depth (for tests).

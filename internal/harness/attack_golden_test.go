@@ -1,0 +1,53 @@
+package harness
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestAttackReportGolden pins the rendered precision/recall table to a
+// committed golden file and checks worker-count independence: the report
+// must be byte-identical at -parallel 1 and -parallel 8. Regenerate with
+// TURNSTILE_UPDATE_GOLDEN=1 go test ./internal/harness -run AttackReportGolden
+func TestAttackReportGolden(t *testing.T) {
+	seq, err := RunAttackCorpus(AttackOptions{Parallel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunAttackCorpus(AttackOptions{Parallel: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqTxt, parTxt := RenderAttack(seq), RenderAttack(par)
+	if seqTxt != parTxt {
+		t.Fatalf("attack report differs across worker counts:\n-- parallel 1 --\n%s\n-- parallel 8 --\n%s", seqTxt, parTxt)
+	}
+
+	golden := filepath.Join("testdata", "attack_golden.txt")
+	if os.Getenv("TURNSTILE_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(seqTxt), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden updated: %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden file missing (regenerate with TURNSTILE_UPDATE_GOLDEN=1): %v", err)
+	}
+	if string(want) != seqTxt {
+		t.Fatalf("attack report drifted from golden:\n-- got --\n%s\n-- want --\n%s", seqTxt, want)
+	}
+
+	// the gate invariants the golden encodes, stated directly
+	if seq.Passed != len(seq.Apps) {
+		t.Fatalf("only %d/%d attack apps passed", seq.Passed, len(seq.Apps))
+	}
+	if seq.FN != 0 {
+		t.Fatalf("%d must-catch flows escaped", seq.FN)
+	}
+	if seq.Precision() != 1 || seq.Recall() != 1 {
+		t.Fatalf("precision %.3f recall %.3f, want 1/1", seq.Precision(), seq.Recall())
+	}
+}

@@ -80,6 +80,31 @@ console.log(gate(0) + gate(1) + gate(2));`,
 		`let s = "xxxxxxxx"; while (true) { s = s + s; }`,
 		`let a = []; while (true) { a.push(1, 2, 3, 4); }`,
 		`function t(n) { setTimeout(function() { t(n + 1); }, 1000); } t(0);`,
+		// attack-corpus shapes: control-flow channel encoding, declassifier
+		// and endorsement abuse, and computed-key label smuggling (the
+		// declassify/endorse globals exist whenever a tracker is installed,
+		// so these exercise the CNF refusal paths under the flat policy)
+		`const secret = "TOP"; let out = "";
+for (let i = 0; i < secret.length; i++) {
+  const c = secret.charCodeAt(i) % 4;
+  if (c === 0) { out += "a"; } if (c === 1) { out += "b"; }
+  if (c === 2) { out += "c"; } if (c === 3) { out += "d"; }
+}
+console.log(out);`,
+		`const secret = "s3cr3t";
+const copy = declassify("" + secret, "release");
+console.log(copy.length);`,
+		`const secret = "k";
+if (secret.length > 0) { declassify(secret, "release"); endorse(true, "audit"); }`,
+		`const gate = endorse(1 + 1, "audit");
+if (gate) { console.log(declassify("x", "release")); }`,
+		`const pkg = { kind: "report" };
+const key = "p" + "ayload";
+pkg[key] = "hidden";
+console.log(pkg.kind, Object.keys(pkg).length);`,
+		`function node1(m) { return m.split(""); }
+function node2(cs) { let r = ""; for (const c of cs) { r += c; } return r; }
+console.log(node2(node1("wired")));`,
 		// deep-but-parseable nesting: exercises analysis, instrumentation and
 		// printing recursion well below the parser's depth limit
 		"console.log(" + strings.Repeat("(", 200) + "1 + 2" + strings.Repeat(")", 200) + ");",
@@ -210,6 +235,23 @@ console.log(acc > 0 ? "pos" : "neg");`,
 		`function tick(n) { if (n <= 0) { console.log("done"); return; } setTimeout(function() { tick(n - 1); }, 10); }
 tick(5);`,
 		"const deep = " + strings.Repeat("[", 60) + "3" + strings.Repeat("]", 60) + "; console.log(deep.length);",
+		// attack-corpus shapes (minus declassify/endorse, which only exist
+		// under an installed tracker and would error in the uninstrumented
+		// original): channel encoding and computed-key property stashing must
+		// keep exact output parity under instrumentation
+		`const word = "PLAN"; let enc = "";
+for (let i = 0; i < word.length; i++) {
+  const k = word.charCodeAt(i) % 3;
+  if (k === 0) { enc += "0"; } if (k === 1) { enc += "1"; } if (k === 2) { enc += "2"; }
+}
+console.log(enc);`,
+		`const pkg = { kind: "report" };
+const key = "pay" + "load";
+pkg[key] = "stash";
+console.log(pkg.kind + ":" + pkg[key] + ":" + Object.keys(pkg).join(","));`,
+		`function hop1(m) { let o = ""; for (let i = 0; i < m.length; i++) { o = o + m[i]; } return o; }
+function hop2(m) { return hop1(m) + "!"; }
+console.log(hop2("relay"));`,
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -49,6 +49,15 @@ func (Adapter) SetElement(v any, i int, val any) bool {
 	return false
 }
 
+// PropertyNames implements dift.PropertyLister: insertion-ordered property
+// names, so CNF-mode label collection over object graphs is deterministic.
+func (Adapter) PropertyNames(v any) ([]string, bool) {
+	if o, ok := dift.Unwrap(v).(*Object); ok {
+		return o.Keys(), true
+	}
+	return nil, false
+}
+
 // IsReference implements dift.ValueAdapter.
 func (Adapter) IsReference(v any) bool {
 	switch v.(type) {
@@ -193,6 +202,12 @@ func (ip *Interp) InstallTracker(pol *policy.Policy) *dift.Tracker {
 		if err != nil {
 			return nil, err
 		}
+		// declassify/endorse manage labels themselves; deriving their return
+		// from the arguments would re-attach exactly the labels a sanctioned
+		// declassification just discharged
+		if hf, ok := dift.Unwrap(args[0]).(*HostFunc); ok && (hf.Name == "declassify" || hf.Name == "endorse") {
+			return ret, nil
+		}
 		return tr.DeriveInvoke(ret, callArgs.Elems), nil
 	}))
 
@@ -250,6 +265,36 @@ func (ip *Interp) InstallTracker(pol *policy.Policy) *dift.Tracker {
 		}
 		return tr.UnwrapDeep(args[0]), nil
 	}))
+
+	// declassify(v, name) / endorse(v, name): the CNF extension's sanctioned
+	// downgrade and integrity-upgrade points (declass.go). Exposed both on τ
+	// and as plain globals so application code can call them like ordinary
+	// library functions; a refusal surfaces as PrivacyViolation in
+	// enforcement mode and is recorded silently in audit mode.
+	declassFn := NewHostFunc("declassify", func(ip *Interp, this Value, args []Value) (Value, error) {
+		if len(args) < 2 {
+			return argOr(args, 0), nil
+		}
+		out, err := tr.Declassify(args[0], ToString(args[1]))
+		if err != nil {
+			return nil, &Throw{Val: ip.MakeError("PrivacyViolation", err.Error())}
+		}
+		return out, nil
+	})
+	endorseFn := NewHostFunc("endorse", func(ip *Interp, this Value, args []Value) (Value, error) {
+		if len(args) < 2 {
+			return argOr(args, 0), nil
+		}
+		out, err := tr.Endorse(args[0], ToString(args[1]))
+		if err != nil {
+			return nil, &Throw{Val: ip.MakeError("PrivacyViolation", err.Error())}
+		}
+		return out, nil
+	})
+	tau.Set("declassify", declassFn)
+	tau.Set("endorse", endorseFn)
+	ip.Globals.Define("declassify", declassFn, false)
+	ip.Globals.Define("endorse", endorseFn, false)
 
 	ip.Globals.Define("__t", tau, false)
 	return tr
@@ -325,13 +370,15 @@ func valueToLabels(v Value) (policy.LabelSet, error) {
 		if x == "" {
 			return nil, nil
 		}
-		return policy.NewLabelSet(policy.Label(x)), nil
+		// NormalizeClause canonicalizes '|'-clause labels and is a no-op
+		// passthrough for flat ones.
+		return policy.NewLabelSet(policy.NormalizeClause(policy.Label(x))), nil
 	case *Array:
 		out := policy.NewLabelSet()
 		for _, el := range x.Elems {
 			s := ToString(el)
 			if s != "" {
-				out[policy.Label(s)] = struct{}{}
+				out[policy.NormalizeClause(policy.Label(s))] = struct{}{}
 			}
 		}
 		return out, nil

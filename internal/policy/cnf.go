@@ -1,0 +1,333 @@
+package policy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CNF confidentiality labels, after the CFC model: a compound label is a
+// conjunction (AND) of clauses, and a clause is a disjunction (OR) of
+// alternative atoms. The encoding reuses LabelSet unchanged — each map key
+// is one clause, and a clause with alternatives spells them '|'-separated
+// in sorted order ("GoogleAuth|UserResource"). A flat label is exactly a
+// singleton clause, so the whole pre-CNF policy model, its Union join
+// (clause concatenation) and its memoized graph all keep working verbatim;
+// FlowAllowed only takes the clause-aware path when a '|' is actually
+// present, which keeps the Figure-10 fast path byte-identical.
+//
+// Integrity is a second LabelSet per value holding endorsement facts
+// ("Paid", "Audited"). Integrity facts guard the exchange rules — rewrites
+// that add disjunctive alternatives to matching clauses — and the
+// robustness condition on declassification.
+
+// ClauseSep separates the alternative atoms inside one OR-clause label.
+const ClauseSep = '|'
+
+// IsClause reports whether the label is an OR-clause (has alternatives).
+func IsClause(l Label) bool {
+	return strings.IndexByte(string(l), ClauseSep) >= 0
+}
+
+// HasClauses reports whether any label in the set is an OR-clause — the
+// trigger for FlowAllowed's clause-aware path.
+func (s LabelSet) HasClauses() bool {
+	for l := range s {
+		if IsClause(l) {
+			return true
+		}
+	}
+	return false
+}
+
+// ClauseAtoms returns the alternative atoms of a clause label (a single
+// atom for a flat label). The returned slice is always freshly allocated,
+// so callers may keep or mutate it without aliasing policy state.
+func ClauseAtoms(l Label) []Label {
+	if !IsClause(l) {
+		return []Label{l}
+	}
+	parts := strings.Split(string(l), string(ClauseSep))
+	out := make([]Label, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, Label(p))
+		}
+	}
+	return out
+}
+
+// MakeClause builds a normalized clause label from alternative atoms:
+// deduplicated, sorted, '|'-joined. ⊤ as one alternative among several is
+// dropped — ⊤ can never satisfy a flow, and keeping it as a dead branch
+// would only bloat the canonical form. Zero usable atoms yield ⊤ (the
+// unsatisfiable clause: nobody may read).
+func MakeClause(atoms ...Label) Label {
+	set := make(map[Label]struct{}, len(atoms))
+	for _, a := range atoms {
+		a = Label(strings.TrimSpace(string(a)))
+		if a == "" {
+			continue
+		}
+		set[a] = struct{}{}
+	}
+	if len(set) > 1 {
+		delete(set, Top)
+	}
+	if len(set) == 0 {
+		return Top
+	}
+	out := make([]string, 0, len(set))
+	for a := range set {
+		out = append(out, string(a))
+	}
+	sort.Strings(out)
+	return Label(strings.Join(out, string(ClauseSep)))
+}
+
+// NormalizeClause canonicalizes one clause label. Flat labels pass through
+// untouched on a single IndexByte — the fast path the whole pre-CNF corpus
+// takes.
+func NormalizeClause(l Label) Label {
+	if !IsClause(l) {
+		return l
+	}
+	return MakeClause(ClauseAtoms(l)...)
+}
+
+// NormalizeCNF canonicalizes a compound label: every clause is normalized,
+// and absorbed clauses are dropped — if clause D's alternatives are a
+// subset of clause C's, then D implies C (fewer escape hatches is the
+// stronger constraint), so C is redundant. The result is the canonical
+// form two joins are compared under; the input is never mutated.
+func NormalizeCNF(s LabelSet) LabelSet {
+	if s == nil {
+		return nil
+	}
+	norm := make(LabelSet, len(s))
+	for l := range s {
+		norm[NormalizeClause(l)] = struct{}{}
+	}
+	if len(norm) < 2 {
+		return norm
+	}
+	clauses := make([]Label, 0, len(norm))
+	for l := range norm {
+		clauses = append(clauses, l)
+	}
+	atoms := make(map[Label]map[Label]struct{}, len(clauses))
+	for _, c := range clauses {
+		as := make(map[Label]struct{})
+		for _, a := range ClauseAtoms(c) {
+			as[a] = struct{}{}
+		}
+		atoms[c] = as
+	}
+	out := make(LabelSet, len(norm))
+	for _, c := range clauses {
+		absorbed := false
+		for _, d := range clauses {
+			if d == c || len(atoms[d]) >= len(atoms[c]) {
+				continue
+			}
+			sub := true
+			for a := range atoms[d] {
+				if _, ok := atoms[c][a]; !ok {
+					sub = false
+					break
+				}
+			}
+			if sub {
+				absorbed = true
+				break
+			}
+		}
+		if !absorbed {
+			out[c] = struct{}{}
+		}
+	}
+	return out
+}
+
+// ParseCNF parses the textual compound-label form: clauses separated by
+// commas, alternatives inside a clause separated by '|'. "Secret, a|b"
+// means Secret AND (a OR b). Empty clauses are skipped; the result is
+// normalized.
+func ParseCNF(s string) LabelSet {
+	out := NewLabelSet()
+	for _, part := range strings.Split(s, ",") {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		out[NormalizeClause(Label(strings.TrimSpace(part)))] = struct{}{}
+	}
+	return NormalizeCNF(out)
+}
+
+// CNFString renders the canonical textual form (clauses sorted).
+func CNFString(s LabelSet) string {
+	parts := NormalizeCNF(s).Slice()
+	strs := make([]string, len(parts))
+	for i, l := range parts {
+		strs[i] = string(l)
+	}
+	return strings.Join(strs, ", ")
+}
+
+// Intersect returns the meet s ∩ t, used to combine the integrity of the
+// conditions guarding one pc scope: only facts every condition carried are
+// trusted for the scope.
+func (s LabelSet) Intersect(t LabelSet) LabelSet {
+	out := NewLabelSet()
+	for l := range s {
+		if t.Contains(l) {
+			out[l] = struct{}{}
+		}
+	}
+	return out
+}
+
+// Exchange is one integrity-guarded exchange rule: when the flowing data
+// carries the Guard integrity fact, every clause mentioning the From atom
+// gains the Adds atoms as extra alternatives. Exchanges only ever widen
+// clauses, so they are monotone — applying them can only turn a denied
+// flow into an allowed one, never the reverse.
+type Exchange struct {
+	Guard Label   `json:"guard"`
+	From  Label   `json:"from"`
+	Adds  []Label `json:"adds"`
+}
+
+// maxExchangeRounds bounds the exchange fixpoint; alternatives only grow
+// within the finite atom universe of the rule set, so this is a defensive
+// bound, not a semantic one.
+const maxExchangeRounds = 16
+
+// ApplyExchanges rewrites a data label under the exchange rules enabled by
+// the given integrity facts, to fixpoint (an added alternative may match a
+// later rule's From). The input set is never mutated; when no rule fires
+// the input is returned as-is, so the flat fast path stays allocation-free.
+func ApplyExchanges(data, integ LabelSet, exchanges []Exchange) LabelSet {
+	if len(exchanges) == 0 || data.Empty() || integ.Empty() {
+		return data
+	}
+	cur := data
+	for round := 0; round < maxExchangeRounds; round++ {
+		var next LabelSet
+		for clause := range cur {
+			atoms := ClauseAtoms(clause)
+			have := make(map[Label]struct{}, len(atoms))
+			for _, a := range atoms {
+				have[a] = struct{}{}
+			}
+			grew := false
+			for _, ex := range exchanges {
+				if !integ.Contains(ex.Guard) {
+					continue
+				}
+				if _, ok := have[ex.From]; !ok {
+					continue
+				}
+				for _, add := range ex.Adds {
+					if _, ok := have[add]; !ok {
+						have[add] = struct{}{}
+						atoms = append(atoms, add)
+						grew = true
+					}
+				}
+			}
+			if grew && next == nil {
+				next = cur.Clone()
+			}
+			if grew {
+				delete(next, clause)
+				next[MakeClause(atoms...)] = struct{}{}
+			}
+		}
+		if next == nil {
+			return cur
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Declassifier names one sanctioned downgrade: clauses mentioning the
+// Removes atom are discharged from the value's label. Requires is the
+// integrity fact the *decision context* must carry — every secret-tainted
+// pc scope open at the declassification must be guarded by a condition
+// endorsed with Requires, or the declassification is refused (robust
+// declassification: low-integrity inputs cannot steer what is released).
+type Declassifier struct {
+	Name     string `json:"name"`
+	Removes  Label  `json:"removes"`
+	Requires Label  `json:"requires,omitempty"`
+}
+
+// Declassify returns data with every clause mentioning the atom dropped.
+// The input is never mutated; when nothing matches it is returned as-is.
+func Declassify(data LabelSet, removes Label) LabelSet {
+	var out LabelSet
+	for clause := range data {
+		hit := false
+		for _, a := range ClauseAtoms(clause) {
+			if a == removes {
+				hit = true
+				break
+			}
+		}
+		if hit && out == nil {
+			out = data.Clone()
+		}
+		if hit {
+			delete(out, clause)
+		}
+	}
+	if out == nil {
+		return data
+	}
+	return out
+}
+
+// Endorsement names one sanctioned integrity upgrade: the endorsed value
+// gains the Adds fact. Endorsement must be transparent — it may not run
+// under a secret pc, or which inputs get endorsed would itself leak (and a
+// laundered endorsement would unlock exchanges and declassification).
+type Endorsement struct {
+	Name string `json:"name"`
+	Adds Label  `json:"adds"`
+}
+
+// validateCNF checks the CNF extension of a policy for structural errors.
+func validateCNF(exchanges []Exchange, decs []Declassifier, ends []Endorsement) error {
+	for _, ex := range exchanges {
+		if ex.Guard == "" || ex.From == "" || len(ex.Adds) == 0 {
+			return fmt.Errorf("policy: exchange rule needs guard, from and adds (got guard=%q from=%q adds=%v)",
+				ex.Guard, ex.From, ex.Adds)
+		}
+		if IsClause(ex.From) || IsClause(ex.Guard) {
+			return fmt.Errorf("policy: exchange guard/from must be atoms, not clauses (guard=%q from=%q)", ex.Guard, ex.From)
+		}
+	}
+	seen := map[string]string{}
+	for _, d := range decs {
+		if d.Name == "" || d.Removes == "" {
+			return fmt.Errorf("policy: declassifier needs name and removes (got name=%q removes=%q)", d.Name, d.Removes)
+		}
+		if prev, dup := seen["d:"+d.Name]; dup {
+			return fmt.Errorf("policy: duplicate declassifier %q (removes %s)", d.Name, prev)
+		}
+		seen["d:"+d.Name] = string(d.Removes)
+	}
+	for _, e := range ends {
+		if e.Name == "" || e.Adds == "" {
+			return fmt.Errorf("policy: endorsement needs name and adds (got name=%q adds=%q)", e.Name, e.Adds)
+		}
+		if prev, dup := seen["e:"+e.Name]; dup {
+			return fmt.Errorf("policy: duplicate endorsement %q (adds %s)", e.Name, prev)
+		}
+		seen["e:"+e.Name] = string(e.Adds)
+	}
+	return nil
+}

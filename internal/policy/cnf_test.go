@@ -1,0 +1,298 @@
+package policy
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestClauseBasics(t *testing.T) {
+	if IsClause("Alpha") {
+		t.Error("flat label reported as clause")
+	}
+	if !IsClause("Alpha|Beta") {
+		t.Error("clause not detected")
+	}
+	got := ClauseAtoms("Beta|Alpha|Beta")
+	want := []Label{"Beta", "Alpha", "Beta"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("ClauseAtoms = %v, want %v", got, want)
+	}
+	if atoms := ClauseAtoms("Solo"); len(atoms) != 1 || atoms[0] != "Solo" {
+		t.Errorf("ClauseAtoms flat = %v", atoms)
+	}
+}
+
+func TestMakeClause(t *testing.T) {
+	cases := []struct {
+		atoms []Label
+		want  Label
+	}{
+		{[]Label{"B", "A"}, "A|B"},
+		{[]Label{"A", "A", "A"}, "A"},
+		{[]Label{" A ", "", "B"}, "A|B"},
+		{[]Label{}, Top},
+		{[]Label{""}, Top},
+		// ⊤ among alternatives is a dead branch (it can never satisfy a
+		// flow) and is dropped; alone it stays the unsatisfiable clause.
+		{[]Label{Top, "A"}, "A"},
+		{[]Label{Top}, Top},
+	}
+	for _, c := range cases {
+		if got := MakeClause(c.atoms...); got != c.want {
+			t.Errorf("MakeClause(%v) = %q, want %q", c.atoms, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeClauseIdempotent(t *testing.T) {
+	for _, l := range []Label{"A", "B|A", "A|B|A", "⊤|X", "  ", "A| |B"} {
+		once := NormalizeClause(l)
+		if twice := NormalizeClause(once); twice != once {
+			t.Errorf("NormalizeClause not idempotent on %q: %q then %q", l, once, twice)
+		}
+	}
+}
+
+func TestNormalizeCNFAbsorption(t *testing.T) {
+	// {A, A|B} — clause A is the stronger constraint, A|B is redundant.
+	in := NewLabelSet("A", "A|B")
+	out := NormalizeCNF(in)
+	if !out.Equal(NewLabelSet("A")) {
+		t.Errorf("absorption failed: %v", out)
+	}
+	// input must not be mutated
+	if !in.Equal(NewLabelSet("A", "A|B")) {
+		t.Errorf("NormalizeCNF mutated its input: %v", in)
+	}
+	// incomparable clauses both survive
+	out = NormalizeCNF(NewLabelSet("A|B", "B|C"))
+	if !out.Equal(NewLabelSet("A|B", "B|C")) {
+		t.Errorf("incomparable clauses dropped: %v", out)
+	}
+	if NormalizeCNF(nil) != nil {
+		t.Error("NormalizeCNF(nil) != nil")
+	}
+}
+
+func TestParseCNFAndString(t *testing.T) {
+	s := ParseCNF("Secret, GoogleAuth|UserResource , ")
+	if !s.Equal(NewLabelSet("Secret", "GoogleAuth|UserResource")) {
+		t.Errorf("ParseCNF = %v", s)
+	}
+	if got := CNFString(s); got != "GoogleAuth|UserResource, Secret" {
+		t.Errorf("CNFString = %q", got)
+	}
+	if got := CNFString(nil); got != "" {
+		t.Errorf("CNFString(nil) = %q", got)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	got := NewLabelSet("A", "B", "C").Intersect(NewLabelSet("B", "C", "D"))
+	if !got.Equal(NewLabelSet("B", "C")) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := NewLabelSet("A").Intersect(nil); !got.Empty() {
+		t.Errorf("Intersect with nil = %v", got)
+	}
+}
+
+func TestApplyExchanges(t *testing.T) {
+	ex := []Exchange{{Guard: "Paid", From: "Secret", Adds: []Label{"Licensed"}}}
+	data := NewLabelSet("Secret", "Other")
+
+	// no integrity fact: unchanged, and the very same set is returned
+	out := ApplyExchanges(data, nil, ex)
+	if !out.Equal(data) {
+		t.Errorf("exchange fired without guard: %v", out)
+	}
+
+	// guard present: Secret clause gains the alternative, Other untouched
+	out = ApplyExchanges(data, NewLabelSet("Paid"), ex)
+	if !out.Equal(NewLabelSet("Licensed|Secret", "Other")) {
+		t.Errorf("exchange result = %v", out)
+	}
+	// input never mutated
+	if !data.Equal(NewLabelSet("Secret", "Other")) {
+		t.Errorf("ApplyExchanges mutated its input: %v", data)
+	}
+}
+
+func TestApplyExchangesFixpoint(t *testing.T) {
+	// a cascade: Secret gains Stage1, Stage1 gains Stage2
+	ex := []Exchange{
+		{Guard: "G", From: "Secret", Adds: []Label{"Stage1"}},
+		{Guard: "G", From: "Stage1", Adds: []Label{"Stage2"}},
+	}
+	out := ApplyExchanges(NewLabelSet("Secret"), NewLabelSet("G"), ex)
+	if !out.Equal(NewLabelSet("Secret|Stage1|Stage2")) {
+		t.Errorf("fixpoint result = %v", out)
+	}
+}
+
+func TestDeclassifyDropsMatchingClauses(t *testing.T) {
+	data := NewLabelSet("Secret", "Secret|Backup", "Other")
+	out := Declassify(data, "Secret")
+	if !out.Equal(NewLabelSet("Other")) {
+		t.Errorf("Declassify = %v", out)
+	}
+	if !data.Equal(NewLabelSet("Secret", "Secret|Backup", "Other")) {
+		t.Errorf("Declassify mutated its input: %v", data)
+	}
+	// no match: same set back
+	out = Declassify(data, "NoSuch")
+	if !out.Equal(data) {
+		t.Errorf("no-op Declassify = %v", out)
+	}
+}
+
+func TestValidateCNF(t *testing.T) {
+	bad := []struct {
+		name string
+		ex   []Exchange
+		dec  []Declassifier
+		end  []Endorsement
+	}{
+		{"empty exchange", []Exchange{{}}, nil, nil},
+		{"clause guard", []Exchange{{Guard: "A|B", From: "X", Adds: []Label{"Y"}}}, nil, nil},
+		{"nameless declassifier", nil, []Declassifier{{Removes: "X"}}, nil},
+		{"dup declassifier", nil, []Declassifier{{Name: "d", Removes: "X"}, {Name: "d", Removes: "Y"}}, nil},
+		{"empty endorsement", nil, nil, []Endorsement{{Name: "e"}}},
+		{"dup endorsement", nil, nil, []Endorsement{{Name: "e", Adds: "X"}, {Name: "e", Adds: "Y"}}},
+	}
+	for _, c := range bad {
+		if err := validateCNF(c.ex, c.dec, c.end); err == nil {
+			t.Errorf("%s: validateCNF accepted invalid input", c.name)
+		}
+	}
+	ok := validateCNF(
+		[]Exchange{{Guard: "Paid", From: "Secret", Adds: []Label{"Licensed"}}},
+		[]Declassifier{{Name: "release", Removes: "Secret", Requires: "Audited"}},
+		[]Endorsement{{Name: "audit", Adds: "Audited"}})
+	if ok != nil {
+		t.Errorf("validateCNF rejected valid input: %v", ok)
+	}
+}
+
+func TestFlowAllowedClauses(t *testing.T) {
+	g, err := NewGraph([]Rule{{From: "Public", To: "Secret"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := NewLabelSet("Public")
+
+	// flat Secret: comparable (edge) but not allowed → denied
+	if g.FlowAllowed(NewLabelSet("Secret"), recv, FlowComparable) {
+		t.Error("flat Secret allowed to Public sink")
+	}
+	// clause Secret|Licensed: Licensed is incomparable to Public, so the
+	// clause is satisfiable → allowed in comparable mode
+	if !g.FlowAllowed(NewLabelSet("Licensed|Secret"), recv, FlowComparable) {
+		t.Error("clause with incomparable alternative denied in comparable mode")
+	}
+	// strict mode needs a positive edge: neither atom reaches Public
+	if g.FlowAllowed(NewLabelSet("Licensed|Secret"), recv, FlowStrict) {
+		t.Error("clause allowed in strict mode without a reaching atom")
+	}
+	// strict mode with a reaching alternative
+	g2, err := NewGraph([]Rule{{From: "Secret", To: "Public"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.FlowAllowed(NewLabelSet("Licensed|Secret"), recv, FlowStrict) {
+		t.Error("clause with reaching alternative denied in strict mode")
+	}
+	// AND semantics: every clause must pass
+	if g.FlowAllowed(NewLabelSet("Licensed|Secret", "Secret"), recv, FlowComparable) {
+		t.Error("compound label allowed although one clause is blocked")
+	}
+	// ⊤ anywhere denies outright
+	if g.FlowAllowed(NewLabelSet(Top, "Licensed|Secret"), recv, FlowComparable) {
+		t.Error("⊤ label allowed")
+	}
+}
+
+func TestPolicyCNFAccessorsAndCopies(t *testing.T) {
+	p, err := New(map[string]*Labeller{}, nil, nil, FlowComparable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.HasCNF() {
+		t.Error("flat policy reports HasCNF")
+	}
+	adds := []Label{"Licensed"}
+	exchanges := []Exchange{{Guard: "Paid", From: "Secret", Adds: adds}}
+	decs := []Declassifier{{Name: "release", Removes: "Secret"}}
+	ends := []Endorsement{{Name: "audit", Adds: "Audited"}}
+	if err := p.SetCNF(exchanges, decs, ends); err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasCNF() {
+		t.Error("CNF policy reports !HasCNF")
+	}
+	// caller-side mutation must not reach the policy (the pipeline-cache
+	// aliasing regression)
+	adds[0] = "CORRUPTED"
+	exchanges[0].Guard = "CORRUPTED"
+	decs[0].Removes = "CORRUPTED"
+	if p.Exchanges[0].Adds[0] != "Licensed" || p.Exchanges[0].Guard != "Paid" {
+		t.Errorf("exchange aliased caller storage: %+v", p.Exchanges[0])
+	}
+	if d, ok := p.Declassifier("release"); !ok || d.Removes != "Secret" {
+		t.Errorf("declassifier aliased caller storage: %+v", d)
+	}
+	if _, ok := p.Endorsement("audit"); !ok {
+		t.Error("endorsement lookup failed")
+	}
+	if _, ok := p.Declassifier("nope"); ok {
+		t.Error("unknown declassifier found")
+	}
+}
+
+func TestPolicyNewDefensiveCopies(t *testing.T) {
+	rules := []Rule{{From: "A", To: "B"}}
+	injections := []Injection{{Object: "x", Labeller: "L"}}
+	labellers := map[string]*Labeller{"L": {Name: "L"}}
+	p, err := New(labellers, rules, injections, FlowComparable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules[0].From = "CORRUPTED"
+	injections[0].Object = "CORRUPTED"
+	delete(labellers, "L")
+	if p.Rules[0].From != "A" {
+		t.Errorf("rules aliased: %+v", p.Rules[0])
+	}
+	if p.Injections[0].Object != "x" {
+		t.Errorf("injections aliased: %+v", p.Injections[0])
+	}
+	if _, ok := p.Labellers["L"]; !ok {
+		t.Error("labeller map aliased caller storage")
+	}
+}
+
+func TestParseJSONCNF(t *testing.T) {
+	doc := `{
+	  "labellers": {},
+	  "rules": ["Public -> Secret"],
+	  "injections": [],
+	  "exchanges": [ { "guard": "Paid", "from": "Secret", "adds": ["Licensed"] } ],
+	  "declassifiers": [ { "name": "release", "removes": "Secret", "requires": "Audited" } ],
+	  "endorsements": [ { "name": "audit", "adds": "Audited" } ]
+	}`
+	p, err := ParseJSON([]byte(doc), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.HasCNF() || len(p.Exchanges) != 1 || len(p.Declassifiers) != 1 || len(p.Endorsements) != 1 {
+		t.Errorf("CNF blocks not parsed: %+v", p)
+	}
+	if d, _ := p.Declassifier("release"); d.Requires != "Audited" {
+		t.Errorf("declassifier requires = %q", d.Requires)
+	}
+	// invalid CNF block is rejected at parse time
+	bad := `{"labellers": {}, "rules": [], "declassifiers": [ { "name": "" } ]}`
+	if _, err := ParseJSON([]byte(bad), nil); err == nil {
+		t.Error("invalid declassifier accepted")
+	}
+}

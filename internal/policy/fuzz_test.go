@@ -1,0 +1,57 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzCNFNormalize feeds arbitrary strings through the CNF pipeline:
+// parse → normalize → join → exchange. None of it may panic, normalization
+// must be idempotent, and CNFString/ParseCNF must round-trip on canonical
+// forms.
+func FuzzCNFNormalize(f *testing.F) {
+	f.Add("Secret", "GoogleAuth|UserResource")
+	f.Add("A|B, C", "A")
+	f.Add("", "⊤")
+	f.Add("|||", " , , ")
+	f.Add("A|⊤|A", "⊤|⊤")
+	f.Add("x", strings.Repeat("Z|", 64))
+	f.Add("Paid", "Licensed|Secret")
+	for _, fz := range [][2]string{{"a,b,c,d", "a|b|c|d"}, {"\x00|\xff", "🔒|🔑"}} {
+		f.Add(fz[0], fz[1])
+	}
+	f.Fuzz(func(t *testing.T, sa, sb string) {
+		a, b := ParseCNF(sa), ParseCNF(sb)
+
+		na := NormalizeCNF(a)
+		if again := NormalizeCNF(na); CNFString(again) != CNFString(na) {
+			t.Fatalf("NormalizeCNF not idempotent on %q: %q then %q", sa, CNFString(na), CNFString(again))
+		}
+
+		// round-trip: parsing the canonical rendering is a fixpoint
+		if rt := NormalizeCNF(ParseCNF(CNFString(na))); CNFString(rt) != CNFString(na) {
+			t.Fatalf("CNFString/ParseCNF round-trip drifted on %q: %q vs %q", sa, CNFString(na), CNFString(rt))
+		}
+
+		// joins never panic and normalize consistently in either order
+		l := NormalizeCNF(a.Union(b))
+		r := NormalizeCNF(b.Union(a))
+		if CNFString(l) != CNFString(r) {
+			t.Fatalf("join not commutative under normalization: %q vs %q", CNFString(l), CNFString(r))
+		}
+
+		// exchanges on arbitrary parsed input must terminate and not panic
+		ex := []Exchange{
+			{Guard: "Paid", From: "Secret", Adds: []Label{"Licensed"}},
+			{Guard: "Paid", From: "Licensed", Adds: []Label{"Resold"}},
+		}
+		out := ApplyExchanges(na, NewLabelSet("Paid"), ex)
+		// and stay monotone: never fewer clauses than the input
+		if len(out) != len(na) {
+			t.Fatalf("ApplyExchanges changed clause count on %q: %d -> %d", sa, len(na), len(out))
+		}
+
+		// declassification on arbitrary input must not panic either
+		_ = Declassify(na, "Secret")
+	})
+}

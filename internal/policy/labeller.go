@@ -47,13 +47,63 @@ type Injection struct {
 }
 
 // Policy is a complete IFC policy: labellers, privacy rules (validated into
-// a DAG), and injection points.
+// a DAG), injection points, and the optional CNF extension (exchange
+// rules, declassifiers, endorsements — see cnf.go).
 type Policy struct {
 	Labellers  map[string]*Labeller
 	Rules      []Rule
 	Graph      *Graph
 	Injections []Injection
 	Mode       FlowMode
+
+	// CNF extension; all empty for a flat policy, which keeps the tracker
+	// on the flat fast path (HasCNF reports false).
+	Exchanges     []Exchange
+	Declassifiers map[string]*Declassifier
+	Endorsements  map[string]*Endorsement
+}
+
+// HasCNF reports whether the policy uses the CNF extension. Trackers use
+// this to decide between the flat fast path and the clause-aware path.
+func (p *Policy) HasCNF() bool {
+	return len(p.Exchanges) > 0 || len(p.Declassifiers) > 0 || len(p.Endorsements) > 0
+}
+
+// SetCNF validates and installs the CNF extension. Slices are copied, so
+// the caller's backing arrays are never aliased into the policy — two
+// applications sharing parsed policy parts through the pipeline cache must
+// not be able to corrupt each other's clause lists.
+func (p *Policy) SetCNF(exchanges []Exchange, decs []Declassifier, ends []Endorsement) error {
+	if err := validateCNF(exchanges, decs, ends); err != nil {
+		return err
+	}
+	p.Exchanges = make([]Exchange, len(exchanges))
+	for i, ex := range exchanges {
+		p.Exchanges[i] = Exchange{Guard: ex.Guard, From: ex.From, Adds: append([]Label(nil), ex.Adds...)}
+	}
+	p.Declassifiers = make(map[string]*Declassifier, len(decs))
+	for i := range decs {
+		d := decs[i]
+		p.Declassifiers[d.Name] = &d
+	}
+	p.Endorsements = make(map[string]*Endorsement, len(ends))
+	for i := range ends {
+		e := ends[i]
+		p.Endorsements[e.Name] = &e
+	}
+	return nil
+}
+
+// Declassifier returns the named declassifier, if declared.
+func (p *Policy) Declassifier(name string) (*Declassifier, bool) {
+	d, ok := p.Declassifiers[name]
+	return d, ok
+}
+
+// Endorsement returns the named endorsement, if declared.
+func (p *Policy) Endorsement(name string) (*Endorsement, bool) {
+	e, ok := p.Endorsements[name]
+	return e, ok
 }
 
 // Labeller returns the named labeller, or an error naming the available
@@ -70,7 +120,11 @@ func (p *Policy) Labeller(name string) (*Labeller, error) {
 	return nil, fmt.Errorf("policy: unknown labeller %q (have %v)", name, names)
 }
 
-// New assembles and validates a policy from parts.
+// New assembles and validates a policy from parts. The labeller map and
+// the rule/injection slices are copied: a Policy never aliases its
+// caller's backing storage, so policies built from shared parts (e.g. by a
+// harness reusing one parsed document across cached apps) stay independent
+// of later caller-side mutation.
 func New(labellers map[string]*Labeller, rules []Rule, injections []Injection, mode FlowMode) (*Policy, error) {
 	g, err := NewGraph(rules)
 	if err != nil {
@@ -82,24 +136,29 @@ func New(labellers map[string]*Labeller, rules []Rule, injections []Injection, m
 				inj.Object, inj.File, inj.Line, inj.Labeller)
 		}
 	}
-	if labellers == nil {
-		labellers = map[string]*Labeller{}
+	owned := make(map[string]*Labeller, len(labellers))
+	for name, l := range labellers {
+		owned[name] = l
 	}
 	return &Policy{
-		Labellers:  labellers,
-		Rules:      rules,
+		Labellers:  owned,
+		Rules:      append([]Rule(nil), rules...),
 		Graph:      g,
-		Injections: injections,
+		Injections: append([]Injection(nil), injections...),
 		Mode:       mode,
 	}, nil
 }
 
-// jsonPolicy mirrors the JSON policy document format of Figs. 4 and 7.
+// jsonPolicy mirrors the JSON policy document format of Figs. 4 and 7,
+// plus the CNF extension blocks (all optional).
 type jsonPolicy struct {
-	Labellers  map[string]json.RawMessage `json:"labellers"`
-	Rules      []string                   `json:"rules"`
-	Injections []Injection                `json:"injections"`
-	Mode       string                     `json:"mode,omitempty"`
+	Labellers     map[string]json.RawMessage `json:"labellers"`
+	Rules         []string                   `json:"rules"`
+	Injections    []Injection                `json:"injections"`
+	Mode          string                     `json:"mode,omitempty"`
+	Exchanges     []Exchange                 `json:"exchanges,omitempty"`
+	Declassifiers []Declassifier             `json:"declassifiers,omitempty"`
+	Endorsements  []Endorsement              `json:"endorsements,omitempty"`
 }
 
 // ParseJSON parses a policy document. Leaf label-function sources are
@@ -134,7 +193,14 @@ func ParseJSON(data []byte, compile CompileFunc) (*Policy, error) {
 	default:
 		return nil, fmt.Errorf("policy: unknown mode %q", doc.Mode)
 	}
-	return New(labellers, rules, doc.Injections, mode)
+	p, err := New(labellers, rules, doc.Injections, mode)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.SetCNF(doc.Exchanges, doc.Declassifiers, doc.Endorsements); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 func parseLabeller(raw json.RawMessage, compile CompileFunc) (*Labeller, error) {

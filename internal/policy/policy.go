@@ -362,6 +362,13 @@ func (g *Graph) CacheSize() int {
 // An unlabelled receiver (empty recv) accepts any data in FlowComparable
 // mode — it is an untracked sink and the check sites for it are never
 // instrumented — and rejects labelled data in FlowStrict mode.
+//
+// When data contains OR-clauses (see cnf.go), every clause must be
+// satisfied, and a clause is satisfied when at least one of its
+// alternative atoms would be allowed on its own under the mode. Flat
+// labels are singleton clauses, so the clause semantics coincide with the
+// flat semantics on clause-free sets — which therefore take the original
+// loop verbatim (the Figure-10 fast path).
 func (g *Graph) FlowAllowed(data, recv LabelSet, mode FlowMode) bool {
 	if data.Empty() {
 		return true
@@ -371,6 +378,14 @@ func (g *Graph) FlowAllowed(data, recv LabelSet, mode FlowMode) bool {
 	// purpose as the truncation over-approximation.
 	if data.Contains(Top) {
 		return false
+	}
+	if data.HasClauses() {
+		for p := range data {
+			if !g.clauseAllowed(p, recv, mode) {
+				return false
+			}
+		}
+		return true
 	}
 	switch mode {
 	case FlowStrict:
@@ -400,4 +415,36 @@ func (g *Graph) FlowAllowed(data, recv LabelSet, mode FlowMode) bool {
 		}
 		return true
 	}
+}
+
+// clauseAllowed decides one clause: some alternative atom must pass the
+// mode's per-label test against the receiver. ⊤ is never a usable
+// alternative (it flows nowhere, and in comparable mode its
+// incomparability would fail open), matching the whole-set Contains(Top)
+// guard on the flat path.
+func (g *Graph) clauseAllowed(clause Label, recv LabelSet, mode FlowMode) bool {
+	for _, a := range ClauseAtoms(clause) {
+		if a == Top {
+			continue
+		}
+		if mode == FlowStrict {
+			for q := range recv {
+				if g.CanFlow(a, q) {
+					return true
+				}
+			}
+			continue
+		}
+		blocked := false
+		for q := range recv {
+			if a != q && g.Comparable(a, q) && !g.CanFlow(a, q) {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			return true
+		}
+	}
+	return false
 }

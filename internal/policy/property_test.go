@@ -227,6 +227,265 @@ func TestPropLabelJoinLaws(t *testing.T) {
 	}
 }
 
+// --- CNF lattice properties (cnf.go) -------------------------------------
+
+// randClause draws a random OR-clause over a small atom universe.
+func randClause(rng *rand.Rand) Label {
+	n := 1 + rng.Intn(3)
+	atoms := make([]Label, 0, n)
+	for i := 0; i < n; i++ {
+		atoms = append(atoms, Label(fmt.Sprintf("C%d", rng.Intn(6))))
+	}
+	return MakeClause(atoms...)
+}
+
+// randCNF draws a random conjunction of random clauses (nil included).
+func randCNF(rng *rand.Rand) LabelSet {
+	if rng.Intn(8) == 0 {
+		return nil
+	}
+	s := NewLabelSet()
+	for i, n := 0, rng.Intn(4); i < n; i++ {
+		s[randClause(rng)] = struct{}{}
+	}
+	return s
+}
+
+// TestPropCNFJoinLaws checks that the clause-concatenation join (Union over
+// clause-bearing sets) obeys the lattice laws under canonical forms, and
+// that normalization is idempotent and compatible with the join:
+// normalizing before or after joining lands on the same canonical CNF.
+func TestPropCNFJoinLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		a, b, c := randCNF(rng), randCNF(rng), randCNF(rng)
+
+		if ab, ba := a.Union(b), b.Union(a); CNFString(NormalizeCNF(ab)) != CNFString(NormalizeCNF(ba)) {
+			t.Fatalf("join commutativity: %v vs %v", ab, ba)
+		}
+		if l, r := a.Union(b).Union(c), a.Union(b.Union(c)); CNFString(NormalizeCNF(l)) != CNFString(NormalizeCNF(r)) {
+			t.Fatalf("join associativity: %v vs %v", l, r)
+		}
+		if aa := a.Union(a); CNFString(NormalizeCNF(aa)) != CNFString(NormalizeCNF(a)) {
+			t.Fatalf("join idempotence: %v vs %v", aa, a)
+		}
+
+		na := NormalizeCNF(a)
+		if again := NormalizeCNF(na); CNFString(again) != CNFString(na) {
+			t.Fatalf("NormalizeCNF not idempotent: %v then %v", na, again)
+		}
+		// join of normal forms ≡ normal form of join
+		if l, r := NormalizeCNF(a.Union(b)), NormalizeCNF(NormalizeCNF(a).Union(NormalizeCNF(b))); CNFString(l) != CNFString(r) {
+			t.Fatalf("normalization incompatible with join: %v vs %v", l, r)
+		}
+		// normalization only removes redundant (absorbed) clauses: every
+		// surviving clause was in the input
+		for cl := range na {
+			if !a.Contains(cl) {
+				t.Fatalf("NormalizeCNF invented clause %q from %v", cl, a)
+			}
+		}
+	}
+}
+
+// TestPropClauseCanonicalForm checks MakeClause/NormalizeClause produce a
+// canonical form: sorted, deduplicated, idempotent under re-normalization,
+// and order-insensitive in the input.
+func TestPropClauseCanonicalForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 500; i++ {
+		n := 1 + rng.Intn(4)
+		atoms := make([]Label, n)
+		for j := range atoms {
+			atoms[j] = Label(fmt.Sprintf("C%d", rng.Intn(5)))
+		}
+		c := MakeClause(atoms...)
+		if NormalizeClause(c) != c {
+			t.Fatalf("MakeClause(%v) = %q is not normal", atoms, c)
+		}
+		// input order must not matter
+		perm := rng.Perm(n)
+		shuffled := make([]Label, n)
+		for j, p := range perm {
+			shuffled[j] = atoms[p]
+		}
+		if c2 := MakeClause(shuffled...); c2 != c {
+			t.Fatalf("MakeClause order-sensitive: %v -> %q, %v -> %q", atoms, c, shuffled, c2)
+		}
+		// atoms of the canonical clause are strictly increasing (sorted, deduped)
+		as := ClauseAtoms(c)
+		for j := 1; j < len(as); j++ {
+			if !(as[j-1] < as[j]) {
+				t.Fatalf("clause %q atoms not strictly sorted: %v", c, as)
+			}
+		}
+	}
+}
+
+// TestPropFlatSingletonEquivalence is the flat ≡ CNF-singleton differential:
+// rewriting every flat label l as the (unnormalized) singleton clause "l|l"
+// forces FlowAllowed onto the clause path, which must reach the same
+// decision as the flat fast path for every graph, receiver and mode.
+func TestPropFlatSingletonEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(3000 + seed))
+		rules := randRules(rng, 2+rng.Intn(6), 1+rng.Intn(10), false)
+		g, err := NewGraph(rules)
+		if err != nil {
+			t.Fatal(err)
+		}
+		labelOf := func() LabelSet {
+			s := NewLabelSet()
+			for i, n := 0, rng.Intn(4); i < n; i++ {
+				s[Label(fmt.Sprintf("L%02d", rng.Intn(8)))] = struct{}{}
+			}
+			return s
+		}
+		for i := 0; i < 60; i++ {
+			data, recv := labelOf(), labelOf()
+			dup := NewLabelSet()
+			for l := range data {
+				dup[l+Label(ClauseSep)+l] = struct{}{}
+			}
+			if !data.Empty() && !dup.HasClauses() {
+				t.Fatal("dup set did not take the clause path; property untested")
+			}
+			for _, mode := range []FlowMode{FlowComparable, FlowStrict} {
+				flat := g.FlowAllowed(data, recv, mode)
+				clause := g.FlowAllowed(dup, recv, mode)
+				if flat != clause {
+					t.Fatalf("seed %d mode %v: flat %v vs singleton-clause %v for data %v recv %v",
+						seed, mode, flat, clause, data, recv)
+				}
+			}
+		}
+	}
+}
+
+// TestPropMirrorEquivalence checks the construction the corpus-wide
+// differential harness relies on: replacing every flat label l with the
+// clause "l|l_M" under a graph extended with an isomorphic mirrored copy of
+// the rules (and receivers extended with their mirrors) decides identically
+// to the flat original in both modes.
+func TestPropMirrorEquivalence(t *testing.T) {
+	mirror := func(l Label) Label { return l + "M" }
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(4000 + seed))
+		rules := randRules(rng, 2+rng.Intn(6), 1+rng.Intn(10), false)
+		g, err := NewGraph(rules)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mirrored := make([]Rule, 0, 2*len(rules))
+		for _, r := range rules {
+			mirrored = append(mirrored, r, Rule{From: mirror(r.From), To: mirror(r.To)})
+		}
+		g2, err := NewGraph(mirrored)
+		if err != nil {
+			t.Fatal(err)
+		}
+		labelOf := func() LabelSet {
+			s := NewLabelSet()
+			for i, n := 0, rng.Intn(4); i < n; i++ {
+				s[Label(fmt.Sprintf("L%02d", rng.Intn(8)))] = struct{}{}
+			}
+			return s
+		}
+		for i := 0; i < 60; i++ {
+			data, recv := labelOf(), labelOf()
+			dataM := NewLabelSet()
+			for l := range data {
+				dataM[MakeClause(l, mirror(l))] = struct{}{}
+			}
+			recvM := recv.Clone()
+			if recvM == nil {
+				recvM = NewLabelSet()
+			}
+			for l := range recv {
+				recvM[mirror(l)] = struct{}{}
+			}
+			for _, mode := range []FlowMode{FlowComparable, FlowStrict} {
+				flat := g.FlowAllowed(data, recv, mode)
+				cnf := g2.FlowAllowed(dataM, recvM, mode)
+				if flat != cnf {
+					t.Fatalf("seed %d mode %v: flat %v vs mirrored-CNF %v for data %v recv %v",
+						seed, mode, flat, cnf, data, recv)
+				}
+			}
+		}
+	}
+}
+
+// TestPropExchangeMonotonicity checks that integrity-guarded exchanges only
+// weaken labels: every output clause extends an input clause with extra
+// alternatives, and a flow that was allowed before applying exchanges is
+// still allowed afterwards (exchanges can never turn an allowed flow into a
+// denial, only unlock previously-denied ones).
+func TestPropExchangeMonotonicity(t *testing.T) {
+	atom := func(rng *rand.Rand) Label { return Label(fmt.Sprintf("C%d", rng.Intn(6))) }
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(5000 + seed))
+		var ex []Exchange
+		for i, n := 0, 1+rng.Intn(4); i < n; i++ {
+			adds := []Label{atom(rng)}
+			if rng.Intn(2) == 0 {
+				adds = append(adds, atom(rng))
+			}
+			ex = append(ex, Exchange{Guard: Label(fmt.Sprintf("G%d", rng.Intn(3))), From: atom(rng), Adds: adds})
+		}
+		var rules []Rule
+		for i, n := 0, 1+rng.Intn(8); i < n; i++ {
+			a, b := rng.Intn(6), rng.Intn(6)
+			if a >= b {
+				continue
+			}
+			rules = append(rules, Rule{From: Label(fmt.Sprintf("C%d", a)), To: Label(fmt.Sprintf("C%d", b))})
+		}
+		g, err := NewGraph(rules)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 60; i++ {
+			data := randCNF(rng)
+			integ := NewLabelSet()
+			for j, n := 0, rng.Intn(3); j < n; j++ {
+				integ[Label(fmt.Sprintf("G%d", rng.Intn(3)))] = struct{}{}
+			}
+			out := ApplyExchanges(data, integ, ex)
+			// structural monotonicity: every input clause grew (or stayed)
+			for cl := range data {
+				found := false
+				in := ClauseAtoms(NormalizeClause(cl))
+			candidates:
+				for ocl := range out {
+					os := NewLabelSet(ClauseAtoms(ocl)...)
+					for _, a := range in {
+						if !os.Contains(a) {
+							continue candidates
+						}
+					}
+					found = true
+					break
+				}
+				if !found {
+					t.Fatalf("seed %d: no output clause extends input clause %q (in %v, out %v)", seed, cl, data, out)
+				}
+			}
+			// decision monotonicity: allowed stays allowed
+			recv := NewLabelSet()
+			for j, n := 0, rng.Intn(3); j < n; j++ {
+				recv[atom(rng)] = struct{}{}
+			}
+			for _, mode := range []FlowMode{FlowComparable, FlowStrict} {
+				if g.FlowAllowed(data, recv, mode) && !g.FlowAllowed(out, recv, mode) {
+					t.Fatalf("seed %d mode %v: exchange turned allowed into denied (data %v, out %v, recv %v, integ %v)",
+						seed, mode, data, out, recv, integ)
+				}
+			}
+		}
+	}
+}
+
 // TestPropFlowAllowedModes cross-checks the compound-label comparison of
 // FlowAllowed against a direct re-statement of its definition for both
 // modes, over random graphs and label sets.

@@ -144,6 +144,22 @@ func (a *analyzer) evalCall(x *ast.CallExpr, env *aenv) *aval {
 	var fnVal *aval
 	switch callee := x.Callee.(type) {
 	case *ast.Ident:
+		// declassify(v, name) / endorse(v, name) are tracker host functions
+		// and identity-shaped: the result is the argument itself. Whether a
+		// downgrade is honored is decided dynamically (robust
+		// declassification), so the static pass conservatively keeps the
+		// argument's taint and shape — the tainted-args mark above already
+		// put the call on the instrumented path. A user binding shadowing
+		// the name takes the normal lookup route.
+		if callee.Name == "declassify" || callee.Name == "endorse" {
+			if shadow, defined := env.lookup(callee.Name); !defined || shadow == nil {
+				if len(args) > 0 && args[0] != nil {
+					a.markValue(args[0], x)
+					return args[0]
+				}
+				return newAval("prim")
+			}
+		}
 		fnVal, _ = env.lookup(callee.Name)
 	case *ast.MemberExpr:
 		// computed: foo[x](y) — sound over-approximation: invoke every

@@ -39,6 +39,22 @@ go run ./cmd/turnstile-bench -crash -parallel 1 > /tmp/turnstile-crash-b.txt
 cmp /tmp/turnstile-crash-a.txt /tmp/turnstile-crash-b.txt
 rm -f /tmp/turnstile-crash-a.txt /tmp/turnstile-crash-b.txt
 
+echo "== attack-corpus gate (zero missed must-catch flows, differing -parallel)"
+go run ./cmd/turnstile-bench -attack > /tmp/turnstile-attack-a.txt
+go run ./cmd/turnstile-bench -attack -parallel 1 > /tmp/turnstile-attack-b.txt
+cmp /tmp/turnstile-attack-a.txt /tmp/turnstile-attack-b.txt
+grep -q "precision 1.000  recall 1.000" /tmp/turnstile-attack-a.txt
+rm -f /tmp/turnstile-attack-a.txt /tmp/turnstile-attack-b.txt
+
+echo "== resolver differential: attack corpus, slot env vs -noresolve map walk"
+go run ./cmd/turnstile-bench -attack > /tmp/turnstile-resattack-a.txt
+go run ./cmd/turnstile-bench -attack -noresolve > /tmp/turnstile-resattack-b.txt
+cmp /tmp/turnstile-resattack-a.txt /tmp/turnstile-resattack-b.txt
+rm -f /tmp/turnstile-resattack-a.txt /tmp/turnstile-resattack-b.txt
+
+echo "== CNF fuzz smoke (normalize/join/exchange laws)"
+go test ./internal/policy -run '^$' -fuzz FuzzCNFNormalize -fuzztime 5s -race
+
 echo "== resolver differential: chaos report, slot env vs -noresolve map walk"
 go run ./cmd/turnstile-bench -chaos -faultseed 7 -messages 20 \
   -apps modbus,sensor-logger,thermostat-hub > /tmp/turnstile-resolve-a.txt
