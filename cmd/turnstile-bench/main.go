@@ -44,6 +44,15 @@
 // hatch). -bench runs the slot-env vs map-walk interpreter
 // microbenchmarks (-benchrepeats best-of repeats) and -benchout FILE
 // writes the report JSON (the committed BENCH_*.json artifacts).
+//
+// Serve mode: -serve runs the multi-tenant daemon soak — -servetenants
+// well-behaved corpus tenants (plus the hostile crash+attack tenant
+// unless -servehostile=false) driven through -servemessages arrivals each
+// on the virtual clock — and prints the per-tenant table with sustained
+// msg/s, p50/p99 latency and shed/denied/violation counts. -serveseed N
+// selects the arrival traces; the report and the -serveout FILE JSON
+// artifact (the committed BENCH_serve.json) are byte-identical for a
+// fixed seed at any -parallel level.
 package main
 
 import (
@@ -86,6 +95,12 @@ func main() {
 	bench := flag.Bool("bench", false, "run the slot-env vs map-walk interpreter microbenchmarks")
 	benchOut := flag.String("benchout", "", "also write the microbenchmark report JSON to this file (e.g. BENCH_baseline.json)")
 	benchRepeats := flag.Int("benchrepeats", 5, "best-of repeats per microbenchmark mode")
+	serveSoak := flag.Bool("serve", false, "run the multi-tenant serve-daemon soak")
+	serveTenants := flag.Int("servetenants", 4, "well-behaved tenant count for the soak")
+	serveMessages := flag.Int("servemessages", 60, "messages per tenant for the soak")
+	serveSeed := flag.Int64("serveseed", 1, "arrival-trace seed for the soak")
+	serveHostile := flag.Bool("servehostile", true, "include the hostile crash+attack tenant in the soak")
+	serveOut := flag.String("serveout", "", "also write the soak report JSON to this file (e.g. BENCH_serve.json)")
 	flag.Parse()
 
 	if *profileOut != "" {
@@ -114,9 +129,30 @@ func main() {
 	if *all {
 		*table2, *fig10, *fig11, *fig12, *chaos, *crash, *attack, *metrics = true, true, true, true, true, true, true, true
 	}
-	if !*table2 && !*fig10 && !*fig11 && !*fig12 && !*chaos && !*crash && !*attack && !*metrics && !*bench {
+	if !*table2 && !*fig10 && !*fig11 && !*fig12 && !*chaos && !*crash && !*attack && !*metrics && !*bench && !*serveSoak {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *serveSoak {
+		res, err := harness.RunServeSoak(harness.ServeSoakOptions{
+			Tenants: *serveTenants, Messages: *serveMessages, Seed: *serveSeed,
+			Hostile: *serveHostile, Parallel: *parallel,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(harness.RenderServeSoak(res))
+		if *serveOut != "" {
+			data, err := harness.ExportServeSoakJSON(res)
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*serveOut, data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *serveOut)
+		}
 	}
 
 	if *bench {

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"turnstile/internal/interp"
+	"turnstile/internal/nodered"
+)
+
+// cmdDLQ deploys a flow on the queued (bounded-mailbox) engine, drives it,
+// and then lists — and optionally replays — the dead-letter queue:
+//
+//	turnstile dlq -flow flow.json [-inject ID] [-messages N] [-cap N]
+//	              [-restartbase N] [-advance N] [-replay] node1.js...
+//
+// Replay re-enqueues every shed message in shed order under a fresh drain
+// budget; it is refused while any node's breaker is open, so pair -replay
+// with -advance to let the supervisor's cooldown elapse first.
+func cmdDLQ(args []string) error {
+	fs := flag.NewFlagSet("dlq", flag.ExitOnError)
+	flowPath := fs.String("flow", "", "flow definition JSON (required)")
+	injectNode := fs.String("inject", "", "node ID to inject messages into (default: first node)")
+	messages := fs.Int("messages", 5, "number of messages to inject")
+	payload := fs.String("payload", "msg-%d", "payload format (one %d verb)")
+	mailboxCap := fs.Int("cap", 4, "per-node mailbox capacity (queued engine)")
+	restartBase := fs.Int64("restartbase", 100, "supervisor restart backoff base in virtual ticks (0 = no supervisor)")
+	advance := fs.Int64("advance", 0, "advance the virtual clock N ticks before replay")
+	replay := fs.Bool("replay", false, "re-enqueue the dead-letter queue after listing it")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *flowPath == "" {
+		return fmt.Errorf("dlq: -flow is required")
+	}
+	flowData, err := os.ReadFile(*flowPath)
+	if err != nil {
+		return err
+	}
+	flow, err := nodered.ParseFlowJSON(flowData)
+	if err != nil {
+		return err
+	}
+	pkgPaths := fs.Args()
+	if len(pkgPaths) == 0 {
+		return fmt.Errorf("dlq: no node package files given")
+	}
+	sort.Strings(pkgPaths)
+
+	ip := interp.New()
+	rt := nodered.New(ip)
+	rt.MailboxCap = *mailboxCap
+	rt.RestartBase = *restartBase
+	for _, p := range pkgPaths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		if err := rt.LoadPackage(p, string(data)); err != nil {
+			return err
+		}
+	}
+	if err := rt.Deploy(flow); err != nil {
+		return err
+	}
+	target := *injectNode
+	if target == "" {
+		target = flow.Nodes[0].ID
+	}
+	for i := 0; i < *messages; i++ {
+		msg := interp.NewObject()
+		msg.Set("payload", fmt.Sprintf(*payload, i))
+		if err := rt.Inject(target, msg); err != nil {
+			fmt.Printf("message %d failed: %v\n", i, err)
+		}
+	}
+	fmt.Printf("injected %d message(s) into %q: %d delivered, %d dead-lettered\n",
+		*messages, target, len(rt.Deliveries), len(rt.DeadLetters))
+	for i, d := range rt.DeadLetters {
+		fmt.Printf("  dlq[%d] node=%s reason=%s payload=%v\n", i, d.NodeID, d.Reason, payloadOf(d.Msg))
+	}
+	if !*replay {
+		return nil
+	}
+	if *advance > 0 {
+		ip.Clock.Advance(*advance)
+		fmt.Printf("advanced virtual clock %d tick(s) (now %d)\n", *advance, ip.Clock.Now())
+	}
+	n, err := rt.ReplayDeadLetters()
+	if err != nil {
+		return fmt.Errorf("dlq: %w", err)
+	}
+	fmt.Printf("replayed %d message(s): %d now delivered, %d re-dead-lettered, %d probe(s)\n",
+		n, len(rt.Deliveries), len(rt.DeadLetters), rt.Health.Probes)
+	return nil
+}
+
+// payloadOf extracts msg.payload for display, falling back to the whole
+// value.
+func payloadOf(v interp.Value) interp.Value {
+	if obj, ok := v.(*interp.Object); ok {
+		if p, ok := obj.Get("payload"); ok {
+			return p
+		}
+	}
+	return v
+}

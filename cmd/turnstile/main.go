@@ -60,6 +60,10 @@ func main() {
 		err = cmdAttack(os.Args[2:])
 	case "flow":
 		err = cmdFlow(os.Args[2:])
+	case "dlq":
+		err = cmdDLQ(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -86,7 +90,9 @@ func usage() {
   turnstile check-policy <policy.json>                validate an IFC policy
   turnstile corpus [name]                             list the evaluation corpus / dump one app
   turnstile attack [name | -run]                      list the adversarial attack corpus / dump one app / score it
-  turnstile flow -flow f.json [-policy p.json] [-inject ID] <pkg.js>...   deploy and drive a Node-RED flow`)
+  turnstile flow -flow f.json [-policy p.json] [-inject ID] <pkg.js>...   deploy and drive a Node-RED flow
+  turnstile dlq -flow f.json [-cap N] [-replay] [-advance N] <pkg.js>...  list / replay a flow's dead-letter queue
+  turnstile serve [-tenants N] [-hostile] [-messages N] [-seed N]         host the multi-tenant serve daemon demo`)
 }
 
 // readSources loads and parses the input files, fanning the per-file work

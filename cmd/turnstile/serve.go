@@ -1,0 +1,57 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"turnstile/internal/harness"
+	"turnstile/internal/serve"
+	"turnstile/internal/telemetry"
+)
+
+// cmdServe hosts a multi-tenant fleet on the serve daemon: n well-behaved
+// corpus tenants (optionally joined by the hostile crash+attack tenant)
+// driven to completion — arrivals, admission, shedding, drain — on the
+// virtual clock, with the per-tenant summary table and the telemetry
+// flush printed at the end. Deterministic for a fixed -seed at any
+// -parallel level.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	tenants := fs.Int("tenants", 4, "well-behaved tenant count (corpus apps, round-robin)")
+	messages := fs.Int("messages", 40, "messages per tenant")
+	seed := fs.Int64("seed", 1, "arrival-trace seed")
+	hostile := fs.Bool("hostile", false, "add the adversarial crash+attack tenant")
+	parallel := fs.Int("parallel", 1, "tenant worker count")
+	metrics := fs.Bool("metrics", false, "print the serve.* telemetry counters")
+	dlq := fs.Bool("dlq", false, "list every tenant's dead-letter queue")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var m *telemetry.Metrics
+	if *metrics {
+		m = telemetry.NewMetrics()
+	}
+	fleet, err := harness.BuildServeFleet(harness.ServeFleetOptions{
+		Tenants: *tenants, Messages: *messages, Seed: *seed, Hostile: *hostile, Metrics: m,
+	})
+	if err != nil {
+		return err
+	}
+	rep, err := (&serve.Server{Tenants: fleet}).Run(*parallel)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Render())
+	if *dlq {
+		for _, t := range rep.Tenants {
+			for _, d := range t.DLQ {
+				fmt.Printf("dlq %s idx=%d arrival=%d reason=%s payload=%s\n",
+					t.Name, d.Idx, d.Arrival, d.Reason, d.Payload)
+			}
+		}
+	}
+	if m != nil {
+		fmt.Print(m.Render())
+	}
+	return nil
+}

@@ -280,6 +280,26 @@ func NewTracker(p *policy.Policy, adapter ValueAdapter) *Tracker {
 	return t
 }
 
+// SwapPolicy atomically replaces the tracker's policy — the serve
+// daemon's hot-reload primitive, called only between messages (the
+// tracker, like its interpreter, is single-threaded, so "between
+// messages" is all the atomicity there is). Existing value labels are
+// kept: labels name information categories, and a new policy reinterprets
+// the same categories with new rules. The CNF gate and property lister
+// are recomputed from the new policy, and the reachability-cache telemetry
+// is re-bound so cache counters follow the live graph.
+func (t *Tracker) SwapPolicy(p *policy.Policy) {
+	t.Policy = p
+	t.cnf = p != nil && p.HasCNF()
+	t.props = nil
+	if t.cnf {
+		t.props, _ = t.Adapter.(PropertyLister)
+	}
+	if h := t.tel; h != nil && h.metrics != nil && p != nil && p.Graph != nil {
+		p.Graph.SetMetrics(h.metrics)
+	}
+}
+
 // Violations returns the violations recorded so far.
 func (t *Tracker) Violations() []*Violation { return t.violations }
 

@@ -217,6 +217,49 @@ func Retry(clock *Clock, attempts int, base int64, fn func() error) error {
 	return err
 }
 
+// Retry is the jittered twin of the package-level Retry for callers that
+// hold an Injector. The i-th backoff is the nominal exponential value
+// (base·2^i) scattered into [nominal/2, 3·nominal/2) by a hash of
+// (injector seed, key, attempt), so a fleet of tenants that shed and
+// retry at the same virtual tick desynchronizes instead of stampeding —
+// yet the whole schedule is a pure function of the seed and key and
+// replays byte-identically.
+func (in *Injector) Retry(attempts int, base int64, key string, fn func() error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		if i < attempts-1 {
+			in.clock.Advance(in.RetryBackoff(base, key, i))
+		}
+	}
+	return err
+}
+
+// RetryBackoff returns the deterministic jittered backoff for the
+// attempt-th retry (0-based) of the operation named key, without
+// performing it — exposed so tests and schedulers can predict the exact
+// schedule a seed produces.
+func (in *Injector) RetryBackoff(base int64, key string, attempt int) int64 {
+	if base < 1 {
+		base = 1
+	}
+	nominal := base
+	for i := 0; i < attempt && nominal < 1<<40; i++ {
+		nominal *= 2
+	}
+	h := splitmix64(in.seed ^ hashString(key) ^ splitmix64(uint64(attempt)+0x52455452)) // "RETR"
+	jittered := nominal/2 + int64(h%uint64(nominal))
+	if jittered < 1 {
+		jittered = 1
+	}
+	return jittered
+}
+
 // splitmix64 is the SplitMix64 mixing function — platform-stable, no
 // dependence on math/rand internals that could change between Go releases.
 func splitmix64(x uint64) uint64 {

@@ -243,6 +243,82 @@ func TestRetryBackoffOnVirtualClock(t *testing.T) {
 	}
 }
 
+func TestJitteredRetryReproducesExactSchedule(t *testing.T) {
+	// One seed must yield the exact same jittered backoff schedule on
+	// every run — the fleet desynchronizes, the replay stays byte-stable.
+	schedule := func(seed int64, key string) []int64 {
+		in := NewInjector(&Schedule{Seed: seed}, NewClock())
+		var waits []int64
+		prev := int64(0)
+		_ = in.Retry(5, 100, key, func() error {
+			now := in.Clock().Now()
+			waits = append(waits, now-prev)
+			prev = now
+			return errors.New("always")
+		})
+		return waits[1:] // first element is the zero-wait initial attempt
+	}
+	a := schedule(7, "tenantA/flow1")
+	b := schedule(7, "tenantA/flow1")
+	if len(a) != 4 {
+		t.Fatalf("want 4 waits, got %v", a)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("wait %d differs across runs: %d vs %d", i, a[i], b[i])
+		}
+	}
+	// each wait stays inside the jitter window [nominal/2, 3·nominal/2)
+	nominal := int64(100)
+	for i, w := range a {
+		if w < nominal/2 || w >= nominal+nominal/2 {
+			t.Fatalf("wait %d = %d outside [%d, %d)", i, w, nominal/2, nominal+nominal/2)
+		}
+		nominal *= 2
+	}
+	// and the waits match the predictable per-attempt formula
+	in := NewInjector(&Schedule{Seed: 7}, nil)
+	for i, w := range a {
+		if got := in.RetryBackoff(100, "tenantA/flow1", i); got != w {
+			t.Fatalf("RetryBackoff(%d) = %d, observed %d", i, got, w)
+		}
+	}
+	// different seeds and different keys decorrelate the schedule
+	same := func(x, y []int64) bool {
+		for i := range x {
+			if x[i] != y[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if same(a, schedule(8, "tenantA/flow1")) {
+		t.Fatal("seed change left the schedule identical")
+	}
+	if same(a, schedule(7, "tenantB/flow1")) {
+		t.Fatal("key change left the schedule identical")
+	}
+}
+
+func TestJitteredRetrySucceedsMidSchedule(t *testing.T) {
+	in := NewInjector(&Schedule{Seed: 3}, NewClock())
+	calls := 0
+	err := in.Retry(5, 10, "k", func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("flaky")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+	want := in.RetryBackoff(10, "k", 0) + in.RetryBackoff(10, "k", 1)
+	if in.Clock().Now() != want {
+		t.Fatalf("clock = %d, want %d", in.Clock().Now(), want)
+	}
+}
+
 func TestGenerateDeterministicPerNameAndSeed(t *testing.T) {
 	a, _ := Generate(9, "modbus").Marshal()
 	b, _ := Generate(9, "modbus").Marshal()

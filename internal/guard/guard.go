@@ -127,6 +127,10 @@ type Guard struct {
 	depth     int64
 	allocUsed int64
 	tripped   *BudgetError
+	// deadlineBase rebases the deadline window: the budget trips when the
+	// clock passes deadlineBase + DeadlineTicks. Zero until Reset, so a
+	// guard that is never reset keeps the original birth-relative window.
+	deadlineBase int64
 
 	// OnTrip, when set, observes the first budget trip (the fail-closed
 	// integration point: the interpreter poisons the tracker here).
@@ -206,6 +210,27 @@ func (g *Guard) Depth() int64 {
 	return g.depth
 }
 
+// Reset clears the used budgets and the sticky trip, opening a fresh
+// budget epoch with the same limits — the serve daemon calls this between
+// messages so one message's exhaustion cannot starve every message after
+// it. The deadline window is rebased to the current virtual-clock
+// reading: DeadlineTicks of D now trips D ticks from the reset, not D
+// ticks from interpreter birth. Depth is cleared too; between messages a
+// well-nested interpreter is back at depth zero, and a trip mid-call can
+// leave unpaired Enters behind.
+func (g *Guard) Reset() {
+	if g == nil {
+		return
+	}
+	g.fuelUsed = 0
+	g.allocUsed = 0
+	g.depth = 0
+	g.tripped = nil
+	if g.lim.Now != nil {
+		g.deadlineBase = g.lim.Now()
+	}
+}
+
 // trip records the first budget error and returns the sticky error.
 func (g *Guard) trip(kind Kind, limit, used int64, site string, c *telemetry.Counter) *BudgetError {
 	if g.tripped == nil {
@@ -239,7 +264,7 @@ func (g *Guard) Step(n int64, site string) error {
 		return g.trip(KindFuel, g.lim.Fuel, g.fuelUsed, site, g.telFuel)
 	}
 	if g.lim.DeadlineTicks > 0 && g.lim.Now != nil && g.fuelUsed%deadlineCheckInterval == 0 {
-		if now := g.lim.Now(); now > g.lim.DeadlineTicks {
+		if now := g.lim.Now(); now-g.deadlineBase > g.lim.DeadlineTicks {
 			return g.trip(KindDeadline, g.lim.DeadlineTicks, now, site, g.telDeadline)
 		}
 	}
@@ -256,7 +281,7 @@ func (g *Guard) CheckDeadline(site string) error {
 		return g.tripped
 	}
 	if g.lim.DeadlineTicks > 0 && g.lim.Now != nil {
-		if now := g.lim.Now(); now > g.lim.DeadlineTicks {
+		if now := g.lim.Now(); now-g.deadlineBase > g.lim.DeadlineTicks {
 			return g.trip(KindDeadline, g.lim.DeadlineTicks, now, site, g.telDeadline)
 		}
 	}

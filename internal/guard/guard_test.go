@@ -232,3 +232,49 @@ func TestContain(t *testing.T) {
 		t.Fatalf("inner PipelineError not preserved: %#v", err)
 	}
 }
+
+func TestResetOpensFreshBudgetEpoch(t *testing.T) {
+	var now int64
+	g := New(Limits{Fuel: 10, MaxAlloc: 50, MaxDepth: 3, DeadlineTicks: 100, Now: func() int64 { return now }})
+	if err := g.Step(11, "a"); err == nil {
+		t.Fatal("fuel not tripped")
+	}
+	if g.Tripped() == nil {
+		t.Fatal("trip not sticky before reset")
+	}
+	g.Reset()
+	if g.Tripped() != nil || g.FuelUsed() != 0 || g.AllocUsed() != 0 || g.Depth() != 0 {
+		t.Fatalf("reset left residue: tripped=%v fuel=%d alloc=%d depth=%d",
+			g.Tripped(), g.FuelUsed(), g.AllocUsed(), g.Depth())
+	}
+	if err := g.Step(9, "b"); err != nil {
+		t.Fatalf("fresh epoch charged against old usage: %v", err)
+	}
+}
+
+func TestResetRebasesDeadlineWindow(t *testing.T) {
+	var now int64
+	g := New(Limits{DeadlineTicks: 100, Now: func() int64 { return now }})
+	now = 150
+	if err := g.CheckDeadline("a"); err == nil {
+		t.Fatal("deadline not tripped 150 ticks from birth")
+	}
+	g.Reset()
+	now = 240
+	if err := g.CheckDeadline("b"); err != nil {
+		t.Fatalf("deadline measured from birth, not from reset: %v", err)
+	}
+	now = 251
+	if err := g.CheckDeadline("c"); err == nil {
+		t.Fatal("rebased deadline never tripped")
+	}
+	var be *BudgetError
+	if !errors.As(g.Tripped(), &be) || be.Kind != KindDeadline {
+		t.Fatalf("tripped = %v, want deadline kind", g.Tripped())
+	}
+}
+
+func TestResetOnNilGuard(t *testing.T) {
+	var g *Guard
+	g.Reset() // must not panic
+}

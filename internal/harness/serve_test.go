@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestServeIsolationBattery is the PR's headline gate: a hostile tenant
+// detonating the crash and attack corpora next to well-behaved tenants
+// must leave every neighbour's complete account — fingerprint, counters,
+// clock, p50/p99 — byte-identical to a solo run, at worker counts 1
+// and 8.
+func TestServeIsolationBattery(t *testing.T) {
+	res, err := RunServeIsolation(ServeIsolationOptions{Tenants: 3, Messages: 12, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Passed != len(res.Tenants) || len(res.Tenants) != 3 {
+		t.Fatalf("isolation battery: %d/%d tenants isolated\n%s",
+			res.Passed, len(res.Tenants), RenderServeIsolation(res))
+	}
+	if !res.HostileDeterministic {
+		t.Fatalf("hostile tenant nondeterministic across worker counts\n%s", RenderServeIsolation(res))
+	}
+}
+
+// TestServeSoakDeterministic: the soak summary — render and JSON artifact
+// — is byte-identical for a fixed seed at any worker count.
+func TestServeSoakDeterministic(t *testing.T) {
+	run := func(parallel int) (string, []byte) {
+		res, err := RunServeSoak(ServeSoakOptions{
+			Tenants: 3, Messages: 15, Seed: 9, Hostile: true, Parallel: parallel,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := ExportServeSoakJSON(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RenderServeSoak(res), data
+	}
+	r1, j1 := run(1)
+	r8, j8 := run(8)
+	if r1 != r8 {
+		t.Fatalf("soak render diverged across worker counts:\n%s\nvs\n%s", r1, r8)
+	}
+	if !bytes.Equal(j1, j8) {
+		t.Fatalf("soak JSON diverged across worker counts:\n%s\nvs\n%s", j1, j8)
+	}
+}
+
+// TestHostileDriverDeterministic: the hostile tenant's own record is a
+// pure function of the message index sequence.
+func TestHostileDriverDeterministic(t *testing.T) {
+	run := func() (string, []string) {
+		d := NewHostileDriver()
+		var kinds []string
+		for i := 0; i < 8; i++ {
+			out := d.Process(i, "x")
+			kinds = append(kinds, string(out.Kind))
+			if out.Steps != hostileSteps {
+				t.Fatalf("message %d: steps = %d, want the fixed synthetic cost %d", i, out.Steps, hostileSteps)
+			}
+		}
+		return d.Fingerprint(), kinds
+	}
+	f1, k1 := run()
+	f2, k2 := run()
+	if f1 != f2 {
+		t.Fatalf("hostile fingerprints diverged:\n%s\nvs\n%s", f1, f2)
+	}
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatalf("message %d outcome diverged: %s vs %s", i, k1[i], k2[i])
+		}
+	}
+	// the crash corpus must actually detonate: budget kills and violations
+	// should both appear in the first few messages
+	var sawBudget, sawViolation bool
+	for _, k := range k1 {
+		switch k {
+		case "budget":
+			sawBudget = true
+		case "violation":
+			sawViolation = true
+		}
+	}
+	if !sawBudget || !sawViolation {
+		t.Fatalf("hostile outcomes %v never tripped a budget or flagged a violation — the tenant is not hostile enough", k1)
+	}
+}

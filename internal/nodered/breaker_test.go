@@ -1,0 +1,276 @@
+package nodered
+
+import (
+	"strings"
+	"testing"
+)
+
+// grumpyNodePkg throws only for payload "boom" — the recoverable-fault
+// workload the half-open probe is for.
+const grumpyNodePkg = `
+module.exports = function(RED) {
+  function GrumpyNode(config) {
+    RED.nodes.createNode(this, config);
+    const node = this;
+    node.on("input", function(msg) {
+      if (msg.payload === "boom") { throw new Error("boom"); }
+      node.send(msg);
+    });
+  }
+  RED.nodes.registerType("grumpy", GrumpyNode);
+};
+`
+
+func deployGrumpy(t *testing.T) *Runtime {
+	t.Helper()
+	rt := newRuntime(t)
+	rt.RestartBase = 100
+	if err := rt.LoadPackage("grumpy.js", grumpyNodePkg); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Deploy(&Flow{Nodes: []NodeDef{{ID: "g", Type: "grumpy"}}}); err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+func tripBreaker(t *testing.T, rt *Runtime, id string) {
+	t.Helper()
+	for !rt.Quarantined(id) {
+		if err := rt.Inject(id, mkMsg("boom")); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBreakerOpenHalfOpenClosed(t *testing.T) {
+	rt := deployGrumpy(t)
+	tripBreaker(t, rt, "g")
+	if rt.HalfOpen("g") {
+		t.Fatal("breaker half-open while quarantined")
+	}
+	if !rt.BreakerOpen() {
+		t.Fatal("BreakerOpen false with a quarantined node")
+	}
+	rt.IP.Clock.Advance(100)
+	if rt.Quarantined("g") || !rt.HalfOpen("g") {
+		t.Fatalf("after backoff: quarantined=%v halfOpen=%v", rt.Quarantined("g"), rt.HalfOpen("g"))
+	}
+	if rt.BreakerOpen() {
+		t.Fatal("half-open should not count as open")
+	}
+	// the probe succeeds: breaker closes fully
+	if err := rt.Inject("g", mkMsg("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if rt.HalfOpen("g") || rt.Quarantined("g") {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	if rt.Health.Probes != 1 || rt.Health.Restarts != 1 {
+		t.Fatalf("health = %+v", rt.Health)
+	}
+	note := false
+	for _, line := range rt.IP.ConsoleOut {
+		if strings.Contains(line, "probe succeeded, breaker closed") {
+			note = true
+		}
+	}
+	if !note {
+		t.Fatalf("console = %v", rt.IP.ConsoleOut)
+	}
+	// the successful probe reset the backoff ladder: a later quarantine
+	// starts again from RestartBase, not the doubled step
+	tripBreaker(t, rt, "g")
+	rt.IP.Clock.Advance(99)
+	if !rt.Quarantined("g") {
+		t.Fatal("post-recovery backoff did not restart at RestartBase")
+	}
+	rt.IP.Clock.Advance(1)
+	if rt.Quarantined("g") {
+		t.Fatal("post-recovery restart did not fire at RestartBase")
+	}
+}
+
+func TestBreakerOpenHalfOpenOpen(t *testing.T) {
+	rt := deployGrumpy(t)
+	tripBreaker(t, rt, "g")
+	rt.IP.Clock.Advance(100)
+	if !rt.HalfOpen("g") {
+		t.Fatal("breaker not half-open after backoff")
+	}
+	// the probe fails: one throw re-opens immediately — no need for
+	// BreakerThreshold consecutive failures
+	if err := rt.Inject("g", mkMsg("boom")); err != nil {
+		t.Fatal(err)
+	}
+	if !rt.Quarantined("g") || rt.HalfOpen("g") {
+		t.Fatalf("failed probe: quarantined=%v halfOpen=%v", rt.Quarantined("g"), rt.HalfOpen("g"))
+	}
+	if rt.Health.Probes != 1 || rt.Health.Restarts != 1 {
+		t.Fatalf("health = %+v", rt.Health)
+	}
+	note := false
+	for _, line := range rt.IP.ConsoleOut {
+		if strings.Contains(line, "probe failed, breaker re-opened") {
+			note = true
+		}
+	}
+	if !note {
+		t.Fatalf("console = %v", rt.IP.ConsoleOut)
+	}
+	// the re-open doubled the backoff
+	rt.IP.Clock.Advance(199)
+	if !rt.Quarantined("g") {
+		t.Fatal("re-opened breaker ignored the doubled backoff")
+	}
+	rt.IP.Clock.Advance(1)
+	if rt.Quarantined("g") || !rt.HalfOpen("g") || rt.Health.Restarts != 2 {
+		t.Fatalf("second restart: health = %+v", rt.Health)
+	}
+}
+
+func TestSupervisorDefaultBackoffCapsAtBaseShift6(t *testing.T) {
+	rt := newRuntime(t)
+	rt.RestartBase = 2 // RestartMax unset: cap defaults to 2 << 6 = 128
+	if err := rt.LoadPackage("boom.js", boomNodePkg); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Deploy(&Flow{Nodes: []NodeDef{{ID: "bad", Type: "boom"}}}); err != nil {
+		t.Fatal(err)
+	}
+	tripBreaker(t, rt, "bad")
+	// each failed probe doubles the backoff: 2, 4, 8, 16, 32, 64, then the
+	// default cap RestartBase << 6 = 128 forever after
+	for _, want := range []int64{2, 4, 8, 16, 32, 64, 128, 128, 128} {
+		rt.IP.Clock.Advance(want - 1)
+		if !rt.Quarantined("bad") {
+			t.Fatalf("released %d ticks early of backoff %d", 1, want)
+		}
+		rt.IP.Clock.Advance(1)
+		if rt.Quarantined("bad") {
+			t.Fatalf("backoff %d did not release on time", want)
+		}
+		// boom always throws: the probe fails and re-quarantines
+		if err := rt.Inject("bad", mkMsg("x")); err != nil {
+			t.Fatal(err)
+		}
+		if !rt.Quarantined("bad") {
+			t.Fatal("failed probe did not re-quarantine")
+		}
+	}
+	if rt.Health.Restarts != 9 || rt.Health.Probes != 9 {
+		t.Fatalf("health = %+v", rt.Health)
+	}
+}
+
+func TestReplayDeadLettersAfterOverflow(t *testing.T) {
+	rt := newRuntime(t)
+	rt.MailboxCap = 2
+	for _, p := range []struct{ name, src string }{
+		{"fan.js", fanNodePkg}, {"sink.js", sinkNodePkg},
+	} {
+		if err := rt.LoadPackage(p.name, p.src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flow := &Flow{Nodes: []NodeDef{
+		{ID: "f", Type: "fan", Wires: [][]string{{"s"}}},
+		{ID: "s", Type: "file-sink", Config: map[string]any{"path": "/out"}},
+	}}
+	if err := rt.Deploy(flow); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Inject("f", mkMsg("x")); err != nil {
+		t.Fatal(err)
+	}
+	// cap 2 against a fan-out of 4: two writes landed, two shed
+	if len(rt.IP.IO.WritesTo("fs")) != 2 || len(rt.DeadLetters) != 2 {
+		t.Fatalf("writes=%d dlq=%d", len(rt.IP.IO.WritesTo("fs")), len(rt.DeadLetters))
+	}
+	n, err := rt.ReplayDeadLetters()
+	if err != nil || n != 2 {
+		t.Fatalf("replay: n=%d err=%v", n, err)
+	}
+	if len(rt.IP.IO.WritesTo("fs")) != 4 {
+		t.Fatalf("replayed writes missing: %d", len(rt.IP.IO.WritesTo("fs")))
+	}
+	if len(rt.DeadLetters) != 0 {
+		t.Fatalf("replay left dead letters: %+v", rt.DeadLetters)
+	}
+}
+
+func TestReplayRefusedWhileBreakerOpen(t *testing.T) {
+	rt := deployGrumpy(t)
+	rt.MailboxCap = 4
+	tripBreaker(t, rt, "g")
+	if err := rt.Inject("g", mkMsg("held")); err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.DeadLetters) != 1 {
+		t.Fatalf("dlq = %+v", rt.DeadLetters)
+	}
+	if _, err := rt.ReplayDeadLetters(); err == nil ||
+		!strings.Contains(err.Error(), "breaker is open") {
+		t.Fatalf("replay while open: err = %v", err)
+	}
+	if len(rt.DeadLetters) != 1 {
+		t.Fatal("refused replay must not consume the queue")
+	}
+	// after the cooldown the breaker is half-open: replay is allowed and
+	// the first replayed message is the probe
+	rt.IP.Clock.Advance(100)
+	n, err := rt.ReplayDeadLetters()
+	if err != nil || n != 1 {
+		t.Fatalf("replay after cooldown: n=%d err=%v", n, err)
+	}
+	if rt.Health.Probes != 1 || rt.Quarantined("g") {
+		t.Fatalf("probe accounting: %+v quarantined=%v", rt.Health, rt.Quarantined("g"))
+	}
+}
+
+func TestReplayRequiresQueuedEngine(t *testing.T) {
+	rt := newRuntime(t)
+	if _, err := rt.ReplayDeadLetters(); err == nil ||
+		!strings.Contains(err.Error(), "MailboxCap") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSupervisorReleaseOrderingOnVirtualClock(t *testing.T) {
+	// two nodes quarantined at different ticks release in due order on the
+	// shared virtual clock, independent of quarantine bookkeeping order
+	rt := newRuntime(t)
+	rt.RestartBase = 100
+	if err := rt.LoadPackage("boom.js", boomNodePkg); err != nil {
+		t.Fatal(err)
+	}
+	flow := &Flow{Nodes: []NodeDef{
+		{ID: "a", Type: "boom"},
+		{ID: "b", Type: "boom"},
+	}}
+	if err := rt.Deploy(flow); err != nil {
+		t.Fatal(err)
+	}
+	tripBreaker(t, rt, "a") // due at tick 100
+	rt.IP.Clock.Advance(50)
+	tripBreaker(t, rt, "b") // due at tick 150
+	rt.IP.Clock.Advance(49) // tick 99
+	if !rt.Quarantined("a") || !rt.Quarantined("b") {
+		t.Fatal("released before due")
+	}
+	rt.IP.Clock.Advance(1) // tick 100: a releases, b holds
+	if rt.Quarantined("a") || !rt.Quarantined("b") {
+		t.Fatalf("a=%v b=%v at tick 100", rt.Quarantined("a"), rt.Quarantined("b"))
+	}
+	rt.IP.Clock.Advance(49) // tick 149
+	if !rt.Quarantined("b") {
+		t.Fatal("b released early")
+	}
+	rt.IP.Clock.Advance(1) // tick 150
+	if rt.Quarantined("b") {
+		t.Fatal("b did not release at its due tick")
+	}
+	if rt.Health.Restarts != 2 {
+		t.Fatalf("health = %+v", rt.Health)
+	}
+}

@@ -126,12 +126,41 @@ func (rt *Runtime) drain() error {
 	return nil
 }
 
+// ReplayDeadLetters re-enqueues every dead-lettered message, in shed
+// order, and drains the queue under a fresh delivery budget (each drain
+// call starts a new MailboxBudget). It refuses to replay while any
+// deployed node's breaker is open — re-injecting the very traffic that
+// tripped the breaker before its cooldown elapsed would defeat the
+// supervisor's backoff; callers should Advance the clock until the
+// restart fires (half-open is fine: the first replayed message is the
+// probe). Messages may dead-letter again — overflow or a re-opened
+// breaker produce fresh DLQ records. Returns how many messages were
+// re-enqueued.
+func (rt *Runtime) ReplayDeadLetters() (int, error) {
+	if rt.MailboxCap <= 0 {
+		return 0, fmt.Errorf("nodered: dead-letter replay needs the queued engine (MailboxCap > 0)")
+	}
+	if rt.BreakerOpen() {
+		return 0, fmt.Errorf("nodered: refusing dead-letter replay while a breaker is open")
+	}
+	letters := rt.DeadLetters
+	rt.DeadLetters = nil
+	for _, d := range letters {
+		rt.enqueue(d.NodeID, d.Msg)
+	}
+	if m := rt.IP.Metrics; m != nil {
+		m.Add("nodered.replay", int64(len(letters)))
+	}
+	return len(letters), rt.drain()
+}
+
 // scheduleRestart arms the supervisor for a freshly quarantined node:
 // after a backoff of RestartBase << priorRestarts virtual ticks (capped
-// at RestartMax) the node is un-quarantined with its failure count reset.
-// A node that keeps failing re-quarantines and backs off longer each
-// time, so a permanently broken node converges to the capped cadence
-// instead of flapping.
+// at RestartMax) the node is un-quarantined into the breaker's half-open
+// state — the next delivery is a probe. A failed probe re-quarantines
+// immediately at the next backoff step, so a permanently broken node
+// converges to the capped cadence instead of flapping; a successful probe
+// closes the breaker fully and resets the backoff ladder.
 func (rt *Runtime) scheduleRestart(nodeID string) {
 	if rt.RestartBase <= 0 {
 		return
@@ -158,9 +187,13 @@ func (rt *Runtime) scheduleRestart(nodeID string) {
 		}
 		rt.quarantined[nodeID] = false
 		rt.failures[nodeID] = 0
+		if rt.halfOpen == nil {
+			rt.halfOpen = make(map[string]bool)
+		}
+		rt.halfOpen[nodeID] = true
 		rt.Health.Restarts++
 		rt.IP.ConsoleOut = append(rt.IP.ConsoleOut,
-			fmt.Sprintf("nodered: node %s restarted by supervisor (attempt %d, backoff %d ticks)", nodeID, prior+1, delay))
+			fmt.Sprintf("nodered: node %s restarted by supervisor (attempt %d, backoff %d ticks); breaker half-open", nodeID, prior+1, delay))
 		if m := rt.IP.Metrics; m != nil {
 			m.Add("nodered.restart."+nodeID, 1)
 		}

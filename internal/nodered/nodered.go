@@ -62,8 +62,11 @@ type Health struct {
 	// (mailbox overflow or a quarantined target); each has a DeadLetter
 	// record in Runtime.DeadLetters.
 	DeadLettered int
-	// Restarts counts supervisor restarts of quarantined nodes.
+	// Restarts counts supervisor restarts of quarantined nodes. A restart
+	// half-opens the breaker; it closes fully only after a probe succeeds.
 	Restarts int
+	// Probes counts trial deliveries made while a breaker was half-open.
+	Probes int
 }
 
 // Runtime hosts node packages and deployed flows on one interpreter.
@@ -111,6 +114,7 @@ type Runtime struct {
 	catches      []string       // deployed catch-node IDs, in flow order
 	failures     map[string]int // consecutive handler failures per node
 	quarantined  map[string]bool
+	halfOpen     map[string]bool // breaker half-open: next delivery is a probe
 	inCatch      bool // suppresses catch re-entry while a catch handler runs
 	queue        []queued
 	pending      map[string]int // queued-message count per target node
@@ -141,6 +145,23 @@ func New(ip *interp.Interp) *Runtime {
 
 // Quarantined reports whether the circuit breaker has isolated a node.
 func (rt *Runtime) Quarantined(id string) bool { return rt.quarantined[id] }
+
+// HalfOpen reports whether a node's breaker is half-open: the supervisor
+// has un-quarantined it, but the breaker closes fully only after the next
+// delivery (the probe) succeeds.
+func (rt *Runtime) HalfOpen(id string) bool { return rt.halfOpen[id] }
+
+// BreakerOpen reports whether any deployed node's breaker is open
+// (quarantined). Half-open does not count: the breaker is mid-probe, and
+// admitting traffic is exactly what resolves it.
+func (rt *Runtime) BreakerOpen() bool {
+	for _, open := range rt.quarantined {
+		if open {
+			return true
+		}
+	}
+	return false
+}
 
 // redObject builds the RED host API.
 func (rt *Runtime) redObject() *interp.Object {
@@ -401,6 +422,11 @@ func (rt *Runtime) deliver(node *interp.Object, nodeID string, msg interp.Value)
 	}
 	rt.depth++
 	defer func() { rt.depth-- }()
+	probe := rt.halfOpen[nodeID]
+	if probe {
+		delete(rt.halfOpen, nodeID)
+		rt.Health.Probes++
+	}
 	rt.Deliveries = append(rt.Deliveries, Delivery{NodeID: nodeID, Msg: msg})
 	if m := rt.IP.Metrics; m != nil {
 		// per-node message latency is measured on the virtual clock, so it
@@ -437,7 +463,16 @@ func (rt *Runtime) deliver(node *interp.Object, nodeID string, msg interp.Value)
 	}
 	if threw {
 		rt.failures[nodeID]++
-		if rt.BreakerThreshold > 0 && rt.failures[nodeID] >= rt.BreakerThreshold {
+		if probe {
+			// the half-open trial failed: snap straight back to open and
+			// re-arm the supervisor at the next backoff step — no need to
+			// accumulate BreakerThreshold fresh failures to relearn what
+			// the last quarantine already proved
+			rt.quarantined[nodeID] = true
+			rt.IP.ConsoleOut = append(rt.IP.ConsoleOut,
+				fmt.Sprintf("nodered: node %s probe failed, breaker re-opened", nodeID))
+			rt.scheduleRestart(nodeID)
+		} else if rt.BreakerThreshold > 0 && rt.failures[nodeID] >= rt.BreakerThreshold {
 			rt.quarantined[nodeID] = true
 			rt.IP.ConsoleOut = append(rt.IP.ConsoleOut,
 				fmt.Sprintf("nodered: node %s quarantined after %d consecutive failures", nodeID, rt.failures[nodeID]))
@@ -445,6 +480,14 @@ func (rt *Runtime) deliver(node *interp.Object, nodeID string, msg interp.Value)
 		}
 	} else {
 		rt.failures[nodeID] = 0
+		if probe {
+			// probe succeeded: the breaker closes fully and the backoff
+			// ladder resets, so a recovered node that fails again later
+			// starts from RestartBase rather than the capped cadence
+			delete(rt.restartCount, nodeID)
+			rt.IP.ConsoleOut = append(rt.IP.ConsoleOut,
+				fmt.Sprintf("nodered: node %s probe succeeded, breaker closed", nodeID))
+		}
 	}
 	return nil
 }

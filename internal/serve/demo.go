@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"fmt"
+
+	"turnstile/internal/corpus"
+	"turnstile/internal/guard"
+	"turnstile/internal/workload"
+)
+
+// DefaultTenantLimits is the per-message guard budget the demo fleet runs
+// under — generous enough that every corpus app finishes each message,
+// tight enough that a runaway message dies inside its own epoch.
+func DefaultTenantLimits() guard.Limits {
+	return guard.Limits{Fuel: 5_000_000, MaxDepth: 256, MaxAlloc: 1 << 20}
+}
+
+// DemoFleet builds n well-behaved tenants, each hosting a runnable corpus
+// application under the §6.2 audit posture with a seeded arrival trace.
+// Everything — app assignment, traffic, quotas — is a pure function of
+// (seed, tenant index), so a tenant's solo run and its run inside any
+// fleet see byte-identical inputs; that is the property the isolation
+// battery turns into a gate.
+func DemoFleet(n, messages int, seed int64, quota Quota, maxGap int64) ([]TenantConfig, error) {
+	var runnable []*corpus.App
+	for _, app := range corpus.All() {
+		if app.Runnable {
+			runnable = append(runnable, app)
+		}
+	}
+	if len(runnable) == 0 {
+		return nil, fmt.Errorf("serve: corpus has no runnable apps")
+	}
+	tenants := make([]TenantConfig, 0, n)
+	for i := 0; i < n; i++ {
+		app := runnable[i%len(runnable)]
+		name := fmt.Sprintf("tenant-%02d-%s", i, app.Name)
+		lim := DefaultTenantLimits()
+		driver, err := NewAppDriver(AppConfig{
+			Name:       name,
+			Sources:    map[string]string{app.Name + ".js": app.Source},
+			PolicyJSON: app.PolicyJSON,
+			SourceName: app.SourceName,
+			Limits:     &lim,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tenants = append(tenants, TenantConfig{
+			Name:     name,
+			Quota:    quota,
+			Arrivals: workload.GenerateTrace(seed, name, messages, maxGap),
+			Driver:   driver,
+		})
+	}
+	return tenants, nil
+}

@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"turnstile/internal/core"
+	"turnstile/internal/guard"
+	"turnstile/internal/instrument"
+	"turnstile/internal/interp"
+	"turnstile/internal/policy"
+)
+
+// AppConfig declares the privacy-managed application one tenant hosts.
+type AppConfig struct {
+	Name string
+	// Sources maps file name → MiniJS source (the tenant's application).
+	Sources map[string]string
+	// PolicyJSON is the tenant's IFC policy namespace.
+	PolicyJSON string
+	// SourceName is the interpreter I/O source arrivals are emitted into.
+	SourceName string
+	// Event is the source event name; empty means "data".
+	Event string
+	// Enforce blocks violating flows; false audits them (§6.2 posture).
+	Enforce bool
+	// FailClosed puts the tracker in fail-closed mode. Note that the
+	// poison latch is sticky across messages by design: a fail-closed
+	// tenant that trips a budget stays degraded until redeployed.
+	FailClosed bool
+	// Limits, when non-nil, is the tenant's guard budget. The budget is an
+	// epoch per message: the daemon resets it before each Process, so one
+	// hostile message cannot starve the messages after it.
+	Limits *guard.Limits
+	// Exhaustive switches to exhaustive instrumentation.
+	Exhaustive bool
+}
+
+// AppDriver is the standard Driver: one core.Manage universe per tenant,
+// one Emit per message, guard budgets reset between messages.
+type AppDriver struct {
+	app            *core.ManagedApp
+	cfg            AppConfig
+	seenViolations int
+}
+
+// NewAppDriver deploys the tenant's application through the full
+// Turnstile pipeline (analyze → instrument → deploy).
+func NewAppDriver(cfg AppConfig) (*AppDriver, error) {
+	copts := core.DefaultOptions()
+	copts.Enforce = cfg.Enforce
+	copts.FailClosed = cfg.FailClosed
+	copts.Guard = cfg.Limits
+	if cfg.Exhaustive {
+		copts.Mode = instrument.Exhaustive
+	}
+	app, err := core.Manage(cfg.Sources, cfg.PolicyJSON, copts)
+	if err != nil {
+		return nil, fmt.Errorf("serve: deploying tenant app %s: %w", cfg.Name, err)
+	}
+	if cfg.Event == "" {
+		cfg.Event = "data"
+	}
+	if _, ok := app.IP.Source(cfg.SourceName); !ok {
+		return nil, fmt.Errorf("serve: tenant app %s: source %q not registered (have %v)",
+			cfg.Name, cfg.SourceName, app.IP.SourceNames())
+	}
+	return &AppDriver{app: app, cfg: cfg}, nil
+}
+
+// App exposes the deployed universe (tests and the CLI inspect it).
+func (d *AppDriver) App() *core.ManagedApp { return d.app }
+
+// Process feeds one message into the application's source and classifies
+// what happened. The guard budget — fuel, alloc, depth, and a rebased
+// deadline window — is a fresh epoch per message.
+func (d *AppDriver) Process(i int, payload string) Outcome {
+	d.app.Guard.Reset()
+	before := d.app.IP.Steps()
+	err := d.app.Emit(d.cfg.SourceName, d.cfg.Event, payload)
+	out := Outcome{Steps: d.app.IP.Steps() - before}
+	nv := len(d.app.Tracker.Violations())
+	sawViolation := nv > d.seenViolations
+	d.seenViolations = nv
+	switch {
+	case err == nil && !sawViolation:
+		out.Kind = OutcomeOK
+	case err == nil:
+		out.Kind = OutcomeViolation
+	default:
+		out.Kind, out.Detail = classifyProcessError(err, sawViolation)
+	}
+	return out
+}
+
+// classifyProcessError maps an Emit error onto an OutcomeKind, mirroring
+// the crash harness's typed-termination taxonomy.
+func classifyProcessError(err error, sawViolation bool) (OutcomeKind, string) {
+	var be *guard.BudgetError
+	if errors.As(err, &be) {
+		return OutcomeBudget, be.Error()
+	}
+	var throw *interp.Throw
+	if errors.As(err, &throw) {
+		msg := firstLine(throw.Error())
+		if sawViolation || strings.Contains(msg, "PrivacyViolation") {
+			return OutcomeViolation, msg
+		}
+		return OutcomeThrow, msg
+	}
+	if sawViolation {
+		return OutcomeViolation, firstLine(err.Error())
+	}
+	return OutcomeError, firstLine(err.Error())
+}
+
+// Reload hot-swaps the tenant's policy. The instrumentation stays: the
+// injection sites compiled into the deployed code keep referring to
+// labellers by name, so the new policy must define the labellers the old
+// one injected (validated here by compiling the new document). Rules,
+// labeller bodies, declassifiers and CNF structure all take effect on the
+// next message.
+func (d *AppDriver) Reload(policyJSON string) error {
+	pol, err := policy.ParseJSON([]byte(policyJSON), d.app.IP.CompileLabelFunc)
+	if err != nil {
+		return fmt.Errorf("serve: reload for %s: %w", d.cfg.Name, err)
+	}
+	for _, inj := range d.app.Policy.Injections {
+		if _, ok := pol.Labellers[inj.Labeller]; !ok {
+			return fmt.Errorf("serve: reload for %s: new policy drops labeller %q still referenced by deployed injection sites",
+				d.cfg.Name, inj.Labeller)
+		}
+	}
+	d.app.Tracker.SwapPolicy(pol)
+	d.app.Policy = pol
+	return nil
+}
+
+// Fingerprint renders the tenant's observable record — the chaos-report
+// sink trace followed by the violation set — the byte-compared isolation
+// artifact.
+func (d *AppDriver) Fingerprint() string {
+	var b strings.Builder
+	for _, w := range d.app.IP.IO.Writes {
+		fmt.Fprintf(&b, "%s.%s %s %v\n", w.Module, w.Op, w.Target, w.Value)
+	}
+	for _, v := range d.app.Tracker.Violations() {
+		fmt.Fprintf(&b, "violation %s\n", v.Error())
+	}
+	return b.String()
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}

@@ -1,0 +1,259 @@
+// Package serve is the multi-tenant flow-hosting daemon: the long-lived
+// counterpart of the one-shot harness batches, hosting many deployed
+// privacy-managed applications for many tenants concurrently on the
+// virtual clock.
+//
+// Isolation is structural, not scheduled: every tenant owns a complete
+// private universe — interpreter, DIFT tracker, policy namespace, guard
+// budget, virtual clock, dead-letter queue — and no object crosses a
+// tenant boundary. The daemon therefore needs no cross-tenant locking,
+// and a hostile tenant (crash corpus, attack corpus, budget bombs) can
+// degrade only itself: its neighbours' sink traces, violation sets,
+// latency distributions and shed counts are byte-identical to what each
+// would produce running alone, at any worker count. The isolation battery
+// in internal/harness proves exactly that by byte comparison.
+//
+// Within a tenant, the daemon runs a deterministic single-server FIFO
+// queue on the tenant's virtual clock (the internal/workload model):
+// messages arrive at generator-chosen ticks, wait in a bounded queue, and
+// occupy the server for a service time derived from the interpreter steps
+// the message actually consumed. Admission control rejects arrivals when
+// the queue is at quota; load shedding dead-letters queued messages that
+// have lagged too far behind the newest arrival; shutdown stops admitting,
+// processes up to a drain budget, dead-letters the rest and flushes
+// telemetry. All of it counts operations and virtual ticks — never wall
+// time — so a fixed seed replays byte-identically.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"turnstile/internal/guard"
+	"turnstile/internal/telemetry"
+	"turnstile/internal/workload"
+)
+
+// StepsPerTick converts interpreter steps into virtual service ticks: a
+// message that consumed S steps occupies the tenant's server for
+// 1 + S/StepsPerTick ticks. One tick is one simulated millisecond, so the
+// divisor plays the role of a CPU speed; what matters for the gates is
+// that it is a fixed constant, making service times — and therefore every
+// latency percentile — a pure function of the executed program.
+const StepsPerTick = 2000
+
+// OutcomeKind classifies one processed message.
+type OutcomeKind string
+
+const (
+	// OutcomeOK: the message was processed without incident.
+	OutcomeOK OutcomeKind = "ok"
+	// OutcomeViolation: the IFC tracker recorded at least one policy
+	// violation while processing the message (blocked when enforcing).
+	OutcomeViolation OutcomeKind = "violation"
+	// OutcomeBudget: a guard budget (fuel, depth, alloc, deadline) tripped.
+	OutcomeBudget OutcomeKind = "budget"
+	// OutcomeThrow: the application threw and nothing caught it.
+	OutcomeThrow OutcomeKind = "throw"
+	// OutcomeError: the runtime failed in a contained, typed way
+	// (pipeline error, poisoned-tracker denial, ...).
+	OutcomeError OutcomeKind = "error"
+)
+
+// Outcome reports how one message went and what it cost.
+type Outcome struct {
+	Kind   OutcomeKind
+	Detail string
+	// Steps is the interpreter steps the message consumed — the service
+	// cost the queue simulation turns into busy ticks.
+	Steps int64
+}
+
+// Driver processes one tenant's messages on that tenant's private
+// universe. Implementations must be deterministic: the outcome of
+// Process(i, payload) may depend only on the construction arguments and
+// the history of prior calls, never on wall time, goroutine identity or
+// map iteration order — that is what makes tenant fingerprints
+// byte-comparable across solo and mixed runs.
+type Driver interface {
+	// Process handles one admitted message.
+	Process(i int, payload string) Outcome
+	// Reload atomically swaps the tenant's policy. It is only ever called
+	// between messages, which on a single-threaded universe is all the
+	// atomicity there is.
+	Reload(policyJSON string) error
+	// Fingerprint returns the tenant's full observable record so far: the
+	// sink trace and the violation set, chaos-report style.
+	Fingerprint() string
+}
+
+// Quota bounds one tenant's share of the daemon.
+type Quota struct {
+	// MaxQueue is the admission bound: a new arrival is denied while the
+	// tenant's depth (queued + in service) is at or over this. Zero or
+	// negative means unbounded.
+	MaxQueue int
+	// MaxLagTicks is the shedding bound: a queued message whose arrival
+	// lags more than this behind the newest arrival is dead-lettered
+	// instead of served — fresher data has overtaken it. Zero or negative
+	// disables shedding.
+	MaxLagTicks int64
+	// DrainBudget is how many queued messages the shutdown drain may still
+	// process; the rest are dead-lettered. Negative means drain everything.
+	DrainBudget int
+}
+
+// DefaultQuota is the serve demo posture: small queue, aggressive
+// shedding, a polite drain.
+func DefaultQuota() Quota { return Quota{MaxQueue: 8, MaxLagTicks: 2000, DrainBudget: 4} }
+
+// PolicyReload schedules a hot policy swap: before admitting the message
+// with arrival index BeforeMsg, the tenant's policy is atomically
+// replaced. Neighbours are untouched — policies are per-tenant state.
+type PolicyReload struct {
+	BeforeMsg  int
+	PolicyJSON string
+}
+
+// TenantConfig declares one hosted tenant.
+type TenantConfig struct {
+	Name     string
+	Quota    Quota
+	Arrivals []workload.Arrival
+	Reloads  []PolicyReload
+	Driver   Driver
+	// Metrics, when non-nil, receives the serve.* counters at drain time
+	// (the telemetry flush of the shutdown protocol).
+	Metrics *telemetry.Metrics
+}
+
+// ShedMsg is one dead-lettered message in a tenant's DLQ.
+type ShedMsg struct {
+	// Idx is the message's arrival index.
+	Idx int
+	// Arrival is its arrival tick.
+	Arrival int64
+	// Reason is "lag" (overtaken in queue) or "shutdown" (abandoned by the
+	// drain).
+	Reason string
+	// Payload is the shed payload, kept so a DLQ replay can re-drive it.
+	Payload string
+}
+
+// TenantReport is one tenant's complete, deterministic account.
+type TenantReport struct {
+	Name string
+
+	Admitted  int // arrivals accepted into the queue
+	Processed int // messages actually served (including drained)
+	Denied    int // arrivals rejected by admission control
+	Shed      int // queued messages dead-lettered for lag
+	Drained   int // messages served by the shutdown drain
+	Abandoned int // queued messages dead-lettered at shutdown
+	Reloads   int // hot policy swaps applied
+
+	OK         int
+	Violations int
+	Budget     int
+	Throws     int
+	Errors     int
+
+	// ClockEnd is the tick the tenant's server went idle for good.
+	ClockEnd int64
+	// Latencies holds finish−arrival for every processed message, in
+	// completion order.
+	Latencies []int64
+	// DLQ is the tenant's dead-letter queue, in shed order.
+	DLQ []ShedMsg
+	// Fingerprint is the driver's observable record (sink trace +
+	// violations) — the byte-compared isolation artifact.
+	Fingerprint string
+}
+
+// LatencyP returns the p-quantile (0..1) of the latency distribution.
+func (r *TenantReport) LatencyP(p float64) int64 {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	sorted := append([]int64(nil), r.Latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[int(p*float64(len(sorted)-1))]
+}
+
+// Throughput returns sustained messages per simulated second (one virtual
+// tick is one millisecond).
+func (r *TenantReport) Throughput() float64 {
+	if r.ClockEnd <= 0 {
+		return 0
+	}
+	return float64(r.Processed) * 1000 / float64(r.ClockEnd)
+}
+
+// Server hosts a fleet of tenants.
+type Server struct {
+	Tenants []TenantConfig
+}
+
+// Report is the whole daemon's account, tenant order preserved.
+type Report struct {
+	Tenants []*TenantReport
+}
+
+// Run hosts every tenant to completion — including the shutdown drain —
+// fanning tenants across up to parallel workers. Tenants are the unit of
+// parallelism and share no state, so the report is byte-identical at any
+// worker count: results land in index-addressed slots and each tenant's
+// simulation is single-threaded. A panic inside a tenant is contained to
+// a typed error naming it.
+func (s *Server) Run(parallel int) (*Report, error) {
+	if parallel < 1 {
+		parallel = 1
+	}
+	n := len(s.Tenants)
+	reps := make([]*TenantReport, n)
+	errs := make([]error, n)
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = guard.Contain("serve", s.Tenants[i].Name, func() error {
+				r, err := RunTenant(s.Tenants[i])
+				reps[i] = r
+				return err
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("serve: tenant %s: %w", s.Tenants[i].Name, err)
+		}
+	}
+	return &Report{Tenants: reps}, nil
+}
+
+// Render writes the deterministic per-tenant summary table the soak gates
+// byte-compare.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s %8s %8s %7s %6s %7s %9s %7s %7s %8s\n",
+		"tenant", "admitted", "processed", "denied", "shed", "drained", "abandoned", "p50", "p99", "msg/s")
+	for _, t := range r.Tenants {
+		fmt.Fprintf(&b, "%-22s %8d %8d %7d %6d %7d %9d %7d %7d %8.1f\n",
+			t.Name, t.Admitted, t.Processed, t.Denied, t.Shed, t.Drained, t.Abandoned,
+			t.LatencyP(0.50), t.LatencyP(0.99), t.Throughput())
+	}
+	fmt.Fprintf(&b, "outcomes:")
+	for _, t := range r.Tenants {
+		fmt.Fprintf(&b, " %s[ok=%d viol=%d budget=%d throw=%d err=%d reloads=%d]",
+			t.Name, t.OK, t.Violations, t.Budget, t.Throws, t.Errors, t.Reloads)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,365 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"turnstile/internal/corpus"
+	"turnstile/internal/workload"
+)
+
+// stubDriver is a deterministic Driver with a fixed per-message step cost.
+type stubDriver struct {
+	steps      int64
+	failReload bool
+	log        strings.Builder
+}
+
+func (d *stubDriver) Process(i int, payload string) Outcome {
+	fmt.Fprintf(&d.log, "msg %d %s\n", i, payload)
+	return Outcome{Kind: OutcomeOK, Steps: d.steps}
+}
+
+func (d *stubDriver) Reload(policyJSON string) error {
+	if d.failReload {
+		return fmt.Errorf("stub reload refused")
+	}
+	fmt.Fprintf(&d.log, "reload %s\n", policyJSON)
+	return nil
+}
+
+func (d *stubDriver) Fingerprint() string { return d.log.String() }
+
+func at(ticks ...int64) []workload.Arrival {
+	out := make([]workload.Arrival, len(ticks))
+	for i, t := range ticks {
+		out[i] = workload.Arrival{Tick: t, Payload: fmt.Sprintf("p%d", i)}
+	}
+	return out
+}
+
+// TestAdmissionControlDeniesAtQuota hand-simulates a 5-message trace
+// against a depth-2 queue: service is 5 ticks (8000 steps / 2000 + 1), so
+// arrivals 2 and 3 find the server busy with one message queued and are
+// denied.
+func TestAdmissionControlDeniesAtQuota(t *testing.T) {
+	rep, err := RunTenant(TenantConfig{
+		Name:     "t",
+		Quota:    Quota{MaxQueue: 2, DrainBudget: -1},
+		Arrivals: at(0, 1, 2, 3, 20),
+		Driver:   &stubDriver{steps: 8000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Admitted != 3 || rep.Processed != 3 || rep.Denied != 2 {
+		t.Fatalf("admitted=%d processed=%d denied=%d, want 3/3/2", rep.Admitted, rep.Processed, rep.Denied)
+	}
+	if rep.Drained != 1 || rep.Abandoned != 0 || rep.Shed != 0 {
+		t.Fatalf("drained=%d abandoned=%d shed=%d, want 1/0/0", rep.Drained, rep.Abandoned, rep.Shed)
+	}
+	if rep.ClockEnd != 25 {
+		t.Fatalf("ClockEnd = %d, want 25", rep.ClockEnd)
+	}
+	if want := []int64{5, 9, 5}; len(rep.Latencies) != 3 ||
+		rep.Latencies[0] != want[0] || rep.Latencies[1] != want[1] || rep.Latencies[2] != want[2] {
+		t.Fatalf("latencies = %v, want %v", rep.Latencies, want)
+	}
+}
+
+// TestLoadSheddingDeadLettersLaggards: with 10-tick service, messages 2
+// and 3 are overtaken by arrival 4 (lag 13 and 12 > quota 5) and go to
+// the DLQ with reason "lag" instead of being served stale.
+func TestLoadSheddingDeadLettersLaggards(t *testing.T) {
+	rep, err := RunTenant(TenantConfig{
+		Name:     "t",
+		Quota:    Quota{MaxLagTicks: 5, DrainBudget: -1},
+		Arrivals: at(0, 1, 2, 3, 15),
+		Driver:   &stubDriver{steps: 18000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Admitted != 5 || rep.Processed != 3 || rep.Shed != 2 || rep.Denied != 0 {
+		t.Fatalf("admitted=%d processed=%d shed=%d denied=%d, want 5/3/2/0",
+			rep.Admitted, rep.Processed, rep.Shed, rep.Denied)
+	}
+	if len(rep.DLQ) != 2 || rep.DLQ[0].Idx != 2 || rep.DLQ[1].Idx != 3 {
+		t.Fatalf("DLQ = %+v, want messages 2 and 3", rep.DLQ)
+	}
+	for _, d := range rep.DLQ {
+		if d.Reason != "lag" {
+			t.Fatalf("DLQ reason = %q, want lag", d.Reason)
+		}
+	}
+	if rep.ClockEnd != 30 {
+		t.Fatalf("ClockEnd = %d, want 30", rep.ClockEnd)
+	}
+}
+
+// TestDrainBudgetAbandonsTheRest: five simultaneous arrivals, a drain
+// budget of one — the shutdown drain serves exactly one queued message
+// and dead-letters the remaining three with reason "shutdown".
+func TestDrainBudgetAbandonsTheRest(t *testing.T) {
+	rep, err := RunTenant(TenantConfig{
+		Name:     "t",
+		Quota:    Quota{DrainBudget: 1},
+		Arrivals: at(0, 0, 0, 0, 0),
+		Driver:   &stubDriver{steps: 2000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Admitted != 5 || rep.Processed != 2 || rep.Drained != 1 || rep.Abandoned != 3 {
+		t.Fatalf("admitted=%d processed=%d drained=%d abandoned=%d, want 5/2/1/3",
+			rep.Admitted, rep.Processed, rep.Drained, rep.Abandoned)
+	}
+	if len(rep.DLQ) != 3 {
+		t.Fatalf("DLQ size = %d, want 3", len(rep.DLQ))
+	}
+	for i, d := range rep.DLQ {
+		if d.Reason != "shutdown" || d.Idx != i+2 {
+			t.Fatalf("DLQ[%d] = %+v, want shutdown of message %d", i, d, i+2)
+		}
+	}
+}
+
+// TestDrainEverythingWhenNegative: a negative drain budget finishes the
+// whole queue.
+func TestDrainEverythingWhenNegative(t *testing.T) {
+	rep, err := RunTenant(TenantConfig{
+		Name:     "t",
+		Quota:    Quota{DrainBudget: -1},
+		Arrivals: at(0, 0, 0, 0),
+		Driver:   &stubDriver{steps: 2000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Processed != 4 || rep.Abandoned != 0 {
+		t.Fatalf("processed=%d abandoned=%d, want 4/0", rep.Processed, rep.Abandoned)
+	}
+}
+
+// TestHotReloadAppliesBetweenMessages: the swap lands before the
+// admission of its BeforeMsg arrival and never mid-message — the driver
+// log shows the reload strictly between two Process calls.
+func TestHotReloadAppliesBetweenMessages(t *testing.T) {
+	d := &stubDriver{}
+	rep, err := RunTenant(TenantConfig{
+		Name:     "t",
+		Quota:    Quota{DrainBudget: -1},
+		Arrivals: at(0, 10, 20),
+		Reloads:  []PolicyReload{{BeforeMsg: 2, PolicyJSON: "P2"}},
+		Driver:   d,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reloads != 1 {
+		t.Fatalf("Reloads = %d, want 1", rep.Reloads)
+	}
+	want := "msg 0 p0\nmsg 1 p1\nreload P2\nmsg 2 p2\n"
+	if d.log.String() != want {
+		t.Fatalf("driver log:\n%s\nwant:\n%s", d.log.String(), want)
+	}
+}
+
+// TestReloadFailureNamesTenantAndMessage: a failing reload aborts the
+// tenant with a typed, located error.
+func TestReloadFailureNamesTenantAndMessage(t *testing.T) {
+	_, err := RunTenant(TenantConfig{
+		Name:     "broken",
+		Arrivals: at(0, 1),
+		Reloads:  []PolicyReload{{BeforeMsg: 1, PolicyJSON: "bad"}},
+		Driver:   &stubDriver{failReload: true},
+	})
+	if err == nil || !strings.Contains(err.Error(), "broken") || !strings.Contains(err.Error(), "message 1") {
+		t.Fatalf("err = %v, want tenant and message named", err)
+	}
+}
+
+func TestTenantConfigValidation(t *testing.T) {
+	if _, err := RunTenant(TenantConfig{Name: "t", Arrivals: at(0)}); err == nil {
+		t.Fatal("nil driver accepted")
+	}
+	if _, err := RunTenant(TenantConfig{Name: "t", Arrivals: at(5, 3), Driver: &stubDriver{}}); err == nil {
+		t.Fatal("unsorted arrivals accepted")
+	}
+	_, err := RunTenant(TenantConfig{
+		Name: "t", Arrivals: at(0, 1), Driver: &stubDriver{},
+		Reloads: []PolicyReload{{BeforeMsg: 1, PolicyJSON: "a"}, {BeforeMsg: 1, PolicyJSON: "b"}},
+	})
+	if err == nil {
+		t.Fatal("duplicate reloads accepted")
+	}
+}
+
+// buildStubFleet makes a fresh deterministic multi-tenant fleet (fleets
+// are single-use: drivers accumulate state).
+func buildStubFleet(n int) []TenantConfig {
+	fleet := make([]TenantConfig, n)
+	for i := range fleet {
+		name := fmt.Sprintf("stub-%02d", i)
+		fleet[i] = TenantConfig{
+			Name:     name,
+			Quota:    DefaultQuota(),
+			Arrivals: workload.GenerateTrace(7, name, 50, 10),
+			Driver:   &stubDriver{steps: int64(1000 * (i + 1))},
+		}
+	}
+	return fleet
+}
+
+// TestServerRunByteIdenticalAcrossWorkerCounts: the same fleet hosted at
+// parallel 1 and parallel 8 renders the same table and the same
+// per-tenant fingerprints — tenants share no state and results land in
+// index-addressed slots.
+func TestServerRunByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	rep1, err := (&Server{Tenants: buildStubFleet(6)}).Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep8, err := (&Server{Tenants: buildStubFleet(6)}).Run(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.Render() != rep8.Render() {
+		t.Fatalf("render diverged across worker counts:\n%s\nvs\n%s", rep1.Render(), rep8.Render())
+	}
+	for i := range rep1.Tenants {
+		if rep1.Tenants[i].Fingerprint != rep8.Tenants[i].Fingerprint {
+			t.Fatalf("tenant %s fingerprint diverged across worker counts", rep1.Tenants[i].Name)
+		}
+	}
+}
+
+// strictPolicy is the corpus placeholder policy flipped to strict flow
+// mode: labelled frames may no longer reach unlabelled receivers, so
+// every sink write becomes a violation. The Msg labeller is kept — the
+// deployed injection sites still reference it.
+const strictPolicy = `{
+  "labellers": { "Msg": "v => v.indexOf(\"E\") >= 0 ? \"Alpha\" : \"Beta\"" },
+  "rules": [ "Alpha -> Beta", "Beta -> Gamma" ],
+  "injections": [ { "object": "frame", "labeller": "Msg" } ],
+  "mode": "strict"
+}`
+
+func firstRunnable(t *testing.T) *corpus.App {
+	t.Helper()
+	for _, app := range corpus.All() {
+		if app.Runnable {
+			return app
+		}
+	}
+	t.Fatal("no runnable corpus app")
+	return nil
+}
+
+func newCorpusDriver(t *testing.T) *AppDriver {
+	t.Helper()
+	app := firstRunnable(t)
+	d, err := NewAppDriver(AppConfig{
+		Name:       "test-" + app.Name,
+		Sources:    map[string]string{app.Name + ".js": app.Source},
+		PolicyJSON: app.PolicyJSON,
+		SourceName: app.SourceName,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestAppDriverHotReloadChangesVerdicts: under the shipped comparable
+// policy the corpus app processes cleanly; after a hot swap to the strict
+// variant the same traffic starts violating — the mode change takes
+// effect on the next message, no redeploy.
+func TestAppDriverHotReloadChangesVerdicts(t *testing.T) {
+	d := newCorpusDriver(t)
+	for i := 0; i < 3; i++ {
+		out := d.Process(i, fmt.Sprintf("person%d:E%d", i, i))
+		if out.Kind != OutcomeOK {
+			t.Fatalf("pre-reload message %d: kind=%s detail=%s, want ok", i, out.Kind, out.Detail)
+		}
+		if out.Steps <= 0 {
+			t.Fatalf("pre-reload message %d consumed no steps", i)
+		}
+	}
+	if err := d.Reload(strictPolicy); err != nil {
+		t.Fatal(err)
+	}
+	var violations int
+	for i := 3; i < 6; i++ {
+		if out := d.Process(i, fmt.Sprintf("person%d:E%d", i, i)); out.Kind == OutcomeViolation {
+			violations++
+		}
+	}
+	if violations == 0 {
+		t.Fatal("strict reload produced no violations on labelled traffic")
+	}
+	if fp := d.Fingerprint(); !strings.Contains(fp, "violation") {
+		t.Fatalf("fingerprint records no violations:\n%s", fp)
+	}
+}
+
+// TestAppDriverReloadValidation: a reload must parse and must keep every
+// labeller the deployed injection sites reference.
+func TestAppDriverReloadValidation(t *testing.T) {
+	d := newCorpusDriver(t)
+	if err := d.Reload("{not json"); err == nil {
+		t.Fatal("malformed policy accepted")
+	}
+	dropped := `{ "labellers": {}, "rules": [ "Alpha -> Beta" ] }`
+	err := d.Reload(dropped)
+	if err == nil || !strings.Contains(err.Error(), "labeller") {
+		t.Fatalf("err = %v, want dropped-labeller rejection", err)
+	}
+	// a failed reload must leave the old policy in force
+	if out := d.Process(0, "person0:E0"); out.Kind != OutcomeOK {
+		t.Fatalf("after rejected reloads: kind=%s, want ok under the original policy", out.Kind)
+	}
+}
+
+// TestDemoFleetDeterministic: two identical DemoFleet builds replay to
+// byte-identical tenant accounts.
+func TestDemoFleetDeterministic(t *testing.T) {
+	run := func() string {
+		fleet, err := DemoFleet(3, 15, 42, DefaultQuota(), 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := (&Server{Tenants: fleet}).Run(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		b.WriteString(rep.Render())
+		for _, tr := range rep.Tenants {
+			b.WriteString(tr.Fingerprint)
+		}
+		return b.String()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("demo fleet not deterministic:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	r := &TenantReport{Latencies: []int64{9, 1, 5, 3, 7}}
+	if p := r.LatencyP(0.50); p != 5 {
+		t.Fatalf("p50 = %d, want 5", p)
+	}
+	// floor-index quantile, the repo's workload.Percentile convention
+	if p := r.LatencyP(0.99); p != 7 {
+		t.Fatalf("p99 = %d, want 7", p)
+	}
+	if p := r.LatencyP(1.0); p != 9 {
+		t.Fatalf("p100 = %d, want 9", p)
+	}
+	empty := &TenantReport{}
+	if p := empty.LatencyP(0.5); p != 0 {
+		t.Fatalf("empty p50 = %d, want 0", p)
+	}
+}

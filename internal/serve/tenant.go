@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"fmt"
+
+	"turnstile/internal/telemetry"
+)
+
+// queuedMsg is one admitted message waiting for the tenant's server.
+type queuedMsg struct {
+	idx     int
+	arrival int64
+	payload string
+}
+
+// RunTenant drives one tenant's arrival trace through the admission /
+// shedding / drain state machine on a deterministic single-server FIFO
+// queue (see the package comment). Exported so the isolation battery can
+// run a tenant solo under exactly the daemon's scheduling rules.
+func RunTenant(cfg TenantConfig) (*TenantReport, error) {
+	if cfg.Driver == nil {
+		return nil, fmt.Errorf("serve: tenant %s has no driver", cfg.Name)
+	}
+	for i := 1; i < len(cfg.Arrivals); i++ {
+		if cfg.Arrivals[i].Tick < cfg.Arrivals[i-1].Tick {
+			return nil, fmt.Errorf("serve: tenant %s arrival trace not sorted at %d", cfg.Name, i)
+		}
+	}
+	reloads := make(map[int]string, len(cfg.Reloads))
+	for _, r := range cfg.Reloads {
+		if _, dup := reloads[r.BeforeMsg]; dup {
+			return nil, fmt.Errorf("serve: tenant %s has duplicate reload before message %d", cfg.Name, r.BeforeMsg)
+		}
+		reloads[r.BeforeMsg] = r.PolicyJSON
+	}
+
+	rep := &TenantReport{Name: cfg.Name}
+	var queue []queuedMsg
+	var busyUntil int64
+
+	serveOne := func(q queuedMsg) {
+		start := busyUntil
+		if q.arrival > start {
+			start = q.arrival
+		}
+		out := cfg.Driver.Process(q.idx, q.payload)
+		service := int64(1)
+		if out.Steps > 0 {
+			service += out.Steps / StepsPerTick
+		}
+		busyUntil = start + service
+		rep.Processed++
+		rep.Latencies = append(rep.Latencies, busyUntil-q.arrival)
+		switch out.Kind {
+		case OutcomeOK:
+			rep.OK++
+		case OutcomeViolation:
+			rep.Violations++
+		case OutcomeBudget:
+			rep.Budget++
+		case OutcomeThrow:
+			rep.Throws++
+		default:
+			rep.Errors++
+		}
+	}
+
+	for i, a := range cfg.Arrivals {
+		// catch the server up: serve queued messages that start no later
+		// than this arrival
+		for len(queue) > 0 && busyUntil <= a.Tick {
+			q := queue[0]
+			queue = queue[1:]
+			serveOne(q)
+		}
+		// hot policy reload: applied between messages — after the catch-up,
+		// before this arrival is admitted — so a message is judged entirely
+		// under one policy, never mid-flight
+		if pj, ok := reloads[i]; ok {
+			if err := cfg.Driver.Reload(pj); err != nil {
+				return nil, fmt.Errorf("serve: tenant %s reload before message %d: %w", cfg.Name, i, err)
+			}
+			rep.Reloads++
+		}
+		// load shedding: queued messages overtaken by more than the lag
+		// quota go to the DLQ — by construction the queue is in arrival
+		// order, so shedding strictly from the front is exhaustive
+		if cfg.Quota.MaxLagTicks > 0 {
+			for len(queue) > 0 && a.Tick-queue[0].arrival > cfg.Quota.MaxLagTicks {
+				q := queue[0]
+				queue = queue[1:]
+				rep.Shed++
+				rep.DLQ = append(rep.DLQ, ShedMsg{Idx: q.idx, Arrival: q.arrival, Reason: "lag", Payload: q.payload})
+			}
+		}
+		// admission control: depth counts the queue plus the in-service
+		// message (the server is busy strictly past this tick)
+		depth := len(queue)
+		if busyUntil > a.Tick {
+			depth++
+		}
+		if cfg.Quota.MaxQueue > 0 && depth >= cfg.Quota.MaxQueue {
+			rep.Denied++
+			continue
+		}
+		rep.Admitted++
+		queue = append(queue, queuedMsg{idx: i, arrival: a.Tick, payload: a.Payload})
+	}
+
+	// graceful drain: admission is over; serve up to DrainBudget queued
+	// messages, dead-letter the rest
+	drainBudget := cfg.Quota.DrainBudget
+	for len(queue) > 0 {
+		if drainBudget >= 0 && rep.Drained >= drainBudget {
+			break
+		}
+		q := queue[0]
+		queue = queue[1:]
+		serveOne(q)
+		rep.Drained++
+	}
+	for _, q := range queue {
+		rep.Abandoned++
+		rep.DLQ = append(rep.DLQ, ShedMsg{Idx: q.idx, Arrival: q.arrival, Reason: "shutdown", Payload: q.payload})
+	}
+	rep.ClockEnd = busyUntil
+	rep.Fingerprint = cfg.Driver.Fingerprint()
+
+	// telemetry flush, the last step of the drain protocol
+	if m := cfg.Metrics; m != nil {
+		m.Add(telemetry.CtrServeAdmitted, int64(rep.Admitted))
+		m.Add(telemetry.CtrServeProcessed, int64(rep.Processed))
+		m.Add(telemetry.CtrServeDenied, int64(rep.Denied))
+		m.Add(telemetry.CtrServeShed, int64(rep.Shed))
+		m.Add(telemetry.CtrServeDrained, int64(rep.Drained))
+		m.Add(telemetry.CtrServeAbandoned, int64(rep.Abandoned))
+		m.Add(telemetry.CtrServeReloads, int64(rep.Reloads))
+		m.Add(telemetry.CtrServeViolations, int64(rep.Violations))
+	}
+	return rep, nil
+}

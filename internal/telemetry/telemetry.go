@@ -51,6 +51,19 @@ const (
 	CtrResolveDynamic  = "interp.resolve.dynamic"
 )
 
+// Serve-daemon counter names, flushed once per tenant when the shutdown
+// drain completes (internal/serve).
+const (
+	CtrServeAdmitted   = "serve.admitted"
+	CtrServeProcessed  = "serve.processed"
+	CtrServeDenied     = "serve.denied"
+	CtrServeShed       = "serve.shed"
+	CtrServeDrained    = "serve.drained"
+	CtrServeAbandoned  = "serve.abandoned"
+	CtrServeReloads    = "serve.reloads"
+	CtrServeViolations = "serve.violations"
+)
+
 // Counter is one monotonically increasing metric. Handles are resolved
 // once (Metrics.Counter) and then incremented lock-free, so a hot loop
 // pays one atomic add per event and no map lookups.

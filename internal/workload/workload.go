@@ -99,6 +99,59 @@ func RealTimeStream(n int, hz float64, process func(i int) error) (time.Duration
 	return time.Since(start), nil
 }
 
+// Arrival is one generated stream event for the serve daemon: an arrival
+// tick on the tenant's virtual clock and a frame-shaped payload.
+type Arrival struct {
+	Tick    int64
+	Payload string
+}
+
+// GenerateTrace builds a deterministic arrival trace for one tenant: n
+// messages with seeded inter-arrival gaps in [1, maxGap] virtual ticks
+// and paper-style frame payloads ("person<i>:E<k>" / "person<i>:",
+// roughly half carrying the "E" marker so value-dependent labelling
+// exercises both branches). The trace is a pure function of (seed, name)
+// — no shared PRNG stream — so adding a tenant never perturbs another
+// tenant's traffic.
+func GenerateTrace(seed int64, name string, n int, maxGap int64) []Arrival {
+	if maxGap < 1 {
+		maxGap = 1
+	}
+	h := mix64(uint64(seed) ^ hash64(name))
+	out := make([]Arrival, n)
+	var tick int64
+	for i := range out {
+		h = mix64(h)
+		tick += 1 + int64(h%uint64(maxGap))
+		h = mix64(h)
+		payload := fmt.Sprintf("person%d:", i)
+		if h%2 == 0 {
+			payload = fmt.Sprintf("person%d:E%d", i, h%97)
+		}
+		out[i] = Arrival{Tick: tick, Payload: payload}
+	}
+	return out
+}
+
+// mix64 is SplitMix64 — platform-stable seeded mixing, inlined to keep
+// the package dependency-free (the repo's standard determinism idiom).
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// hash64 is FNV-1a, inlined for the same reason.
+func hash64(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
 // Percentile returns the p-quantile (0..1) of already-sorted values.
 func Percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {

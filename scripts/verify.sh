@@ -81,4 +81,15 @@ TURNSTILE_BENCH_GATE=1 go test ./internal/dift -run TestDisabledOverheadGate -v
 echo "== slot-env perf gate (interpreter microbenchmarks)"
 TURNSTILE_BENCH_GATE=1 go test ./internal/harness -run TestSlotEnvFasterGate -v
 
+echo "== serve soak smoke (2 tenants + hostile neighbour, fixed seed, differing -parallel)"
+go run ./cmd/turnstile-bench -serve -servetenants 2 -servemessages 30 -serveseed 7 \
+  -parallel 4 > /tmp/turnstile-serve-a.txt
+go run ./cmd/turnstile-bench -serve -servetenants 2 -servemessages 30 -serveseed 7 \
+  -parallel 1 > /tmp/turnstile-serve-b.txt
+cmp /tmp/turnstile-serve-a.txt /tmp/turnstile-serve-b.txt
+rm -f /tmp/turnstile-serve-a.txt /tmp/turnstile-serve-b.txt
+
+echo "== serve isolation battery (hostile tenant cannot perturb neighbours)"
+go test ./internal/harness -run TestServeIsolationBattery -v
+
 echo "verify: OK"
