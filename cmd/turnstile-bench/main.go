@@ -45,6 +45,13 @@
 // microbenchmarks (-benchrepeats best-of repeats) and -benchout FILE
 // writes the report JSON (the committed BENCH_*.json artifacts).
 //
+// Generated-corpus mode: -gen N generates and scores N seeded stratified
+// apps (-genseed S selects the population; same (N, seed) → byte-identical
+// report at any -parallel level) against their built-in
+// must-catch/must-allow ground truth and renders a per-stratum
+// precision/recall table, exiting non-zero on any missed flow or false
+// positive. -servegen N appends generated tenants to the serve soak fleet.
+//
 // Serve mode: -serve runs the multi-tenant daemon soak — -servetenants
 // well-behaved corpus tenants (plus the hostile crash+attack tenant
 // unless -servehostile=false) driven through -servemessages arrivals each
@@ -79,6 +86,8 @@ func main() {
 	chaos := flag.Bool("chaos", false, "replay the corpus under fault injection and check equivalence")
 	crash := flag.Bool("crash", false, "run the adversarial crash corpus under tight guard budgets")
 	attack := flag.Bool("attack", false, "run the adversarial attack corpus and score precision/recall against ground truth")
+	gen := flag.Int("gen", 0, "generate and score N seeded corpus apps against their built-in ground truth")
+	genSeed := flag.Uint64("genseed", 1, "corpus seed for -gen (same (N, seed) → byte-identical report)")
 	faultSeed := flag.Int64("faultseed", 1, "seed for generated fault schedules (chaos mode)")
 	faultSchedule := flag.String("faultschedule", "", "JSON fault schedule file overriding the generated ones")
 	messages := flag.Int("messages", 200, "messages per E2 run (paper: 1000)")
@@ -100,6 +109,7 @@ func main() {
 	serveMessages := flag.Int("servemessages", 60, "messages per tenant for the soak")
 	serveSeed := flag.Int64("serveseed", 1, "arrival-trace seed for the soak")
 	serveHostile := flag.Bool("servehostile", true, "include the hostile crash+attack tenant in the soak")
+	serveGen := flag.Int("servegen", 0, "append N seeded-generator tenants to the soak fleet")
 	serveOut := flag.String("serveout", "", "also write the soak report JSON to this file (e.g. BENCH_serve.json)")
 	flag.Parse()
 
@@ -129,7 +139,7 @@ func main() {
 	if *all {
 		*table2, *fig10, *fig11, *fig12, *chaos, *crash, *attack, *metrics = true, true, true, true, true, true, true, true
 	}
-	if !*table2 && !*fig10 && !*fig11 && !*fig12 && !*chaos && !*crash && !*attack && !*metrics && !*bench && !*serveSoak {
+	if !*table2 && !*fig10 && !*fig11 && !*fig12 && !*chaos && !*crash && !*attack && !*metrics && !*bench && !*serveSoak && *gen == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -137,7 +147,7 @@ func main() {
 	if *serveSoak {
 		res, err := harness.RunServeSoak(harness.ServeSoakOptions{
 			Tenants: *serveTenants, Messages: *serveMessages, Seed: *serveSeed,
-			Hostile: *serveHostile, Parallel: *parallel,
+			Hostile: *serveHostile, GenTenants: *serveGen, GenSeed: *genSeed, Parallel: *parallel,
 		})
 		if err != nil {
 			fatal(err)
@@ -332,6 +342,25 @@ func main() {
 		}
 		if res.Passed != len(res.Apps) {
 			fatal(fmt.Errorf("attack corpus: %d app(s) failed (errors or false positives)", len(res.Apps)-res.Passed))
+		}
+	}
+
+	if *gen > 0 {
+		res, err := harness.RunGenCorpus(harness.GenOptions{
+			N: *gen, Seed: *genSeed, Parallel: *parallel, NoResolve: *noResolve,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(harness.RenderGen(res))
+		if *outDir != "" {
+			writeOut(*outDir, "gen-report.txt", []byte(harness.RenderGen(res)))
+		}
+		if res.FN > 0 {
+			fatal(fmt.Errorf("generated corpus: %d must-catch flow(s) escaped the tracker", res.FN))
+		}
+		if res.Passed != len(res.Apps) {
+			fatal(fmt.Errorf("generated corpus: %d app(s) failed (errors or false positives)", len(res.Apps)-res.Passed))
 		}
 	}
 

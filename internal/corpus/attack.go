@@ -12,7 +12,6 @@ package corpus
 
 import (
 	"fmt"
-	"strings"
 )
 
 // AttackApp is one adversarial application with built-in ground truth.
@@ -32,27 +31,6 @@ type AttackApp struct {
 	// MustAllow lists site prefixes that must match no violation at all —
 	// sanctioned flows an over-tainting tracker would flag.
 	MustAllow []string
-}
-
-// srcBuilder accumulates source text while tracking line numbers, so
-// ground-truth site prefixes stay correct as apps evolve.
-type srcBuilder struct {
-	b    strings.Builder
-	line int
-}
-
-func (s *srcBuilder) add(text string) int {
-	s.line++
-	s.b.WriteString(text)
-	s.b.WriteByte('\n')
-	return s.line
-}
-
-func (s *srcBuilder) String() string { return s.b.String() }
-
-// sitePrefix renders the ground-truth prefix for a sink call on a line.
-func sitePrefix(app string, line int) string {
-	return fmt.Sprintf("%s.js:%d:", app, line)
 }
 
 // attackPolicy assembles the corpus policy: secrets labelled Secret,

@@ -5,20 +5,6 @@ import (
 	"strings"
 )
 
-// ident sanitizes an app name into an identifier fragment.
-func ident(name string) string {
-	var b strings.Builder
-	for i := 0; i < len(name); i++ {
-		c := name[i]
-		if c == '-' || c == '.' {
-			b.WriteByte('_')
-		} else {
-			b.WriteByte(c)
-		}
-	}
-	return b.String()
-}
-
 func header(b *strings.Builder, name string) {
 	fmt.Fprintf(b, "// %s — synthetic third-party Node-RED application\n", name)
 	b.WriteString("const net = require(\"net\");\n")

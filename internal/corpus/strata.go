@@ -1,0 +1,403 @@
+// The seeded stratified generator: hundreds of applications composed from
+// flow families observed in real-world JavaScript (dynamic property
+// access, cross-module relays, implicit-flow ladders) plus protocol-heavy
+// IoT scenarios (MQTT device-fleet fan-out, webhook fan-in, stateful
+// accumulators), each a pure function of (stratum, seed, size) with
+// line-tracked must-catch/must-allow ground truth in the attack.go style.
+// The generated population is the repo's standing correctness oracle: the
+// harness scores the tracker against the ground truth as a precision/
+// recall table, and the metamorphic battery re-runs every app under
+// slot≡map, flat≡mirrored-CNF and chaos differentials.
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stratum is one generated flow family.
+type Stratum struct {
+	Name string
+	// Class is the detection-class narrative for the table: which flow
+	// shape the stratum exercises.
+	Class string
+	// gen fills app.Files, policy spec, sources and ground truth.
+	gen func(app *GenApp, r *rng)
+}
+
+// GenStrata returns the stratum taxonomy, deterministically ordered.
+func GenStrata() []Stratum {
+	return []Stratum{
+		{"computed-key", "dynamic property flow (CNF deep collection)", genComputedKey},
+		{"relay-chain", "cross-module relay (require chain)", genRelayChain},
+		{"implicit-ladder", "implicit flow (branch ladder)", genImplicitLadder},
+		{"mqtt-fanout", "device-fleet fan-out (mqtt publish)", genMqttFanout},
+		{"webhook-fanin", "webhook fan-in (typed interprocedural)", genWebhookFanin},
+		{"accumulator", "stateful cross-message accumulation", genAccumulator},
+		{"units-mixed", "E1 unit mix (direct/typed/prototype)", genUnitsMixed},
+	}
+}
+
+// GenStratumNames returns just the stratum names, in taxonomy order.
+func GenStratumNames() []string {
+	strata := GenStrata()
+	names := make([]string, len(strata))
+	for i, s := range strata {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// maxGenSize bounds the size knob so adversarial fuzz inputs cannot
+// request pathological apps; every size is folded into [0, maxGenSize].
+const maxGenSize = 12
+
+// Generate builds the app at coordinates (stratum, seed, size). It is a
+// pure function: equal coordinates yield byte-identical apps. Unknown
+// strata are an error; size is folded into [0, maxGenSize].
+func Generate(stratum string, seed uint64, size int) (*GenApp, error) {
+	var s *Stratum
+	for _, cand := range GenStrata() {
+		if cand.Name == stratum {
+			c := cand
+			s = &c
+			break
+		}
+	}
+	if s == nil {
+		return nil, fmt.Errorf("gen: unknown stratum %q (have %v)", stratum, GenStratumNames())
+	}
+	if size < 0 {
+		size = -size
+	}
+	size %= maxGenSize + 1
+	app := &GenApp{
+		Name:    fmt.Sprintf("gen-%s-%08x", stratum, uint32(seed^seed>>32)),
+		Stratum: stratum,
+		Seed:    seed,
+		Size:    size,
+		Files:   map[string]string{},
+		Event:   "data",
+	}
+	r := newRng(seed, stratum)
+	s.gen(app, r)
+	return app, nil
+}
+
+// GenCorpus generates n apps stratified round-robin across the taxonomy,
+// with per-app seeds and sizes derived from the corpus seed. The corpus is
+// a pure function of (n, seed); app index i always lands on stratum
+// i mod |strata| so growing n never re-coordinates existing apps.
+func GenCorpus(n int, seed uint64) ([]*GenApp, error) {
+	strata := GenStrata()
+	apps := make([]*GenApp, 0, n)
+	for i := 0; i < n; i++ {
+		s := strata[i%len(strata)]
+		appSeed := mix64(seed ^ uint64(i)*0xA24BAED4963EE407)
+		app, err := Generate(s.Name, appSeed, int(appSeed>>56)%(maxGenSize+1))
+		if err != nil {
+			return nil, err
+		}
+		// index-qualified name: derived seeds can collide in the low hex
+		// digits; the index keeps corpus names unique and sortable
+		app.Name = fmt.Sprintf("g%04d-%s", i, s.Name)
+		s.gen(resetApp(app), newRng(appSeed, s.Name))
+		apps = append(apps, app)
+	}
+	return apps, nil
+}
+
+// resetApp clears the generated payload fields so a generator can re-run
+// under a renamed app (names are embedded in sources and site prefixes).
+func resetApp(app *GenApp) *GenApp {
+	app.Files = map[string]string{}
+	app.Sources = nil
+	app.MustCatch = nil
+	app.MustAllow = nil
+	app.Messages = 0
+	return app
+}
+
+// finishPolicy renders both policy variants from the stratum's spec.
+func finishPolicy(app *GenApp, spec *genPolicySpec) {
+	app.Policy = spec.render(false)
+	app.MirrorPolicy = spec.render(true)
+}
+
+// ---------------------------------------------------------------------------
+// computed-key: the secret is stashed under computed property keys on
+// otherwise clean objects, which are then shipped whole. Only the CNF-mode
+// deep property collection reaches the smuggled labels; decoy objects
+// stash public constants under equally dynamic keys and must stay clean.
+
+func genComputedKey(app *GenApp, r *rng) {
+	id := ident(app.Name)
+	flows := 1 + app.Size%4
+	decoys := 1 + r.intn(3)
+	secret := r.token(8 + r.intn(8))
+	var s srcBuilder
+	s.add(`const net = require('net');`)
+	s.addf(`const secret = %q;`, secret)
+	s.add(`const out = net.connect(9000);`)
+	s.add(`const status = net.connect(9001);`)
+	for i := 0; i < flows; i++ {
+		s.addf(`const pkg%d_%s = { kind: "telemetry", idx: %d };`, i, id, i)
+		s.addf(`const key%d_%s = "f" + %d;`, i, id, r.intn(90))
+		s.addf(`pkg%d_%s[key%d_%s] = secret.charAt(%d);`, i, id, i, id, r.intn(len(secret)))
+		app.MustCatch = append(app.MustCatch,
+			sitePrefix(app.Name, s.addf(`out.write(pkg%d_%s);`, i, id)))
+	}
+	for j := 0; j < decoys; j++ {
+		s.addf(`const clean%d_%s = { kind: "status" };`, j, id)
+		s.addf(`const ckey%d_%s = "c" + %d;`, j, id, r.intn(90))
+		s.addf(`clean%d_%s[ckey%d_%s] = "ok-%d";`, j, id, j, id, j)
+		app.MustAllow = append(app.MustAllow,
+			sitePrefix(app.Name, s.addf(`out.write(clean%d_%s);`, j, id)))
+	}
+	app.MustAllow = append(app.MustAllow,
+		sitePrefix(app.Name, s.add(`status.write("computed-key done");`)))
+	app.Files[app.EntryFile()] = s.String()
+	finishPolicy(app, &genPolicySpec{
+		inject:    map[string]string{"secret": "Secret", "out": "Public", "status": "Public"},
+		cnfEnable: true,
+	})
+}
+
+// ---------------------------------------------------------------------------
+// relay-chain: the secret crosses module boundaries through a require
+// chain — entry → lib0 → … → libK — and is only written in the last
+// module, far from where it was labelled. The site prefix therefore names
+// the lib file, proving cross-module label propagation.
+
+func genRelayChain(app *GenApp, r *rng) {
+	depth := 2 + app.Size%3
+	secret := r.token(6 + r.intn(10))
+	libName := func(k int) string { return fmt.Sprintf("%s-lib%d", app.Name, k) }
+
+	var entry srcBuilder
+	entry.add(`const net = require('net');`)
+	entry.addf(`const chain = require('./%s');`, libName(0))
+	entry.addf(`const secret = %q;`, secret)
+	entry.add(`const status = net.connect(9001);`)
+	entry.add(`chain.relay(secret);`)
+	entry.add(`chain.relay(secret + "/again");`)
+	app.MustAllow = append(app.MustAllow,
+		sitePrefix(app.Name, entry.add(`status.write("relay deployed");`)))
+	app.Files[app.EntryFile()] = entry.String()
+
+	for k := 0; k < depth; k++ {
+		var lib srcBuilder
+		if k < depth-1 {
+			lib.addf(`const next = require('./%s');`, libName(k+1))
+			lib.addf(`function relay(v) { return next.relay(v + "|hop%d"); }`, k)
+			lib.add(`module.exports = { relay: relay };`)
+		} else {
+			lib.add(`const net = require('net');`)
+			lib.add(`const out = net.connect(9000);`)
+			lib.add(`const status = net.connect(9002);`)
+			catch := lib.add(`function relay(v) { out.write(v); return v.length; }`)
+			allow := lib.add(`function announce() { status.write("chain ready"); }`)
+			lib.add(`announce();`)
+			lib.add(`module.exports = { relay: relay };`)
+			app.MustCatch = append(app.MustCatch, sitePrefix(libName(k), catch))
+			app.MustAllow = append(app.MustAllow, sitePrefix(libName(k), allow))
+		}
+		app.Files[libName(k)+".js"] = lib.String()
+	}
+	finishPolicy(app, &genPolicySpec{
+		inject: map[string]string{"secret": "Secret", "out": "Public", "status": "Public"},
+	})
+}
+
+// ---------------------------------------------------------------------------
+// implicit-ladder: the classic control-flow channel, scaled — the secret
+// is rebuilt from branch decisions through a ladder of nested conditionals
+// (no assignment ever touches the secret value), then shipped. Only pc
+// tracking connects the accumulated string to the secret.
+
+func genImplicitLadder(app *GenApp, r *rng) {
+	ladders := 1 + app.Size%3
+	secret := r.token(5 + r.intn(8))
+	var s srcBuilder
+	s.add(`const net = require('net');`)
+	s.addf(`const secret = %q;`, secret)
+	s.add(`const out = net.connect(9000);`)
+	s.add(`const status = net.connect(9001);`)
+	for l := 0; l < ladders; l++ {
+		mod := 2 + r.intn(3)
+		s.addf(`let acc%d = "";`, l)
+		s.add(`for (let i = 0; i < secret.length; i++) {`)
+		s.add(`  const c = secret.charCodeAt(i);`)
+		s.addf(`  if (c %% %d === 0) { if (c %% 2 === 0) { acc%d = acc%d + "a"; } else { acc%d = acc%d + "b"; } } else { acc%d = acc%d + "z"; }`,
+			mod, l, l, l, l, l, l)
+		s.add(`}`)
+		app.MustCatch = append(app.MustCatch,
+			sitePrefix(app.Name, s.addf(`out.write(acc%d);`, l)))
+	}
+	app.MustAllow = append(app.MustAllow,
+		sitePrefix(app.Name, s.add(`status.write("ladder idle");`)))
+	app.Files[app.EntryFile()] = s.String()
+	finishPolicy(app, &genPolicySpec{
+		inject: map[string]string{"secret": "Secret", "out": "Public", "status": "Public"},
+	})
+}
+
+// ---------------------------------------------------------------------------
+// mqtt-fanout: a device fleet — every broker frame is re-published to
+// per-device command topics (each publish a labelled flow), while the
+// constant heartbeat publish must stay clean. Exercises handler-resident
+// flows: the must-catch sites only fire once messages are pumped.
+
+func genMqttFanout(app *GenApp, r *rng) {
+	id := ident(app.Name)
+	devices := 2 + app.Size%4
+	var s srcBuilder
+	s.add(`const mqtt = require('mqtt');`)
+	s.addf(`const hub = mqtt.connect("fleet-%s");`, app.Name)
+	s.addf(`hub.on("message", frame => { route_%s(frame); });`, id)
+	s.addf(`function route_%s(frame) {`, id)
+	for d := 0; d < devices; d++ {
+		app.MustCatch = append(app.MustCatch,
+			sitePrefix(app.Name, s.addf(`  hub.publish("dev/%d/cmd", frame + "#%d");`, d, d)))
+	}
+	app.MustAllow = append(app.MustAllow,
+		sitePrefix(app.Name, s.add(`  hub.publish("fleet/health", "hb");`)))
+	s.add(`}`)
+	app.Files[app.EntryFile()] = s.String()
+	app.Sources = []string{"mqtt:fleet-" + app.Name}
+	app.Event = "message"
+	app.Messages = 3 + r.intn(4)
+	finishPolicy(app, &genPolicySpec{
+		inject: map[string]string{"frame": "Secret", "hub": "Public"},
+	})
+}
+
+// ---------------------------------------------------------------------------
+// webhook-fanin: several ingress sockets funnel into one shared sink
+// through per-hook handler functions — the runtime mirror of the paper's
+// typed-interprocedural flows (the sink reaches the handler as data).
+
+func genWebhookFanin(app *GenApp, r *rng) {
+	id := ident(app.Name)
+	hooks := 2 + app.Size%4
+	var s srcBuilder
+	s.add(`const net = require('net');`)
+	s.add(`const out = net.connect(9000);`)
+	s.add(`const status = net.connect(9001);`)
+	for h := 0; h < hooks; h++ {
+		app.MustCatch = append(app.MustCatch,
+			sitePrefix(app.Name, s.addf(`function handle%d_%s(sink, frame) { sink.write("h%d:" + frame); }`, h, id, h)))
+		s.addf(`const hook%d_%s = net.connect({ host: "hook%d-%s", port: 8080 });`, h, id, h, app.Name)
+		s.addf(`hook%d_%s.on("data", frame => handle%d_%s(out, frame));`, h, id, h, id)
+		app.Sources = append(app.Sources, fmt.Sprintf("net.socket:hook%d-%s:8080", h, app.Name))
+	}
+	app.MustAllow = append(app.MustAllow,
+		sitePrefix(app.Name, s.add(`status.write("fanin ready");`)))
+	app.Files[app.EntryFile()] = s.String()
+	app.Messages = hooks + 1 + r.intn(4)
+	finishPolicy(app, &genPolicySpec{
+		inject: map[string]string{"frame": "Secret", "out": "Public", "status": "Public"},
+	})
+}
+
+// ---------------------------------------------------------------------------
+// accumulator: stateful cross-message flows — frames accumulate in
+// module-level state and are flushed to the sink every k-th message, so
+// the violation carries labels from several earlier arrivals. The
+// per-message constant tick must stay clean.
+
+func genAccumulator(app *GenApp, r *rng) {
+	id := ident(app.Name)
+	k := 2 + app.Size%3
+	var s srcBuilder
+	s.add(`const net = require('net');`)
+	s.addf(`const feed = net.connect({ host: "acc-%s", port: 7000 });`, app.Name)
+	s.add(`const out = net.connect(9000);`)
+	s.add(`const status = net.connect(9001);`)
+	s.addf(`let state_%s = "";`, id)
+	s.addf(`let n_%s = 0;`, id)
+	s.addf(`feed.on("data", frame => { ingest_%s(frame); });`, id)
+	s.addf(`function ingest_%s(frame) {`, id)
+	s.addf(`  state_%s = state_%s + "|" + frame;`, id, id)
+	s.addf(`  n_%s = n_%s + 1;`, id, id)
+	s.addf(`  if (n_%s %% %d === 0) {`, id, k)
+	app.MustCatch = append(app.MustCatch,
+		sitePrefix(app.Name, s.addf(`    out.write(state_%s);`, id)))
+	s.addf(`    state_%s = "";`, id)
+	s.add(`  }`)
+	app.MustAllow = append(app.MustAllow,
+		sitePrefix(app.Name, s.add(`  status.write("tick");`)))
+	s.add(`}`)
+	app.Files[app.EntryFile()] = s.String()
+	app.Sources = []string{fmt.Sprintf("net.socket:acc-%s:7000", app.Name)}
+	app.Messages = k + 1 + r.intn(2*k)
+	finishPolicy(app, &genPolicySpec{
+		inject: map[string]string{"frame": "Secret", "out": "Public", "status": "Public"},
+	})
+}
+
+// ---------------------------------------------------------------------------
+// units-mixed: line-tracked runtime variants of gen.go's E1 unit shapes —
+// a labelled typed-interprocedural main flow (must-catch) composed with
+// direct-copy and prototype-chain units whose data is never labelled
+// (their executed sink writes are must-allow precision controls), plus
+// pure-compute padding.
+
+func genUnitsMixed(app *GenApp, r *rng) {
+	id := ident(app.Name)
+	direct := 1 + app.Size%3
+	protos := 1 + r.intn(2)
+	var s srcBuilder
+	s.add(`const net = require('net');`)
+	s.add(`const fs = require('fs');`)
+	s.addf(`const feed = net.connect({ host: "feed-%s", port: 9000 });`, app.Name)
+	s.add(`const out = net.connect(9000);`)
+	app.MustCatch = append(app.MustCatch,
+		sitePrefix(app.Name, s.addf(`function deliver_%s(sink, v) { sink.write(v.trim()); }`, id)))
+	s.addf(`feed.on("data", frame => deliver_%s(out, frame));`, id)
+	app.Sources = append(app.Sources, fmt.Sprintf("net.socket:feed-%s:9000", app.Name))
+	for i := 0; i < direct; i++ {
+		s.addf(`const rd%d_%s = fs.createReadStream("/in/%s/u%d");`, i, id, app.Name, i)
+		s.addf(`const wr%d_%s = fs.createWriteStream("/copy/%s/u%d");`, i, id, app.Name, i)
+		app.MustAllow = append(app.MustAllow,
+			sitePrefix(app.Name, s.addf(`rd%d_%s.on("data", c => { wr%d_%s.write(c.toUpperCase()); });`, i, id, i, id)))
+		app.Sources = append(app.Sources, fmt.Sprintf("fs.readStream:/in/%s/u%d", app.Name, i))
+	}
+	for p := 0; p < protos; p++ {
+		s.addf(`function Rec%d_%s() { this.dest = fs.createWriteStream("/rec/%s/u%d"); }`, p, id, app.Name, p)
+		app.MustAllow = append(app.MustAllow,
+			sitePrefix(app.Name, s.addf(`Rec%d_%s.prototype.save = function(d) { this.dest.write(d); };`, p, id)))
+		s.addf(`const rec%d_%s = new Rec%d_%s();`, p, id, p, id)
+		s.addf(`const cam%d_%s = fs.createReadStream("/cam/%s/u%d");`, p, id, app.Name, p)
+		s.addf(`cam%d_%s.on("data", d => rec%d_%s.save(d));`, p, id, p, id)
+		app.Sources = append(app.Sources, fmt.Sprintf("fs.readStream:/cam/%s/u%d", app.Name, p))
+	}
+	s.addf(`function pad_%s(x) { let o = x * 2 + 1; for (let i = 0; i < 3; i++) { o = o + i * i; } return o; }`, id)
+	s.addf(`const cal_%s = pad_%s(%d);`, id, id, r.intn(40))
+	app.Files[app.EntryFile()] = s.String()
+	app.Messages = len(app.Sources) + 2 + r.intn(4)
+	finishPolicy(app, &genPolicySpec{
+		inject: map[string]string{"frame": "Secret", "out": "Public"},
+	})
+}
+
+// GenByName finds a generated app in a corpus slice.
+func GenByName(apps []*GenApp, name string) *GenApp {
+	for _, a := range apps {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// genLines counts total generated source lines (used by shape tests).
+func genLines(apps []*GenApp) int {
+	total := 0
+	for _, a := range apps {
+		for _, src := range a.Files {
+			total += strings.Count(src, "\n")
+		}
+	}
+	return total
+}

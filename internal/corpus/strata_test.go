@@ -1,0 +1,156 @@
+package corpus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestGenerateIsPureFunction: the same (stratum, seed, size) coordinates
+// must reproduce byte-identical sources, policies and ground truth, and
+// nearby coordinates must actually differ — a generator that collapses to
+// one app per stratum would pass every differential relation vacuously.
+func TestGenerateIsPureFunction(t *testing.T) {
+	for _, stratum := range GenStratumNames() {
+		a, err := Generate(stratum, 0xBEEF, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(stratum, 0xBEEF, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if renderGenApp(a) != renderGenApp(b) {
+			t.Fatalf("%s: regeneration at identical coordinates diverged", stratum)
+		}
+		c, err := Generate(stratum, 0xBEF0, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if renderGenApp(a) == renderGenApp(c) {
+			t.Errorf("%s: seed change produced an identical app", stratum)
+		}
+	}
+}
+
+// TestGenerateConsistencySweep: every reachable coordinate in a broad
+// sweep satisfies the ground-truth contract — disjoint catch/allow sets,
+// well-formed prefixes pointing at lines that exist.
+func TestGenerateConsistencySweep(t *testing.T) {
+	for _, stratum := range GenStratumNames() {
+		for seed := uint64(0); seed < 20; seed++ {
+			for size := 0; size <= maxGenSize; size += 3 {
+				app, err := Generate(stratum, seed*0x9E3779B9+1, size)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := app.CheckConsistency(); err != nil {
+					t.Errorf("%s seed %d size %d: %v", stratum, seed, size, err)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateUnknownStratum(t *testing.T) {
+	if _, err := Generate("no-such-stratum", 1, 1); err == nil {
+		t.Fatal("unknown stratum accepted")
+	}
+}
+
+// TestGenCorpusStability: the corpus is a pure function of (n, seed), a
+// prefix of a larger corpus regenerates the same leading apps, and names
+// are unique.
+func TestGenCorpusStability(t *testing.T) {
+	a, err := GenCorpus(40, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenCorpus(40, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 40 || len(b) != 40 {
+		t.Fatalf("corpus sizes %d/%d, want 40", len(a), len(b))
+	}
+	seen := map[string]bool{}
+	for i := range a {
+		if renderGenApp(a[i]) != renderGenApp(b[i]) {
+			t.Fatalf("app %d not reproducible", i)
+		}
+		if seen[a[i].Name] {
+			t.Fatalf("duplicate generated name %q", a[i].Name)
+		}
+		seen[a[i].Name] = true
+	}
+	wide, err := GenCorpus(60, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if renderGenApp(wide[i]) != renderGenApp(a[i]) {
+			t.Fatalf("app %d changes when the corpus grows", i)
+		}
+	}
+	// round-robin composition covers every stratum
+	strata := map[string]int{}
+	for _, app := range a {
+		strata[app.Stratum]++
+	}
+	if len(strata) != len(GenStratumNames()) {
+		t.Fatalf("corpus covers %d strata, want %d", len(strata), len(GenStratumNames()))
+	}
+}
+
+// renderGenApp serializes everything observable about a generated app into
+// one deterministic text blob — the comparison and golden format.
+func renderGenApp(g *GenApp) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "name: %s\nstratum: %s\nseed: %#x\nsize: %d\n", g.Name, g.Stratum, g.Seed, g.Size)
+	fmt.Fprintf(&b, "sources: %s\nevent: %s\nmessages: %d\n", strings.Join(g.Sources, ", "), g.Event, g.Messages)
+	fmt.Fprintf(&b, "must-catch: %s\n", strings.Join(g.MustCatch, ", "))
+	fmt.Fprintf(&b, "must-allow: %s\n", strings.Join(g.MustAllow, ", "))
+	fmt.Fprintf(&b, "-- policy --\n%s\n", g.Policy)
+	fmt.Fprintf(&b, "-- mirror policy --\n%s\n", g.MirrorPolicy)
+	files := make([]string, 0, len(g.Files))
+	for name := range g.Files {
+		files = append(files, name)
+	}
+	sort.Strings(files)
+	for _, name := range files {
+		fmt.Fprintf(&b, "-- %s --\n%s", name, g.Files[name])
+	}
+	return b.String()
+}
+
+// TestGenGolden pins one generated app per stratum — source, policy and
+// ground truth — to committed golden files, so any drift in the generator
+// is a reviewed diff, not a silent recalibration of every seed.
+// Regenerate with TURNSTILE_UPDATE_GOLDEN=1 go test ./internal/corpus -run GenGolden
+func TestGenGolden(t *testing.T) {
+	for _, stratum := range GenStratumNames() {
+		app, err := Generate(stratum, 1, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := renderGenApp(app)
+		golden := filepath.Join("testdata", "gen_"+stratum+".golden.txt")
+		if os.Getenv("TURNSTILE_UPDATE_GOLDEN") != "" {
+			if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("golden updated: %s", golden)
+			continue
+		}
+		want, err := os.ReadFile(golden)
+		if err != nil {
+			t.Fatalf("golden file missing (regenerate with TURNSTILE_UPDATE_GOLDEN=1): %v", err)
+		}
+		if string(want) != got {
+			t.Errorf("%s drifted from golden:\n-- got --\n%s\n-- want --\n%s", stratum, got, want)
+		}
+	}
+}

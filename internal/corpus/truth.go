@@ -1,0 +1,186 @@
+// Ground-truth machinery for the seeded generator: the GenApp type every
+// stratum produces, the machine-checkable must-catch/must-allow contract
+// (attack.go style), and the generated-policy builder with its
+// mirrored-CNF knob (the metamorphic battery runs every generated app
+// under both the flat policy and an isomorphic mirrored-clause copy and
+// asserts identical flow decisions).
+package corpus
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// GenApp is one generated application with built-in ground truth. It is a
+// pure function of (Stratum, Seed, Size): regenerating with the same
+// coordinates yields byte-identical sources, policy and ground truth.
+type GenApp struct {
+	Name    string
+	Stratum string
+	Seed    uint64
+	Size    int
+	// Files maps file name → MiniJS source. Single-file apps use
+	// Name+".js"; the relay-chain stratum adds module files.
+	Files map[string]string
+	// Policy is the flat IFC policy JSON the app is scored under.
+	Policy string
+	// MirrorPolicy is the isomorphic mirrored-clause copy: every label l
+	// becomes the OR-clause "l|lM" over a doubled rule graph. By mirror
+	// equivalence, every flow decision under MirrorPolicy must equal the
+	// flat decision — the metamorphic battery's flat≡CNF relation.
+	MirrorPolicy string
+	// Sources are the interpreter I/O source names the scorer pumps,
+	// round-robin; empty means the app does all its work at load time.
+	Sources []string
+	// Event is the source event name ("data", "message").
+	Event string
+	// Messages is how many arrivals the scorer pumps before scoring.
+	Messages int
+	// MustCatch lists violation-site prefixes that must each match at
+	// least one recorded violation ("name.js:LINE:").
+	MustCatch []string
+	// MustAllow lists site prefixes that must match no violation at all.
+	MustAllow []string
+}
+
+// Payload builds the i-th pumped arrival for a generated app: a
+// deterministic frame derived from the app's seed, roughly half carrying
+// the "E" marker so value-dependent labellers exercise both branches.
+func (g *GenApp) Payload(i int) string {
+	h := mix64(g.Seed ^ uint64(i)*0x9E3779B97F4A7C15)
+	if h%2 == 0 {
+		return fmt.Sprintf("reading%d:E%d", i, h%97)
+	}
+	return fmt.Sprintf("reading%d:", i)
+}
+
+// EntryFile is the deployment entry source file name.
+func (g *GenApp) EntryFile() string { return g.Name + ".js" }
+
+// CheckConsistency validates the internal ground-truth contract: the
+// must-catch and must-allow sets are disjoint, every site prefix is
+// well-formed, and line-numbered prefixes reference lines that exist in
+// the named file. The fuzz target gates on this for every reachable
+// (seed, stratum, size).
+func (g *GenApp) CheckConsistency() error {
+	if g.Name == "" || g.Stratum == "" {
+		return fmt.Errorf("gen: app missing name or stratum")
+	}
+	if len(g.Files) == 0 {
+		return fmt.Errorf("gen: %s: no source files", g.Name)
+	}
+	if _, ok := g.Files[g.EntryFile()]; !ok {
+		return fmt.Errorf("gen: %s: entry file %s missing", g.Name, g.EntryFile())
+	}
+	if len(g.MustCatch) == 0 && len(g.MustAllow) == 0 {
+		return fmt.Errorf("gen: %s: no ground truth at all", g.Name)
+	}
+	if len(g.Sources) > 0 && g.Messages <= 0 {
+		return fmt.Errorf("gen: %s: has sources but pumps no messages", g.Name)
+	}
+	catch := make(map[string]bool, len(g.MustCatch))
+	for _, p := range g.MustCatch {
+		catch[p] = true
+	}
+	for _, p := range g.MustAllow {
+		if catch[p] {
+			return fmt.Errorf("gen: %s: prefix %q is both must-catch and must-allow", g.Name, p)
+		}
+	}
+	for _, p := range append(append([]string{}, g.MustCatch...), g.MustAllow...) {
+		file, line, err := splitSitePrefix(p)
+		if err != nil {
+			return fmt.Errorf("gen: %s: %w", g.Name, err)
+		}
+		src, ok := g.Files[file]
+		if !ok {
+			return fmt.Errorf("gen: %s: prefix %q names unknown file %s", g.Name, p, file)
+		}
+		if n := strings.Count(src, "\n"); line < 1 || line > n {
+			return fmt.Errorf("gen: %s: prefix %q line %d out of range (%s has %d lines)",
+				g.Name, p, line, file, n)
+		}
+	}
+	return nil
+}
+
+// splitSitePrefix decomposes "file.js:LINE:" into its parts.
+func splitSitePrefix(p string) (file string, line int, err error) {
+	rest, ok := strings.CutSuffix(p, ":")
+	if !ok {
+		return "", 0, fmt.Errorf("malformed site prefix %q", p)
+	}
+	i := strings.LastIndexByte(rest, ':')
+	if i < 0 {
+		return "", 0, fmt.Errorf("malformed site prefix %q", p)
+	}
+	file = rest[:i]
+	for _, c := range rest[i+1:] {
+		if c < '0' || c > '9' {
+			return "", 0, fmt.Errorf("malformed site prefix %q", p)
+		}
+		line = line*10 + int(c-'0')
+	}
+	if line == 0 {
+		return "", 0, fmt.Errorf("malformed site prefix %q", p)
+	}
+	return file, line, nil
+}
+
+// genPolicySpec describes the policy a stratum generator needs: which
+// object names carry which base label, and whether the clause-aware
+// tracker paths (deep property collection) must be enabled.
+type genPolicySpec struct {
+	// inject maps object name → base label ("Secret" or "Public").
+	inject map[string]string
+	// cnfEnable switches the tracker onto the clause-aware paths (the
+	// computed-key stratum needs deep property collection).
+	cnfEnable bool
+}
+
+// render builds the policy JSON. With mirrored set, every label l becomes
+// the clause "l|lM" and the rule DAG is doubled isomorphically.
+func (s *genPolicySpec) render(mirrored bool) string {
+	label := func(l string) string {
+		if mirrored {
+			return l + "|" + l + "M"
+		}
+		return l
+	}
+	var b strings.Builder
+	b.WriteString("{\n  \"labellers\": {\n")
+	b.WriteString(fmt.Sprintf("    \"AsSecret\": %q,\n", fmt.Sprintf("v => %q", label("Secret"))))
+	b.WriteString(fmt.Sprintf("    \"AsSink\": %q\n", fmt.Sprintf("v => %q", label("Public"))))
+	b.WriteString("  },\n")
+	if mirrored {
+		b.WriteString("  \"rules\": [ \"Public -> Secret\", \"PublicM -> SecretM\" ],\n")
+	} else {
+		b.WriteString("  \"rules\": [ \"Public -> Secret\" ],\n")
+	}
+	b.WriteString("  \"injections\": [\n")
+	names := make([]string, 0, len(s.inject))
+	for n := range s.inject {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for i, n := range names {
+		labeller := "AsSink"
+		if s.inject[n] == "Secret" {
+			labeller = "AsSecret"
+		}
+		comma := ","
+		if i == len(names)-1 {
+			comma = ""
+		}
+		fmt.Fprintf(&b, "    { \"object\": %q, \"labeller\": %q }%s\n", n, labeller, comma)
+	}
+	b.WriteString("  ]")
+	if s.cnfEnable {
+		// a minimal CNF block whose only purpose is switching the tracker
+		// onto the clause-aware paths (attack.go's cnfEnable idiom)
+		b.WriteString(",\n  \"endorsements\": [ { \"name\": \"unused\", \"adds\": \"Unused\" } ]")
+	}
+	b.WriteString("\n}")
+	return b.String()
+}

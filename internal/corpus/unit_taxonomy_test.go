@@ -1,0 +1,60 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"turnstile/internal/baseline"
+	"turnstile/internal/parser"
+	"turnstile/internal/taint"
+)
+
+// TestUnitDetectionTaxonomy pins each flow unit's advertised detection
+// class (§6.1) against the analyzers themselves, in isolation: a unit
+// whose doc comment claims "detected only by Turnstile's type-sensitive
+// interprocedural analysis" must actually be found by taint.Analyze,
+// missed by the baseline, and lost again when TypeSensitive is ablated.
+// The calibration test pins the corpus-wide totals; this one pins the
+// per-unit reasons those totals decompose the way Fig. 10 says.
+func TestUnitDetectionTaxonomy(t *testing.T) {
+	build := func(emit func(*strings.Builder, *int)) []taint.File {
+		var b strings.Builder
+		header(&b, "unit-tax")
+		u := 0
+		emit(&b, &u)
+		prog, err := parser.Parse("unit-tax.js", b.String())
+		if err != nil {
+			t.Fatalf("unit source does not parse: %v", err)
+		}
+		return []taint.File{{Name: "unit-tax.js", Prog: prog}}
+	}
+	ablated := taint.DefaultOptions()
+	ablated.TypeSensitive = false
+
+	cases := []struct {
+		name string
+		emit func(*strings.Builder, *int)
+		// expected path counts per analyzer on the isolated unit
+		turnstile, turnstileAblated, baseline int
+	}{
+		// the ablation loses even the "direct" unit: its handler lambda is
+		// a user-function boundary, and without type propagation the
+		// event payload parameter never acquires a source type
+		{"typed-interproc", unitTypedInterproc, 1, 0, 0},
+		{"direct", unitDirect, 1, 0, 1},
+		{"prototype", unitPrototype, 0, 0, 1},
+		{"framework", unitFramework, 0, 0, 0},
+	}
+	for _, tc := range cases {
+		files := build(tc.emit)
+		if got := len(taint.Analyze(files, taint.DefaultOptions()).Paths); got != tc.turnstile {
+			t.Errorf("%s: turnstile found %d paths, want %d", tc.name, got, tc.turnstile)
+		}
+		if got := len(taint.Analyze(files, ablated).Paths); got != tc.turnstileAblated {
+			t.Errorf("%s: type-ablated turnstile found %d paths, want %d", tc.name, got, tc.turnstileAblated)
+		}
+		if got := len(baseline.Analyze(files).Paths); got != tc.baseline {
+			t.Errorf("%s: baseline found %d paths, want %d", tc.name, got, tc.baseline)
+		}
+	}
+}

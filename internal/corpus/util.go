@@ -1,0 +1,125 @@
+// Shared corpus utilities: identifier sanitizing, line-tracked source
+// assembly and ground-truth site prefixes (used by both the attack corpus
+// and the seeded generator), and the seeded mixing PRNG every generated
+// artifact derives from (SplitMix64 — the repo's standard platform-stable
+// determinism idiom, see internal/workload).
+package corpus
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ident sanitizes an app name into an identifier fragment.
+func ident(name string) string {
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == '-' || c == '.' {
+			b.WriteByte('_')
+		} else {
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// srcBuilder accumulates source text while tracking line numbers, so
+// ground-truth site prefixes stay correct as apps evolve.
+type srcBuilder struct {
+	b    strings.Builder
+	line int
+}
+
+// add appends one line and returns its 1-based line number.
+func (s *srcBuilder) add(text string) int {
+	s.line++
+	s.b.WriteString(text)
+	s.b.WriteByte('\n')
+	return s.line
+}
+
+// addf is add with fmt.Sprintf formatting. The rendered text must be a
+// single line; embedded newlines would desynchronize the tracked numbers,
+// so multi-line chunks go through addBlock instead.
+func (s *srcBuilder) addf(format string, args ...any) int {
+	return s.add(fmt.Sprintf(format, args...))
+}
+
+// addBlock appends a multi-line chunk and returns the line number of its
+// first line. A trailing newline does not produce an extra empty line.
+func (s *srcBuilder) addBlock(text string) int {
+	first := s.line + 1
+	for _, ln := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		s.add(ln)
+	}
+	return first
+}
+
+func (s *srcBuilder) String() string { return s.b.String() }
+
+// sitePrefix renders the ground-truth prefix for a sink call on a line.
+func sitePrefix(app string, line int) string {
+	return fmt.Sprintf("%s.js:%d:", app, line)
+}
+
+// rng is a SplitMix64 stream: a pure function of its seed, stable across
+// platforms and Go versions (unlike math/rand), so every generated app is
+// reproducible from (seed, stratum, size) alone.
+type rng struct{ state uint64 }
+
+// newRng derives an independent stream from a seed and a name, mirroring
+// workload.GenerateTrace's (seed, name) keying.
+func newRng(seed uint64, name string) *rng {
+	return &rng{state: mix64(seed ^ hash64(name))}
+}
+
+// next returns the next 64-bit value of the stream.
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	x := r.state
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// intn returns a value in [0, n); n must be positive.
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// rangeInt returns a value in [lo, hi] inclusive.
+func (r *rng) rangeInt(lo, hi int) int {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.intn(hi-lo+1)
+}
+
+// token returns a short deterministic uppercase token, for secret values.
+func (r *rng) token(n int) string {
+	const alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(alphabet[r.intn(len(alphabet))])
+	}
+	return b.String()
+}
+
+// mix64 is SplitMix64's finalizer.
+func mix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// hash64 is FNV-1a.
+func hash64(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

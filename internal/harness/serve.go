@@ -110,6 +110,13 @@ type ServeFleetOptions struct {
 	Seed int64
 	// Hostile prepends the adversarial tenant at index 0.
 	Hostile bool
+	// GenTenants appends tenants running seeded-generator apps (the
+	// pump-driven strata, deployed in exhaustive audit mode) after the
+	// demo tenants, so the soak exercises the generated flow families
+	// under daemon quotas and guard epochs.
+	GenTenants int
+	// GenSeed is the generated-tenant corpus seed.
+	GenSeed uint64
 	// MaxGap is the maximum inter-arrival gap in ticks; 0 selects 60.
 	MaxGap int64
 	// Metrics, when non-nil, receives every tenant's drain-time counter
@@ -131,6 +138,13 @@ func BuildServeFleet(opts ServeFleetOptions) ([]serve.TenantConfig, error) {
 	for i := range tenants {
 		tenants[i].Metrics = opts.Metrics
 	}
+	if opts.GenTenants > 0 {
+		gen, err := genServeTenants(opts)
+		if err != nil {
+			return nil, err
+		}
+		tenants = append(tenants, gen...)
+	}
 	if opts.Hostile {
 		// the hostile tenant gets a deeper queue with a tighter lag bound:
 		// admission lets its burst in, then shedding dead-letters the
@@ -143,6 +157,55 @@ func BuildServeFleet(opts ServeFleetOptions) ([]serve.TenantConfig, error) {
 			Metrics:  opts.Metrics,
 		}
 		tenants = append([]serve.TenantConfig{hostile}, tenants...)
+	}
+	return tenants, nil
+}
+
+// genServeTenants builds the generated-app tenants: the seeded corpus is
+// walked in order and every app with a pump-driven source becomes one
+// tenant (load-time-only strata have no per-message work for a daemon to
+// drive). Each tenant deploys its full multi-file app in exhaustive audit
+// mode under the default guard budget, and arrivals follow the same
+// (seed, name)-keyed traces as the demo fleet.
+func genServeTenants(opts ServeFleetOptions) ([]serve.TenantConfig, error) {
+	var tenants []serve.TenantConfig
+	// pump-driven strata are a fixed fraction of the taxonomy, so a few
+	// over-generation rounds always cover the requested tenant count
+	for n := 4 * opts.GenTenants; len(tenants) < opts.GenTenants; n *= 2 {
+		apps, err := corpus.GenCorpus(n, opts.GenSeed)
+		if err != nil {
+			return nil, err
+		}
+		tenants = tenants[:0]
+		for _, app := range apps {
+			if len(app.Sources) == 0 {
+				continue
+			}
+			if len(tenants) == opts.GenTenants {
+				break
+			}
+			name := fmt.Sprintf("tenant-gen-%02d-%s", len(tenants), app.Stratum)
+			lim := serve.DefaultTenantLimits()
+			driver, err := serve.NewAppDriver(serve.AppConfig{
+				Name:       name,
+				Sources:    app.Files,
+				PolicyJSON: app.Policy,
+				SourceName: app.Sources[0],
+				Event:      app.Event,
+				Limits:     &lim,
+				Exhaustive: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			tenants = append(tenants, serve.TenantConfig{
+				Name:     name,
+				Quota:    serve.DefaultQuota(),
+				Arrivals: workload.GenerateTrace(opts.Seed, name, opts.Messages, opts.MaxGap),
+				Driver:   driver,
+				Metrics:  opts.Metrics,
+			})
+		}
 	}
 	return tenants, nil
 }
@@ -284,7 +347,10 @@ type ServeSoakOptions struct {
 	Messages int
 	Seed     int64
 	Hostile  bool
-	Parallel int
+	// GenTenants appends seeded-generator tenants (see ServeFleetOptions).
+	GenTenants int
+	GenSeed    uint64
+	Parallel   int
 }
 
 // ServeSoakTenant is one tenant's soak row (the JSON artifact schema).
@@ -312,16 +378,18 @@ type ServeSoakTenant struct {
 // fleet totals. Everything is counted on the virtual clock, so the JSON
 // is byte-identical for a fixed seed at any worker count.
 type ServeSoakResult struct {
-	Seed      int64             `json:"seed"`
-	Tenants   int               `json:"tenants"`
-	Messages  int               `json:"messages_per_tenant"`
-	Hostile   bool              `json:"hostile_tenant"`
-	Rows      []ServeSoakTenant `json:"per_tenant"`
-	Processed int               `json:"total_processed"`
-	Denied    int               `json:"total_denied"`
-	Shed      int               `json:"total_shed"`
-	Violation int               `json:"total_violations"`
-	MsgPerSec float64           `json:"sustained_msg_per_sec"`
+	Seed       int64             `json:"seed"`
+	Tenants    int               `json:"tenants"`
+	Messages   int               `json:"messages_per_tenant"`
+	Hostile    bool              `json:"hostile_tenant"`
+	GenTenants int               `json:"gen_tenants,omitempty"`
+	GenSeed    uint64            `json:"gen_seed,omitempty"`
+	Rows       []ServeSoakTenant `json:"per_tenant"`
+	Processed  int               `json:"total_processed"`
+	Denied     int               `json:"total_denied"`
+	Shed       int               `json:"total_shed"`
+	Violation  int               `json:"total_violations"`
+	MsgPerSec  float64           `json:"sustained_msg_per_sec"`
 
 	report *serve.Report
 }
@@ -330,6 +398,7 @@ type ServeSoakResult struct {
 func RunServeSoak(opts ServeSoakOptions) (*ServeSoakResult, error) {
 	fleet, err := BuildServeFleet(ServeFleetOptions{
 		Tenants: opts.Tenants, Messages: opts.Messages, Seed: opts.Seed, Hostile: opts.Hostile,
+		GenTenants: opts.GenTenants, GenSeed: opts.GenSeed,
 	})
 	if err != nil {
 		return nil, err
@@ -340,6 +409,7 @@ func RunServeSoak(opts ServeSoakOptions) (*ServeSoakResult, error) {
 	}
 	res := &ServeSoakResult{
 		Seed: opts.Seed, Tenants: opts.Tenants, Messages: opts.Messages, Hostile: opts.Hostile,
+		GenTenants: opts.GenTenants, GenSeed: opts.GenSeed,
 		report: rep,
 	}
 	var longest int64

@@ -173,8 +173,11 @@ func (ip *Interp) InstallTracker(pol *policy.Policy) *dift.Tracker {
 		}
 		// methods that return their receiver for chaining (db.run, client
 		// .publish) yield the receiver itself, not a derived value; labelling
-		// it would conflate the sink's clearance with its contents
-		if dift.Unwrap(ret) == dift.Unwrap(target) {
+		// it would conflate the sink's clearance with its contents. Only
+		// references qualify: on value types == means equality, not
+		// identity, and e.g. trim() on an already-trimmed secret returns an
+		// equal string whose label must still derive from the receiver
+		if retU := dift.Unwrap(ret); retU == dift.Unwrap(target) && tr.Adapter.IsReference(retU) {
 			return ret, nil
 		}
 		// the return value derives from the arguments AND the receiver

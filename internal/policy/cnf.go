@@ -58,6 +58,25 @@ func ClauseAtoms(l Label) []Label {
 	return out
 }
 
+// AtomizeClauses expands every OR-clause in the set into its alternative
+// atoms, returning a flat label set. On the receiver side of a flow check
+// a clause "r1|r2" offers each alternative as a clearance in its own
+// right, so the per-label tests run over atoms — exactly what makes a
+// mirrored-clause policy ("l|lM" over a doubled rule graph) decide like
+// its flat original. Clause-free sets are returned unchanged (no copy).
+func (s LabelSet) AtomizeClauses() LabelSet {
+	if !s.HasClauses() {
+		return s
+	}
+	out := make(LabelSet, len(s))
+	for l := range s {
+		for _, a := range ClauseAtoms(l) {
+			out[a] = struct{}{}
+		}
+	}
+	return out
+}
+
 // MakeClause builds a normalized clause label from alternative atoms:
 // deduplicated, sorted, '|'-joined. ⊤ as one alternative among several is
 // dropped — ⊤ can never satisfy a flow, and keeping it as a dead branch

@@ -379,6 +379,12 @@ func (g *Graph) FlowAllowed(data, recv LabelSet, mode FlowMode) bool {
 	if data.Contains(Top) {
 		return false
 	}
+	// A clause on the receiver side offers each alternative atom as a
+	// clearance in its own right; expanding here keeps every loop below —
+	// flat and clause-aware alike — in terms of rule-graph nodes. Treating
+	// a receiver clause as an opaque atom would make it incomparable to
+	// everything and silently fail open in FlowComparable mode.
+	recv = recv.AtomizeClauses()
 	if data.HasClauses() {
 		for p := range data {
 			if !g.clauseAllowed(p, recv, mode) {

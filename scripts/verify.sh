@@ -92,4 +92,17 @@ rm -f /tmp/turnstile-serve-a.txt /tmp/turnstile-serve-b.txt
 echo "== serve isolation battery (hostile tenant cannot perturb neighbours)"
 go test ./internal/harness -run TestServeIsolationBattery -v
 
+echo "== generated-corpus gate (zero missed flows, differing -parallel, -noresolve)"
+go run ./cmd/turnstile-bench -gen 56 -genseed 3 -parallel 8 > /tmp/turnstile-gen-a.txt
+go run ./cmd/turnstile-bench -gen 56 -genseed 3 -parallel 1 > /tmp/turnstile-gen-b.txt
+go run ./cmd/turnstile-bench -gen 56 -genseed 3 -noresolve > /tmp/turnstile-gen-c.txt
+cmp /tmp/turnstile-gen-a.txt /tmp/turnstile-gen-b.txt
+cmp /tmp/turnstile-gen-a.txt /tmp/turnstile-gen-c.txt
+grep -q "must-catch flows: .* 0 missed; false positives: 0" /tmp/turnstile-gen-a.txt
+grep -q "precision 1.000  recall 1.000" /tmp/turnstile-gen-a.txt
+rm -f /tmp/turnstile-gen-a.txt /tmp/turnstile-gen-b.txt /tmp/turnstile-gen-c.txt
+
+echo "== generated-corpus metamorphic battery (slot=map, flat=mirror, chaos, crash)"
+go test ./internal/harness -run TestGenMetamorphic
+
 echo "verify: OK"
