@@ -60,6 +60,16 @@
 // selects the arrival traces; the report and the -serveout FILE JSON
 // artifact (the committed BENCH_serve.json) are byte-identical for a
 // fixed seed at any -parallel level.
+//
+// Recovery mode: -recovery runs the crash-recovery battery: a seeded fleet
+// is run durably (labeled WAL + snapshots on an in-memory store), killed
+// after every WAL record boundary (-recoverystride / -recoverymax coarsen
+// the sweep), recovered on the surviving bytes and resumed at worker
+// counts 1 and 8 — the resumed account must be byte-identical to the
+// uninterrupted run. A corrupted-WAL scenario rides along and must come
+// back poisoned with sinks denied, surviving a second restart. Exits
+// non-zero on any mismatch. Sized by -servetenants/-servemessages/
+// -serveseed.
 package main
 
 import (
@@ -111,6 +121,9 @@ func main() {
 	serveHostile := flag.Bool("servehostile", true, "include the hostile crash+attack tenant in the soak")
 	serveGen := flag.Int("servegen", 0, "append N seeded-generator tenants to the soak fleet")
 	serveOut := flag.String("serveout", "", "also write the soak report JSON to this file (e.g. BENCH_serve.json)")
+	recovery := flag.Bool("recovery", false, "run the crash-recovery battery (kill at WAL boundaries, byte-identical resume)")
+	recoveryStride := flag.Int("recoverystride", 1, "test every stride-th WAL record boundary (recovery mode)")
+	recoveryMax := flag.Int("recoverymax", 0, "cap the number of crash boundaries tested (0 = all)")
 	flag.Parse()
 
 	if *profileOut != "" {
@@ -139,9 +152,24 @@ func main() {
 	if *all {
 		*table2, *fig10, *fig11, *fig12, *chaos, *crash, *attack, *metrics = true, true, true, true, true, true, true, true
 	}
-	if !*table2 && !*fig10 && !*fig11 && !*fig12 && !*chaos && !*crash && !*attack && !*metrics && !*bench && !*serveSoak && *gen == 0 {
+	if !*table2 && !*fig10 && !*fig11 && !*fig12 && !*chaos && !*crash && !*attack && !*metrics && !*bench && !*serveSoak && !*recovery && *gen == 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *recovery {
+		res, err := harness.RunRecoveryBattery(harness.RecoveryOptions{
+			Tenants: *serveTenants, Messages: *serveMessages, Seed: *serveSeed,
+			BoundaryStride: *recoveryStride, MaxBoundaries: *recoveryMax,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(harness.RenderRecovery(res))
+		if !res.Passed() {
+			fatal(fmt.Errorf("recovery battery: %d mismatch(es); fail-closed contract held: %v",
+				len(res.Mismatches), res.Corruption == nil || res.Corruption.Ok()))
+		}
 	}
 
 	if *serveSoak {

@@ -5,9 +5,12 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
+	"turnstile/internal/durable"
 	"turnstile/internal/interp"
 	"turnstile/internal/nodered"
+	"turnstile/internal/serve"
 )
 
 // cmdDLQ deploys a flow on the queued (bounded-mailbox) engine, drives it,
@@ -19,9 +22,19 @@ import (
 // Replay re-enqueues every shed message in shed order under a fresh drain
 // budget; it is refused while any node's breaker is open, so pair -replay
 // with -advance to let the supervisor's cooldown elapse first.
+//
+// With -state DIR the command instead reads the serve daemon's durable
+// state directory (see turnstile serve -state): it lists every persisted
+// dead letter — with the DIFT labels recorded at admission — straight from
+// the write-ahead logs, across restarts. -replay recovers each tenant and
+// re-drives its unreplayed dead letters through the recovered driver,
+// committing a replay record per message so the decision survives further
+// restarts; replay is refused for poisoned tenants.
 func cmdDLQ(args []string) error {
 	fs := flag.NewFlagSet("dlq", flag.ExitOnError)
-	flowPath := fs.String("flow", "", "flow definition JSON (required)")
+	flowPath := fs.String("flow", "", "flow definition JSON (required unless -state)")
+	state := fs.String("state", "", "serve daemon state directory (durable WAL mode)")
+	tenant := fs.String("tenant", "", "restrict -state mode to one tenant")
 	injectNode := fs.String("inject", "", "node ID to inject messages into (default: first node)")
 	messages := fs.Int("messages", 5, "number of messages to inject")
 	payload := fs.String("payload", "msg-%d", "payload format (one %d verb)")
@@ -32,8 +45,11 @@ func cmdDLQ(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *state != "" {
+		return cmdDLQState(*state, *tenant, *replay)
+	}
 	if *flowPath == "" {
-		return fmt.Errorf("dlq: -flow is required")
+		return fmt.Errorf("dlq: -flow is required (or -state for the serve daemon's durable DLQ)")
 	}
 	flowData, err := os.ReadFile(*flowPath)
 	if err != nil {
@@ -106,4 +122,144 @@ func payloadOf(v interp.Value) interp.Value {
 		}
 	}
 	return v
+}
+
+// persistedLetter is one dead letter reconstructed from a tenant's WAL.
+type persistedLetter struct {
+	idx      int
+	arrival  int64
+	reason   string
+	payload  string
+	labels   []string
+	replayed bool
+	outcome  string
+}
+
+// persistedDLQ folds a tenant's verified record history into its
+// dead-letter queue view: shed and abandon records add letters, replay
+// records mark them handled, and the first poison record pins the sticky
+// degraded latch.
+func persistedDLQ(recs []durable.Record) (letters []persistedLetter, poisoned string) {
+	for _, rec := range recs {
+		switch rec.Kind {
+		case durable.KindShed, durable.KindAbandon:
+			reason := rec.Reason
+			if reason == "" {
+				if rec.Kind == durable.KindShed {
+					reason = "lag"
+				} else {
+					reason = "shutdown"
+				}
+			}
+			letters = append(letters, persistedLetter{
+				idx: rec.Idx, arrival: rec.Tick, reason: reason,
+				payload: rec.Payload, labels: rec.Labels,
+			})
+		case durable.KindReplay:
+			for j := range letters {
+				if letters[j].idx == rec.Idx && !letters[j].replayed {
+					letters[j].replayed = true
+					letters[j].outcome = rec.Outcome
+					break
+				}
+			}
+		case durable.KindPoison:
+			if poisoned == "" {
+				poisoned = rec.Reason
+				if poisoned == "" {
+					poisoned = "degraded"
+				}
+			}
+		}
+	}
+	return letters, poisoned
+}
+
+// cmdDLQState is the serve-daemon durable mode of turnstile dlq: list —
+// and optionally replay — the dead letters persisted in a -state
+// directory's write-ahead logs.
+func cmdDLQState(stateDir, tenant string, replay bool) error {
+	store, err := durable.NewFileStore(stateDir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	// listing is read-only: decode straight from the WALs
+	names, err := store.List()
+	if err != nil {
+		return err
+	}
+	sort.Strings(names)
+	shown := 0
+	for _, n := range names {
+		if !strings.HasSuffix(n, ".wal") {
+			continue
+		}
+		tn := strings.TrimSuffix(n, ".wal")
+		if tenant != "" && tn != tenant {
+			continue
+		}
+		shown++
+		data, err := store.ReadFile(n)
+		if err != nil {
+			return err
+		}
+		recs, verdict := durable.DecodeRecords(data)
+		letters, poisoned := persistedDLQ(recs)
+		status := ""
+		if poisoned != "" {
+			status = fmt.Sprintf(" POISONED (%s)", poisoned)
+		}
+		if !verdict.Clean {
+			status += fmt.Sprintf(" UNVERIFIABLE SUFFIX (%s)", verdict.Reason)
+		}
+		fmt.Printf("tenant %s: %d record(s), %d dead letter(s)%s\n", tn, len(recs), len(letters), status)
+		for _, l := range letters {
+			line := fmt.Sprintf("  dlq idx=%d arrival=%d reason=%s labels=%v payload=%s", l.idx, l.arrival, l.reason, l.labels, l.payload)
+			if l.replayed {
+				line += fmt.Sprintf(" replayed=%s", l.outcome)
+			}
+			fmt.Println(line)
+		}
+	}
+	if shown == 0 {
+		return fmt.Errorf("dlq: no matching tenant WALs in %s", stateDir)
+	}
+	if !replay {
+		return nil
+	}
+
+	// replay needs the tenant universes: rebuild the fleet the manifest
+	// records and recover each tenant through the full durable path
+	m, ok, err := readManifest(store)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("dlq: %s holds no fleet manifest; cannot rebuild drivers for replay", stateDir)
+	}
+	fleet, err := manifestFleet(m, nil)
+	if err != nil {
+		return err
+	}
+	for _, cfg := range fleet {
+		if tenant != "" && cfg.Name != tenant {
+			continue
+		}
+		replayed, _, err := serve.ReplayDeadLetters(cfg, store)
+		if err != nil {
+			fmt.Printf("replay %s: REFUSED: %v\n", cfg.Name, err)
+			continue
+		}
+		fmt.Printf("replay %s: %d message(s) re-driven\n", cfg.Name, len(replayed))
+		for _, r := range replayed {
+			line := fmt.Sprintf("  idx=%d outcome=%s", r.Idx, r.Outcome)
+			if r.Detail != "" {
+				line += " detail=" + r.Detail
+			}
+			fmt.Println(line)
+		}
+	}
+	return nil
 }

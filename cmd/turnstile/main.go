@@ -92,7 +92,9 @@ func usage() {
   turnstile attack [name | -run]                      list the adversarial attack corpus / dump one app / score it
   turnstile flow -flow f.json [-policy p.json] [-inject ID] <pkg.js>...   deploy and drive a Node-RED flow
   turnstile dlq -flow f.json [-cap N] [-replay] [-advance N] <pkg.js>...  list / replay a flow's dead-letter queue
-  turnstile serve [-tenants N] [-hostile] [-messages N] [-seed N]         host the multi-tenant serve daemon demo`)
+  turnstile dlq -state DIR [-tenant NAME] [-replay]                       list / replay the serve daemon's persisted dead letters
+  turnstile serve [-tenants N] [-hostile] [-messages N] [-seed N]         host the multi-tenant serve daemon demo
+                  [-state DIR] [-resume] [-snapevery N]                   durable WAL + snapshots; recover and resume across restarts`)
 }
 
 // readSources loads and parses the input files, fanning the per-file work

@@ -1,13 +1,59 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
 
+	"turnstile/internal/durable"
 	"turnstile/internal/harness"
 	"turnstile/internal/serve"
 	"turnstile/internal/telemetry"
 )
+
+// manifestName is the state-directory file recording the fleet parameters,
+// so -resume (and turnstile dlq -state) can rebuild the same tenant
+// universes the WALs were written against.
+const manifestName = "manifest.json"
+
+// serveManifest pins the fleet a state directory belongs to.
+type serveManifest struct {
+	Tenants  int   `json:"tenants"`
+	Messages int   `json:"messages"`
+	Seed     int64 `json:"seed"`
+	Hostile  bool  `json:"hostile"`
+}
+
+// writeManifest records the fleet parameters atomically in the store.
+func writeManifest(store durable.Store, m serveManifest) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return store.WriteFile(manifestName, data)
+}
+
+// readManifest loads the fleet parameters; ok is false when the directory
+// holds no manifest (a fresh state dir).
+func readManifest(store durable.Store) (serveManifest, bool, error) {
+	var m serveManifest
+	data, err := store.ReadFile(manifestName)
+	if err != nil || data == nil {
+		return m, false, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, false, fmt.Errorf("state manifest unreadable: %w", err)
+	}
+	return m, true, nil
+}
+
+// manifestFleet rebuilds the fleet a manifest describes.
+func manifestFleet(m serveManifest, metrics *telemetry.Metrics) ([]serve.TenantConfig, error) {
+	return harness.BuildServeFleet(harness.ServeFleetOptions{
+		Tenants: m.Tenants, Messages: m.Messages, Seed: m.Seed, Hostile: m.Hostile, Metrics: metrics,
+	})
+}
 
 // cmdServe hosts a multi-tenant fleet on the serve daemon: n well-behaved
 // corpus tenants (optionally joined by the hostile crash+attack tenant)
@@ -15,6 +61,14 @@ import (
 // virtual clock, with the per-tenant summary table and the telemetry
 // flush printed at the end. Deterministic for a fixed -seed at any
 // -parallel level.
+//
+// With -state DIR every tenant transition is also committed to a
+// checksummed write-ahead log (plus periodic snapshots) in DIR before the
+// daemon moves on, and -resume recovers the fleet recorded there —
+// replaying each tenant's verified history through a fresh driver so taint
+// is re-derived, then continuing whatever work the previous run left
+// queued. A tenant whose durable state does not verify resumes poisoned
+// with its sinks denied.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	tenants := fs.Int("tenants", 4, "well-behaved tenant count (corpus apps, round-robin)")
@@ -24,6 +78,9 @@ func cmdServe(args []string) error {
 	parallel := fs.Int("parallel", 1, "tenant worker count")
 	metrics := fs.Bool("metrics", false, "print the serve.* telemetry counters")
 	dlq := fs.Bool("dlq", false, "list every tenant's dead-letter queue")
+	state := fs.String("state", "", "durable state directory (WAL + snapshots; survives restarts)")
+	resume := fs.Bool("resume", false, "recover and resume the fleet recorded in -state")
+	snapEvery := fs.Int("snapevery", 0, "snapshot cadence in WAL records (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -31,13 +88,44 @@ func cmdServe(args []string) error {
 	if *metrics {
 		m = telemetry.NewMetrics()
 	}
-	fleet, err := harness.BuildServeFleet(harness.ServeFleetOptions{
-		Tenants: *tenants, Messages: *messages, Seed: *seed, Hostile: *hostile, Metrics: m,
-	})
+
+	var store durable.Store
+	manifest := serveManifest{Tenants: *tenants, Messages: *messages, Seed: *seed, Hostile: *hostile}
+	if *state != "" {
+		fstore, err := durable.NewFileStore(*state)
+		if err != nil {
+			return err
+		}
+		defer fstore.Close()
+		store = fstore
+		recorded, ok, err := readManifest(store)
+		if err != nil {
+			return err
+		}
+		switch {
+		case *resume && !ok:
+			return fmt.Errorf("serve: nothing to resume: %s holds no fleet manifest", *state)
+		case *resume:
+			// the recorded fleet wins: the WALs were written against it
+			manifest = recorded
+			fmt.Fprintf(os.Stderr, "resuming fleet from %s: %d tenant(s), %d message(s), seed %d, hostile %v\n",
+				*state, manifest.Tenants, manifest.Messages, manifest.Seed, manifest.Hostile)
+		case ok:
+			return fmt.Errorf("serve: %s already holds a fleet; pass -resume (or use a fresh directory)", *state)
+		default:
+			if err := writeManifest(store, manifest); err != nil {
+				return err
+			}
+		}
+	} else if *resume {
+		return fmt.Errorf("serve: -resume requires -state")
+	}
+
+	fleet, err := manifestFleet(manifest, m)
 	if err != nil {
 		return err
 	}
-	rep, err := (&serve.Server{Tenants: fleet}).Run(*parallel)
+	rep, err := (&serve.Server{Tenants: fleet, Store: store, SnapshotEvery: *snapEvery}).Run(*parallel)
 	if err != nil {
 		return err
 	}

@@ -327,6 +327,39 @@ func (t *Tracker) Poison(reason string) {
 // Degraded reports whether the tracker has been poisoned, and why.
 func (t *Tracker) Degraded() (bool, string) { return t.degraded, t.degradedReason }
 
+// PoisonState is the tracker's exportable integrity latch — the one piece
+// of monitor state that must survive the monitor's own host process. A
+// durable layer persists it with every state transition and hands it back
+// on recovery, so a crash-restart cycle can never launder a poisoned
+// tracker into a clean one.
+type PoisonState struct {
+	Degraded bool   `json:"degraded,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// ExportPoison snapshots the poison latch for persistence.
+func (t *Tracker) ExportPoison() PoisonState {
+	return PoisonState{Degraded: t.degraded, Reason: t.degradedReason}
+}
+
+// RestorePoison re-arms the latch from a persisted state. Restoring a
+// degraded state forces fail-closed mode regardless of the tracker's
+// configured posture: a recovered tracker that cannot vouch for the state
+// it was rebuilt from must deny every sink, even if it was deployed in
+// audit mode — recovery is exactly the moment fail-open is unacceptable.
+// Restoring a clean state is a no-op (the latch only ever arms).
+func (t *Tracker) RestorePoison(ps PoisonState) {
+	if !ps.Degraded {
+		return
+	}
+	t.FailClosed = true
+	reason := ps.Reason
+	if reason == "" {
+		reason = "restored degraded state"
+	}
+	t.Poison(reason)
+}
+
 // VerifyLabelTable scans the label table for corruption (entries that
 // should have been elided). On inconsistency it poisons the tracker and
 // returns an error describing the first bad entry.

@@ -1,0 +1,71 @@
+package dift
+
+import (
+	"testing"
+
+	"turnstile/internal/policy"
+)
+
+// TestPoisonExportRestoreRoundTrip: the latch survives an export/restore
+// cycle across tracker instances — the durable layer's recovery contract.
+func TestPoisonExportRestoreRoundTrip(t *testing.T) {
+	tr := tracker(t, "Alpha -> Beta")
+	tr.FailClosed = true
+	tr.Poison("wal suffix unverifiable")
+
+	ps := tr.ExportPoison()
+	if !ps.Degraded || ps.Reason != "wal suffix unverifiable" {
+		t.Fatalf("exported state = %+v", ps)
+	}
+
+	// a freshly deployed tracker (a restarted process) restores the latch
+	fresh := tracker(t, "Alpha -> Beta")
+	fresh.RestorePoison(ps)
+	if deg, reason := fresh.Degraded(); !deg || reason != "wal suffix unverifiable" {
+		t.Fatalf("restored tracker: degraded=%v reason=%q", deg, reason)
+	}
+	// and denies sinks even on clean, unlabelled data
+	if err := fresh.Check("plain", newObj(), "post-restart-sink"); err == nil {
+		t.Fatal("restored poisoned tracker allowed a sink check (fail-open recovery)")
+	}
+}
+
+// TestRestorePoisonForcesFailClosed: restoring a degraded state onto an
+// audit-mode tracker (FailClosed off, Enforce off) still denies sinks —
+// recovered corruption must never fail open.
+func TestRestorePoisonForcesFailClosed(t *testing.T) {
+	tr := tracker(t, "Alpha -> Beta")
+	tr.Enforce = false
+	if tr.FailClosed {
+		t.Fatal("test premise: tracker starts fail-open")
+	}
+	tr.RestorePoison(PoisonState{Degraded: true, Reason: "torn record"})
+	if !tr.FailClosed {
+		t.Fatal("RestorePoison left FailClosed off")
+	}
+	secret := tr.Attach("s", policy.NewLabelSet("Alpha"))
+	if err := tr.Check(secret, newObj(), "sink"); err == nil {
+		t.Fatal("audit-mode tracker with restored poison allowed a flow")
+	}
+	if got := len(tr.Violations()); got != 1 {
+		t.Fatalf("violations = %d, want 1 degraded denial", got)
+	}
+	if tr.Violations()[0].Reason != "degraded" {
+		t.Fatalf("violation reason = %q", tr.Violations()[0].Reason)
+	}
+}
+
+// TestRestorePoisonCleanStateIsNoOp: a clean export restores to a clean
+// tracker with its configured posture untouched.
+func TestRestorePoisonCleanStateIsNoOp(t *testing.T) {
+	tr := tracker(t, "Alpha -> Beta")
+	tr.RestorePoison(PoisonState{})
+	if deg, _ := tr.Degraded(); deg || tr.FailClosed {
+		t.Fatal("clean restore perturbed the tracker")
+	}
+	// empty reason on a degraded state still arms with a fallback reason
+	tr.RestorePoison(PoisonState{Degraded: true})
+	if deg, reason := tr.Degraded(); !deg || reason == "" {
+		t.Fatalf("degraded restore without reason: degraded=%v reason=%q", deg, reason)
+	}
+}

@@ -1,0 +1,212 @@
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+)
+
+// Kind names the typed WAL record a serve-daemon event produces. Every
+// state transition a tenant makes is one record; recovery replays them in
+// order to reconstruct the tenant — queue, counters, driver taint — with
+// labels intact.
+type Kind string
+
+const (
+	// KindAdmit: a message passed admission control and joined the queue.
+	// Carries the payload, its tick, and the DIFT label estimate the
+	// policy's injection labellers assign to the payload.
+	KindAdmit Kind = "admit"
+	// KindDeny: admission control rejected an arrival (queue full).
+	KindDeny Kind = "deny"
+	// KindShed: a queued message exceeded the lag bound and was shed to the
+	// dead-letter queue. Carries payload and labels — the DLQ must stay
+	// labeled across restarts.
+	KindShed Kind = "shed"
+	// KindProcess is the commit record: appended after a message was fully
+	// processed, carrying the outcome, step count, updated busy horizon and
+	// latency. A crash between processing and this record leaves the
+	// message in the queue; recovery re-processes it deterministically.
+	KindProcess Kind = "process"
+	// KindReload: a policy hot-swap was applied. Carries the full policy
+	// JSON so recovery re-applies the same policy at the same point.
+	KindReload Kind = "reload"
+	// KindGuard: the containment guard tripped for this tenant.
+	KindGuard Kind = "guard"
+	// KindPoison: the tenant's tracker entered the degraded latch. Carries
+	// the reason; recovery restores the latch fail-closed.
+	KindPoison Kind = "poison"
+	// KindAbandon: a queued message was abandoned at shutdown drain.
+	KindAbandon Kind = "abandon"
+	// KindComplete: the tenant ran to completion (clean shutdown marker).
+	KindComplete Kind = "complete"
+	// KindReplay: an operator replayed a dead letter via `turnstile dlq`;
+	// records the DLQ index so a second replay is refused.
+	KindReplay Kind = "replay"
+)
+
+// Record is one typed, labeled WAL entry. Fields are a union over the
+// kinds; unused fields stay zero and are omitted from the encoding. Labels
+// and Degraded carry the DIFT state of the moment the record was written,
+// so persisted dead letters and recovery decisions never lose taint.
+type Record struct {
+	Seq  int   `json:"seq"`
+	Kind Kind  `json:"kind"`
+	Idx  int   `json:"idx,omitempty"`  // message / arrival / DLQ index
+	Tick int64 `json:"tick,omitempty"` // virtual clock of the event
+
+	Payload string   `json:"payload,omitempty"` // admit/shed: message payload
+	Labels  []string `json:"labels,omitempty"`  // DIFT label estimate of the payload
+
+	Outcome string `json:"outcome,omitempty"` // process: ok/violation/budget/throw/error
+	Detail  string `json:"detail,omitempty"`  // process: outcome detail
+	Steps   int64  `json:"steps,omitempty"`   // process: interpreter steps consumed
+	Busy    int64  `json:"busy,omitempty"`    // process: busy horizon after service
+	Latency int64  `json:"latency,omitempty"` // process: completion − arrival
+	Drained bool   `json:"drained,omitempty"` // process: handled during shutdown drain
+
+	Reason   string `json:"reason,omitempty"`   // shed/guard/poison: why
+	Policy   string `json:"policy,omitempty"`   // reload: full policy JSON
+	Degraded bool   `json:"degraded,omitempty"` // tracker degraded at write time
+}
+
+// Framing: every record is [u32 length][u32 CRC32-IEEE of payload][JSON
+// payload], little-endian. The CRC makes each record individually
+// verifiable; the length prefix makes a torn tail detectable as a short
+// frame rather than a JSON parse ambiguity.
+const frameHeader = 8
+
+// maxRecordLen bounds a single record. A length prefix beyond it is
+// treated as corruption, not an allocation request — a flipped high bit in
+// the length field must not ask for gigabytes.
+const maxRecordLen = 1 << 24
+
+// appendFrame encodes one record onto buf.
+func appendFrame(buf []byte, rec *Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return buf, fmt.Errorf("durable: encode record: %w", err)
+	}
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...), nil
+}
+
+// WAL is a per-tenant write-ahead log on a Store. One WAL owns one file;
+// every Append is synced before it returns (group commit would trade the
+// battery's record-boundary crash points for throughput — wrong trade
+// here), so "crash after sync n" is exactly "crash at record boundary n".
+type WAL struct {
+	store Store
+	name  string
+	seq   int
+}
+
+// OpenWAL attaches a WAL to the named store file, continuing the sequence
+// after the last verifiable record. The returned verdict and records are
+// the recovery view: the verified prefix plus whether the suffix was
+// clean. Callers that see an unverifiable verdict must recover the tenant
+// fail-closed — the WAL itself keeps appending after the verified prefix
+// only if the caller decides to resume at all.
+func OpenWAL(store Store, name string) (*WAL, []Record, Verdict, error) {
+	data, err := store.ReadFile(name)
+	if err != nil {
+		return nil, nil, Verdict{}, err
+	}
+	recs, verdict := DecodeRecords(data)
+	seq := 0
+	if n := len(recs); n > 0 {
+		seq = recs[n-1].Seq
+	}
+	return &WAL{store: store, name: name, seq: seq}, recs, verdict, nil
+}
+
+// ResumeWAL attaches a WAL whose verified contents the caller has already
+// decoded (and possibly repaired), continuing the sequence after seq
+// without re-reading the file. Recovery uses it so the integrity verdict
+// is rendered exactly once, from one read.
+func ResumeWAL(store Store, name string, seq int) *WAL {
+	return &WAL{store: store, name: name, seq: seq}
+}
+
+// Name returns the store file the WAL appends to.
+func (w *WAL) Name() string { return w.name }
+
+// Seq returns the sequence number of the last appended (or recovered)
+// record.
+func (w *WAL) Seq() int { return w.seq }
+
+// Append assigns the next sequence number, frames, appends and syncs one
+// record. On any error — including faults.ErrCrash from the store — the
+// record must be considered not durable.
+func (w *WAL) Append(rec Record) error {
+	rec.Seq = w.seq + 1
+	buf, err := appendFrame(nil, &rec)
+	if err != nil {
+		return err
+	}
+	if err := w.store.Append(w.name, buf); err != nil {
+		return err
+	}
+	if err := w.store.Sync(w.name); err != nil {
+		return err
+	}
+	w.seq = rec.Seq
+	return nil
+}
+
+// Verdict is the integrity result of decoding a WAL file.
+type Verdict struct {
+	// Clean is true iff every byte of the file parsed into verified
+	// records. False means an unverifiable suffix: the verified prefix is
+	// trustworthy, everything after it is not, and the fail-closed rule
+	// applies to the owning tenant.
+	Clean bool
+	// Reason says what broke the suffix: "", "torn frame", "bad crc",
+	// "bad json", "bad seq", "oversized frame".
+	Reason string
+	// Verified is the byte offset of the end of the verified prefix.
+	Verified int
+}
+
+// DecodeRecords walks the framed file and returns every record up to the
+// first unverifiable byte. It never guesses past damage: a bad CRC, a
+// short frame, a sequence gap or malformed JSON ends the verified prefix
+// — even if later bytes would parse — because a log that lost its middle
+// cannot prove anything about its tail.
+func DecodeRecords(data []byte) ([]Record, Verdict) {
+	var recs []Record
+	off := 0
+	lastSeq := 0
+	for off < len(data) {
+		if len(data)-off < frameHeader {
+			return recs, Verdict{Reason: "torn frame", Verified: off}
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		want := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if n > maxRecordLen {
+			return recs, Verdict{Reason: "oversized frame", Verified: off}
+		}
+		if len(data)-off-frameHeader < n {
+			return recs, Verdict{Reason: "torn frame", Verified: off}
+		}
+		payload := data[off+frameHeader : off+frameHeader+n]
+		if crc32.ChecksumIEEE(payload) != want {
+			return recs, Verdict{Reason: "bad crc", Verified: off}
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return recs, Verdict{Reason: "bad json", Verified: off}
+		}
+		if rec.Seq != lastSeq+1 {
+			return recs, Verdict{Reason: "bad seq", Verified: off}
+		}
+		lastSeq = rec.Seq
+		recs = append(recs, rec)
+		off += frameHeader + n
+	}
+	return recs, Verdict{Clean: true, Verified: off}
+}

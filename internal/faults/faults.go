@@ -12,6 +12,7 @@
 package faults
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 )
@@ -28,6 +29,20 @@ const (
 	Drop
 	// Delay advances the virtual clock by Decision.Delay first.
 	Delay
+	// Torn persists only a prefix of a write (Decision.Frac of it) and then
+	// kills the process — the canonical power-loss-mid-write fault of the
+	// filesystem surface. Only storage backends interpret it.
+	Torn
+	// ShortRead returns only a prefix of the contents (Decision.Frac).
+	ShortRead
+	// Corrupt silently flips one byte (at the Decision.Frac offset) on the
+	// write or read path; the caller observes success and the damage is
+	// only discoverable by checksum.
+	Corrupt
+	// Crash kills the process at this operation without performing it. For
+	// sync operations Decision.Point selects whether the pending data is
+	// lost ("before") or was already made durable ("after").
+	Crash
 )
 
 func (a Action) String() string {
@@ -40,6 +55,14 @@ func (a Action) String() string {
 		return "drop"
 	case Delay:
 		return "delay"
+	case Torn:
+		return "torn"
+	case ShortRead:
+		return "shortread"
+	case Corrupt:
+		return "corrupt"
+	case Crash:
+		return "crash"
 	}
 	return "action?"
 }
@@ -47,9 +70,17 @@ func (a Action) String() string {
 // Decision is the injector's answer for one operation.
 type Decision struct {
 	Action Action
-	Err    string // Fail: the injected error message
-	Delay  int64  // Delay: virtual ticks
+	Err    string  // Fail: the injected error message
+	Delay  int64   // Delay: virtual ticks
+	Frac   float64 // Torn/ShortRead: surviving prefix fraction; Corrupt: byte offset fraction. Seeded, in [0,1).
+	Point  string  // Crash on a sync op: "before" (pending lost) or "after" (pending durable)
 }
+
+// ErrCrash is the sentinel a storage backend returns when the injector
+// decides the process dies at this operation. Hosts treat it as process
+// death: stop everything, keep whatever the backend made durable, and let
+// recovery sort out the rest.
+var ErrCrash = errors.New("faults: simulated crash")
 
 // Event is one non-pass decision, recorded for the deterministic fault
 // trace the chaos harness compares across runs.
@@ -64,6 +95,9 @@ type Event struct {
 // Stats counts decisions by action.
 type Stats struct {
 	Ops, Failed, Dropped, Delayed int
+	// filesystem-surface decisions (torn writes, short reads, silent
+	// corruptions, simulated process deaths)
+	Torn, ShortReads, Corrupted, Crashes int
 }
 
 // Injector applies a Schedule to a stream of host operations. One
@@ -146,6 +180,14 @@ func (in *Injector) Decide(module, op, target string) Decision {
 			in.stats.Dropped++
 		case Delay:
 			in.stats.Delayed++
+		case Torn:
+			in.stats.Torn++
+		case ShortRead:
+			in.stats.ShortReads++
+		case Corrupt:
+			in.stats.Corrupted++
+		case Crash:
+			in.stats.Crashes++
 		}
 		in.trace = append(in.trace, Event{Seq: in.seq, Module: module, Op: op, Target: target, Action: d.Action})
 		return d
@@ -179,8 +221,24 @@ func (in *Injector) apply(r *Rule, ri int, key string, n int) (Decision, bool) {
 		return Decision{Action: Drop}, true
 	case ModeDelay:
 		return Decision{Action: Delay, Delay: r.Delay}, true
+	case ModeTorn:
+		return Decision{Action: Torn, Frac: in.frac(ri, key, n)}, true
+	case ModeShortRead:
+		return Decision{Action: ShortRead, Frac: in.frac(ri, key, n)}, true
+	case ModeCorrupt:
+		return Decision{Action: Corrupt, Frac: in.frac(ri, key, n)}, true
+	case ModeCrash:
+		return Decision{Action: Crash, Point: r.Point}, true
 	}
 	return Decision{}, false
+}
+
+// frac derives the seeded cut/offset fraction in [0,1) for the filesystem
+// fault modes — a pure function of (seed, rule, operation, invocation), so
+// a torn write always tears at the same byte on replay.
+func (in *Injector) frac(ri int, key string, n int) float64 {
+	h := splitmix64(in.seed ^ splitmix64(uint64(ri)+0x46524143) ^ hashString(key) ^ splitmix64(uint64(n))) // "FRAC"
+	return float64(h>>11) / float64(1<<53)
 }
 
 func (in *Injector) errMsg(r *Rule) string {
@@ -205,17 +263,32 @@ func Retry(clock *Clock, attempts int, base int64, fn func() error) error {
 	}
 	var err error
 	backoff := base
+	if backoff > maxBackoff {
+		backoff = maxBackoff
+	}
 	for i := 0; i < attempts; i++ {
 		if err = fn(); err == nil {
 			return nil
 		}
 		if i < attempts-1 {
 			clock.Advance(backoff)
-			backoff *= 2
+			if backoff < maxBackoff {
+				backoff *= 2
+				if backoff > maxBackoff {
+					backoff = maxBackoff
+				}
+			}
 		}
 	}
 	return err
 }
+
+// maxBackoff caps the exponential ladders of Retry and RetryBackoff. A
+// ladder that doubles past 2^40 virtual ticks (~35 simulated years) is in
+// practice "never"; without the cap a deep attempt count silently
+// overflows int64 — base·2^63 wraps negative, Clock.Advance clamps it to
+// zero, and the schedule collapses into a hot retry loop.
+const maxBackoff = int64(1) << 40
 
 // Retry is the jittered twin of the package-level Retry for callers that
 // hold an Injector. The i-th backoff is the nominal exponential value
@@ -248,9 +321,19 @@ func (in *Injector) RetryBackoff(base int64, key string, attempt int) int64 {
 	if base < 1 {
 		base = 1
 	}
+	// cap the shift: nominal = min(base·2^attempt, maxBackoff), computed
+	// without ever leaving int64 range even for attempt ≥ 63 or a base near
+	// MaxInt64 (the jitter arithmetic below adds nominal/2 + nominal-1,
+	// which stays positive only while nominal ≤ maxBackoff)
 	nominal := base
-	for i := 0; i < attempt && nominal < 1<<40; i++ {
+	if nominal > maxBackoff {
+		nominal = maxBackoff
+	}
+	for i := 0; i < attempt && nominal < maxBackoff; i++ {
 		nominal *= 2
+		if nominal > maxBackoff {
+			nominal = maxBackoff
+		}
 	}
 	h := splitmix64(in.seed ^ hashString(key) ^ splitmix64(uint64(attempt)+0x52455452)) // "RETR"
 	jittered := nominal/2 + int64(h%uint64(nominal))

@@ -1,0 +1,125 @@
+package faults
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+var errTest = errors.New("always")
+
+// TestRetryBackoffDeepLadderCapsShift pins the exact schedule of a deep
+// exponential ladder: once base·2^attempt reaches the 2^40 cap the nominal
+// stops moving, every deeper attempt stays inside (cap/2, 3·cap/2), and
+// the value never overflows into a non-positive wait.
+func TestRetryBackoffDeepLadderCapsShift(t *testing.T) {
+	in := NewInjector(&Schedule{Seed: 7}, nil)
+	const cap = int64(1) << 40
+	// shallow attempts are untouched by the cap: nominal = base·2^attempt
+	for attempt := 0; attempt < 20; attempt++ {
+		nominal := int64(3) << uint(attempt)
+		got := in.RetryBackoff(3, "deep", attempt)
+		if got < nominal/2 || got >= nominal/2+nominal {
+			t.Fatalf("attempt %d: backoff %d outside [%d, %d)", attempt, got, nominal/2, nominal/2+nominal)
+		}
+	}
+	// deep attempts: the shift is capped, the schedule stays exact and
+	// positive — the same jitter hash applied to the capped nominal
+	for _, attempt := range []int{39, 40, 63, 64, 100, 1 << 20} {
+		got := in.RetryBackoff(3, "deep", attempt)
+		if got <= 0 {
+			t.Fatalf("attempt %d: backoff %d not positive (overflow escaped the cap)", attempt, got)
+		}
+		if got < cap/2 || got >= cap/2+cap {
+			t.Fatalf("attempt %d: backoff %d outside capped window [%d, %d)", attempt, got, cap/2, cap/2+cap)
+		}
+		h := splitmix64(in.seed ^ hashString("deep") ^ splitmix64(uint64(attempt)+0x52455452))
+		want := cap/2 + int64(h%uint64(cap))
+		if got != want {
+			t.Fatalf("attempt %d: backoff %d, want exact capped schedule value %d", attempt, got, want)
+		}
+	}
+	// a base already past the cap is clamped before jittering
+	for _, base := range []int64{cap + 1, math.MaxInt64 / 2, math.MaxInt64} {
+		if got := in.RetryBackoff(base, "huge", 0); got <= 0 || got >= cap/2+cap {
+			t.Fatalf("base %d: backoff %d escaped the cap", base, got)
+		}
+	}
+}
+
+// TestRetryPackageLevelDeepLadderNoOverflow drives the unjittered Retry
+// through enough attempts to overflow an uncapped doubling ladder and
+// checks the waits remain the exact capped schedule.
+func TestRetryPackageLevelDeepLadderNoOverflow(t *testing.T) {
+	clock := NewClock()
+	var waits []int64
+	prev := int64(0)
+	_ = Retry(clock, 70, 1, func() error {
+		now := clock.Now()
+		waits = append(waits, now-prev)
+		prev = now
+		return errTest
+	})
+	// waits[0] is 0 (recorded before the first backoff); wait i+1 follows
+	// attempt i
+	want := int64(1)
+	for i := 1; i < len(waits); i++ {
+		if waits[i] != want {
+			t.Fatalf("wait %d = %d, want %d", i, waits[i], want)
+		}
+		if want < maxBackoff {
+			want *= 2
+			if want > maxBackoff {
+				want = maxBackoff
+			}
+		}
+	}
+	if clock.Now() <= 0 {
+		t.Fatalf("virtual clock went non-positive: %d", clock.Now())
+	}
+}
+
+// TestFilesystemFaultModes exercises the torn/shortread/corrupt/crash
+// decisions: deterministic fractions, point validation, trace and stats
+// accounting.
+func TestFilesystemFaultModes(t *testing.T) {
+	s := &Schedule{Seed: 11, Rules: []Rule{
+		{Module: "store", Op: "append", Mode: ModeTorn},
+		{Module: "store", Op: "read", Mode: ModeShortRead},
+		{Module: "store", Op: "write", Mode: ModeCorrupt},
+		{Module: "store", Op: "sync", Mode: ModeCrash, Point: "before"},
+	}}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("schedule invalid: %v", err)
+	}
+	in := NewInjector(s, nil)
+	d := in.Decide("store", "append", "t/wal")
+	if d.Action != Torn || d.Frac < 0 || d.Frac >= 1 {
+		t.Fatalf("torn decision = %+v", d)
+	}
+	// same (seed, op, invocation) → same fraction on a fresh injector
+	if d2 := NewInjector(s, nil).Decide("store", "append", "t/wal"); d2.Frac != d.Frac {
+		t.Fatalf("torn fraction not deterministic: %v vs %v", d.Frac, d2.Frac)
+	}
+	if d := in.Decide("store", "read", "t/wal"); d.Action != ShortRead {
+		t.Fatalf("shortread decision = %+v", d)
+	}
+	if d := in.Decide("store", "write", "t/snap"); d.Action != Corrupt {
+		t.Fatalf("corrupt decision = %+v", d)
+	}
+	if d := in.Decide("store", "sync", "t/wal"); d.Action != Crash || d.Point != "before" {
+		t.Fatalf("crash decision = %+v", d)
+	}
+	st := in.Stats()
+	if st.Torn != 1 || st.ShortReads != 1 || st.Corrupted != 1 || st.Crashes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := len(in.Trace()); got != 4 {
+		t.Fatalf("trace has %d events, want 4", got)
+	}
+
+	bad := &Schedule{Rules: []Rule{{Mode: ModeCrash, Point: "sideways"}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("crash point \"sideways\" validated")
+	}
+}

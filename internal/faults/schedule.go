@@ -23,6 +23,18 @@ const (
 	// canonical retry-able failure (a sensor warming up, a broker
 	// reconnecting).
 	ModeFlaky Mode = "flaky"
+	// ModeTorn persists only a seeded prefix of a storage write, then kills
+	// the process (power loss mid-write). Storage backends only.
+	ModeTorn Mode = "torn"
+	// ModeShortRead returns only a seeded prefix of a storage read.
+	ModeShortRead Mode = "shortread"
+	// ModeCorrupt silently flips one seeded byte on a storage write or
+	// read; the caller observes success (bit rot, a misdirected write).
+	ModeCorrupt Mode = "corrupt"
+	// ModeCrash kills the process at the matched storage operation. Point
+	// ("before"/"after") selects, for sync ops, whether pending data is
+	// lost or had already reached durable media.
+	ModeCrash Mode = "crash"
 )
 
 // Rule matches host operations and prescribes a fault. Empty (or "*")
@@ -38,6 +50,7 @@ type Rule struct {
 	Delay  int64   `json:"delay,omitempty"` // delay: virtual ticks
 	Prob   float64 `json:"prob,omitempty"`  // 0 or 1 → always
 	Error  string  `json:"error,omitempty"` // injected error message
+	Point  string  `json:"point,omitempty"` // crash: "before" or "after" the sync barrier
 }
 
 // matches reports whether the rule applies to one host operation.
@@ -95,7 +108,7 @@ func (s *Schedule) Marshal() ([]byte, error) {
 func (s *Schedule) Validate() error {
 	for i, r := range s.Rules {
 		switch r.Mode {
-		case ModeFail, ModeDrop:
+		case ModeFail, ModeDrop, ModeTorn, ModeShortRead, ModeCorrupt:
 		case ModeDelay:
 			if r.Delay <= 0 {
 				return fmt.Errorf("faults: rule %d: delay mode needs delay > 0", i)
@@ -103,6 +116,10 @@ func (s *Schedule) Validate() error {
 		case ModeFlaky:
 			if r.K <= 0 {
 				return fmt.Errorf("faults: rule %d: flaky mode needs k > 0", i)
+			}
+		case ModeCrash:
+			if r.Point != "" && r.Point != "before" && r.Point != "after" {
+				return fmt.Errorf("faults: rule %d: crash point %q is not \"before\" or \"after\"", i, r.Point)
 			}
 		default:
 			return fmt.Errorf("faults: rule %d: unknown mode %q", i, r.Mode)

@@ -1,0 +1,285 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"turnstile/internal/durable"
+	"turnstile/internal/serve"
+)
+
+// This file is the crash-recovery battery: kill the durable serve daemon
+// at WAL record boundaries of a seeded fleet trace, recover on the
+// surviving bytes with a fresh fleet, resume, and require the final
+// account byte-identical to the uninterrupted run — at -parallel 1 and 8.
+// A corrupted WAL suffix is the one sanctioned exception: that tenant must
+// come back poisoned with sinks denied, never wrong and never silently
+// clean.
+
+// RecoveryOptions configures the battery.
+type RecoveryOptions struct {
+	// Tenants is the number of well-behaved demo tenants.
+	Tenants int
+	// Messages is the arrival-trace length per tenant.
+	Messages int
+	// Seed drives the arrival traces.
+	Seed int64
+	// BoundaryStride sweeps every stride-th record boundary; 1 (or 0)
+	// tests every boundary. The verify smoke gate uses a coarse stride.
+	BoundaryStride int
+	// MaxBoundaries caps how many crash points are tested after striding;
+	// 0 means no cap.
+	MaxBoundaries int
+	// Parallel lists the worker counts recovery is proven at; empty
+	// selects {1, 8}.
+	Parallel []int
+	// SkipCorruption disables the corrupted-suffix scenario.
+	SkipCorruption bool
+}
+
+// CorruptionVerdict is the corrupted-suffix scenario's account: the tenant
+// whose WAL lost its integrity must restart poisoned and never serve a
+// sink again.
+type CorruptionVerdict struct {
+	Tenant string
+	// Poisoned and Reason echo the recovered report.
+	Poisoned bool
+	Reason   string
+	// PostRestartSinks counts sink writes the recovered driver performed;
+	// with the whole history unverifiable it must be zero.
+	PostRestartSinks int
+	// OKOutcomes counts clean outcomes after the restart; must be zero —
+	// a poisoned tenant's messages are denied, not silently served.
+	OKOutcomes int
+	// SecondRestartPoisoned proves the poison decision itself is durable.
+	SecondRestartPoisoned bool
+}
+
+// Ok reports whether the fail-closed contract held.
+func (c *CorruptionVerdict) Ok() bool {
+	return c.Poisoned && c.PostRestartSinks == 0 && c.OKOutcomes == 0 && c.SecondRestartPoisoned
+}
+
+// RecoveryResult aggregates the battery.
+type RecoveryResult struct {
+	MaxRecords int   // deepest tenant WAL in the uninterrupted run
+	Boundaries []int // crash points actually tested
+	Parallel   []int
+	// Mismatches lists every (boundary, parallel) whose recovered account
+	// was not byte-identical to the uninterrupted run.
+	Mismatches []string
+	Corruption *CorruptionVerdict
+}
+
+// Passed reports the battery verdict.
+func (r *RecoveryResult) Passed() bool {
+	if len(r.Mismatches) > 0 {
+		return false
+	}
+	if r.Corruption != nil && !r.Corruption.Ok() {
+		return false
+	}
+	return true
+}
+
+// recoveryFleet builds the battery's fleet: fresh demo-tenant universes,
+// as a restarted daemon process would.
+func recoveryFleet(opts RecoveryOptions) ([]serve.TenantConfig, error) {
+	return BuildServeFleet(ServeFleetOptions{
+		Tenants: opts.Tenants, Messages: opts.Messages, Seed: opts.Seed,
+	})
+}
+
+// fleetAccount renders the complete observable account of a fleet run —
+// the summary table plus every tenant's counters, DLQ and fingerprint —
+// as one byte-comparable string.
+func fleetAccount(rep *serve.Report) string {
+	var b strings.Builder
+	b.WriteString(rep.Render())
+	for _, t := range rep.Tenants {
+		fmt.Fprintf(&b, "== %s\n%s", t.Name, tenantAccount(t))
+	}
+	return b.String()
+}
+
+// RunRecoveryBattery executes the battery. Procedure:
+//
+//  1. Run the fleet durably, uninterrupted, on an in-memory store — the
+//     baseline account and the per-tenant WAL depths.
+//  2. For each swept boundary k: run a fresh fleet on a fresh store where
+//     every tenant's process dies right after its own k-th WAL record
+//     (per-file crash points, so the kill is deterministic at any worker
+//     count), drop the page caches, then — at each proven worker count,
+//     on an independent clone of the surviving bytes — recover a fresh
+//     fleet, resume it, and byte-compare the final account against the
+//     baseline.
+//  3. Corruption scenario: flip one byte inside the first record of one
+//     completed tenant's WAL and recover; that tenant must restart
+//     poisoned, deny every message, and write no sink — and stay poisoned
+//     on a second restart.
+func RunRecoveryBattery(opts RecoveryOptions) (*RecoveryResult, error) {
+	if opts.BoundaryStride < 1 {
+		opts.BoundaryStride = 1
+	}
+	parallels := opts.Parallel
+	if len(parallels) == 0 {
+		parallels = []int{1, 8}
+	}
+	res := &RecoveryResult{Parallel: parallels}
+
+	// 1. uninterrupted baseline
+	baseStore := durable.NewMemStore()
+	fleet, err := recoveryFleet(opts)
+	if err != nil {
+		return nil, err
+	}
+	baseRep, err := (&serve.Server{Tenants: fleet, Store: baseStore}).Run(1)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range baseRep.Tenants {
+		if t.Crashed || t.Poisoned {
+			return nil, fmt.Errorf("harness: baseline tenant %s crashed=%v poisoned=%v", t.Name, t.Crashed, t.Poisoned)
+		}
+	}
+	baseline := fleetAccount(baseRep)
+	walNames := make([]string, len(fleet))
+	for i, cfg := range fleet {
+		walNames[i] = serve.WALName(cfg.Name)
+		data, err := baseStore.ReadFile(walNames[i])
+		if err != nil {
+			return nil, err
+		}
+		recs, v := durable.DecodeRecords(data)
+		if !v.Clean {
+			return nil, fmt.Errorf("harness: baseline WAL for %s not clean: %s", cfg.Name, v.Reason)
+		}
+		if len(recs) > res.MaxRecords {
+			res.MaxRecords = len(recs)
+		}
+	}
+
+	// 2. boundary sweep
+	for k := 1; k <= res.MaxRecords; k += opts.BoundaryStride {
+		if opts.MaxBoundaries > 0 && len(res.Boundaries) >= opts.MaxBoundaries {
+			break
+		}
+		res.Boundaries = append(res.Boundaries, k)
+		crashStore := durable.NewMemStore()
+		crashStore.CrashAfterSyncsFor = make(map[string]int, len(walNames))
+		for _, n := range walNames {
+			crashStore.CrashAfterSyncsFor[n] = k
+		}
+		fleet, err := recoveryFleet(opts)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := (&serve.Server{Tenants: fleet, Store: crashStore}).Run(1); err != nil {
+			return nil, fmt.Errorf("harness: boundary %d crash run: %w", k, err)
+		}
+		crashStore.Crash() // only synced bytes survive the kill
+		crashStore.CrashAfterSyncsFor = nil
+		for _, parallel := range parallels {
+			clone := crashStore.Clone()
+			fleet, err := recoveryFleet(opts)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := (&serve.Server{Tenants: fleet, Store: clone}).Run(parallel)
+			if err != nil {
+				return nil, fmt.Errorf("harness: boundary %d recovery at parallel %d: %w", k, parallel, err)
+			}
+			if got := fleetAccount(rep); got != baseline {
+				res.Mismatches = append(res.Mismatches,
+					fmt.Sprintf("boundary %d parallel %d:\n--- baseline ---\n%s--- recovered ---\n%s", k, parallel, baseline, got))
+			}
+		}
+	}
+
+	// 3. corrupted-suffix scenario
+	if !opts.SkipCorruption {
+		verdict, err := runCorruptionScenario(opts, baseStore, walNames[0], baseRep.Tenants[0].Name)
+		if err != nil {
+			return nil, err
+		}
+		res.Corruption = verdict
+	}
+	return res, nil
+}
+
+// runCorruptionScenario flips one byte inside the first WAL record of the
+// named tenant on a clone of the completed store and checks the
+// fail-closed recovery contract.
+func runCorruptionScenario(opts RecoveryOptions, baseStore *durable.MemStore, walName, tenant string) (*CorruptionVerdict, error) {
+	store := baseStore.Clone()
+	data, err := store.ReadFile(walName)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 16 {
+		return nil, fmt.Errorf("harness: WAL for %s too short to corrupt", tenant)
+	}
+	data[12] ^= 0x20 // inside the first record's payload: nothing verifies
+	if err := store.WriteFile(walName, data); err != nil {
+		return nil, err
+	}
+	verdict := &CorruptionVerdict{Tenant: tenant}
+	for round := 0; round < 2; round++ {
+		fleet, err := recoveryFleet(opts)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := (&serve.Server{Tenants: fleet, Store: store}).Run(1)
+		if err != nil {
+			return nil, err
+		}
+		var tr *serve.TenantReport
+		var driver serve.Driver
+		for i, t := range rep.Tenants {
+			if t.Name == tenant {
+				tr, driver = t, fleet[i].Driver
+			}
+		}
+		if tr == nil {
+			return nil, fmt.Errorf("harness: corrupted tenant %s missing from report", tenant)
+		}
+		sinks := -1
+		if p, ok := driver.(serve.StateProber); ok {
+			sinks = p.SinkWrites()
+		}
+		if round == 0 {
+			verdict.Poisoned = tr.Poisoned
+			verdict.Reason = tr.PoisonReason
+			verdict.PostRestartSinks = sinks
+			verdict.OKOutcomes = tr.OK
+		} else {
+			// the poison record appended by round 0 must re-arm the latch
+			verdict.SecondRestartPoisoned = tr.Poisoned && sinks == 0
+		}
+	}
+	return verdict, nil
+}
+
+// RenderRecovery formats the battery verdict; deterministic, grep-able.
+func RenderRecovery(res *RecoveryResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "crash-recovery battery (kill at WAL record boundaries, recover, resume)\n")
+	fmt.Fprintf(&b, "  wal depth: %d record(s); boundaries tested: %d; worker counts: %v\n",
+		res.MaxRecords, len(res.Boundaries), res.Parallel)
+	if len(res.Mismatches) == 0 {
+		fmt.Fprintf(&b, "  recovered account byte-identical to uninterrupted run at every boundary\n")
+	}
+	for _, m := range res.Mismatches {
+		fmt.Fprintf(&b, "  MISMATCH %s\n", strings.ReplaceAll(m, "\n", "\n  "))
+	}
+	if c := res.Corruption; c != nil {
+		fmt.Fprintf(&b, "  corruption: tenant=%s poisoned=%v reason=%q post_restart_sinks=%d ok_outcomes=%d repoisoned=%v\n",
+			c.Tenant, c.Poisoned, c.Reason, c.PostRestartSinks, c.OKOutcomes, c.SecondRestartPoisoned)
+	}
+	verdict := "PASS"
+	if !res.Passed() {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&b, "verdict: %s\n", verdict)
+	return b.String()
+}

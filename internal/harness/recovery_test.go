@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRecoveryBatteryEveryBoundary sweeps every WAL record boundary of a
+// small seeded fleet: kill each tenant after its k-th record, recover a
+// fresh fleet on the surviving bytes at parallel 1 and 8, and require the
+// resumed account byte-identical to the uninterrupted run. The corruption
+// scenario rides along: a flipped byte must come back poisoned, sinkless,
+// and stay poisoned on a second restart.
+func TestRecoveryBatteryEveryBoundary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("recovery battery sweeps every WAL boundary; skipped in -short")
+	}
+	res, err := RunRecoveryBattery(RecoveryOptions{Tenants: 2, Messages: 8, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxRecords < 10 {
+		t.Fatalf("fleet WALs only %d records deep; the sweep proves little", res.MaxRecords)
+	}
+	if len(res.Boundaries) != res.MaxRecords {
+		t.Fatalf("tested %d boundaries, want every one of %d", len(res.Boundaries), res.MaxRecords)
+	}
+	for _, m := range res.Mismatches {
+		t.Errorf("recovery mismatch: %s", m)
+	}
+	c := res.Corruption
+	if c == nil {
+		t.Fatal("corruption scenario did not run")
+	}
+	if !c.Poisoned || !strings.Contains(c.Reason, "unverifiable") {
+		t.Fatalf("corrupted tenant not poisoned: %+v", c)
+	}
+	if c.PostRestartSinks != 0 || c.OKOutcomes != 0 {
+		t.Fatalf("corrupted tenant served after restart: sinks=%d ok=%d", c.PostRestartSinks, c.OKOutcomes)
+	}
+	if !c.SecondRestartPoisoned {
+		t.Fatal("poison decision did not survive the second restart")
+	}
+	if !res.Passed() {
+		t.Fatalf("battery verdict FAIL:\n%s", RenderRecovery(res))
+	}
+	render := RenderRecovery(res)
+	if !strings.Contains(render, "verdict: PASS") || !strings.Contains(render, "post_restart_sinks=0") {
+		t.Fatalf("render missing gate anchors:\n%s", render)
+	}
+}

@@ -3,9 +3,11 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"turnstile/internal/core"
+	"turnstile/internal/dift"
 	"turnstile/internal/guard"
 	"turnstile/internal/instrument"
 	"turnstile/internal/interp"
@@ -150,6 +152,82 @@ func (d *AppDriver) Fingerprint() string {
 	}
 	return b.String()
 }
+
+// PayloadLabels implements StateProber: the admission-time DIFT label
+// estimate for one payload, computed by evaluating the leaf label
+// functions of every labeller the policy injects. This is the label set a
+// message would carry the moment instrumentation attaches it — recorded
+// with each admit and shed so persisted dead letters stay labeled across
+// restarts. Evaluation happens between messages and is side-effect free
+// for the queue simulation: the guard budget is reset at each Process and
+// the step window is measured inside Process only.
+func (d *AppDriver) PayloadLabels(payload string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, inj := range d.app.Policy.Injections {
+		for _, fn := range leafLabelFns(d.app.Policy.Labellers[inj.Labeller]) {
+			for _, lab := range safeLabelEval(fn, payload).Slice() {
+				if !seen[string(lab)] {
+					seen[string(lab)] = true
+					out = append(out, string(lab))
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// leafLabelFns collects the value label functions of a (possibly nested)
+// labeller in deterministic order. $invoke labellers are skipped — their
+// labels exist only at call time, not for a payload.
+func leafLabelFns(l *policy.Labeller) []policy.LabelFunc {
+	if l == nil {
+		return nil
+	}
+	var fns []policy.LabelFunc
+	if l.Fn != nil {
+		fns = append(fns, l.Fn)
+	}
+	fns = append(fns, leafLabelFns(l.Map)...)
+	names := make([]string, 0, len(l.Props))
+	for n := range l.Props {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fns = append(fns, leafLabelFns(l.Props[n])...)
+	}
+	return fns
+}
+
+// safeLabelEval evaluates one label function on a payload, treating any
+// error or panic as "no labels" — an estimate must never take the tenant
+// down.
+func safeLabelEval(fn policy.LabelFunc, payload string) (ls policy.LabelSet) {
+	defer func() {
+		if recover() != nil {
+			ls = nil
+		}
+	}()
+	ls, err := fn(payload)
+	if err != nil {
+		return nil
+	}
+	return ls
+}
+
+// PoisonState implements StateProber.
+func (d *AppDriver) PoisonState() (bool, string) { return d.app.Tracker.Degraded() }
+
+// RestorePoison implements StateProber: re-arm the sticky degraded latch
+// fail-closed, the recovery rule for unverifiable durable state.
+func (d *AppDriver) RestorePoison(reason string) {
+	d.app.Tracker.RestorePoison(dift.PoisonState{Degraded: true, Reason: reason})
+}
+
+// SinkWrites implements StateProber.
+func (d *AppDriver) SinkWrites() int { return len(d.app.IP.IO.Writes) }
 
 func firstLine(s string) string {
 	if i := strings.IndexByte(s, '\n'); i >= 0 {

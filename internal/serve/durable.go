@@ -1,0 +1,343 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"turnstile/internal/durable"
+	"turnstile/internal/faults"
+)
+
+// StateProber is the optional Driver extension the durable layer uses to
+// carry IFC state through the store. A driver that implements it gets its
+// payloads labeled at admission (so dead letters stay labeled across
+// restarts), its poison latch exported into the WAL and restored
+// fail-closed on recovery, and its sink-write count exposed so the
+// crash-recovery battery can prove a poisoned tenant never served a sink.
+type StateProber interface {
+	// PayloadLabels returns the DIFT label estimate for one source payload
+	// — the labels the policy's injection labellers would attach to it —
+	// sorted and deduplicated.
+	PayloadLabels(payload string) []string
+	// PoisonState reports whether the tenant's tracker is degraded, and why.
+	PoisonState() (bool, string)
+	// RestorePoison re-arms the degraded latch fail-closed (sinks denied
+	// even for a tenant configured fail-open) — the recovery rule for
+	// unverifiable durable state.
+	RestorePoison(reason string)
+	// SinkWrites returns how many sink writes the tenant has performed.
+	SinkWrites() int
+}
+
+// defaultSnapshotEvery is the snapshot cadence in WAL records.
+const defaultSnapshotEvery = 16
+
+// walSink couples one tenant's WAL, snapshot file and prober. A nil sink
+// is a valid no-op (the non-durable path), so the state machine logs
+// unconditionally.
+type walSink struct {
+	wal       *durable.WAL
+	store     durable.Store
+	snapName  string
+	snapEvery int
+	probe     StateProber
+	sinceSnap int
+}
+
+func (s *walSink) prober() StateProber {
+	if s == nil {
+		return nil
+	}
+	return s.probe
+}
+
+// append logs one record (synced before return) and takes the periodic
+// snapshot when the cadence comes due.
+func (s *walSink) append(st *tenantState, rec durable.Record) error {
+	if s == nil {
+		return nil
+	}
+	if err := s.wal.Append(rec); err != nil {
+		return err
+	}
+	s.sinceSnap++
+	if s.snapEvery > 0 && s.sinceSnap >= s.snapEvery {
+		s.sinceSnap = 0
+		return s.snapshot(st)
+	}
+	return nil
+}
+
+// tenantProgress is the snapshot State payload: the counter block of the
+// report at capture time. It is an observability artifact and a
+// cross-check anchor; replay never trusts it for state.
+type tenantProgress struct {
+	Admitted  int `json:"admitted"`
+	Processed int `json:"processed"`
+	Denied    int `json:"denied"`
+	Shed      int `json:"shed"`
+	Drained   int `json:"drained"`
+	Abandoned int `json:"abandoned"`
+	Reloads   int `json:"reloads"`
+	Queued    int `json:"queued"`
+}
+
+// snapshot atomically replaces the tenant's snapshot file with the current
+// position. The snapshot's Seq pins how many WAL records the state covers
+// — the fail-closed cross-check against a WAL that lost a verified suffix.
+func (s *walSink) snapshot(st *tenantState) error {
+	if s == nil {
+		return nil
+	}
+	rep := st.rep
+	state, err := json.Marshal(tenantProgress{
+		Admitted: rep.Admitted, Processed: rep.Processed, Denied: rep.Denied,
+		Shed: rep.Shed, Drained: rep.Drained, Abandoned: rep.Abandoned,
+		Reloads: rep.Reloads, Queued: len(st.queue),
+	})
+	if err != nil {
+		return err
+	}
+	return durable.WriteSnapshot(s.store, s.snapName, durable.Snapshot{
+		Seq: s.wal.Seq(), Tick: st.busyUntil, State: state,
+	})
+}
+
+// WALName and SnapName are the per-tenant store file names.
+func WALName(tenant string) string  { return tenant + ".wal" }
+func SnapName(tenant string) string { return tenant + ".snap" }
+
+// RunTenantDurable is the durable twin of RunTenant: recover whatever the
+// store holds for this tenant, then continue the state machine with every
+// transition logged. The recovery rule is fail-closed: any unverifiable
+// durable state — torn or corrupt WAL suffix, damaged snapshot, a snapshot
+// covering more records than the surviving WAL, or a replay that diverges
+// from its commit records — restarts the tenant poisoned with sinks
+// denied, never silently clean. A clean prefix recovers exactly: the
+// driver universe is rebuilt by replaying the recorded history through the
+// same deterministic driver, so taint is re-derived, not resurrected from
+// bytes, and the resumed run is byte-identical to one that never crashed.
+func RunTenantDurable(cfg TenantConfig, store durable.Store, snapEvery int) (*TenantReport, error) {
+	if store == nil {
+		return RunTenant(cfg)
+	}
+	if snapEvery <= 0 {
+		snapEvery = defaultSnapshotEvery
+	}
+	reloads, err := validateTenant(cfg)
+	if err != nil {
+		return nil, err
+	}
+	st := newTenantState(cfg.Name)
+	rep := st.rep
+	crashedOr := func(err error) (*TenantReport, error) {
+		if errors.Is(err, faults.ErrCrash) {
+			rep.Crashed = true
+			return rep, nil
+		}
+		return nil, err
+	}
+
+	walName, snapName := WALName(cfg.Name), SnapName(cfg.Name)
+	data, err := store.ReadFile(walName)
+	if err != nil {
+		return crashedOr(err)
+	}
+	recs, verdict := durable.DecodeRecords(data)
+	snap, snapOK, snapDamaged, err := durable.ReadSnapshot(store, snapName)
+	if err != nil {
+		return crashedOr(err)
+	}
+
+	lastSeq := 0
+	if len(recs) > 0 {
+		lastSeq = recs[len(recs)-1].Seq
+	}
+	poisonReason := ""
+	switch {
+	case !verdict.Clean:
+		poisonReason = "wal suffix unverifiable: " + verdict.Reason
+	case snapDamaged:
+		poisonReason = "snapshot unverifiable"
+	case snapOK && snap.Seq > lastSeq:
+		poisonReason = fmt.Sprintf("snapshot covers wal seq %d but wal ends at %d", snap.Seq, lastSeq)
+	}
+	if !verdict.Clean {
+		// drop the unverifiable suffix so the resumed log decodes; the
+		// verified history is kept whole — replay needs it
+		if err := store.WriteFile(walName, data[:verdict.Verified]); err != nil {
+			return crashedOr(err)
+		}
+	}
+
+	prober, _ := cfg.Driver.(StateProber)
+	res := replayRecords(cfg, st, recs, prober)
+	if res.err != nil {
+		return nil, res.err
+	}
+	if poisonReason == "" {
+		poisonReason = res.divergence
+	}
+
+	sink := &walSink{
+		wal:   durable.ResumeWAL(store, walName, lastSeq),
+		store: store, snapName: snapName, snapEvery: snapEvery, probe: prober,
+	}
+
+	if poisonReason != "" {
+		// fail-closed recovery: latch the tenant before it serves anything
+		rep.Poisoned = true
+		rep.PoisonReason = poisonReason
+		st.poisonLogged = true
+		if prober != nil {
+			prober.RestorePoison(poisonReason)
+		}
+		if err := sink.append(st, durable.Record{Kind: durable.KindPoison, Reason: poisonReason, Degraded: true}); err != nil {
+			return crashedOr(err)
+		}
+	} else if res.restored != "" {
+		// a previous recovery poisoned this tenant; the latch was restored
+		// during replay and the record already sits in the WAL
+		rep.Poisoned = true
+		rep.PoisonReason = res.restored
+		st.poisonLogged = true
+	}
+
+	if st.completed {
+		// the tenant had finished before the restart; replay rebuilt its
+		// full account, nothing is left to serve
+		return finishTenant(cfg, st, sink)
+	}
+	return runMachine(cfg, st, reloads, sink)
+}
+
+// replayResult is what WAL replay learned beyond the rebuilt state.
+type replayResult struct {
+	// restored is the reason of a poison latch re-armed from a KindPoison
+	// record that replayed processing did not re-derive (a previous
+	// recovery's fail-closed decision).
+	restored string
+	// divergence is set when replay contradicts the WAL: a commit record's
+	// outcome or busy horizon disagrees with re-processing, a queue pop
+	// misses, or a recorded reload no longer applies. The log is verified
+	// but the world changed — fail closed.
+	divergence string
+	err        error
+}
+
+// replayRecords folds the verified record prefix into st, re-driving the
+// deterministic driver through the recorded history so the tenant's DIFT
+// taint, violations and sink trace are re-derived rather than trusted from
+// disk. Replay stops at the first divergence: past it the rebuilt state is
+// not credible, and the caller poisons the tenant.
+func replayRecords(cfg TenantConfig, st *tenantState, recs []durable.Record, prober StateProber) replayResult {
+	rep := st.rep
+	var res replayResult
+	diverge := func(format string, args ...any) replayResult {
+		res.divergence = fmt.Sprintf(format, args...)
+		return res
+	}
+	popFront := func(rec durable.Record) (queuedMsg, bool) {
+		if len(st.queue) == 0 || st.queue[0].idx != rec.Idx {
+			return queuedMsg{}, false
+		}
+		q := st.queue[0]
+		st.queue = st.queue[1:]
+		return q, true
+	}
+	for _, rec := range recs {
+		switch rec.Kind {
+		case durable.KindAdmit:
+			st.nextArrival = rec.Idx + 1
+			rep.Admitted++
+			st.queue = append(st.queue, queuedMsg{idx: rec.Idx, arrival: rec.Tick, payload: rec.Payload, labels: rec.Labels})
+		case durable.KindDeny:
+			st.nextArrival = rec.Idx + 1
+			rep.Denied++
+		case durable.KindShed:
+			q, ok := popFront(rec)
+			if !ok {
+				return diverge("shed record %d does not match queue head", rec.Idx)
+			}
+			rep.Shed++
+			rep.DLQ = append(rep.DLQ, ShedMsg{Idx: q.idx, Arrival: q.arrival, Reason: "lag", Payload: q.payload, Labels: q.labels})
+		case durable.KindProcess:
+			q, ok := popFront(rec)
+			if !ok {
+				return diverge("process record %d does not match queue head", rec.Idx)
+			}
+			out := cfg.Driver.Process(q.idx, q.payload)
+			applyOutcome(st, q, out, rec.Drained)
+			if st.busyUntil != rec.Busy || string(out.Kind) != rec.Outcome {
+				return diverge("replay of message %d diverged: outcome %s busy %d, recorded %s busy %d",
+					rec.Idx, out.Kind, st.busyUntil, rec.Outcome, rec.Busy)
+			}
+		case durable.KindReload:
+			if err := cfg.Driver.Reload(rec.Policy); err != nil {
+				return diverge("recorded reload before message %d no longer applies: %v", rec.Idx, err)
+			}
+			st.applied[rec.Idx] = true
+			rep.Reloads++
+		case durable.KindGuard:
+			// audit record; the budget trip itself was re-derived by the
+			// process replay above
+		case durable.KindPoison:
+			reason := rec.Reason
+			if reason == "" {
+				reason = "restored degraded state"
+			}
+			if prober != nil {
+				if deg, _ := prober.PoisonState(); !deg {
+					// processing did not re-derive this latch: it was a
+					// recovery decision — re-arm it fail-closed, at this
+					// position, so subsequent replayed messages see it
+					prober.RestorePoison(reason)
+					res.restored = reason
+				}
+			} else {
+				res.restored = reason
+			}
+		case durable.KindAbandon:
+			q, ok := popFront(rec)
+			if !ok {
+				return diverge("abandon record %d does not match queue head", rec.Idx)
+			}
+			rep.Abandoned++
+			rep.DLQ = append(rep.DLQ, ShedMsg{Idx: q.idx, Arrival: q.arrival, Reason: "shutdown", Payload: q.payload, Labels: q.labels})
+		case durable.KindComplete:
+			st.completed = true
+			rep.ClockEnd = rec.Tick
+		case durable.KindReplay:
+			// an operator re-drove this dead letter (turnstile dlq -replay);
+			// re-process it so the taint its replay produced is re-derived,
+			// and cross-check the recorded outcome like any commit record
+			marked := false
+			for j := range rep.DLQ {
+				if rep.DLQ[j].Idx == rec.Idx && !rep.DLQ[j].Replayed {
+					rep.DLQ[j].Replayed = true
+					marked = true
+					break
+				}
+			}
+			if !marked {
+				return diverge("replay record %d matches no dead letter", rec.Idx)
+			}
+			out := cfg.Driver.Process(rec.Idx, rec.Payload)
+			if string(out.Kind) != rec.Outcome {
+				return diverge("replay of dead letter %d diverged: outcome %s, recorded %s",
+					rec.Idx, out.Kind, rec.Outcome)
+			}
+		default:
+			return diverge("unknown record kind %q at seq %d", rec.Kind, rec.Seq)
+		}
+	}
+	if prober != nil && !st.poisonLogged {
+		if deg, _ := prober.PoisonState(); deg {
+			// replay re-derived a natural degradation whose record is
+			// already in the log — don't log it again on resume
+			st.poisonLogged = true
+		}
+	}
+	return res
+}

@@ -1,0 +1,298 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"turnstile/internal/durable"
+	"turnstile/internal/telemetry"
+	"turnstile/internal/workload"
+)
+
+// busyTenant is a stub tenant config that exercises every state machine
+// path — denials, lag shedding, reload, drain, abandonment.
+func busyTenant(name string) TenantConfig {
+	return TenantConfig{
+		Name:     name,
+		Quota:    Quota{MaxQueue: 4, MaxLagTicks: 8, DrainBudget: 1},
+		Arrivals: at(0, 1, 2, 3, 15, 30, 60, 61, 62, 63, 64, 65),
+		Reloads:  []PolicyReload{{BeforeMsg: 2, PolicyJSON: "p2"}},
+		Driver:   &stubDriver{steps: 18000},
+	}
+}
+
+func renderOne(t *testing.T, rep *TenantReport) string {
+	t.Helper()
+	r := &Report{Tenants: []*TenantReport{rep}}
+	var b strings.Builder
+	b.WriteString(r.Render())
+	fmt.Fprintf(&b, "dlq=%+v\nlat=%v\nfp=%s", rep.DLQ, rep.Latencies, rep.Fingerprint)
+	return b.String()
+}
+
+// TestDurableUninterruptedMatchesPlain: running the demo fleet durably —
+// WAL, snapshots, payload labelling and all — must not change a single
+// byte of the report or any fingerprint versus the plain path. The
+// durability layer observes the simulation; it never steers it.
+func TestDurableUninterruptedMatchesPlain(t *testing.T) {
+	run := func(store durable.Store) string {
+		fleet, err := DemoFleet(3, 15, 42, DefaultQuota(), 30)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := (&Server{Tenants: fleet, Store: store}).Run(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		b.WriteString(rep.Render())
+		for _, tr := range rep.Tenants {
+			b.WriteString(tr.Fingerprint)
+		}
+		return b.String()
+	}
+	plain := run(nil)
+	durableRun := run(durable.NewMemStore())
+	if plain != durableRun {
+		t.Fatalf("durable run diverged from plain run:\n--- plain\n%s\n--- durable\n%s", plain, durableRun)
+	}
+}
+
+// TestCrashRecoveryAtEveryBoundary kills a tenant after every single WAL
+// record boundary, recovers on the surviving store with a fresh driver,
+// and requires the resumed account — counters, latencies, DLQ and
+// fingerprint — byte-identical to the run that never crashed.
+func TestCrashRecoveryAtEveryBoundary(t *testing.T) {
+	baseStore := durable.NewMemStore()
+	baseRep, err := RunTenantDurable(busyTenant("t"), baseStore, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseRep.Crashed || baseRep.Poisoned {
+		t.Fatalf("baseline crashed=%v poisoned=%v", baseRep.Crashed, baseRep.Poisoned)
+	}
+	// the baseline must exercise every path or the sweep proves little
+	if baseRep.Denied == 0 || baseRep.Shed == 0 || baseRep.Drained == 0 || baseRep.Abandoned == 0 || baseRep.Reloads == 0 {
+		t.Fatalf("baseline too tame: %+v", baseRep)
+	}
+	baseline := renderOne(t, baseRep)
+	boundaries := baseStore.Syncs() // one sync per WAL record
+	if boundaries < 10 {
+		t.Fatalf("only %d record boundaries, expected a richer trace", boundaries)
+	}
+	for k := 1; k <= boundaries; k++ {
+		store := durable.NewMemStore()
+		store.CrashAfterSyncs = k
+		rep, err := RunTenantDurable(busyTenant("t"), store, 0)
+		if err != nil {
+			t.Fatalf("boundary %d: crash run: %v", k, err)
+		}
+		if !rep.Crashed {
+			t.Fatalf("boundary %d: run did not crash", k)
+		}
+		store.Crash() // drop the page cache, as process death would
+		store.CrashAfterSyncs = 0
+		rec, err := RunTenantDurable(busyTenant("t"), store, 0)
+		if err != nil {
+			t.Fatalf("boundary %d: recovery: %v", k, err)
+		}
+		if rec.Crashed || rec.Poisoned {
+			t.Fatalf("boundary %d: recovered crashed=%v poisoned=%v (%s)", k, rec.Crashed, rec.Poisoned, rec.PoisonReason)
+		}
+		if got := renderOne(t, rec); got != baseline {
+			t.Fatalf("boundary %d: recovered account diverged:\n--- baseline\n%s\n--- recovered\n%s", k, baseline, got)
+		}
+	}
+}
+
+// TestCorruptWALSuffixRecoversPoisoned flips one byte near the start of a
+// completed tenant's WAL. Recovery must come back poisoned — and because
+// almost no verified history survives, the restarted tenant re-serves its
+// trace with the latch armed: messages process, but not one sink write
+// happens. Fail-closed, never silently clean.
+func TestCorruptWALSuffixRecoversPoisoned(t *testing.T) {
+	cfg := func(d Driver) TenantConfig {
+		arr := make([]workload.Arrival, 6)
+		for i := range arr {
+			arr[i] = workload.Arrival{Tick: int64(i * 50), Payload: fmt.Sprintf("person%d:E%d", i, i)}
+		}
+		return TenantConfig{Name: "ct", Quota: Quota{DrainBudget: -1}, Arrivals: arr, Driver: d}
+	}
+	store := durable.NewMemStore()
+	first, err := RunTenantDurable(cfg(newCorpusDriver(t)), store, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.OK == 0 {
+		t.Fatalf("baseline served nothing cleanly: %+v", first)
+	}
+	// the baseline's admit records must carry the policy's label estimate
+	data, _ := store.ReadFile("ct.wal")
+	recs, v := durable.DecodeRecords(data)
+	if !v.Clean {
+		t.Fatalf("baseline WAL not clean: %+v", v)
+	}
+	var labeled bool
+	for _, r := range recs {
+		if r.Kind == durable.KindAdmit && len(r.Labels) > 0 {
+			labeled = true
+		}
+	}
+	if !labeled {
+		t.Fatal("no admit record carries DIFT labels")
+	}
+	// flip a byte inside the first record: the whole history is
+	// unverifiable from the start
+	data[12] ^= 0x20
+	if err := store.WriteFile("ct.wal", data); err != nil {
+		t.Fatal(err)
+	}
+	d2 := newCorpusDriver(t)
+	rec, err := RunTenantDurable(cfg(d2), store, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Poisoned || !strings.Contains(rec.PoisonReason, "unverifiable") {
+		t.Fatalf("corrupt suffix not poisoned: poisoned=%v reason=%q", rec.Poisoned, rec.PoisonReason)
+	}
+	if rec.Processed == 0 {
+		t.Fatal("poisoned tenant served nothing — expected it to run with sinks denied")
+	}
+	if rec.OK != 0 {
+		t.Fatalf("poisoned tenant produced %d clean outcomes", rec.OK)
+	}
+	if w := d2.SinkWrites(); w != 0 {
+		t.Fatalf("poisoned tenant performed %d sink writes after restart", w)
+	}
+	if r := (&Report{Tenants: []*TenantReport{rec}}).Render(); !strings.Contains(r, "poisoned: ct[") {
+		t.Fatalf("render does not flag the poisoned tenant:\n%s", r)
+	}
+	// the poison decision itself is durable: a second restart restores the
+	// latch from the WAL's poison record without re-diagnosing
+	d3 := newCorpusDriver(t)
+	again, err := RunTenantDurable(cfg(d3), store, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Poisoned || d3.SinkWrites() != 0 {
+		t.Fatalf("second restart: poisoned=%v sinks=%d", again.Poisoned, d3.SinkWrites())
+	}
+}
+
+// TestSnapshotAheadOfWALPoisons: a verified snapshot claiming more records
+// than the surviving WAL proves the log lost a verified suffix — the
+// tenant restarts poisoned even though every surviving byte checksums
+// clean.
+func TestSnapshotAheadOfWALPoisons(t *testing.T) {
+	store := durable.NewMemStore()
+	if err := durable.WriteSnapshot(store, "t.snap", durable.Snapshot{Seq: 999}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := RunTenantDurable(busyTenant("t"), store, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Poisoned || !strings.Contains(rep.PoisonReason, "snapshot covers wal seq 999") {
+		t.Fatalf("snapshot-ahead not poisoned: %+v", rep)
+	}
+}
+
+// TestLatencyPQuantileBounds is the property test for the percentile
+// accessor: for any sample set and any p — including p≤0, p≥1, NaN and
+// the empty and single-sample sets — the result is a member of the set,
+// within [min,max], with the extremes pinned. No index arithmetic escapes.
+func TestLatencyPQuantileBounds(t *testing.T) {
+	if (&TenantReport{}).LatencyP(0.5) != 0 {
+		t.Fatal("empty sample set must yield 0")
+	}
+	single := &TenantReport{Latencies: []int64{17}}
+	for _, p := range []float64{-1, 0, 0.5, 1, 2, math.NaN()} {
+		if got := single.LatencyP(p); got != 17 {
+			t.Fatalf("single sample, p=%v: got %d", p, got)
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	probes := []float64{-10, -0.01, 0, 0.25, 0.5, 0.75, 0.99, 1, 1.01, 100, math.NaN(), math.Inf(1), math.Inf(-1)}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		r := &TenantReport{Latencies: make([]int64, n)}
+		min, max := int64(math.MaxInt64), int64(math.MinInt64)
+		members := make(map[int64]bool, n)
+		for i := range r.Latencies {
+			v := int64(rng.Intn(10000)) - 500
+			r.Latencies[i] = v
+			members[v] = true
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		for _, p := range probes {
+			got := r.LatencyP(p)
+			if !members[got] {
+				t.Fatalf("trial %d p=%v: %d is not a sample member", trial, p, got)
+			}
+			if got < min || got > max {
+				t.Fatalf("trial %d p=%v: %d outside [%d,%d]", trial, p, got, min, max)
+			}
+		}
+		if r.LatencyP(0) != min || r.LatencyP(-3) != min || r.LatencyP(math.NaN()) != min {
+			t.Fatalf("trial %d: p≤0/NaN must pin the minimum", trial)
+		}
+		if r.LatencyP(1) != max || r.LatencyP(5) != max {
+			t.Fatalf("trial %d: p≥1 must pin the maximum", trial)
+		}
+	}
+}
+
+// TestDrainOrderingDeterministicAcrossWorkers: a fleet shut down with
+// multiple tenants mid-queue must dead-letter in the same sequence and
+// flush the same telemetry at -parallel 1 and 8. The DLQ order and the
+// counter flush are part of the deterministic account, not scheduler
+// luck.
+func TestDrainOrderingDeterministicAcrossWorkers(t *testing.T) {
+	build := func() ([]TenantConfig, []*telemetry.Metrics) {
+		var fleet []TenantConfig
+		var ms []*telemetry.Metrics
+		for i := 0; i < 5; i++ {
+			cfg := busyTenant(fmt.Sprintf("t%d", i))
+			// stagger the traces so every tenant ends with a distinct queue
+			cfg.Arrivals = at(0, 1, 2, 3, 4, 5, 6, 7, int64(50+i), int64(51+i), int64(52+i), int64(53+i))
+			cfg.Quota = Quota{MaxQueue: 6, MaxLagTicks: 9, DrainBudget: 2}
+			m := telemetry.NewMetrics()
+			cfg.Metrics = m
+			fleet = append(fleet, cfg)
+			ms = append(ms, m)
+		}
+		return fleet, ms
+	}
+	account := func(parallel int) string {
+		fleet, ms := build()
+		rep, err := (&Server{Tenants: fleet}).Run(parallel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		b.WriteString(rep.Render())
+		for i, tr := range rep.Tenants {
+			if tr.Abandoned == 0 {
+				t.Fatalf("tenant %s had nothing mid-queue at shutdown; test is vacuous", tr.Name)
+			}
+			fmt.Fprintf(&b, "%s dlq", tr.Name)
+			for _, d := range tr.DLQ {
+				fmt.Fprintf(&b, " %d:%s@%d", d.Idx, d.Reason, d.Arrival)
+			}
+			b.WriteByte('\n')
+			fmt.Fprintf(&b, "%s metrics %v\n", tr.Name, ms[i].CountersWithPrefix("serve."))
+		}
+		return b.String()
+	}
+	if a, b := account(1), account(8); a != b {
+		t.Fatalf("drain account diverged across worker counts:\n--- parallel=1\n%s\n--- parallel=8\n%s", a, b)
+	}
+}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"fmt"
+
+	"turnstile/internal/durable"
+)
+
+// ReplayedLetter is one dead letter re-driven by ReplayDeadLetters.
+type ReplayedLetter struct {
+	Idx     int
+	Payload string
+	Outcome string
+	Detail  string
+}
+
+// ReplayDeadLetters recovers one tenant from the store (finishing its state
+// machine if the restart left work queued) and then re-drives every
+// not-yet-replayed dead letter through the recovered driver, appending a
+// replay record per message so the decision — and the taint its processing
+// produced — survives further restarts. Replay is refused for a poisoned
+// tenant: with the durable state unverifiable, re-driving messages into
+// sinks is exactly what fail-closed recovery exists to prevent.
+func ReplayDeadLetters(cfg TenantConfig, store durable.Store) ([]ReplayedLetter, *TenantReport, error) {
+	rep, err := RunTenantDurable(cfg, store, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rep.Crashed {
+		return nil, rep, fmt.Errorf("serve: tenant %s crashed during recovery", cfg.Name)
+	}
+	if rep.Poisoned {
+		return nil, rep, fmt.Errorf("serve: tenant %s is poisoned (%s); replay refused", cfg.Name, rep.PoisonReason)
+	}
+	walName := WALName(cfg.Name)
+	data, err := store.ReadFile(walName)
+	if err != nil {
+		return nil, rep, err
+	}
+	recs, verdict := durable.DecodeRecords(data)
+	if !verdict.Clean {
+		return nil, rep, fmt.Errorf("serve: tenant %s wal unverifiable after recovery: %s", cfg.Name, verdict.Reason)
+	}
+	lastSeq := 0
+	if len(recs) > 0 {
+		lastSeq = recs[len(recs)-1].Seq
+	}
+	wal := durable.ResumeWAL(store, walName, lastSeq)
+	var replayed []ReplayedLetter
+	for j := range rep.DLQ {
+		d := &rep.DLQ[j]
+		if d.Replayed {
+			continue
+		}
+		out := cfg.Driver.Process(d.Idx, d.Payload)
+		if err := wal.Append(durable.Record{
+			Kind: durable.KindReplay, Idx: d.Idx, Payload: d.Payload,
+			Outcome: string(out.Kind), Detail: out.Detail, Steps: out.Steps,
+			Labels: d.Labels,
+		}); err != nil {
+			return replayed, rep, err
+		}
+		d.Replayed = true
+		replayed = append(replayed, ReplayedLetter{Idx: d.Idx, Payload: d.Payload, Outcome: string(out.Kind), Detail: out.Detail})
+	}
+	return replayed, rep, nil
+}

@@ -31,6 +31,7 @@ import (
 	"strings"
 	"sync"
 
+	"turnstile/internal/durable"
 	"turnstile/internal/guard"
 	"turnstile/internal/telemetry"
 	"turnstile/internal/workload"
@@ -140,6 +141,13 @@ type ShedMsg struct {
 	Reason string
 	// Payload is the shed payload, kept so a DLQ replay can re-drive it.
 	Payload string
+	// Labels is the admission-time DIFT label estimate, attached when the
+	// daemon runs durably — dead letters stay labeled across restarts.
+	Labels []string
+	// Replayed marks a persisted dead letter already re-driven once by
+	// `turnstile dlq -replay`; the replay marker in the WAL refuses a
+	// second drive.
+	Replayed bool
 }
 
 // TenantReport is one tenant's complete, deterministic account.
@@ -170,16 +178,44 @@ type TenantReport struct {
 	// Fingerprint is the driver's observable record (sink trace +
 	// violations) — the byte-compared isolation artifact.
 	Fingerprint string
+
+	// Poisoned reports that recovery could not verify this tenant's
+	// durable state (torn or corrupt WAL suffix, damaged snapshot, replay
+	// divergence) and restarted it fail-closed with sinks denied.
+	Poisoned bool
+	// PoisonReason says what recovery found.
+	PoisonReason string
+	// Crashed reports this run ended in a (simulated) process death; the
+	// report holds whatever had happened up to the crash and the durable
+	// state holds what survived it.
+	Crashed bool
 }
 
-// LatencyP returns the p-quantile (0..1) of the latency distribution.
+// LatencyP returns the p-quantile of the latency distribution. The
+// quantile is clamped into [0,1] and the derived rank into the sample
+// bounds, so p≤0 is the minimum, p≥1 the maximum, and no argument —
+// including NaN, which fails every comparison and lands on the minimum —
+// can index out of range.
 func (r *TenantReport) LatencyP(p float64) int64 {
 	if len(r.Latencies) == 0 {
 		return 0
 	}
+	if !(p > 0) {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
 	sorted := append([]int64(nil), r.Latencies...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	return sorted[int(p*float64(len(sorted)-1))]
+	idx := int(p * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
 }
 
 // Throughput returns sustained messages per simulated second (one virtual
@@ -194,6 +230,14 @@ func (r *TenantReport) Throughput() float64 {
 // Server hosts a fleet of tenants.
 type Server struct {
 	Tenants []TenantConfig
+	// Store, when non-nil, makes every tenant durable: each owns a
+	// checksummed WAL and snapshot in the store, recovery runs before the
+	// first message, and a crash (faults.ErrCrash from the store) is
+	// contained to a Crashed report instead of an error.
+	Store durable.Store
+	// SnapshotEvery overrides the snapshot cadence in WAL records; zero
+	// means the default.
+	SnapshotEvery int
 }
 
 // Report is the whole daemon's account, tenant order preserved.
@@ -223,7 +267,13 @@ func (s *Server) Run(parallel int) (*Report, error) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			errs[i] = guard.Contain("serve", s.Tenants[i].Name, func() error {
-				r, err := RunTenant(s.Tenants[i])
+				var r *TenantReport
+				var err error
+				if s.Store != nil {
+					r, err = RunTenantDurable(s.Tenants[i], s.Store, s.SnapshotEvery)
+				} else {
+					r, err = RunTenant(s.Tenants[i])
+				}
 				reps[i] = r
 				return err
 			})
@@ -255,5 +305,22 @@ func (r *Report) Render() string {
 			t.Name, t.OK, t.Violations, t.Budget, t.Throws, t.Errors, t.Reloads)
 	}
 	b.WriteByte('\n')
+	// recovery flags are trailing lines, emitted only when present, so a
+	// clean fleet's render stays byte-identical to the pre-durable format
+	var poisoned, crashed []string
+	for _, t := range r.Tenants {
+		if t.Poisoned {
+			poisoned = append(poisoned, fmt.Sprintf("%s[%s]", t.Name, t.PoisonReason))
+		}
+		if t.Crashed {
+			crashed = append(crashed, t.Name)
+		}
+	}
+	if len(poisoned) > 0 {
+		fmt.Fprintf(&b, "poisoned: %s\n", strings.Join(poisoned, " "))
+	}
+	if len(crashed) > 0 {
+		fmt.Fprintf(&b, "crashed: %s\n", strings.Join(crashed, " "))
+	}
 	return b.String()
 }

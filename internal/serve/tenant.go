@@ -1,8 +1,11 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 
+	"turnstile/internal/durable"
+	"turnstile/internal/faults"
 	"turnstile/internal/telemetry"
 )
 
@@ -11,13 +14,40 @@ type queuedMsg struct {
 	idx     int
 	arrival int64
 	payload string
+	// labels is the admission-time DIFT label estimate, carried so a later
+	// shed or abandon keeps the dead letter labeled. Only populated when
+	// the tenant runs durably.
+	labels []string
 }
 
-// RunTenant drives one tenant's arrival trace through the admission /
-// shedding / drain state machine on a deterministic single-server FIFO
-// queue (see the package comment). Exported so the isolation battery can
-// run a tenant solo under exactly the daemon's scheduling rules.
-func RunTenant(cfg TenantConfig) (*TenantReport, error) {
+// tenantState is the resumable position of one tenant's state machine:
+// everything the admission/shedding/drain loop needs to continue from an
+// arbitrary point. A live run owns one from scratch; recovery rebuilds one
+// by replaying the tenant's WAL and hands it back to the same loop.
+type tenantState struct {
+	rep       *TenantReport
+	queue     []queuedMsg
+	busyUntil int64
+	// nextArrival is the first arrival index not yet decided (admitted or
+	// denied).
+	nextArrival int
+	// applied marks reloads already performed (by BeforeMsg index), so a
+	// resume never re-applies a recorded policy swap.
+	applied map[int]bool
+	// completed marks a WAL that ends in a complete record: the tenant
+	// finished before the restart, nothing is left to serve.
+	completed bool
+	// poisonLogged dedups the poison-transition WAL record.
+	poisonLogged bool
+}
+
+func newTenantState(name string) *tenantState {
+	return &tenantState{rep: &TenantReport{Name: name}, applied: make(map[int]bool)}
+}
+
+// validateTenant checks the config invariants shared by the live and
+// durable entry points and indexes the reload plan.
+func validateTenant(cfg TenantConfig) (map[int]string, error) {
 	if cfg.Driver == nil {
 		return nil, fmt.Errorf("serve: tenant %s has no driver", cfg.Name)
 	}
@@ -33,100 +63,201 @@ func RunTenant(cfg TenantConfig) (*TenantReport, error) {
 		}
 		reloads[r.BeforeMsg] = r.PolicyJSON
 	}
+	return reloads, nil
+}
 
-	rep := &TenantReport{Name: cfg.Name}
-	var queue []queuedMsg
-	var busyUntil int64
+// RunTenant drives one tenant's arrival trace through the admission /
+// shedding / drain state machine on a deterministic single-server FIFO
+// queue (see the package comment). Exported so the isolation battery can
+// run a tenant solo under exactly the daemon's scheduling rules.
+func RunTenant(cfg TenantConfig) (*TenantReport, error) {
+	reloads, err := validateTenant(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return runMachine(cfg, newTenantState(cfg.Name), reloads, nil)
+}
 
-	serveOne := func(q queuedMsg) {
-		start := busyUntil
-		if q.arrival > start {
-			start = q.arrival
+// applyOutcome folds one processed message into the report and advances
+// the busy horizon. It is the single definition of the service-time and
+// accounting rules, shared by the live machine and WAL replay, so both
+// derive bit-identical state from the same Process results.
+func applyOutcome(st *tenantState, q queuedMsg, out Outcome, drained bool) (start, latency int64) {
+	start = st.busyUntil
+	if q.arrival > start {
+		start = q.arrival
+	}
+	service := int64(1)
+	if out.Steps > 0 {
+		service += out.Steps / StepsPerTick
+	}
+	st.busyUntil = start + service
+	rep := st.rep
+	rep.Processed++
+	if drained {
+		rep.Drained++
+	}
+	latency = st.busyUntil - q.arrival
+	rep.Latencies = append(rep.Latencies, latency)
+	switch out.Kind {
+	case OutcomeOK:
+		rep.OK++
+	case OutcomeViolation:
+		rep.Violations++
+	case OutcomeBudget:
+		rep.Budget++
+	case OutcomeThrow:
+		rep.Throws++
+	default:
+		rep.Errors++
+	}
+	return start, latency
+}
+
+// runMachine continues the tenant state machine from wherever st stands —
+// the start for a live run, the replayed position for a recovery — logging
+// every transition to the sink (nil = run without durability). A
+// faults.ErrCrash from the sink ends the run as a Crashed report, not an
+// error: the process died, the durable state holds what survived.
+func runMachine(cfg TenantConfig, st *tenantState, reloads map[int]string, sink *walSink) (*TenantReport, error) {
+	rep := st.rep
+	crashedOr := func(err error) (*TenantReport, error) {
+		if errors.Is(err, faults.ErrCrash) {
+			rep.Crashed = true
+			return rep, nil
 		}
+		return nil, err
+	}
+	prober := sink.prober()
+
+	serveOne := func(q queuedMsg, drained bool) error {
 		out := cfg.Driver.Process(q.idx, q.payload)
-		service := int64(1)
-		if out.Steps > 0 {
-			service += out.Steps / StepsPerTick
+		start, lat := applyOutcome(st, q, out, drained)
+		// the commit record: appended after processing, so a crash in
+		// between leaves the message in the queue and recovery re-processes
+		// it deterministically
+		if err := sink.append(st, durable.Record{
+			Kind: durable.KindProcess, Idx: q.idx, Tick: start,
+			Outcome: string(out.Kind), Detail: out.Detail, Steps: out.Steps,
+			Busy: st.busyUntil, Latency: lat, Drained: drained,
+		}); err != nil {
+			return err
 		}
-		busyUntil = start + service
-		rep.Processed++
-		rep.Latencies = append(rep.Latencies, busyUntil-q.arrival)
-		switch out.Kind {
-		case OutcomeOK:
-			rep.OK++
-		case OutcomeViolation:
-			rep.Violations++
-		case OutcomeBudget:
-			rep.Budget++
-		case OutcomeThrow:
-			rep.Throws++
-		default:
-			rep.Errors++
+		if out.Kind == OutcomeBudget {
+			if err := sink.append(st, durable.Record{Kind: durable.KindGuard, Idx: q.idx, Tick: start, Reason: out.Detail}); err != nil {
+				return err
+			}
 		}
+		if prober != nil && !st.poisonLogged {
+			if deg, reason := prober.PoisonState(); deg {
+				st.poisonLogged = true
+				if err := sink.append(st, durable.Record{Kind: durable.KindPoison, Tick: st.busyUntil, Reason: reason, Degraded: true}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
 	}
 
-	for i, a := range cfg.Arrivals {
+	for ; st.nextArrival < len(cfg.Arrivals); st.nextArrival++ {
+		i := st.nextArrival
+		a := cfg.Arrivals[i]
 		// catch the server up: serve queued messages that start no later
 		// than this arrival
-		for len(queue) > 0 && busyUntil <= a.Tick {
-			q := queue[0]
-			queue = queue[1:]
-			serveOne(q)
+		for len(st.queue) > 0 && st.busyUntil <= a.Tick {
+			q := st.queue[0]
+			st.queue = st.queue[1:]
+			if err := serveOne(q, false); err != nil {
+				return crashedOr(err)
+			}
 		}
 		// hot policy reload: applied between messages — after the catch-up,
 		// before this arrival is admitted — so a message is judged entirely
-		// under one policy, never mid-flight
-		if pj, ok := reloads[i]; ok {
+		// under one policy, never mid-flight. A reload already replayed from
+		// the WAL is not applied twice.
+		if pj, ok := reloads[i]; ok && !st.applied[i] {
 			if err := cfg.Driver.Reload(pj); err != nil {
 				return nil, fmt.Errorf("serve: tenant %s reload before message %d: %w", cfg.Name, i, err)
 			}
+			st.applied[i] = true
 			rep.Reloads++
+			if err := sink.append(st, durable.Record{Kind: durable.KindReload, Idx: i, Tick: a.Tick, Policy: pj}); err != nil {
+				return crashedOr(err)
+			}
 		}
 		// load shedding: queued messages overtaken by more than the lag
 		// quota go to the DLQ — by construction the queue is in arrival
 		// order, so shedding strictly from the front is exhaustive
 		if cfg.Quota.MaxLagTicks > 0 {
-			for len(queue) > 0 && a.Tick-queue[0].arrival > cfg.Quota.MaxLagTicks {
-				q := queue[0]
-				queue = queue[1:]
+			for len(st.queue) > 0 && a.Tick-st.queue[0].arrival > cfg.Quota.MaxLagTicks {
+				q := st.queue[0]
+				st.queue = st.queue[1:]
 				rep.Shed++
-				rep.DLQ = append(rep.DLQ, ShedMsg{Idx: q.idx, Arrival: q.arrival, Reason: "lag", Payload: q.payload})
+				rep.DLQ = append(rep.DLQ, ShedMsg{Idx: q.idx, Arrival: q.arrival, Reason: "lag", Payload: q.payload, Labels: q.labels})
+				if err := sink.append(st, durable.Record{Kind: durable.KindShed, Idx: q.idx, Tick: q.arrival, Reason: "lag", Payload: q.payload, Labels: q.labels}); err != nil {
+					return crashedOr(err)
+				}
 			}
 		}
 		// admission control: depth counts the queue plus the in-service
 		// message (the server is busy strictly past this tick)
-		depth := len(queue)
-		if busyUntil > a.Tick {
+		depth := len(st.queue)
+		if st.busyUntil > a.Tick {
 			depth++
 		}
 		if cfg.Quota.MaxQueue > 0 && depth >= cfg.Quota.MaxQueue {
 			rep.Denied++
+			if err := sink.append(st, durable.Record{Kind: durable.KindDeny, Idx: i, Tick: a.Tick}); err != nil {
+				return crashedOr(err)
+			}
 			continue
 		}
 		rep.Admitted++
-		queue = append(queue, queuedMsg{idx: i, arrival: a.Tick, payload: a.Payload})
+		var labels []string
+		if sink != nil && prober != nil {
+			labels = prober.PayloadLabels(a.Payload)
+		}
+		st.queue = append(st.queue, queuedMsg{idx: i, arrival: a.Tick, payload: a.Payload, labels: labels})
+		if err := sink.append(st, durable.Record{Kind: durable.KindAdmit, Idx: i, Tick: a.Tick, Payload: a.Payload, Labels: labels}); err != nil {
+			return crashedOr(err)
+		}
 	}
 
 	// graceful drain: admission is over; serve up to DrainBudget queued
 	// messages, dead-letter the rest
 	drainBudget := cfg.Quota.DrainBudget
-	for len(queue) > 0 {
+	for len(st.queue) > 0 {
 		if drainBudget >= 0 && rep.Drained >= drainBudget {
 			break
 		}
-		q := queue[0]
-		queue = queue[1:]
-		serveOne(q)
-		rep.Drained++
+		q := st.queue[0]
+		st.queue = st.queue[1:]
+		if err := serveOne(q, true); err != nil {
+			return crashedOr(err)
+		}
 	}
-	for _, q := range queue {
+	for len(st.queue) > 0 {
+		q := st.queue[0]
+		st.queue = st.queue[1:]
 		rep.Abandoned++
-		rep.DLQ = append(rep.DLQ, ShedMsg{Idx: q.idx, Arrival: q.arrival, Reason: "shutdown", Payload: q.payload})
+		rep.DLQ = append(rep.DLQ, ShedMsg{Idx: q.idx, Arrival: q.arrival, Reason: "shutdown", Payload: q.payload, Labels: q.labels})
+		if err := sink.append(st, durable.Record{Kind: durable.KindAbandon, Idx: q.idx, Tick: q.arrival, Payload: q.payload, Labels: q.labels}); err != nil {
+			return crashedOr(err)
+		}
 	}
-	rep.ClockEnd = busyUntil
-	rep.Fingerprint = cfg.Driver.Fingerprint()
+	rep.ClockEnd = st.busyUntil
+	if err := sink.append(st, durable.Record{Kind: durable.KindComplete, Tick: rep.ClockEnd}); err != nil {
+		return crashedOr(err)
+	}
+	st.completed = true
+	return finishTenant(cfg, st, sink)
+}
 
-	// telemetry flush, the last step of the drain protocol
+// finishTenant runs the post-drain epilogue: fingerprint capture, the
+// telemetry flush that ends the shutdown protocol, and the final snapshot.
+func finishTenant(cfg TenantConfig, st *tenantState, sink *walSink) (*TenantReport, error) {
+	rep := st.rep
+	rep.Fingerprint = cfg.Driver.Fingerprint()
 	if m := cfg.Metrics; m != nil {
 		m.Add(telemetry.CtrServeAdmitted, int64(rep.Admitted))
 		m.Add(telemetry.CtrServeProcessed, int64(rep.Processed))
@@ -136,6 +267,15 @@ func RunTenant(cfg TenantConfig) (*TenantReport, error) {
 		m.Add(telemetry.CtrServeAbandoned, int64(rep.Abandoned))
 		m.Add(telemetry.CtrServeReloads, int64(rep.Reloads))
 		m.Add(telemetry.CtrServeViolations, int64(rep.Violations))
+	}
+	if sink != nil {
+		if err := sink.snapshot(st); err != nil {
+			if errors.Is(err, faults.ErrCrash) {
+				rep.Crashed = true
+				return rep, nil
+			}
+			return nil, err
+		}
 	}
 	return rep, nil
 }

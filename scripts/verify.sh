@@ -105,4 +105,26 @@ rm -f /tmp/turnstile-gen-a.txt /tmp/turnstile-gen-b.txt /tmp/turnstile-gen-c.txt
 echo "== generated-corpus metamorphic battery (slot=map, flat=mirror, chaos, crash)"
 go test ./internal/harness -run TestGenMetamorphic
 
+echo "== crash-recovery battery smoke (kill at 3 WAL boundaries, byte-identical resume)"
+go run ./cmd/turnstile-bench -recovery -servetenants 2 -servemessages 8 -serveseed 23 \
+  -recoverymax 3 > /tmp/turnstile-recovery.txt
+grep -q "verdict: PASS" /tmp/turnstile-recovery.txt
+grep -q "post_restart_sinks=0" /tmp/turnstile-recovery.txt
+rm -f /tmp/turnstile-recovery.txt
+
+echo "== durable serve round trip (FileStore: resume identical, dlq survives restart)"
+STATE=$(mktemp -d /tmp/turnstile-state.XXXXXX)
+go run ./cmd/turnstile serve -tenants 2 -messages 10 -seed 7 -hostile \
+  -state "$STATE" > /tmp/turnstile-durable-a.txt
+go run ./cmd/turnstile serve -state "$STATE" -resume \
+  > /tmp/turnstile-durable-b.txt 2>/dev/null
+cmp /tmp/turnstile-durable-a.txt /tmp/turnstile-durable-b.txt
+go run ./cmd/turnstile dlq -state "$STATE" | grep "reason=shutdown" > /dev/null
+go run ./cmd/turnstile dlq -state "$STATE" -replay | grep "re-driven" > /dev/null
+go run ./cmd/turnstile dlq -state "$STATE" | grep "replayed=" > /dev/null
+go run ./cmd/turnstile serve -state "$STATE" -resume \
+  > /tmp/turnstile-durable-c.txt 2>/dev/null
+cmp /tmp/turnstile-durable-a.txt /tmp/turnstile-durable-c.txt
+rm -rf "$STATE" /tmp/turnstile-durable-a.txt /tmp/turnstile-durable-b.txt /tmp/turnstile-durable-c.txt
+
 echo "verify: OK"
