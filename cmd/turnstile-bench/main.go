@@ -111,9 +111,12 @@ func main() {
 	traceDir := flag.String("trace", "", "write per-app selective-version trace JSON into this directory (implies -metrics)")
 	profileOut := flag.String("profile", "", "write a pprof CPU profile of the whole run to this file")
 	noResolve := flag.Bool("noresolve", false, "run interpreters on the map-walk env with resolver fast paths disabled (A/B escape hatch)")
+	noVM := flag.Bool("novm", false, "run interpreters on the tree-walking evaluator with the bytecode VM disabled (differential oracle)")
 	bench := flag.Bool("bench", false, "run the slot-env vs map-walk interpreter microbenchmarks")
 	benchOut := flag.String("benchout", "", "also write the microbenchmark report JSON to this file (e.g. BENCH_baseline.json)")
 	benchRepeats := flag.Int("benchrepeats", 5, "best-of repeats per microbenchmark mode")
+	benchVM := flag.Bool("benchvm", false, "run the bytecode-VM vs tree-walker interpreter microbenchmarks")
+	benchVMOut := flag.String("benchvmout", "", "also write the VM microbenchmark report JSON to this file (e.g. BENCH_vm.json)")
 	serveSoak := flag.Bool("serve", false, "run the multi-tenant serve-daemon soak")
 	serveTenants := flag.Int("servetenants", 4, "well-behaved tenant count for the soak")
 	serveMessages := flag.Int("servemessages", 60, "messages per tenant for the soak")
@@ -152,7 +155,7 @@ func main() {
 	if *all {
 		*table2, *fig10, *fig11, *fig12, *chaos, *crash, *attack, *metrics = true, true, true, true, true, true, true, true
 	}
-	if !*table2 && !*fig10 && !*fig11 && !*fig12 && !*chaos && !*crash && !*attack && !*metrics && !*bench && !*serveSoak && !*recovery && *gen == 0 {
+	if !*table2 && !*fig10 && !*fig11 && !*fig12 && !*chaos && !*crash && !*attack && !*metrics && !*bench && !*benchVM && !*serveSoak && !*recovery && *gen == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -211,6 +214,24 @@ func main() {
 		}
 	}
 
+	if *benchVM {
+		rep, err := harness.RunVMMicrobench(*benchRepeats)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(harness.RenderVMMicrobench(rep))
+		if *benchVMOut != "" {
+			data, err := harness.ExportVMMicrobenchJSON(rep)
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*benchVMOut, data, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *benchVMOut)
+		}
+	}
+
 	apps := corpus.All()
 
 	if *table2 {
@@ -234,7 +255,7 @@ func main() {
 			targets = filterRunnable(apps, *appsFilter)
 		}
 		opts := harness.E2Options{Messages: *messages, Warmup: *warmup, Repeats: *repeats,
-			Parallel: *parallel, Cache: cache, NoResolve: *noResolve}
+			Parallel: *parallel, Cache: cache, NoResolve: *noResolve, NoVM: *noVM}
 		fmt.Printf("measuring %d app(s) × 3 versions × %d messages on %d worker(s)...\n",
 			len(targets), opts.Messages, *parallel)
 		ms, err := harness.MeasureApps(targets, opts)
@@ -283,7 +304,7 @@ func main() {
 		}
 		res, err := harness.RunBreakdown(targets, harness.BreakdownOptions{
 			Messages: *messages, Parallel: *parallel, Cache: cache, TraceCapacity: traceCap,
-			NoResolve: *noResolve,
+			NoResolve: *noResolve, NoVM: *noVM,
 		})
 		if err != nil {
 			fatal(err)
@@ -318,7 +339,7 @@ func main() {
 		}
 		res, err := harness.RunChaos(targets, harness.ChaosOptions{
 			Seed: *faultSeed, Messages: *messages, Parallel: *parallel,
-			Cache: cache, Schedule: schedule, NoResolve: *noResolve,
+			Cache: cache, Schedule: schedule, NoResolve: *noResolve, NoVM: *noVM,
 		})
 		if err != nil {
 			fatal(err)
@@ -343,7 +364,7 @@ func main() {
 				fatal(err)
 			}
 		}
-		res, err := harness.RunCrashCorpus(harness.CrashOptions{Parallel: *parallel, Schedule: schedule, NoResolve: *noResolve})
+		res, err := harness.RunCrashCorpus(harness.CrashOptions{Parallel: *parallel, Schedule: schedule, NoResolve: *noResolve, NoVM: *noVM})
 		if err != nil {
 			fatal(err)
 		}
@@ -357,7 +378,7 @@ func main() {
 	}
 
 	if *attack {
-		res, err := harness.RunAttackCorpus(harness.AttackOptions{Parallel: *parallel, NoResolve: *noResolve})
+		res, err := harness.RunAttackCorpus(harness.AttackOptions{Parallel: *parallel, NoResolve: *noResolve, NoVM: *noVM})
 		if err != nil {
 			fatal(err)
 		}
@@ -375,7 +396,7 @@ func main() {
 
 	if *gen > 0 {
 		res, err := harness.RunGenCorpus(harness.GenOptions{
-			N: *gen, Seed: *genSeed, Parallel: *parallel, NoResolve: *noResolve,
+			N: *gen, Seed: *genSeed, Parallel: *parallel, NoResolve: *noResolve, NoVM: *noVM,
 		})
 		if err != nil {
 			fatal(err)

@@ -248,6 +248,7 @@ func cmdRun(args []string) error {
 	traceOut := fs.String("trace", "", "write the structured event trace to this file (chrome-trace format with a .chrome.json suffix, JSON otherwise)")
 	profileOut := fs.String("profile", "", "write a pprof CPU profile of the run to this file")
 	noResolve := fs.Bool("noresolve", false, "run on the map-walk env with resolver fast paths disabled (A/B escape hatch)")
+	noVM := fs.Bool("novm", false, "run on the tree-walking evaluator with the bytecode VM disabled (differential oracle)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -291,6 +292,7 @@ func cmdRun(args []string) error {
 	}
 	opts.FailClosed = *failClosed
 	opts.NoResolve = *noResolve
+	opts.NoVM = *noVM
 	if *metrics {
 		opts.Metrics = telemetry.NewMetrics()
 	}

@@ -22,6 +22,7 @@ import (
 	"turnstile/internal/resolve"
 	"turnstile/internal/taint"
 	"turnstile/internal/telemetry"
+	"turnstile/internal/vm"
 )
 
 // Options configures the pipeline.
@@ -60,6 +61,16 @@ type Options struct {
 	// programs and disables the interpreter's slot/inline-cache fast
 	// paths, restoring the pure map-walk execution for A/B comparison.
 	NoResolve bool
+	// NoVM disables the bytecode VM on the deployed runtime, keeping the
+	// tree-walking evaluator (the differential oracle) as the execution
+	// engine. Implied by NoResolve — the VM builds on resolved programs.
+	NoVM bool
+	// ArtifactCache, when non-nil, serves instrumented programs from the
+	// content-addressed compiled-bytecode cache: N deployments of the same
+	// instrumented source (e.g. serve tenants of one app) share one
+	// re-parse + resolve + compile. Ignored under NoResolve/NoVM, whose
+	// execution modes never touch compiled artifacts.
+	ArtifactCache *vm.Cache
 }
 
 // DefaultOptions returns the paper's configuration: selective
@@ -118,6 +129,7 @@ func Manage(sources map[string]string, policyJSON string, opts Options) (*Manage
 
 	ip := interp.New()
 	ip.NoResolve = opts.NoResolve
+	ip.NoVM = opts.NoVM
 	if opts.Faults != nil {
 		ip.InstallFaults(opts.Faults)
 	}
@@ -180,22 +192,38 @@ func Manage(sources map[string]string, policyJSON string, opts Options) (*Manage
 		}
 		app.Instrumented[f.Name] = src
 		app.Results[f.Name] = res
-		prog, err := parser.Parse(f.Name, src)
-		if err != nil {
-			return nil, fmt.Errorf("core: instrumented %s does not re-parse: %w", f.Name, err)
-		}
-		if !opts.NoResolve {
-			// resolution must run on the re-parsed program: annotations do
-			// not survive printing
-			r := resolve.Resolve(prog)
-			if opts.Metrics != nil {
-				opts.Metrics.Add(telemetry.CtrResolveScopes, int64(r.Scopes))
-				opts.Metrics.Add(telemetry.CtrResolveSlots, int64(r.Slots))
-				opts.Metrics.Add(telemetry.CtrResolveResolved, int64(r.Resolved))
-				opts.Metrics.Add(telemetry.CtrResolveDynamic, int64(r.Dynamic))
+		build := func() (*ast.Program, error) {
+			prog, err := parser.Parse(f.Name, src)
+			if err != nil {
+				return nil, fmt.Errorf("core: instrumented %s does not re-parse: %w", f.Name, err)
 			}
+			if !opts.NoResolve {
+				// resolution must run on the re-parsed program: annotations do
+				// not survive printing
+				r := resolve.Resolve(prog)
+				if opts.Metrics != nil {
+					opts.Metrics.Add(telemetry.CtrResolveScopes, int64(r.Scopes))
+					opts.Metrics.Add(telemetry.CtrResolveSlots, int64(r.Slots))
+					opts.Metrics.Add(telemetry.CtrResolveResolved, int64(r.Resolved))
+					opts.Metrics.Add(telemetry.CtrResolveDynamic, int64(r.Dynamic))
+				}
+			}
+			return prog, nil
 		}
-		managed[f.Name] = prog
+		if opts.ArtifactCache != nil && !opts.NoResolve && !opts.NoVM {
+			prog, mod, err := opts.ArtifactCache.Load(f.Name, src, build)
+			if err != nil {
+				return nil, err
+			}
+			ip.RegisterCode(prog, mod)
+			managed[f.Name] = prog
+		} else {
+			prog, err := build()
+			if err != nil {
+				return nil, err
+			}
+			managed[f.Name] = prog
+		}
 	}
 
 	// deploy with local-require support: each file is a module; requiring

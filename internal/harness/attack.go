@@ -27,6 +27,8 @@ type AttackOptions struct {
 	// NoResolve deploys each app on the map-walk interpreter (A/B escape
 	// hatch, as in the crash harness).
 	NoResolve bool
+	// NoVM deploys each app on the tree-walking evaluator (-novm).
+	NoVM bool
 }
 
 // AttackAppResult is one app's score.
@@ -95,6 +97,7 @@ func attackOne(aa *corpus.AttackApp, opts AttackOptions) (AttackAppResult, error
 	copts.ImplicitFlows = true
 	copts.Enforce = false // audit: the whole attack executes, every violation is recorded
 	copts.NoResolve = opts.NoResolve
+	copts.NoVM = opts.NoVM
 	app, err := core.Manage(map[string]string{aa.Name + ".js": aa.Source}, aa.Policy, copts)
 	if err != nil {
 		res.Err = firstLine(err.Error())

@@ -35,6 +35,8 @@ type ChaosOptions struct {
 	// NoResolve runs every version on the map-walk interpreter with the
 	// resolver fast paths disabled (A/B escape hatch).
 	NoResolve bool
+	// NoVM runs every version on the tree-walking evaluator (-novm).
+	NoVM bool
 }
 
 // ChaosAppResult is one app's outcome under fault injection.
@@ -89,7 +91,7 @@ type chaosVersion struct {
 }
 
 func chaosApp(app *corpus.App, opts ChaosOptions) (ChaosAppResult, error) {
-	prep, err := PrepareAppOpt(app, opts.Cache, opts.NoResolve)
+	prep, err := PrepareAppMode(app, opts.Cache, ExecMode{NoResolve: opts.NoResolve, NoVM: opts.NoVM})
 	if err != nil {
 		return ChaosAppResult{}, fmt.Errorf("harness: %s: %w", app.Name, err)
 	}

@@ -70,9 +70,9 @@ func CrashApps() []CrashApp {
 // CrashLimits is the tight budget envelope every crash app runs under.
 func CrashLimits() guard.Limits {
 	return guard.Limits{
-		Fuel:          1_000_000,
-		MaxDepth:      128,
-		MaxAlloc:      32_768,
+		Fuel:     1_000_000,
+		MaxDepth: 128,
+		MaxAlloc: 32_768,
 		// 20 chained timers: low enough that the timer-chain app trips the
 		// deadline before its nested callbacks trip the depth budget
 		DeadlineTicks: 20_000,
@@ -90,6 +90,8 @@ type CrashOptions struct {
 	// NoResolve deploys each app on the map-walk interpreter with the
 	// resolver fast paths disabled (A/B escape hatch).
 	NoResolve bool
+	// NoVM deploys each app on the tree-walking evaluator (-novm).
+	NoVM bool
 }
 
 // CrashAppResult is one app's outcome.
@@ -142,6 +144,7 @@ func crashOne(ca CrashApp, opts CrashOptions) (CrashAppResult, error) {
 	copts.FailClosed = true
 	copts.Faults = opts.Schedule
 	copts.NoResolve = opts.NoResolve
+	copts.NoVM = opts.NoVM
 	_, runErr := core.Manage(map[string]string{ca.Name + ".js": string(src)}, pol, copts)
 	kind, detail := ClassifyCrash(runErr)
 	return CrashAppResult{App: ca.Name, Want: ca.Want, Kind: kind, Detail: detail, OK: kind == ca.Want}, nil

@@ -31,6 +31,8 @@ type GenOptions struct {
 	Parallel int
 	// NoResolve deploys each app on the map-walk interpreter.
 	NoResolve bool
+	// NoVM deploys each app on the tree-walking evaluator (-novm).
+	NoVM bool
 }
 
 // GenAppResult is one generated app's score.
@@ -136,6 +138,7 @@ func genOne(ga *corpus.GenApp, opts GenOptions) (GenAppResult, error) {
 	copts.ImplicitFlows = true
 	copts.Enforce = false // audit: the whole app executes, every violation is recorded
 	copts.NoResolve = opts.NoResolve
+	copts.NoVM = opts.NoVM
 	app, err := core.Manage(ga.Files, ga.Policy, copts)
 	if err != nil {
 		res.Err = firstLine(err.Error())

@@ -83,6 +83,7 @@ func metaApps(t *testing.T) []*corpus.GenApp {
 type genVariant struct {
 	mode       instrument.Mode
 	noResolve  bool
+	noVM       bool
 	policy     string // empty selects ga.Policy
 	schedule   *faults.Schedule
 	limits     *guard.Limits
@@ -101,6 +102,7 @@ func genRun(ga *corpus.GenApp, v genVariant, labelFree bool) string {
 	copts.ImplicitFlows = true
 	copts.Enforce = v.enforce
 	copts.NoResolve = v.noResolve
+	copts.NoVM = v.noVM
 	copts.Faults = v.schedule
 	copts.Guard = v.limits
 	copts.FailClosed = v.failClosed
@@ -182,6 +184,42 @@ func TestGenMetamorphicSlotMap(t *testing.T) {
 		func(ga *corpus.GenApp) string {
 			v := base
 			v.noResolve = true
+			return genRun(ga, v, false)
+		})
+}
+
+// TestGenMetamorphicVMWalker: the bytecode VM and the -novm tree-walker
+// must be observably identical on every generated app, at every stratum
+// and seed — writes, violations with full label text, and tracker
+// statistics. This is the generator-breadth arm of the VM differential
+// gates (the hand-written corpus arm lives in vm_diff_test.go).
+func TestGenMetamorphicVMWalker(t *testing.T) {
+	apps := metaApps(t)
+	base := genVariant{mode: instrument.Exhaustive}
+	requireAgreement(t, "vm≡walker", apps,
+		func(ga *corpus.GenApp) string { return genRun(ga, base, false) },
+		func(ga *corpus.GenApp) string {
+			v := base
+			v.noVM = true
+			return genRun(ga, v, false)
+		})
+}
+
+// TestGenMetamorphicVMCrashAgreement: under a tight guard budget with the
+// tracker fail-closed and enforcement on, the VM and the tree-walker must
+// agree on the entire outcome — which budget error (if any) kills the
+// app, at which site, and what was written before it died. This is the
+// strongest parity claim the VM makes: identical step-charge ordering,
+// not just identical results.
+func TestGenMetamorphicVMCrashAgreement(t *testing.T) {
+	apps := metaApps(t)
+	lim := guard.Limits{Fuel: 60_000, MaxDepth: 64, MaxAlloc: 1 << 16}
+	base := genVariant{mode: instrument.Exhaustive, limits: &lim, failClosed: true, enforce: true}
+	requireAgreement(t, "crash vm≡walker", apps,
+		func(ga *corpus.GenApp) string { return genRun(ga, base, false) },
+		func(ga *corpus.GenApp) string {
+			v := base
+			v.noVM = true
 			return genRun(ga, v, false)
 		})
 }

@@ -263,6 +263,9 @@ type E2Options struct {
 	// NoResolve runs every version on the map-walk interpreter with the
 	// resolver fast paths disabled (A/B escape hatch).
 	NoResolve bool
+	// NoVM runs every version on the tree-walking evaluator with the
+	// bytecode VM disabled (the -novm escape hatch).
+	NoVM bool
 }
 
 // DefaultServiceScale normalizes the miniaturized corpus workloads to the
@@ -282,7 +285,7 @@ func DefaultE2Options() E2Options {
 func MeasureApps(apps []*corpus.App, opts E2Options) ([]AppMeasurement, error) {
 	if opts.Messages == 0 {
 		d := DefaultE2Options()
-		d.Parallel, d.Cache, d.NoResolve = opts.Parallel, opts.Cache, opts.NoResolve
+		d.Parallel, d.Cache, d.NoResolve, d.NoVM = opts.Parallel, opts.Cache, opts.NoResolve, opts.NoVM
 		opts = d
 	}
 	runnable := corpus.Runnable(apps)
@@ -297,7 +300,7 @@ func MeasureApps(apps []*corpus.App, opts E2Options) ([]AppMeasurement, error) {
 
 // MeasureApp measures one app's three versions.
 func MeasureApp(app *corpus.App, opts E2Options) (*AppMeasurement, error) {
-	prep, err := PrepareAppOpt(app, opts.Cache, opts.NoResolve)
+	prep, err := PrepareAppMode(app, opts.Cache, ExecMode{NoResolve: opts.NoResolve, NoVM: opts.NoVM})
 	if err != nil {
 		return nil, err
 	}

@@ -12,11 +12,12 @@ import (
 )
 
 // Interpreter microbenchmarks comparing the slot-indexed environment fast
-// path against the map-walk fallback (the -noresolve escape hatch). Each
-// workload is one MiniJS program stressing a single interpreter dimension;
-// the same parsed AST runs on both execution modes (annotations are inert
-// under NoResolve), so any delta is attributable to the environment
-// representation and the inline caches alone.
+// path against the map-walk fallback (the -noresolve escape hatch), and
+// the bytecode VM against both. Each workload is one MiniJS program
+// stressing a single interpreter dimension; the same parsed AST runs on
+// every execution mode (annotations are inert under NoResolve), so any
+// delta is attributable to the environment representation, the inline
+// caches and the dispatch strategy alone.
 
 // MicrobenchPrograms are the three workloads of the bench gate. The inner
 // iteration counts are sized so one run takes a few milliseconds on the
@@ -119,19 +120,22 @@ type MicrobenchReport struct {
 	Benchmarks []MicrobenchResult `json:"benchmarks"`
 }
 
-// RunMicrobench measures every workload on both execution modes,
-// best-of-repeats per mode.
+// RunMicrobench measures every workload on both tree-walking execution
+// modes, best-of-repeats per mode. The VM is disabled on both sides: this
+// report isolates the environment representation (slot vs map-walk) and is
+// the committed BENCH_baseline.json; the VM comparison lives in
+// RunVMMicrobench / BENCH_vm.json.
 func RunMicrobench(repeats int) (*MicrobenchReport, error) {
 	if repeats <= 0 {
 		repeats = 5
 	}
 	rep := &MicrobenchReport{Tool: "turnstile-bench -bench", Repeats: repeats}
 	for _, p := range MicrobenchPrograms {
-		slot, err := benchProgram(p.Name, p.Source, false, repeats)
+		slot, err := benchProgram(p.Name, p.Source, false, true, repeats)
 		if err != nil {
 			return nil, err
 		}
-		mp, err := benchProgram(p.Name, p.Source, true, repeats)
+		mp, err := benchProgram(p.Name, p.Source, true, true, repeats)
 		if err != nil {
 			return nil, err
 		}
@@ -144,11 +148,67 @@ func RunMicrobench(repeats int) (*MicrobenchReport, error) {
 	return rep, nil
 }
 
-// benchProgram parses (and, for the slot mode, resolves) one workload and
+// VMMicrobenchResult is one workload's measurement across the three
+// execution modes: bytecode VM, slot-env tree-walker (-novm) and map-walk
+// tree-walker (-noresolve).
+type VMMicrobenchResult struct {
+	Name   string `json:"name"`
+	VMNs   int64  `json:"vm_ns"`
+	SlotNs int64  `json:"slot_ns"`
+	MapNs  int64  `json:"map_ns"`
+	// SpeedupVsSlot is SlotNs / VMNs — the acceptance metric of the VM
+	// perf gate (>1 means the VM beats the slot-env tree-walker).
+	SpeedupVsSlot float64 `json:"speedup_vs_slot"`
+	SpeedupVsMap  float64 `json:"speedup_vs_map"`
+}
+
+// VMMicrobenchReport aggregates a VM bench run into the committed
+// BENCH_vm.json shape.
+type VMMicrobenchReport struct {
+	Tool       string               `json:"tool"`
+	Repeats    int                  `json:"repeats"`
+	Benchmarks []VMMicrobenchResult `json:"benchmarks"`
+}
+
+// RunVMMicrobench measures every workload on the bytecode VM and both
+// tree-walking modes, best-of-repeats per mode.
+func RunVMMicrobench(repeats int) (*VMMicrobenchReport, error) {
+	if repeats <= 0 {
+		repeats = 5
+	}
+	rep := &VMMicrobenchReport{Tool: "turnstile-bench -benchvm", Repeats: repeats}
+	for _, p := range MicrobenchPrograms {
+		vmT, err := benchProgram(p.Name, p.Source, false, false, repeats)
+		if err != nil {
+			return nil, err
+		}
+		slot, err := benchProgram(p.Name, p.Source, false, true, repeats)
+		if err != nil {
+			return nil, err
+		}
+		mp, err := benchProgram(p.Name, p.Source, true, true, repeats)
+		if err != nil {
+			return nil, err
+		}
+		r := VMMicrobenchResult{Name: p.Name, VMNs: vmT.Nanoseconds(), SlotNs: slot.Nanoseconds(), MapNs: mp.Nanoseconds()}
+		if r.VMNs > 0 {
+			r.SpeedupVsSlot = float64(r.SlotNs) / float64(r.VMNs)
+			r.SpeedupVsMap = float64(r.MapNs) / float64(r.VMNs)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, r)
+	}
+	return rep, nil
+}
+
+// benchProgram parses (and, unless noResolve, resolves) one workload and
 // returns the best-of-repeats wall time of a full run on a fresh
-// interpreter. The AST is shared across repeats — exactly how the
-// pipeline cache shares programs — so parse cost is excluded.
-func benchProgram(name, src string, noResolve bool, repeats int) (time.Duration, error) {
+// interpreter in the requested execution mode. The AST is shared across
+// repeats — exactly how the pipeline cache shares programs — so parse
+// cost is excluded; bytecode compilation happens once on the first VM
+// repeat and is shared through the interpreter's program-module table
+// only within a repeat (each repeat gets a fresh interpreter, so compile
+// cost is included in every VM sample, biasing against the VM).
+func benchProgram(name, src string, noResolve, noVM bool, repeats int) (time.Duration, error) {
 	prog, err := parser.Parse(name+".js", src)
 	if err != nil {
 		return 0, fmt.Errorf("harness: microbench %s: %w", name, err)
@@ -160,9 +220,10 @@ func benchProgram(name, src string, noResolve bool, repeats int) (time.Duration,
 	for r := 0; r < repeats; r++ {
 		ip := interp.New()
 		ip.NoResolve = noResolve
+		ip.NoVM = noVM
 		start := time.Now()
 		if err := ip.Run(prog); err != nil {
-			return 0, fmt.Errorf("harness: microbench %s (noresolve=%v): %w", name, noResolve, err)
+			return 0, fmt.Errorf("harness: microbench %s (noresolve=%v novm=%v): %w", name, noResolve, noVM, err)
 		}
 		if d := time.Since(start); r == 0 || d < best {
 			best = d
@@ -181,6 +242,16 @@ func ExportMicrobenchJSON(rep *MicrobenchReport) ([]byte, error) {
 	return append(data, '\n'), nil
 }
 
+// ExportVMMicrobenchJSON renders the VM report as the committed
+// BENCH_vm.json artifact (indented, trailing newline).
+func ExportVMMicrobenchJSON(rep *VMMicrobenchReport) ([]byte, error) {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
 // RenderMicrobench formats the bench table for the CLI. Wall times vary
 // run to run, so unlike the experiment reports this output is NOT
 // byte-deterministic.
@@ -192,6 +263,22 @@ func RenderMicrobench(rep *MicrobenchReport) string {
 		fmt.Fprintf(&b, "%-18s %12v %12v %8.2fx\n",
 			r.Name, time.Duration(r.SlotNs).Round(time.Microsecond),
 			time.Duration(r.MapNs).Round(time.Microsecond), r.Speedup)
+	}
+	return b.String()
+}
+
+// RenderVMMicrobench formats the VM bench table for the CLI. Like
+// RenderMicrobench, it is NOT byte-deterministic.
+func RenderVMMicrobench(rep *VMMicrobenchReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Interpreter microbenchmarks: bytecode VM vs tree-walkers (best of %d)\n", rep.Repeats)
+	fmt.Fprintf(&b, "%-18s %12s %12s %12s %9s %9s\n", "workload", "vm", "slot", "map-walk", "vs slot", "vs map")
+	for _, r := range rep.Benchmarks {
+		fmt.Fprintf(&b, "%-18s %12v %12v %12v %8.2fx %8.2fx\n",
+			r.Name, time.Duration(r.VMNs).Round(time.Microsecond),
+			time.Duration(r.SlotNs).Round(time.Microsecond),
+			time.Duration(r.MapNs).Round(time.Microsecond),
+			r.SpeedupVsSlot, r.SpeedupVsMap)
 	}
 	return b.String()
 }

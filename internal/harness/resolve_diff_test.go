@@ -14,7 +14,13 @@ import (
 // violations and the tracker statistics. Two execution modes are
 // equivalent iff their signatures are byte-identical.
 func appModeSignature(app *corpus.App, noResolve bool, messages int) (string, error) {
-	prep, err := PrepareAppOpt(app, nil, noResolve)
+	return execModeSignature(app, nil, ExecMode{NoResolve: noResolve}, messages)
+}
+
+// execModeSignature is appModeSignature for an arbitrary engine (VM,
+// tree-walker, map-walk) and an optional shared pipeline cache.
+func execModeSignature(app *corpus.App, cache *PipelineCache, mode ExecMode, messages int) (string, error) {
+	prep, err := PrepareAppMode(app, cache, mode)
 	if err != nil {
 		return "", fmt.Errorf("%s: %w", app.Name, err)
 	}

@@ -12,6 +12,7 @@ import (
 	"turnstile/internal/printer"
 	"turnstile/internal/resolve"
 	"turnstile/internal/taint"
+	"turnstile/internal/vm"
 )
 
 // Runner is one executable version of an application: an interpreter with
@@ -60,14 +61,21 @@ func PrepareAppCached(app *corpus.App, cache *PipelineCache) (*PreparedApp, erro
 
 // PrepareAppOpt is PrepareAppCached with an execution-mode switch:
 // noResolve runs all three versions on the map-walk interpreter with the
-// resolver fast paths disabled (the cached AST keeps its inert
-// annotations, so one cache serves both modes).
+// resolver fast paths disabled.
 func PrepareAppOpt(app *corpus.App, cache *PipelineCache, noResolve bool) (*PreparedApp, error) {
+	return PrepareAppMode(app, cache, ExecMode{NoResolve: noResolve})
+}
+
+// PrepareAppMode is the fully mode-aware preparation entry point: the
+// pipeline cache is keyed by the execution mode, all three versions run
+// on the selected engine, and in VM mode the original version reuses the
+// cache's compiled bytecode module.
+func PrepareAppMode(app *corpus.App, cache *PipelineCache, execMode ExecMode) (*PreparedApp, error) {
 	if !app.Runnable {
 		return nil, fmt.Errorf("harness: app %s is not runnable", app.Name)
 	}
 	file := app.Name + ".js"
-	prog, analysis, err := analyzedApp(cache, file, app.Source, taint.DefaultOptions())
+	prog, analysis, mod, err := analyzedApp(cache, file, app.Source, taint.DefaultOptions(), execMode)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +83,7 @@ func PrepareAppOpt(app *corpus.App, cache *PipelineCache, noResolve bool) (*Prep
 	prep := &PreparedApp{App: app, Analysis: analysis}
 
 	// original: no tracker, no instrumentation
-	orig, err := loadRunner(app, "original", prog, false, noResolve)
+	orig, err := loadRunner(app, "original", prog, mod, false, execMode)
 	if err != nil {
 		return nil, fmt.Errorf("original version: %w", err)
 	}
@@ -84,7 +92,8 @@ func PrepareAppOpt(app *corpus.App, cache *PipelineCache, noResolve bool) (*Prep
 	// helper building an instrumented version
 	build := func(mode instrument.Mode, sel instrument.Selection) (*Runner, *instrument.Result, error) {
 		ip := interp.New()
-		ip.NoResolve = noResolve
+		ip.NoResolve = execMode.NoResolve
+		ip.NoVM = execMode.NoVM
 		pol, err := policy.ParseJSON([]byte(app.PolicyJSON), ip.CompileLabelFunc)
 		if err != nil {
 			return nil, nil, fmt.Errorf("policy: %w", err)
@@ -103,7 +112,7 @@ func PrepareAppOpt(app *corpus.App, cache *PipelineCache, noResolve bool) (*Prep
 		if err != nil {
 			return nil, nil, fmt.Errorf("instrumented output does not re-parse: %w", err)
 		}
-		if !noResolve {
+		if !execMode.NoResolve {
 			resolve.Resolve(inst)
 		}
 		tr := ip.InstallTracker(pol)
@@ -129,10 +138,15 @@ func PrepareAppOpt(app *corpus.App, cache *PipelineCache, noResolve bool) (*Prep
 }
 
 // loadRunner loads an uninstrumented version from an already-parsed (and
-// possibly cache-shared) program.
-func loadRunner(app *corpus.App, mode string, prog *ast.Program, withTracker, noResolve bool) (*Runner, error) {
+// possibly cache-shared) program; mod, when non-nil, is the cache-shared
+// compiled bytecode for prog.
+func loadRunner(app *corpus.App, mode string, prog *ast.Program, mod *vm.Module, withTracker bool, execMode ExecMode) (*Runner, error) {
 	ip := interp.New()
-	ip.NoResolve = noResolve
+	ip.NoResolve = execMode.NoResolve
+	ip.NoVM = execMode.NoVM
+	if mod != nil {
+		ip.RegisterCode(prog, mod)
+	}
 	if withTracker {
 		pol, err := policy.ParseJSON([]byte(app.PolicyJSON), ip.CompileLabelFunc)
 		if err != nil {

@@ -99,6 +99,8 @@ type BreakdownOptions struct {
 	// NoResolve runs every version on the map-walk interpreter with the
 	// resolver fast paths disabled (A/B escape hatch).
 	NoResolve bool
+	// NoVM runs every version on the tree-walking evaluator (-novm).
+	NoVM bool
 }
 
 // RunBreakdown replays every runnable app's selective and exhaustive
@@ -121,7 +123,7 @@ func RunBreakdown(apps []*corpus.App, opts BreakdownOptions) (*BreakdownResult, 
 }
 
 func breakdownApp(app *corpus.App, opts BreakdownOptions) (BreakdownRow, error) {
-	prep, err := PrepareAppOpt(app, opts.Cache, opts.NoResolve)
+	prep, err := PrepareAppMode(app, opts.Cache, ExecMode{NoResolve: opts.NoResolve, NoVM: opts.NoVM})
 	if err != nil {
 		return BreakdownRow{}, fmt.Errorf("harness: %s: %w", app.Name, err)
 	}

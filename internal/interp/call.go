@@ -8,6 +8,7 @@ import (
 
 	"turnstile/internal/ast"
 	"turnstile/internal/dift"
+	"turnstile/internal/vm"
 )
 
 // evalCall evaluates a call expression, routing method calls so `this` is
@@ -142,7 +143,7 @@ func (ip *Interp) CallFunction(fn Value, this Value, args []Value, pos ast.Pos) 
 		if f.This != nil {
 			this = f.This
 		}
-		return ip.invokeFuncLit(f.Decl, f.Env, this, args, pos)
+		return ip.invokeFunc(f.Decl, f.Code, f.Env, this, args, pos)
 	case *HostFunc:
 		return f.Fn(ip, this, args)
 	}
@@ -150,6 +151,14 @@ func (ip *Interp) CallFunction(fn Value, this Value, args []Value, pos ast.Pos) 
 }
 
 func (ip *Interp) invokeFuncLit(decl *ast.FuncLit, closure *Env, this Value, args []Value, pos ast.Pos) (Value, error) {
+	return ip.invokeFunc(decl, ip.codeFor(decl), closure, this, args, pos)
+}
+
+// invokeFunc is the shared call prologue (budget charges, depth caps,
+// this/arguments/param binding); the body then runs either as bytecode
+// (code non-nil, normally taken straight off Function.Code so the hot
+// path pays no registry lookup) or through the tree-walker.
+func (ip *Interp) invokeFunc(decl *ast.FuncLit, code *vm.Chunk, closure *Env, this Value, args []Value, pos ast.Pos) (Value, error) {
 	if err := ip.step(pos); err != nil {
 		return nil, err
 	}
@@ -158,21 +167,43 @@ func (ip *Interp) invokeFuncLit(decl *ast.FuncLit, closure *Env, this Value, arg
 	// applies even with no Guard; a Guard with a tighter MaxDepth trips
 	// first with a typed BudgetError.
 	ip.callDepth++
-	defer func() { ip.callDepth-- }()
 	if g := ip.Guard; g != nil {
+		// guarded path: defers keep depth and guard frames balanced even
+		// when a contained panic unwinds through the call
+		defer func() { ip.callDepth-- }()
 		if err := g.Enter(""); err != nil {
 			ip.siteOnTrip(pos)
 			return nil, err
 		}
 		defer g.Exit()
+		return ip.invokeBody(decl, code, closure, this, args, pos)
 	}
+	// unguarded path: explicit decrement — two deferred frames per call
+	// are measurable on call-heavy code, and without a Guard a panic
+	// abandons the interpreter anyway (guard.Contain discards it)
+	v, err := ip.invokeBody(decl, code, closure, this, args, pos)
+	ip.callDepth--
+	return v, err
+}
+
+func (ip *Interp) invokeBody(decl *ast.FuncLit, code *vm.Chunk, closure *Env, this Value, args []Value, pos ast.Pos) (Value, error) {
 	if ip.MaxCallDepth > 0 && ip.callDepth > ip.MaxCallDepth {
 		return nil, &RuntimeError{
 			Msg: fmt.Sprintf("call stack exceeded %d frames (possible unbounded recursion)", ip.MaxCallDepth),
 			Pos: pos,
 		}
 	}
-	env := newEnvFor(closure, decl.Scope)
+	vmBody := code != nil && !ip.NoVM
+	// compiled bodies that provably cannot capture their environment run
+	// in a pooled env recycled after the call (two allocations saved per
+	// call on closure-free hot paths)
+	pooledEnv := vmBody && code.NoCapture && decl.Scope != nil
+	var env *Env
+	if pooledEnv {
+		env = ip.getCallEnv(closure, decl.Scope)
+	} else {
+		env = newEnvFor(closure, decl.Scope)
+	}
 	// arrow functions inherit `this` lexically: do not rebind
 	if !decl.Arrow {
 		// resolver slot layout: non-arrow scopes place this/arguments at
@@ -180,9 +211,14 @@ func (ip *Interp) invokeFuncLit(decl *ast.FuncLit, closure *Env, this Value, arg
 		if !env.DefineSlot(0, this, false) {
 			env.Define("this", this, false)
 		}
-		argsArr := NewArray(args...)
-		if !env.DefineSlot(1, argsArr, false) {
-			env.Define("arguments", argsArr, false)
+		// the arguments array is only materialized when the compiler saw
+		// an `arguments` identifier somewhere in the body (tree-walked
+		// bodies always materialize: no compile-time scan ran)
+		if !vmBody || code.NeedsArguments {
+			argsArr := NewArray(args...)
+			if !env.DefineSlot(1, argsArr, false) {
+				env.Define("arguments", argsArr, false)
+			}
 		}
 	}
 	for i, p := range decl.Params {
@@ -202,6 +238,19 @@ func (ip *Interp) invokeFuncLit(decl *ast.FuncLit, closure *Env, this Value, arg
 		if p.Ref == nil || !env.DefineSlot(p.Ref.Slot, v, false) {
 			env.Define(p.Name, v, false)
 		}
+	}
+	if vmBody {
+		c, v, err := ip.runChunk(code, env)
+		if pooledEnv {
+			ip.putCallEnv(env)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if c == ctrlReturn {
+			return v, nil
+		}
+		return undef, nil
 	}
 	if decl.ExprRet != nil {
 		return ip.eval(decl.ExprRet, env)
@@ -281,7 +330,7 @@ func (ip *Interp) classProto(f *Function) *Object {
 		if name == "constructor" {
 			continue
 		}
-		proto.Set(name, NewFunction(name, fl, f.Env))
+		proto.Set(name, ip.withCode(NewFunction(name, fl, f.Env)))
 	}
 	f.Set("__proto_cache__", proto)
 	return proto

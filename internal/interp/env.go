@@ -3,9 +3,21 @@ package interp
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"turnstile/internal/ast"
 )
+
+// envMapDefines counts map-based (dynamic) variable definitions across
+// all environments in the process. The VM's dynamic-global identifier
+// cache (exec_vm.go) snapshots it at fill time: as long as no environment
+// anywhere has gained a map binding, a name that previously resolved to
+// the Globals map cannot have acquired a nearer provider — slot layouts
+// are static, map bindings are never deleted, and IterCopy only copies
+// bindings that already shadowed Globals at fill time. Atomic because
+// independent interpreters run concurrently (serve workers, -parallel
+// harness runs); cross-interpreter bumps only cost a cache refill.
+var envMapDefines atomic.Uint64
 
 // ErrNotDefined reports assignment to an undeclared name; sloppy-mode code
 // handles it by creating an implicit global.
@@ -67,6 +79,7 @@ func (e *Env) Define(name string, v Value, isConst bool) {
 	if e.vars == nil {
 		e.vars = make(map[string]Value)
 	}
+	envMapDefines.Add(1)
 	e.vars[name] = v
 	if isConst {
 		if e.consts == nil {
@@ -95,6 +108,27 @@ func (e *Env) DefineSlot(i int, v Value, isConst bool) bool {
 	}
 	e.defineSlot(i, v, isConst)
 	return true
+}
+
+// lookupOwner resolves a name exactly like Lookup and additionally
+// reports the environment whose vars map provided the binding (nil for
+// slot hits), so the VM can cache dynamic-global resolutions.
+func (e *Env) lookupOwner(name string) (Value, *Env, bool) {
+	for cur := e; cur != nil; cur = cur.parent {
+		if cur.scope != nil {
+			if i, ok := cur.scope.Slot(name); ok {
+				v := cur.slots[i]
+				if _, isUnbound := v.(unboundSlot); !isUnbound {
+					return v, nil, true
+				}
+				continue // declared here but not yet bound: keep walking
+			}
+		}
+		if v, ok := cur.vars[name]; ok {
+			return v, cur, true
+		}
+	}
+	return nil, nil, false
 }
 
 // Lookup resolves a name through the scope chain.

@@ -26,17 +26,33 @@ import (
 // icEntry is one call site's cache line.
 type icEntry struct {
 	node      *ast.MemberExpr // owning site; guards against cross-program node-ID collisions
+	epoch     uint64          // ip.icEpoch at fill time; a program swap retires the entry
 	recv      *Object
-	recvVer   uint32
-	recvShape uint32
+	recvVer   uint64
+	recvShape uint64
 	proto     *Object // non-nil for a one-hop prototype method entry
-	protoVer  uint32
+	protoVer  uint64
 	val       Value
 }
 
-// ensureICs sizes the cache table for a program's node-ID space. Tables
-// only grow; IDs from smaller previously-run programs keep their entries
-// until a new program reuses the ID (detected via the node pointer).
+// identIC is one OpIdent site's dynamic-global lookup cache line. A
+// valid entry asserts: the last full chain walk for this identifier
+// resolved to the Globals vars map, and envMapDefines has not moved
+// since, so no environment anywhere can have gained a nearer map
+// binding — the current value is whatever Globals holds now (in-place
+// assignments stay visible; map bindings are never deleted). The VM
+// then skips the walk and its per-scope slot-layout probes.
+type identIC struct {
+	node  *ast.Ident
+	epoch uint64 // ip.icEpoch at fill time
+	dyn   uint64 // envMapDefines at fill time
+}
+
+// ensureICs sizes the cache tables for a program's node-ID space. Tables
+// only grow; entries from previously-run programs are retired by the
+// interpreter's IC epoch (bumped on program swap in Run), not just the
+// node-pointer guard — a reused node ID with an aliasing AST allocation
+// must never validate a stale cached Value.
 func (ip *Interp) ensureICs(maxID int) {
 	if maxID <= len(ip.ics) {
 		return
@@ -44,6 +60,9 @@ func (ip *Interp) ensureICs(maxID int) {
 	ics := make([]icEntry, maxID)
 	copy(ics, ip.ics)
 	ip.ics = ics
+	idents := make([]identIC, maxID)
+	copy(idents, ip.identICs)
+	ip.identICs = idents
 }
 
 // icRead serves a non-computed property read on a plain object. It
@@ -56,13 +75,13 @@ func (ip *Interp) icRead(node *ast.MemberExpr, o *Object, name string) (Value, b
 		return nil, false
 	}
 	e := &ip.ics[id]
-	if e.node == node && e.recv == o && e.proto == nil && e.recvVer == o.version {
+	if e.node == node && e.epoch == ip.icEpoch && e.recv == o && e.proto == nil && e.recvVer == o.version {
 		ip.icHits++
 		return e.val, true
 	}
 	ip.icMisses++
 	if v, own := o.GetOwn(name); own {
-		*e = icEntry{node: node, recv: o, recvVer: o.version, val: v}
+		*e = icEntry{node: node, epoch: ip.icEpoch, recv: o, recvVer: o.version, val: v}
 		return v, true
 	}
 	return nil, false
@@ -77,7 +96,7 @@ func (ip *Interp) icMethod(node *ast.MemberExpr, o *Object, name string) (Value,
 		return nil, false
 	}
 	e := &ip.ics[id]
-	if e.node == node && e.recv == o {
+	if e.node == node && e.epoch == ip.icEpoch && e.recv == o {
 		if e.proto == nil {
 			if e.recvVer == o.version {
 				ip.icHits++
@@ -90,12 +109,12 @@ func (ip *Interp) icMethod(node *ast.MemberExpr, o *Object, name string) (Value,
 	}
 	ip.icMisses++
 	if v, own := o.GetOwn(name); own {
-		*e = icEntry{node: node, recv: o, recvVer: o.version, val: v}
+		*e = icEntry{node: node, epoch: ip.icEpoch, recv: o, recvVer: o.version, val: v}
 		return v, true
 	}
 	if p := o.Proto; p != nil {
 		if v, ok := p.GetOwn(name); ok {
-			*e = icEntry{node: node, recv: o, recvShape: o.shape, proto: p, protoVer: p.version, val: v}
+			*e = icEntry{node: node, epoch: ip.icEpoch, recv: o, recvShape: o.shape, proto: p, protoVer: p.version, val: v}
 			return v, true
 		}
 	}

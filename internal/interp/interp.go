@@ -11,6 +11,7 @@ import (
 	"turnstile/internal/faults"
 	"turnstile/internal/guard"
 	"turnstile/internal/telemetry"
+	"turnstile/internal/vm"
 )
 
 // Throw is a MiniJS exception in flight.
@@ -92,6 +93,10 @@ type Interp struct {
 	// access and per-call-site inline caches) even on resolved programs,
 	// restoring the pure map-walk interpreter for A/B comparison.
 	NoResolve bool
+	// NoVM disables the bytecode VM, restoring the tree-walking
+	// evaluator as the execution engine (the differential oracle). The VM
+	// also stays off under NoResolve — it builds on resolved coordinates.
+	NoVM bool
 
 	steps       int64
 	callDepth   int
@@ -101,7 +106,40 @@ type Interp struct {
 
 	// ics holds the per-call-site monomorphic inline caches, indexed by
 	// AST node ID (see ic.go). Sized lazily from Program.MaxID.
-	ics []icEntry
+	ics      []icEntry
+	identICs []identIC
+
+	// icEpoch invalidates every inline cache on program swap: IC tables
+	// only grow and are guarded by AST node identity, so without an epoch a
+	// reused node ID from an aliasing allocation in a later program could
+	// validate a stale cached Value (a cross-program label-leak channel).
+	// Entries record the epoch they were filled in; Run bumps it whenever
+	// the executed program changes.
+	icEpoch  uint64
+	lastProg *ast.Program
+
+	// bytecode VM state: compiled modules per program and the function
+	// chunk registry used to attach Code to closures (see exec_vm.go)
+	progMods map[*ast.Program]*vm.Module
+	funcCode map[*ast.FuncLit]*vm.Chunk
+	// framePool recycles register files across chunk invocations (LIFO,
+	// so nested calls reuse the hottest frames); envPool and argPool do
+	// the same for call environments and argument slices on calls whose
+	// compiled body provably cannot capture them (Chunk.NoCapture,
+	// Chunk.NeedsArguments)
+	framePool []*vmFrame
+	envPool   []*Env
+	argPool   [][]Value
+
+	// fused-tracker fast path: snapshot of the __t object taken at
+	// InstallTracker time. Valid while the binding was never dynamically
+	// rebound (tauRebound) and the object itself is unmutated (version
+	// compare); OpTrackerCall then dispatches without an environment walk
+	// or member lookup.
+	tauObj     *Object
+	tauVer     uint64
+	tauMethods map[string]Value
+	tauRebound bool
 
 	// resolver fast-path telemetry, flushed into Metrics by
 	// FlushEnvTelemetry
@@ -223,7 +261,19 @@ func (ip *Interp) Run(prog *ast.Program) error {
 	if !ip.NoResolve {
 		ip.ensureICs(prog.MaxID)
 	}
-	c, _, err := ip.execStmts(prog.Body, ip.Globals)
+	if ip.lastProg != prog {
+		// program swap: retire every inline-cache entry filled under the
+		// previous program before any of its node IDs can alias
+		ip.lastProg = prog
+		ip.icEpoch++
+	}
+	var c ctrlKind
+	var err error
+	if mod := ip.moduleFor(prog); mod != nil {
+		c, _, err = ip.runChunk(mod.Top, ip.Globals)
+	} else {
+		c, _, err = ip.execStmts(prog.Body, ip.Globals)
+	}
 	if err != nil {
 		return err
 	}
@@ -237,7 +287,7 @@ func (ip *Interp) execStmts(stmts []ast.Stmt, env *Env) (ctrlKind, Value, error)
 	// hoist function declarations (JS semantics; corpus apps rely on it)
 	for _, s := range stmts {
 		if fd, ok := s.(*ast.FuncDecl); ok {
-			ip.defineVar(env, fd.Name, fd.Ref, NewFunction(fd.Name, fd.Fn, env), false)
+			ip.defineVar(env, fd.Name, fd.Ref, ip.withCode(NewFunction(fd.Name, fd.Fn, env)), false)
 		}
 	}
 	for _, s := range stmts {
@@ -700,7 +750,7 @@ func (ip *Interp) eval(e ast.Expr, env *Env) (Value, error) {
 		}
 		return o, nil
 	case *ast.FuncLit:
-		return NewFunction(x.Name, x, env), nil
+		return ip.withCode(NewFunction(x.Name, x, env)), nil
 	case *ast.CallExpr:
 		return ip.evalCall(x, env)
 	case *ast.NewExpr:
@@ -968,6 +1018,11 @@ func newEnvFor(parent *Env, scope *ast.ScopeInfo) *Env {
 // defineVar declares name in env, going through the resolved slot when the
 // declaration carries one.
 func (ip *Interp) defineVar(env *Env, name string, ref *ast.VarRef, v Value, isConst bool) {
+	if name == "__t" {
+		// any user-level (re)declaration of the tracker binding kills the
+		// fused-opcode fast path permanently for this interpreter
+		ip.tauRebound = true
+	}
 	if ref != nil && env.DefineSlot(ref.Slot, v, isConst) {
 		ip.envSlotWrites++
 		return
@@ -995,6 +1050,9 @@ func (ip *Interp) lookupIdent(env *Env, name string, ref *ast.VarRef) (Value, bo
 // assignments, compound assignments, update expressions and undeclared
 // for-in/of loop variables.
 func (ip *Interp) assignIdent(env *Env, name string, ref *ast.VarRef, v Value) error {
+	if name == "__t" {
+		ip.tauRebound = true
+	}
 	if ref != nil {
 		done, err := env.SlotAssign(ref.Depth, ref.Slot, v)
 		if err != nil {

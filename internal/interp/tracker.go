@@ -300,6 +300,19 @@ func (ip *Interp) InstallTracker(pol *policy.Policy) *dift.Tracker {
 	ip.Globals.Define("endorse", endorseFn, false)
 
 	ip.Globals.Define("__t", tau, false)
+
+	// snapshot for the VM's fused __t.* call opcode: method table plus the
+	// version the object had at install time. Any later mutation of τ or
+	// dynamic rebinding of __t invalidates the fast path (see trackerCall).
+	ip.tauObj = tau
+	ip.tauVer = tau.version
+	ip.tauRebound = false
+	ip.tauMethods = make(map[string]Value, tau.Len())
+	for _, k := range tau.Keys() {
+		if v, ok := tau.GetOwn(k); ok {
+			ip.tauMethods[k] = v
+		}
+	}
 	return tr
 }
 

@@ -15,6 +15,7 @@ import (
 
 	"turnstile/internal/ast"
 	"turnstile/internal/dift"
+	"turnstile/internal/vm"
 )
 
 // Value is any MiniJS runtime value:
@@ -49,9 +50,12 @@ type Object struct {
 	keys  []string
 	// version counts every property write or delete; shape counts only
 	// key-set changes (add/delete). The interpreter's inline caches use
-	// them as invalidation guards (see ic.go).
-	version uint32
-	shape   uint32
+	// them as invalidation guards (see ic.go). They are uint64: a
+	// long-lived serve tenant could wrap a 32-bit counter in 2^32 writes
+	// and re-validate a stale IC entry, so the counter must be wide enough
+	// to never wrap within a process lifetime.
+	version uint64
+	shape   uint64
 	Proto   *Object
 	// Class names the constructor for diagnostics ("Object", "Error", ...).
 	Class string
@@ -143,6 +147,10 @@ type Function struct {
 	Decl *ast.FuncLit
 	Env  *Env
 	This Value // bound receiver for methods extracted via member access
+
+	// Code is the compiled bytecode chunk for Decl, attached at closure
+	// creation when the VM is on (nil dispatches the tree-walker).
+	Code *vm.Chunk
 
 	// Class support.
 	IsClass bool

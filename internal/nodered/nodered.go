@@ -115,7 +115,7 @@ type Runtime struct {
 	failures     map[string]int // consecutive handler failures per node
 	quarantined  map[string]bool
 	halfOpen     map[string]bool // breaker half-open: next delivery is a probe
-	inCatch      bool // suppresses catch re-entry while a catch handler runs
+	inCatch      bool            // suppresses catch re-entry while a catch handler runs
 	queue        []queued
 	pending      map[string]int // queued-message count per target node
 	draining     bool

@@ -69,6 +69,44 @@ go run ./cmd/turnstile-bench -crash -noresolve > /tmp/turnstile-rescrash-b.txt
 cmp /tmp/turnstile-rescrash-a.txt /tmp/turnstile-rescrash-b.txt
 rm -f /tmp/turnstile-rescrash-a.txt /tmp/turnstile-rescrash-b.txt
 
+echo "== VM differential: chaos report, bytecode VM vs -novm tree walk"
+go run ./cmd/turnstile-bench -chaos -faultseed 7 -messages 20 \
+  -apps modbus,sensor-logger,thermostat-hub > /tmp/turnstile-vmchaos-a.txt
+go run ./cmd/turnstile-bench -chaos -faultseed 7 -messages 20 \
+  -apps modbus,sensor-logger,thermostat-hub -novm > /tmp/turnstile-vmchaos-b.txt
+cmp /tmp/turnstile-vmchaos-a.txt /tmp/turnstile-vmchaos-b.txt
+rm -f /tmp/turnstile-vmchaos-a.txt /tmp/turnstile-vmchaos-b.txt
+
+echo "== VM differential: attack corpus, bytecode VM vs -novm tree walk"
+go run ./cmd/turnstile-bench -attack > /tmp/turnstile-vmattack-a.txt
+go run ./cmd/turnstile-bench -attack -novm > /tmp/turnstile-vmattack-b.txt
+cmp /tmp/turnstile-vmattack-a.txt /tmp/turnstile-vmattack-b.txt
+rm -f /tmp/turnstile-vmattack-a.txt /tmp/turnstile-vmattack-b.txt
+
+echo "== VM differential: crash corpus (fail-closed), bytecode VM vs -novm"
+go run ./cmd/turnstile-bench -crash > /tmp/turnstile-vmcrash-a.txt
+go run ./cmd/turnstile-bench -crash -novm > /tmp/turnstile-vmcrash-b.txt
+cmp /tmp/turnstile-vmcrash-a.txt /tmp/turnstile-vmcrash-b.txt
+rm -f /tmp/turnstile-vmcrash-a.txt /tmp/turnstile-vmcrash-b.txt
+
+echo "== VM differential: generated corpus, bytecode VM vs -novm, differing -parallel"
+go run ./cmd/turnstile-bench -gen 56 -genseed 3 -parallel 8 > /tmp/turnstile-vmgen-a.txt
+go run ./cmd/turnstile-bench -gen 56 -genseed 3 -parallel 1 -novm > /tmp/turnstile-vmgen-b.txt
+cmp /tmp/turnstile-vmgen-a.txt /tmp/turnstile-vmgen-b.txt
+rm -f /tmp/turnstile-vmgen-a.txt /tmp/turnstile-vmgen-b.txt
+
+echo "== VM corpus battery (full-corpus differential, shared cache, chaos, attack)"
+go test ./internal/harness -run 'TestVM(DifferentialFullCorpus|ChaosEquivalence|AttackEquivalence)'
+
+echo "== VM shared-cache mode keying (-race; both engines through one cache)"
+go test -race ./internal/harness -run TestVMSharedCacheBothModes
+
+echo "== VM metamorphic battery (vm=walker, crash-order agreement, all strata)"
+go test ./internal/harness -run 'TestGenMetamorphicVM'
+
+echo "== VM equivalence fuzz smoke (vm = tree walker on generated apps)"
+go test ./internal/harness -run '^$' -fuzz FuzzVMEquivalence -fuzztime 5s
+
 echo "== interp fuzz smoke (no panic within fuel, -race)"
 go test ./internal/interp -run '^$' -fuzz FuzzInterpNoPanicWithinFuel -fuzztime 5s -race
 
@@ -80,6 +118,9 @@ TURNSTILE_BENCH_GATE=1 go test ./internal/dift -run TestDisabledOverheadGate -v
 
 echo "== slot-env perf gate (interpreter microbenchmarks)"
 TURNSTILE_BENCH_GATE=1 go test ./internal/harness -run TestSlotEnvFasterGate -v
+
+echo "== VM perf gate (bytecode VM vs slot-env walker; see BENCH_vm.json)"
+TURNSTILE_BENCH_GATE=1 go test ./internal/harness -run TestVMFasterGate -v
 
 echo "== serve soak smoke (2 tenants + hostile neighbour, fixed seed, differing -parallel)"
 go run ./cmd/turnstile-bench -serve -servetenants 2 -servemessages 30 -serveseed 7 \
